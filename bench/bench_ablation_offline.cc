@@ -1,0 +1,101 @@
+// Ablation: how much of the online policies' advantage over the paper's
+// offline baseline comes from the machine model's inability to share
+// probes (DESIGN.md decision #5)?
+//
+// Compares, on the Figure-10 workload (auction trace, P^[1], C = 1):
+//   * the paper-faithful local ratio (exclusive machine segments),
+//   * the greedy slot assigner without probe sharing,
+//   * the greedy slot assigner WITH probe sharing (non-paper, stronger),
+//   * the online MRSF(P) policy,
+// reporting Eq. 1 completeness and solver wall time.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "offline/offline_approx.h"
+#include "online/run.h"
+#include "policy/policy_factory.h"
+#include "trace/update_model.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace webmon::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Ablation: offline baselines",
+              "Local ratio vs slot greedy (with/without probe sharing) vs "
+              "online MRSF(P)",
+              "probe sharing accounts for a large part of the gap between "
+              "the paper's offline baseline and the online policies");
+
+  struct Row {
+    RunningStats completeness;
+    RunningStats wall_ms;
+  };
+  Row local_ratio, greedy_noshare, greedy_share, online;
+
+  const uint32_t kReps = 10;
+  for (uint32_t rep = 0; rep < kReps; ++rep) {
+    Rng rng(7000 + rep);
+    AuctionTraceOptions trace_options;
+    trace_options.num_auctions = 400;
+    trace_options.target_total_bids =
+        static_cast<int64_t>(11150.0 * 400 / 732.0);
+    trace_options.num_chronons = 864;
+    auto trace = GenerateAuctionTrace(trace_options, rng);
+    if (!trace.ok()) return 1;
+    PerfectUpdateModel model(*trace);
+    ProfileTemplate tmpl =
+        ProfileTemplate::AuctionWatch(3, /*exact_rank=*/true, /*window=*/0);
+    WorkloadOptions options;
+    options.num_profiles = 40;
+    options.alpha = 0.3;
+    options.budget = 1;
+    auto workload = GenerateWorkload(tmpl, options, model, *trace, rng);
+    if (!workload.ok()) return 1;
+    const ProblemInstance& problem = workload->problem;
+
+    auto lr = SolveOfflineApprox(problem);
+    if (!lr.ok()) return 1;
+    local_ratio.completeness.Add(lr->completeness);
+    local_ratio.wall_ms.Add(lr->wall_seconds * 1e3);
+
+    OfflineGreedyOptions noshare;
+    noshare.allow_shared_probes = false;
+    auto gn = SolveOfflineGreedy(problem, noshare);
+    if (!gn.ok()) return 1;
+    greedy_noshare.completeness.Add(gn->completeness);
+    greedy_noshare.wall_ms.Add(gn->wall_seconds * 1e3);
+
+    auto gs = SolveOfflineGreedy(problem);
+    if (!gs.ok()) return 1;
+    greedy_share.completeness.Add(gs->completeness);
+    greedy_share.wall_ms.Add(gs->wall_seconds * 1e3);
+
+    auto policy = MakePolicy("mrsf");
+    if (!policy.ok()) return 1;
+    auto run = RunOnline(problem, policy->get());
+    if (!run.ok()) return 1;
+    online.completeness.Add(run->completeness);
+    online.wall_ms.Add(run->wall_seconds * 1e3);
+  }
+
+  TableWriter table({"solver", "completeness", "wall ms"});
+  auto add = [&](const char* name, const Row& row) {
+    table.AddRow({name, TableWriter::Percent(row.completeness.mean()),
+                  TableWriter::Fmt(row.wall_ms.mean(), 2)});
+  };
+  add("local ratio (paper baseline)", local_ratio);
+  add("greedy, no probe sharing", greedy_noshare);
+  add("greedy, probe sharing", greedy_share);
+  add("online MRSF(P)", online);
+  PrintTable(table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace webmon::bench
+
+int main() { return webmon::bench::Run(); }

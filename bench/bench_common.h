@@ -1,0 +1,46 @@
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every bench regenerates one table or figure of the paper's evaluation
+// (Section V): it prints the experiment's parameters, the paper's reported
+// shape for reference, the measured rows as an aligned table, and the same
+// rows as CSV for plotting.
+
+#ifndef WEBMON_BENCH_BENCH_COMMON_H_
+#define WEBMON_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/table_writer.h"
+
+namespace webmon::bench {
+
+/// Prints the standard bench banner.
+void PrintBanner(const std::string& experiment_id, const std::string& title,
+                 const std::string& paper_shape);
+
+/// Prints the table followed by its CSV form.
+void PrintTable(const TableWriter& table);
+
+/// Table I baseline: n = 1000 resources, m = 100 profiles, K = 1000
+/// chronons, C = 1, lambda = 20, alpha = 0.3, beta = 0, w = 10,
+/// omega = 20, 10 repetitions.
+ExperimentConfig PaperBaseline(uint64_t seed = 1);
+
+/// The auction-trace setup scaled to `num_auctions` resources (bids scale
+/// proportionally from the paper's 732-auction / 11,150-bid trace).
+ExperimentConfig AuctionBaseline(uint32_t num_auctions, uint64_t seed = 1);
+
+/// Aborts with a message on error statuses (benches have no recovery path).
+#define WEBMON_BENCH_CHECK_OK(expr)                                   \
+  do {                                                                \
+    const ::webmon::Status _st = (expr);                              \
+    if (!_st.ok()) {                                                  \
+      std::fprintf(stderr, "FATAL: %s\n", _st.ToString().c_str());    \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+
+}  // namespace webmon::bench
+
+#endif  // WEBMON_BENCH_BENCH_COMMON_H_

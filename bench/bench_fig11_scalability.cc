@@ -1,0 +1,54 @@
+// Figure 11 (Section V-D): runtime scalability of the online policies.
+//
+// Setup: synthetic Poisson trace with 2.5x the baseline update intensity
+// (lambda = 50) and up to 2500 profiles, rank 5, K = 1000, C = 1.
+//
+// Paper shape: the online policies' runtime normalized per EI stays roughly
+// flat / linear as the workload grows (linear total runtime), with
+// M-EDF a constant factor above MRSF above S-EDF; the offline approximation
+// is far slower and is omitted from the sweep, as in the paper.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace webmon::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Figure 11", "Online policy runtime scalability (us per EI)",
+              "linear trend; S-EDF <= MRSF << M-EDF; offline omitted "
+              "(not scalable)");
+
+  TableWriter table({"profiles", "CEIs", "EIs", "S-EDF us/EI", "MRSF us/EI",
+                     "M-EDF us/EI"});
+  for (uint32_t m : {500u, 1000u, 1500u, 2000u, 2500u}) {
+    ExperimentConfig config = PaperBaseline(/*seed=*/43);
+    config.poisson.lambda = 50.0;  // 2.5x the baseline intensity
+    config.profile_template = ProfileTemplate::AuctionWatch(
+        5, /*exact_rank=*/true, /*window=*/10);
+    config.profile_template.random_window = true;
+    config.workload.num_profiles = m;
+    config.repetitions = 3;
+    auto result = RunExperiment(
+        config, {{"s-edf", true}, {"mrsf", true}, {"m-edf", true}});
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({TableWriter::Fmt(static_cast<int64_t>(m)),
+                  TableWriter::Fmt(result->total_ceis.mean(), 0),
+                  TableWriter::Fmt(result->total_eis.mean(), 0),
+                  TableWriter::Fmt(result->policies[0].usec_per_ei.mean(), 3),
+                  TableWriter::Fmt(result->policies[1].usec_per_ei.mean(), 3),
+                  TableWriter::Fmt(result->policies[2].usec_per_ei.mean(), 3)});
+  }
+  PrintTable(table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace webmon::bench
+
+int main() { return webmon::bench::Run(); }

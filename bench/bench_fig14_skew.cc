@@ -1,0 +1,88 @@
+// Figure 14 (Section V-G): impact of skew in accessing resources (alpha)
+// and of profile-rank variance (beta).
+//
+// Setup: synthetic Poisson trace, C = 1, rank upto 5 (Zipf(beta, 5)),
+// resources per CEI drawn from Zipf(alpha, n). The paper reports the
+// baseline (alpha = beta = 0) completeness around 37% for MRSF(P)/M-EDF(P)
+// and 26% for S-EDF(NP), and shows completeness GROWING with alpha: skew
+// toward popular resources creates intra-resource overlap the policies
+// exploit with shared probes.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace webmon::bench {
+namespace {
+
+ExperimentConfig Config(double alpha, double beta) {
+  ExperimentConfig config = PaperBaseline(/*seed=*/46);
+  config.profile_template = ProfileTemplate::AuctionWatch(
+      5, /*exact_rank=*/false, /*window=*/10);
+    config.profile_template.random_window = true;  // "upto 5"
+  config.workload.alpha = alpha;
+  config.workload.beta = beta;
+  // Popular-resource collisions across CEIs are the phenomenon under test.
+  config.workload.distinct_resources = false;
+  return config;
+}
+
+int Run() {
+  PrintBanner("Figure 14", "Impact of resource-access skew (alpha)",
+              "completeness increases with alpha (intra-resource overlap "
+              "exploited); baseline ~37% MRSF/M-EDF vs ~26% S-EDF(NP)");
+
+  const std::vector<PolicySpec> specs = {
+      {"mrsf", true}, {"m-edf", true}, {"s-edf", false}};
+
+  double base_mrsf = 0;
+  double base_medf = 0;
+  double base_sedf = 0;
+  TableWriter table({"alpha", "MRSF(P)", "M-EDF(P)", "S-EDF(NP)",
+                     "MRSF rel", "M-EDF rel", "S-EDF rel"});
+  for (double alpha : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+    auto result = RunExperiment(Config(alpha, /*beta=*/0.0), specs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const double mrsf = result->policies[0].completeness.mean();
+    const double medf = result->policies[1].completeness.mean();
+    const double sedf = result->policies[2].completeness.mean();
+    if (alpha == 0.0) {
+      base_mrsf = mrsf;
+      base_medf = medf;
+      base_sedf = sedf;
+    }
+    table.AddRow({TableWriter::Fmt(alpha, 1), TableWriter::Percent(mrsf),
+                  TableWriter::Percent(medf), TableWriter::Percent(sedf),
+                  TableWriter::Fmt(mrsf / base_mrsf, 2),
+                  TableWriter::Fmt(medf / base_medf, 2),
+                  TableWriter::Fmt(sedf / base_sedf, 2)});
+  }
+  PrintTable(table);
+
+  std::cout << "Rank-variance sweep (beta, alpha = 0.3): larger beta -> "
+               "simpler profiles -> higher completeness\n\n";
+  TableWriter beta_table({"beta", "MRSF(P)", "M-EDF(P)", "S-EDF(NP)"});
+  for (double beta : {0.0, 0.5, 1.0, 2.0}) {
+    auto result = RunExperiment(Config(/*alpha=*/0.3, beta), specs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    beta_table.AddRow(
+        {TableWriter::Fmt(beta, 1),
+         TableWriter::Percent(result->policies[0].completeness.mean()),
+         TableWriter::Percent(result->policies[1].completeness.mean()),
+         TableWriter::Percent(result->policies[2].completeness.mean())});
+  }
+  PrintTable(beta_table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace webmon::bench
+
+int main() { return webmon::bench::Run(); }

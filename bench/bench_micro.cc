@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark): per-operation costs underlying the
+// Section V-D runtime analysis — policy value computation (Theta(1) for
+// S-EDF/MRSF, O(k) for M-EDF) and the per-chronon scheduler step.
+
+#include <benchmark/benchmark.h>
+
+#include "model/problem.h"
+#include "online/run.h"
+#include "policy/m_edf.h"
+#include "policy/mrsf.h"
+#include "policy/policy_factory.h"
+#include "policy/s_edf.h"
+#include "trace/poisson_trace.h"
+#include "trace/update_model.h"
+#include "workload/generator.h"
+
+namespace webmon {
+namespace {
+
+Cei MakeCei(uint32_t rank, Chronon width) {
+  Cei cei;
+  for (uint32_t i = 0; i < rank; ++i) {
+    ExecutionInterval ei;
+    ei.id = i;
+    ei.resource = i;
+    ei.start = static_cast<Chronon>(i) * (width + 2);
+    ei.finish = ei.start + width - 1;
+    cei.eis.push_back(ei);
+  }
+  return cei;
+}
+
+void BM_SEdfValue(benchmark::State& state) {
+  const Cei cei = MakeCei(static_cast<uint32_t>(state.range(0)), 10);
+  CeiState cs(&cei);
+  CandidateEi cand{&cs, 0};
+  SEdfPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Value(cand, 3));
+  }
+}
+BENCHMARK(BM_SEdfValue)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_MrsfValue(benchmark::State& state) {
+  const Cei cei = MakeCei(static_cast<uint32_t>(state.range(0)), 10);
+  CeiState cs(&cei);
+  CandidateEi cand{&cs, 0};
+  MrsfPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Value(cand, 3));
+  }
+}
+BENCHMARK(BM_MrsfValue)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_MEdfValue(benchmark::State& state) {
+  // M-EDF is O(k): time should grow with the rank argument.
+  const Cei cei = MakeCei(static_cast<uint32_t>(state.range(0)), 10);
+  CeiState cs(&cei);
+  CandidateEi cand{&cs, 0};
+  MEdfPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Value(cand, 3));
+  }
+}
+BENCHMARK(BM_MEdfValue)->Arg(1)->Arg(5)->Arg(10)->Arg(50);
+
+// Full online run over a generated workload; reports time per EI.
+void BM_OnlineRun(benchmark::State& state) {
+  Rng rng(7);
+  PoissonTraceOptions trace_options;
+  trace_options.num_resources = 200;
+  trace_options.num_chronons = 500;
+  trace_options.lambda = 20.0;
+  auto trace = GeneratePoissonTrace(trace_options, rng);
+  if (!trace.ok()) {
+    state.SkipWithError("trace generation failed");
+    return;
+  }
+  PerfectUpdateModel model(*trace);
+  ProfileTemplate tmpl =
+      ProfileTemplate::AuctionWatch(static_cast<uint32_t>(state.range(0)),
+                                    /*exact_rank=*/true, /*window=*/10);
+  WorkloadOptions options;
+  options.num_profiles = 50;
+  options.budget = 1;
+  auto workload = GenerateWorkload(tmpl, options, model, *trace, rng);
+  if (!workload.ok()) {
+    state.SkipWithError("workload generation failed");
+    return;
+  }
+  auto policy = MakePolicy("mrsf");
+  for (auto _ : state) {
+    auto result = RunOnline(workload->problem, policy->get());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * workload->problem.TotalEis());
+}
+BENCHMARK(BM_OnlineRun)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace webmon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Scalability of the continuous-query engine: many independent query
+// chains (periodic blog poll + conditional two-feed crossing) over a
+// growing feed population. Reports wall time per chronon and per delivered
+// item — the end-to-end cost of the full Section II pipeline (feed
+// simulation + content evaluation + scheduling).
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "policy/policy_factory.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "trace/poisson_trace.h"
+#include "util/stopwatch.h"
+
+namespace webmon::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Query-engine scalability",
+              "Section II pipeline cost vs number of query chains",
+              "not a paper figure — end-to-end cost of parse + feeds + "
+              "content evaluation + scheduling");
+
+  constexpr Chronon kHorizon = 1000;
+  TableWriter table({"chains", "feeds", "queries", "needs", "captured",
+                     "items", "us/chronon"});
+  for (uint32_t chains : {10u, 50u, 100u, 200u}) {
+    // Each chain: blog feed + news feed; poll blog every 10, cross on oil.
+    std::ostringstream program;
+    std::map<std::string, ResourceId> feeds;
+    for (uint32_t c = 0; c < chains; ++c) {
+      const std::string blog = "Blog" + std::to_string(c);
+      const std::string news = "News" + std::to_string(c);
+      feeds.emplace(blog, static_cast<ResourceId>(2 * c));
+      feeds.emplace(news, static_cast<ResourceId>(2 * c + 1));
+      program << "SELECT item AS F" << 2 * c << " FROM feed(" << blog
+              << ") WHEN EVERY 10 AS T" << c << " WITHIN T" << c << "+2;"
+              << "SELECT item AS F" << 2 * c + 1 << " FROM feed(" << news
+              << ") WHEN F" << 2 * c << " CONTAINS %oil% WITHIN T" << c
+              << "+8;";
+    }
+    auto queries = ParseQueries(program.str());
+    if (!queries.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   queries.status().ToString().c_str());
+      return 1;
+    }
+
+    Rng rng(61);
+    PoissonTraceOptions trace_options;
+    trace_options.num_resources = 2 * chains;
+    trace_options.num_chronons = kHorizon;
+    trace_options.lambda = 20.0;
+    auto trace = GeneratePoissonTrace(trace_options, rng);
+    if (!trace.ok()) return 1;
+    FeedWorldOptions world_options;
+    world_options.keywords = {"oil"};
+    world_options.keyword_prob = 0.3;
+    auto world = FeedWorld::Create(*trace, world_options);
+    if (!world.ok()) return 1;
+    auto policy = MakePolicy("mrsf");
+    if (!policy.ok()) return 1;
+    auto engine = QueryEngine::Create(
+        *queries, feeds, &*world, std::move(*policy), kHorizon,
+        BudgetVector::Uniform(std::max<int64_t>(1, chains / 10)));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+
+    Stopwatch watch;
+    if (Status st = (*engine)->Run(); !st.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double us_per_chronon = watch.ElapsedSeconds() * 1e6 / kHorizon;
+
+    int64_t needs = 0;
+    int64_t captured = 0;
+    int64_t items = 0;
+    for (const auto& q : *queries) {
+      auto stats = (*engine)->StatsFor(q.alias);
+      if (!stats.ok()) continue;
+      needs += stats->needs_submitted;
+      captured += stats->needs_captured;
+      items += stats->items_delivered;
+    }
+    table.AddRow({TableWriter::Fmt(static_cast<int64_t>(chains)),
+                  TableWriter::Fmt(static_cast<int64_t>(2 * chains)),
+                  TableWriter::Fmt(static_cast<int64_t>(queries->size())),
+                  TableWriter::Fmt(needs), TableWriter::Fmt(captured),
+                  TableWriter::Fmt(items),
+                  TableWriter::Fmt(us_per_chronon, 1)});
+  }
+  PrintTable(table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace webmon::bench
+
+int main() { return webmon::bench::Run(); }

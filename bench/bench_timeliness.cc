@@ -1,0 +1,54 @@
+// Ablation: completeness vs timeliness across policies.
+//
+// WIC — the prior-art baseline — was designed to balance completeness WITH
+// timeliness, while the paper's Problem 1 optimizes completeness alone.
+// This bench reports both dimensions on the Table-I baseline workload so
+// the trade-off is visible: deadline-driven policies tend to capture late
+// (they procrastinate until the window is about to close only under
+// pressure), while WIC's utility aggregation probes hot resources promptly.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace webmon::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Ablation: timeliness",
+              "Completeness vs mean EI capture delay per policy",
+              "not a paper figure — quantifies the completeness/timeliness "
+              "trade-off the WIC comparison (Section V-A.3) alludes to");
+
+  ExperimentConfig config = PaperBaseline(/*seed=*/51);
+  config.profile_template = ProfileTemplate::AuctionWatch(
+      3, /*exact_rank=*/false, /*window=*/10);
+  config.profile_template.random_window = true;
+  config.workload.num_profiles = 150;
+
+  const std::vector<PolicySpec> specs = {{"mrsf", true},
+                                         {"m-edf", true},
+                                         {"s-edf", true},
+                                         {"wic", true},
+                                         {"round-robin", true}};
+  auto result = RunExperiment(config, specs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  TableWriter table({"policy", "completeness", "mean capture delay "
+                                               "(chronons)"});
+  for (const auto& p : result->policies) {
+    table.AddRow({p.spec.Label(),
+                  TableWriter::Percent(p.completeness.mean()),
+                  TableWriter::Fmt(p.mean_capture_delay.mean(), 2)});
+  }
+  PrintTable(table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace webmon::bench
+
+int main() { return webmon::bench::Run(); }

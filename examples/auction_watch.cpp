@@ -1,0 +1,82 @@
+// AuctionWatch(k) (paper Section V-A.2): "monitor the prices of k auctions
+// and notify the user after a new bid is posted in all k auctions".
+//
+// The example generates an eBay-like bid trace (the paper's real-trace
+// substitute), builds AuctionWatch(k) workloads for k = 1..4, runs every
+// policy, and prints a completeness report — a miniature of the paper's
+// evaluation pipeline driven entirely through the public API.
+//
+// Build & run:  ./build/examples/auction_watch
+
+#include <iostream>
+
+#include "online/run.h"
+#include "policy/policy_factory.h"
+#include "trace/auction_trace.h"
+#include "trace/update_model.h"
+#include "util/table_writer.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace webmon;
+
+int Run() {
+  std::cout << "AuctionWatch(k): cross k auction bid streams, window of 15 "
+               "chronons, C = 1\n\n";
+  Rng rng(7);
+  AuctionTraceOptions trace_options;
+  trace_options.num_auctions = 150;
+  trace_options.target_total_bids = 2300;
+  trace_options.num_chronons = 864;
+  auto trace = GenerateAuctionTrace(trace_options, rng);
+  if (!trace.ok()) {
+    std::cerr << trace.status() << "\n";
+    return 1;
+  }
+  std::cout << "auction trace: " << trace->num_resources() << " auctions, "
+            << trace->TotalEvents() << " bids over "
+            << trace->num_chronons() << " chronons\n\n";
+  PerfectUpdateModel model(*trace);
+
+  TableWriter table({"k", "CEIs", "EIs", "policy", "completeness",
+                     "probes"});
+  for (uint32_t k = 1; k <= 4; ++k) {
+    ProfileTemplate tmpl =
+        ProfileTemplate::AuctionWatch(k, /*exact_rank=*/true, /*window=*/15);
+    WorkloadOptions options;
+    options.num_profiles = 40;
+    options.alpha = 0.3;
+    options.budget = 1;
+    Rng workload_rng(100 + k);
+    auto workload =
+        GenerateWorkload(tmpl, options, model, *trace, workload_rng);
+    if (!workload.ok()) {
+      std::cerr << workload.status() << "\n";
+      return 1;
+    }
+    for (const char* name : {"mrsf", "m-edf", "s-edf", "wic"}) {
+      auto policy = MakePolicy(name);
+      if (!policy.ok()) return 1;
+      auto run = RunOnline(workload->problem, policy->get());
+      if (!run.ok()) {
+        std::cerr << run.status() << "\n";
+        return 1;
+      }
+      table.AddRow({TableWriter::Fmt(static_cast<int64_t>(k)),
+                    TableWriter::Fmt(workload->problem.TotalCeis()),
+                    TableWriter::Fmt(workload->problem.TotalEis()),
+                    (*policy)->name(),
+                    TableWriter::Percent(run->completeness),
+                    TableWriter::Fmt(run->stats.probes_issued)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: completeness falls as k grows, since all "
+               "k bid streams must be captured for a notification.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

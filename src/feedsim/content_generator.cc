@@ -1,0 +1,57 @@
+#include "feedsim/content_generator.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace webmon {
+
+namespace {
+
+const char* const kSubjects[] = {
+    "Markets", "Crude inventories", "Tech shares", "Treasury yields",
+    "Housing starts", "Retail sales", "The dollar", "Commodities",
+    "Earnings season", "Central banks",
+};
+const char* const kVerbs[] = {
+    "rally", "slip", "surge", "steady", "retreat",
+    "climb", "stall", "rebound", "drift", "whipsaw",
+};
+const char* const kContexts[] = {
+    "on supply fears",       "after the report",   "ahead of the summit",
+    "despite weak guidance", "as traders reprice", "in thin trading",
+    "on strong demand",      "after the auction",  "amid volatility",
+    "before the open",
+};
+
+constexpr size_t kChoices = 10;
+
+}  // namespace
+
+ContentGenerator::ContentGenerator(std::vector<std::string> keywords,
+                                   double keyword_prob)
+    : keywords_(std::move(keywords)),
+      keyword_prob_(std::clamp(keyword_prob, 0.0, 1.0)) {}
+
+std::string ContentGenerator::Next(Rng& rng) const {
+  std::string headline = kSubjects[rng.UniformU64(kChoices)];
+  headline += " ";
+  headline += kVerbs[rng.UniformU64(kChoices)];
+  headline += " ";
+  headline += kContexts[rng.UniformU64(kChoices)];
+  if (!keywords_.empty() && rng.Bernoulli(keyword_prob_)) {
+    headline += " - ";
+    headline += keywords_[rng.UniformU64(keywords_.size())];
+    headline += " in focus";
+  }
+  return headline;
+}
+
+bool ContentGenerator::ContainsKeyword(const std::string& text) const {
+  for (const auto& keyword : keywords_) {
+    if (ContainsIgnoreCase(text, keyword)) return true;
+  }
+  return false;
+}
+
+}  // namespace webmon

@@ -1,0 +1,37 @@
+// ContentGenerator: synthesizes feed item text with controllable keyword
+// occurrences, so content predicates (the paper's `F1 CONTAINS %oil%`) have
+// something real to match against.
+
+#ifndef WEBMON_FEEDSIM_CONTENT_GENERATOR_H_
+#define WEBMON_FEEDSIM_CONTENT_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace webmon {
+
+/// Generates headline-like strings; with probability `keyword_prob` a
+/// headline contains one of the configured keywords.
+class ContentGenerator {
+ public:
+  /// `keywords` may be empty (no keyword ever injected). `keyword_prob`
+  /// is clamped to [0, 1].
+  ContentGenerator(std::vector<std::string> keywords, double keyword_prob);
+
+  /// Produces the next headline using `rng`.
+  std::string Next(Rng& rng) const;
+
+  /// True iff `text` contains any configured keyword (case-insensitive) —
+  /// convenience for tests and engines.
+  bool ContainsKeyword(const std::string& text) const;
+
+ private:
+  std::vector<std::string> keywords_;
+  double keyword_prob_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_FEEDSIM_CONTENT_GENERATOR_H_

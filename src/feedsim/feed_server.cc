@@ -1,0 +1,26 @@
+#include "feedsim/feed_server.h"
+
+#include <algorithm>
+
+namespace webmon {
+
+FeedServer::FeedServer(ResourceId resource, size_t capacity)
+    : resource_(resource), capacity_(std::max<size_t>(capacity, 1)) {}
+
+size_t FeedServer::Publish(FeedItem item) {
+  ++total_published_;
+  size_t evicted = 0;
+  if (buffer_.size() >= capacity_) {
+    buffer_.pop_front();
+    ++total_evicted_;
+    evicted = 1;
+  }
+  buffer_.push_back(std::move(item));
+  return evicted;
+}
+
+std::vector<FeedItem> FeedServer::Fetch() const {
+  return std::vector<FeedItem>(buffer_.begin(), buffer_.end());
+}
+
+}  // namespace webmon

@@ -1,0 +1,65 @@
+// FeedServer: one simulated Web feed (RSS/Atom-style).
+//
+// The paper's Section II cites a feed study: 55% of Web feeds update
+// hourly and ~80% keep less than 10 KB of content, so published items are
+// promptly removed. FeedServer models that: a bounded FIFO buffer of
+// content items; publishing beyond capacity evicts the oldest item. A
+// proxy's probe (HTTP GET) returns a snapshot of the current buffer — if an
+// item was evicted before any probe saw it, it is lost, which is exactly
+// the volatility that makes monitoring scheduling matter.
+
+#ifndef WEBMON_FEEDSIM_FEED_SERVER_H_
+#define WEBMON_FEEDSIM_FEED_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "model/types.h"
+
+namespace webmon {
+
+/// One published feed item.
+struct FeedItem {
+  /// Globally unique id (assigned by the publisher).
+  uint64_t id = 0;
+  /// Publication chronon.
+  Chronon published = 0;
+  /// Item text (headline); content predicates match against this.
+  std::string content;
+};
+
+/// A single feed with a bounded item buffer.
+class FeedServer {
+ public:
+  /// `capacity` is the maximum number of items retained (>= 1).
+  FeedServer(ResourceId resource, size_t capacity);
+
+  /// Publishes an item at `now`, evicting the oldest if full. Returns the
+  /// number of items evicted (0 or 1).
+  size_t Publish(FeedItem item);
+
+  /// Snapshot of the currently retained items, oldest first.
+  std::vector<FeedItem> Fetch() const;
+
+  /// Items ever published / evicted (an evicted item that was never
+  /// fetched is unobservable — the client's data loss).
+  int64_t total_published() const { return total_published_; }
+  int64_t total_evicted() const { return total_evicted_; }
+
+  ResourceId resource() const { return resource_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  ResourceId resource_;
+  size_t capacity_;
+  std::deque<FeedItem> buffer_;
+  int64_t total_published_ = 0;
+  int64_t total_evicted_ = 0;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_FEEDSIM_FEED_SERVER_H_

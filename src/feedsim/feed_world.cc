@@ -1,0 +1,90 @@
+#include "feedsim/feed_world.h"
+
+#include <algorithm>
+
+namespace webmon {
+
+FeedWorld::FeedWorld(FeedWorldOptions options)
+    : options_(options),
+      content_(options.keywords, options.keyword_prob),
+      rng_(options.seed) {}
+
+StatusOr<FeedWorld> FeedWorld::Create(const EventTrace& trace,
+                                      FeedWorldOptions options) {
+  if (options.buffer_capacity == 0) {
+    return Status::InvalidArgument("feed buffers need capacity >= 1");
+  }
+  FeedWorld world(options);
+  world.servers_.reserve(trace.num_resources());
+  for (ResourceId r = 0; r < trace.num_resources(); ++r) {
+    world.servers_.emplace_back(r, options.buffer_capacity);
+    for (Chronon t : trace.EventsOf(r)) {
+      world.plan_.push_back({t, r});
+    }
+  }
+  std::sort(world.plan_.begin(), world.plan_.end(),
+            [](const PlannedEvent& a, const PlannedEvent& b) {
+              if (a.chronon != b.chronon) return a.chronon < b.chronon;
+              return a.feed < b.feed;
+            });
+  world.subscribers_.resize(trace.num_resources());
+  return world;
+}
+
+void FeedWorld::AdvanceTo(Chronon now) {
+  if (now <= now_) return;
+  while (next_event_ < plan_.size() && plan_[next_event_].chronon <= now) {
+    const PlannedEvent& event = plan_[next_event_++];
+    FeedItem item;
+    item.id = next_item_id_++;
+    item.published = event.chronon;
+    item.content = content_.Next(rng_);
+    servers_[event.feed].Publish(item);
+    for (const auto& callback : subscribers_[event.feed]) {
+      callback(item);
+    }
+  }
+  now_ = now;
+}
+
+StatusOr<std::vector<FeedItem>> FeedWorld::Probe(ResourceId feed,
+                                                 Chronon now) {
+  if (feed >= servers_.size()) {
+    return Status::OutOfRange("probed feed does not exist");
+  }
+  if (now < now_) {
+    return Status::FailedPrecondition("cannot probe the past");
+  }
+  AdvanceTo(now);
+  return servers_[feed].Fetch();
+}
+
+Status FeedWorld::Subscribe(ResourceId feed,
+                            std::function<void(const FeedItem&)> callback) {
+  if (feed >= servers_.size()) {
+    return Status::OutOfRange("subscribed feed does not exist");
+  }
+  subscribers_[feed].push_back(std::move(callback));
+  return Status::OK();
+}
+
+StatusOr<const FeedServer*> FeedWorld::Server(ResourceId feed) const {
+  if (feed >= servers_.size()) {
+    return Status::OutOfRange("feed does not exist");
+  }
+  return &servers_[feed];
+}
+
+int64_t FeedWorld::total_published() const {
+  int64_t total = 0;
+  for (const auto& server : servers_) total += server.total_published();
+  return total;
+}
+
+int64_t FeedWorld::total_evicted() const {
+  int64_t total = 0;
+  for (const auto& server : servers_) total += server.total_evicted();
+  return total;
+}
+
+}  // namespace webmon

@@ -1,0 +1,94 @@
+// FeedWorld: a collection of simulated feed servers driven by an update
+// event trace, with pull probes and optional push subscriptions.
+//
+// This is the "server side" of the paper's architecture: the EventTrace
+// says WHEN each feed publishes, the ContentGenerator says WHAT, and the
+// proxy interacts only through Probe() (HTTP GET) and push callbacks —
+// exactly the pull-dominant, occasionally-push regime of Section III.
+
+#ifndef WEBMON_FEEDSIM_FEED_WORLD_H_
+#define WEBMON_FEEDSIM_FEED_WORLD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "feedsim/content_generator.h"
+#include "feedsim/feed_server.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Configuration of the simulated world.
+struct FeedWorldOptions {
+  /// Per-feed item buffer capacity (the paper: ~80% of feeds are small, so
+  /// items are promptly removed).
+  size_t buffer_capacity = 5;
+  /// Keywords occasionally embedded in item text.
+  std::vector<std::string> keywords = {"oil"};
+  /// Probability a published item mentions a keyword.
+  double keyword_prob = 0.3;
+  /// RNG seed for content generation.
+  uint64_t seed = 1;
+};
+
+/// The simulated server fleet.
+class FeedWorld {
+ public:
+  /// Builds one FeedServer per trace resource. The trace is copied into the
+  /// world's publication plan.
+  static StatusOr<FeedWorld> Create(const EventTrace& trace,
+                                    FeedWorldOptions options = {});
+
+  /// Publishes every event with chronon <= `now` that has not yet been
+  /// published, firing push callbacks for subscribed feeds. Monotonic.
+  void AdvanceTo(Chronon now);
+
+  /// A proxy probe of `feed` at chronon `now`: advances the world to `now`
+  /// and returns the feed's current buffer snapshot.
+  StatusOr<std::vector<FeedItem>> Probe(ResourceId feed, Chronon now);
+
+  /// Subscribes to pushes from `feed`: `callback(item)` fires for every
+  /// item the feed publishes from then on (the "proprietary push
+  /// technology" of Section II).
+  Status Subscribe(ResourceId feed,
+                   std::function<void(const FeedItem&)> callback);
+
+  /// The underlying server (diagnostics / tests).
+  StatusOr<const FeedServer*> Server(ResourceId feed) const;
+
+  uint32_t num_feeds() const {
+    return static_cast<uint32_t>(servers_.size());
+  }
+  Chronon now() const { return now_; }
+
+  /// Items published so far across all feeds.
+  int64_t total_published() const;
+  /// Items evicted before the epoch ended (upper bound on unobservable
+  /// loss; a probe may still have seen them before eviction).
+  int64_t total_evicted() const;
+
+ private:
+  FeedWorld(FeedWorldOptions options);
+
+  struct PlannedEvent {
+    Chronon chronon;
+    ResourceId feed;
+  };
+
+  FeedWorldOptions options_;
+  ContentGenerator content_;
+  Rng rng_;
+  std::vector<FeedServer> servers_;
+  std::vector<PlannedEvent> plan_;  // sorted by chronon
+  size_t next_event_ = 0;
+  Chronon now_ = -1;
+  uint64_t next_item_id_ = 0;
+  std::vector<std::vector<std::function<void(const FeedItem&)>>> subscribers_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_FEEDSIM_FEED_WORLD_H_

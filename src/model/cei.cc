@@ -1,0 +1,53 @@
+#include "model/cei.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace webmon {
+
+Chronon Cei::EarliestStart() const {
+  if (eis.empty()) return kInvalidChronon;
+  Chronon best = eis.front().start;
+  for (const auto& ei : eis) best = std::min(best, ei.start);
+  return best;
+}
+
+Chronon Cei::LatestFinish() const {
+  if (eis.empty()) return kInvalidChronon;
+  Chronon best = eis.front().finish;
+  for (const auto& ei : eis) best = std::max(best, ei.finish);
+  return best;
+}
+
+Chronon Cei::TotalChronons() const {
+  Chronon total = 0;
+  for (const auto& ei : eis) total += ei.Length();
+  return total;
+}
+
+bool Cei::HasIntraResourceOverlap() const {
+  for (size_t i = 0; i < eis.size(); ++i) {
+    for (size_t j = i + 1; j < eis.size(); ++j) {
+      if (eis[i].resource == eis[j].resource && eis[i].Overlaps(eis[j])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Cei::IsUnitWidth() const {
+  return std::all_of(eis.begin(), eis.end(),
+                     [](const ExecutionInterval& ei) {
+                       return ei.Length() == 1;
+                     });
+}
+
+std::string Cei::ToString() const {
+  std::ostringstream os;
+  os << "CEI{" << id << " p=" << profile << " arrival=" << arrival << " "
+     << eis.size() << " EIs}";
+  return os.str();
+}
+
+}  // namespace webmon

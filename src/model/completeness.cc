@@ -1,0 +1,78 @@
+#include "model/completeness.h"
+
+namespace webmon {
+
+bool EiCaptured(const ExecutionInterval& ei, const Schedule& schedule) {
+  return schedule.ProbedInRange(ei.resource, ei.start, ei.finish);
+}
+
+bool CeiCaptured(const Cei& cei, const Schedule& schedule) {
+  if (cei.eis.empty()) return false;
+  const size_t needed = cei.RequiredCaptures();
+  size_t captured = 0;
+  size_t remaining = cei.eis.size();
+  for (const auto& ei : cei.eis) {
+    if (EiCaptured(ei, schedule)) {
+      if (++captured >= needed) return true;
+    }
+    --remaining;
+    if (captured + remaining < needed) return false;  // cannot reach
+  }
+  return captured >= needed;
+}
+
+int64_t CapturedCeiCount(const ProblemInstance& problem,
+                         const Schedule& schedule) {
+  int64_t captured = 0;
+  for (const auto& profile : problem.profiles()) {
+    for (const auto& cei : profile.ceis) {
+      if (CeiCaptured(cei, schedule)) ++captured;
+    }
+  }
+  return captured;
+}
+
+int64_t CapturedEiCount(const ProblemInstance& problem,
+                        const Schedule& schedule) {
+  int64_t captured = 0;
+  for (const auto& profile : problem.profiles()) {
+    for (const auto& cei : profile.ceis) {
+      for (const auto& ei : cei.eis) {
+        if (EiCaptured(ei, schedule)) ++captured;
+      }
+    }
+  }
+  return captured;
+}
+
+double GainedCompleteness(const ProblemInstance& problem,
+                          const Schedule& schedule) {
+  const int64_t total = problem.TotalCeis();
+  if (total == 0) return 0.0;
+  return static_cast<double>(CapturedCeiCount(problem, schedule)) /
+         static_cast<double>(total);
+}
+
+double EiCompleteness(const ProblemInstance& problem,
+                      const Schedule& schedule) {
+  const int64_t total = problem.TotalEis();
+  if (total == 0) return 0.0;
+  return static_cast<double>(CapturedEiCount(problem, schedule)) /
+         static_cast<double>(total);
+}
+
+double WeightedCompleteness(const ProblemInstance& problem,
+                            const Schedule& schedule) {
+  double total = 0.0;
+  double captured = 0.0;
+  for (const auto& profile : problem.profiles()) {
+    for (const auto& cei : profile.ceis) {
+      total += cei.weight;
+      if (CeiCaptured(cei, schedule)) captured += cei.weight;
+    }
+  }
+  if (total == 0.0) return 0.0;
+  return captured / total;
+}
+
+}  // namespace webmon

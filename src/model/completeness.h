@@ -1,0 +1,52 @@
+// Capture indicators and the gained-completeness objective
+// (paper Section III-B/C, Eq. 1).
+
+#ifndef WEBMON_MODEL_COMPLETENESS_H_
+#define WEBMON_MODEL_COMPLETENESS_H_
+
+#include <cstdint>
+
+#include "model/cei.h"
+#include "model/problem.h"
+#include "model/schedule.h"
+
+namespace webmon {
+
+/// Indicator II(I, S): 1 iff schedule S probes I's resource at some chronon
+/// inside [I.start, I.finish].
+bool EiCaptured(const ExecutionInterval& ei, const Schedule& schedule);
+
+/// Indicator II(eta, S): 1 iff at least RequiredCaptures() of the CEI's EIs
+/// are captured — with the paper's baseline AND semantics (required == 0)
+/// this is prod_{I in eta} II(I, S).
+bool CeiCaptured(const Cei& cei, const Schedule& schedule);
+
+/// Number of CEIs in `problem` captured by `schedule` (numerator of Eq. 1).
+int64_t CapturedCeiCount(const ProblemInstance& problem,
+                         const Schedule& schedule);
+
+/// Number of individual EIs captured; used for the "single EI" upper bound of
+/// Figure 10 (completeness measured as if rank(P) = 1).
+int64_t CapturedEiCount(const ProblemInstance& problem,
+                        const Schedule& schedule);
+
+/// Gained completeness gC(P, T, S) per Eq. 1: captured CEIs divided by total
+/// CEIs. Returns 0 when the instance has no CEIs.
+double GainedCompleteness(const ProblemInstance& problem,
+                          const Schedule& schedule);
+
+/// EI-level completeness: captured EIs divided by total EIs. This is the
+/// worst-case upper bound on optimal CEI completeness used as the Figure 10
+/// denominator.
+double EiCompleteness(const ProblemInstance& problem,
+                      const Schedule& schedule);
+
+/// Utility-weighted completeness (the paper's Section VII extension):
+/// sum of weights of captured CEIs over the total weight. Equals
+/// GainedCompleteness when every weight is 1.
+double WeightedCompleteness(const ProblemInstance& problem,
+                            const Schedule& schedule);
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_COMPLETENESS_H_

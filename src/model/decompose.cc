@@ -1,0 +1,26 @@
+#include "model/decompose.h"
+
+#include <algorithm>
+
+namespace webmon {
+
+StatusOr<ProblemInstance> DecomposeToRank1(const ProblemInstance& problem) {
+  ProblemBuilder builder(problem.num_resources(), problem.num_chronons(),
+                         problem.budget());
+  for (const auto& profile : problem.profiles()) {
+    for (const auto& cei : profile.ceis) {
+      for (const auto& ei : cei.eis) {
+        builder.BeginProfile();
+        // The reveal chronon cannot exceed the EI's own window end (the
+        // parent may have revealed before other siblings expired).
+        const Chronon arrival = std::min(cei.arrival, ei.start);
+        WEBMON_RETURN_IF_ERROR(
+            builder.AddCei({{ei.resource, ei.start, ei.finish}}, arrival)
+                .status());
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace webmon

@@ -1,0 +1,27 @@
+// Rank-1 decomposition: treat every EI as an independent single-EI CEI.
+//
+// Figure 10 reports each policy's completeness relative to a worst-case
+// upper bound on the optimal completeness, computed by "measuring the
+// completeness in terms of single EIs that are captured (i.e., assuming
+// rank(P) = 1)". The decomposition implements that: each EI of the original
+// instance becomes its own CEI in its own profile, so an optimal rank-1 run
+// (S-EDF under Proposition 1's conditions) yields the EI-capture upper
+// bound.
+
+#ifndef WEBMON_MODEL_DECOMPOSE_H_
+#define WEBMON_MODEL_DECOMPOSE_H_
+
+#include "model/problem.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Returns an instance with identical resources/epoch/budget where every EI
+/// of `problem` is a separate single-EI CEI (one profile per CEI). Arrivals
+/// are inherited from the original parent CEI so the online reveal order is
+/// unchanged.
+StatusOr<ProblemInstance> DecomposeToRank1(const ProblemInstance& problem);
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_DECOMPOSE_H_

@@ -1,0 +1,63 @@
+#include "model/instance_stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace webmon {
+
+InstanceStats ComputeInstanceStats(const ProblemInstance& problem) {
+  InstanceStats stats;
+  stats.num_profiles = static_cast<int64_t>(problem.profiles().size());
+  stats.num_ceis = problem.TotalCeis();
+  stats.num_eis = problem.TotalEis();
+  stats.rank = problem.Rank();
+  stats.unit_width = problem.IsUnitWidth();
+
+  const Chronon k = problem.num_chronons();
+  // Sweep-line demand: +1 at each EI start, -1 after each finish.
+  std::vector<int64_t> delta(static_cast<size_t>(k) + 1, 0);
+  int64_t total_budget = 0;
+  for (Chronon t = 0; t < k; ++t) total_budget += problem.budget().At(t);
+
+  for (const auto& profile : problem.profiles()) {
+    for (const auto& cei : profile.ceis) {
+      stats.cei_rank.Add(static_cast<double>(cei.Rank()));
+      if (cei.HasIntraResourceOverlap()) ++stats.ceis_with_intra_overlap;
+      for (const auto& ei : cei.eis) {
+        stats.ei_length.Add(static_cast<double>(ei.Length()));
+        ++delta[static_cast<size_t>(ei.start)];
+        --delta[static_cast<size_t>(ei.finish) + 1];
+      }
+    }
+  }
+
+  int64_t running = 0;
+  for (Chronon t = 0; t < k; ++t) {
+    running += delta[static_cast<size_t>(t)];
+    stats.peak_concurrent_eis = std::max(stats.peak_concurrent_eis, running);
+  }
+
+  stats.load_factor =
+      total_budget == 0
+          ? 0.0
+          : static_cast<double>(stats.num_eis) /
+                static_cast<double>(total_budget);
+  return stats;
+}
+
+std::string InstanceStats::ToString() const {
+  std::ostringstream os;
+  os << "instance: " << num_profiles << " profiles, " << num_ceis
+     << " CEIs, " << num_eis << " EIs, rank " << rank
+     << (unit_width ? " (P^[1])" : "") << "\n"
+     << "CEI rank: " << cei_rank.ToString() << "\n"
+     << "EI length: " << ei_length.ToString() << "\n"
+     << "load factor (EIs / total budget): " << load_factor << "\n"
+     << "peak concurrent EIs: " << peak_concurrent_eis << "\n"
+     << "CEIs with intra-resource overlap: " << ceis_with_intra_overlap
+     << "\n";
+  return os.str();
+}
+
+}  // namespace webmon

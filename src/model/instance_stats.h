@@ -1,0 +1,51 @@
+// Instance diagnostics: the structural quantities that determine how hard a
+// Complex Monitoring instance is.
+//
+// The paper's analysis pivots on a handful of structural properties — rank,
+// EI window widths, intra-resource overlap, and how the demanded probes
+// compare to the available budget. InstanceStats computes them for any
+// ProblemInstance; the CLI prints them for generated and replayed
+// instances, and experiments use the load factor to position themselves on
+// the under/oversubscribed spectrum.
+
+#ifndef WEBMON_MODEL_INSTANCE_STATS_H_
+#define WEBMON_MODEL_INSTANCE_STATS_H_
+
+#include <string>
+
+#include "model/problem.h"
+#include "util/stats.h"
+
+namespace webmon {
+
+/// Structural statistics of one instance.
+struct InstanceStats {
+  int64_t num_profiles = 0;
+  int64_t num_ceis = 0;
+  int64_t num_eis = 0;
+  size_t rank = 0;
+  /// Distribution of CEI ranks.
+  RunningStats cei_rank;
+  /// Distribution of EI window lengths.
+  RunningStats ei_length;
+  /// Demanded probes (one per EI) divided by the total budget over the
+  /// epoch. > 1 means oversubscribed even before collision effects.
+  double load_factor = 0.0;
+  /// CEIs containing two EIs on the same resource that overlap in time.
+  int64_t ceis_with_intra_overlap = 0;
+  /// Unit-width (P^[1]) instance?
+  bool unit_width = false;
+  /// Maximum number of EIs whose windows contain any single chronon
+  /// (peak concurrent demand).
+  int64_t peak_concurrent_eis = 0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Computes statistics for `problem`.
+InstanceStats ComputeInstanceStats(const ProblemInstance& problem);
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_INSTANCE_STATS_H_

@@ -1,0 +1,14 @@
+#include "model/interval.h"
+
+#include <sstream>
+
+namespace webmon {
+
+std::string ExecutionInterval::ToString() const {
+  std::ostringstream os;
+  os << "EI{" << id << " r=" << resource << " [" << start << "," << finish
+     << "]}";
+  return os.str();
+}
+
+}  // namespace webmon

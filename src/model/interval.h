@@ -1,0 +1,48 @@
+// ExecutionInterval (EI): the leaf of the profile hierarchy.
+//
+// An EI I = [T_s, T_f] on resource r demands that the proxy probe r at some
+// chronon in the closed interval [T_s, T_f] for I to be captured
+// (paper Section III-A).
+
+#ifndef WEBMON_MODEL_INTERVAL_H_
+#define WEBMON_MODEL_INTERVAL_H_
+
+#include <string>
+
+#include "model/types.h"
+
+namespace webmon {
+
+/// A simple execution interval: passive data, invariant start <= finish is
+/// the caller's responsibility (ProblemInstance::Validate enforces it).
+struct ExecutionInterval {
+  /// Unique id within the problem instance (assigned by the builder).
+  EiId id = 0;
+  /// The resource this interval refers to.
+  ResourceId resource = 0;
+  /// First chronon at which a probe captures this EI (inclusive).
+  Chronon start = 0;
+  /// Last chronon at which a probe captures this EI (inclusive).
+  Chronon finish = 0;
+
+  /// |I|: the number of chronons in the interval.
+  Chronon Length() const { return finish - start + 1; }
+
+  /// True iff `t` lies inside [start, finish].
+  bool Contains(Chronon t) const { return t >= start && t <= finish; }
+
+  /// True iff this interval and `other` share at least one chronon.
+  bool Overlaps(const ExecutionInterval& other) const {
+    return start <= other.finish && other.start <= finish;
+  }
+
+  /// "EI{id r=.. [s,f]}" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const ExecutionInterval& a,
+                         const ExecutionInterval& b) = default;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_INTERVAL_H_

@@ -1,0 +1,101 @@
+// ProblemInstance: a full instance of the Complex Monitoring problem
+// (paper Problem 1) — resources, epoch, budget, and client profiles.
+
+#ifndef WEBMON_MODEL_PROBLEM_H_
+#define WEBMON_MODEL_PROBLEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/profile.h"
+#include "model/schedule.h"
+#include "model/types.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// An immutable-after-validation instance of Problem 1.
+class ProblemInstance {
+ public:
+  /// Constructs an empty instance; populate via ProblemBuilder (preferred) or
+  /// by setting fields directly and calling Validate().
+  ProblemInstance(uint32_t num_resources, Chronon num_chronons,
+                  BudgetVector budget);
+
+  uint32_t num_resources() const { return num_resources_; }
+  Chronon num_chronons() const { return num_chronons_; }
+  const BudgetVector& budget() const { return budget_; }
+  const std::vector<Profile>& profiles() const { return profiles_; }
+  std::vector<Profile>& mutable_profiles() { return profiles_; }
+
+  /// rank(P) over all profiles.
+  size_t Rank() const { return RankOf(profiles_); }
+
+  /// Total number of CEIs across all profiles (denominator of Eq. 1).
+  int64_t TotalCeis() const;
+
+  /// Total number of EIs across all CEIs.
+  int64_t TotalEis() const;
+
+  /// Pointers to every CEI across all profiles, in (profile, cei) order.
+  /// Valid until profiles are mutated.
+  std::vector<const Cei*> AllCeis() const;
+
+  /// True iff no CEI has two overlapping EIs on the same resource.
+  bool HasIntraResourceOverlap() const;
+
+  /// True iff every EI of every CEI has width 1 (the P^[1] class).
+  bool IsUnitWidth() const;
+
+  /// Checks structural invariants: resources and chronons in range,
+  /// non-empty CEIs, start <= finish, arrival <= earliest EI finish (the
+  /// proxy must learn of a CEI while it can still act on every EI), and
+  /// globally unique CEI/EI ids.
+  Status Validate() const;
+
+  /// One-line summary for experiment logs.
+  std::string Summary() const;
+
+ private:
+  uint32_t num_resources_;
+  Chronon num_chronons_;
+  BudgetVector budget_;
+  std::vector<Profile> profiles_;
+};
+
+/// Incrementally builds a valid ProblemInstance, assigning globally unique
+/// profile / CEI / EI ids and defaulting CEI arrivals to the earliest EI
+/// start.
+class ProblemBuilder {
+ public:
+  ProblemBuilder(uint32_t num_resources, Chronon num_chronons,
+                 BudgetVector budget);
+
+  /// Starts a new profile; subsequent AddCei calls attach to it.
+  /// Returns the profile id.
+  ProfileId BeginProfile();
+
+  /// Adds a CEI with the given EIs (resource, start, finish triples) to the
+  /// current profile. `arrival` < 0 means "default to earliest EI start".
+  /// `weight` is the client utility of capturing the CEI; `required` = 0
+  /// keeps AND semantics, otherwise the CEI is satisfied by capturing any
+  /// `required` of its EIs. Returns the assigned CEI id or an error for
+  /// malformed input.
+  StatusOr<CeiId> AddCei(
+      const std::vector<std::tuple<ResourceId, Chronon, Chronon>>& eis,
+      Chronon arrival = -1, double weight = 1.0, uint32_t required = 0);
+
+  /// Finalizes and validates the instance.
+  StatusOr<ProblemInstance> Build();
+
+ private:
+  ProblemInstance instance_;
+  bool has_profile_ = false;
+  CeiId next_cei_id_ = 0;
+  EiId next_ei_id_ = 0;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_PROBLEM_H_

@@ -1,0 +1,27 @@
+#include "model/profile.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace webmon {
+
+size_t Profile::Rank() const {
+  size_t rank = 0;
+  for (const auto& cei : ceis) rank = std::max(rank, cei.Rank());
+  return rank;
+}
+
+std::string Profile::ToString() const {
+  std::ostringstream os;
+  os << "Profile{" << id << ", " << ceis.size() << " CEIs, rank=" << Rank()
+     << "}";
+  return os.str();
+}
+
+size_t RankOf(const std::vector<Profile>& profiles) {
+  size_t rank = 0;
+  for (const auto& p : profiles) rank = std::max(rank, p.Rank());
+  return rank;
+}
+
+}  // namespace webmon

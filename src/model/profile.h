@@ -1,0 +1,37 @@
+// Client profile: a collection of CEIs stored at the proxy
+// (paper Section III-A).
+
+#ifndef WEBMON_MODEL_PROFILE_H_
+#define WEBMON_MODEL_PROFILE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/cei.h"
+#include "model/types.h"
+
+namespace webmon {
+
+/// A client profile. CEIs are stored by value; ids inside them must be
+/// globally unique within the owning ProblemInstance.
+struct Profile {
+  ProfileId id = 0;
+  std::vector<Cei> ceis;
+
+  /// |p|: the number of CEIs (denominator of Eq. 1 per profile).
+  size_t Size() const { return ceis.size(); }
+
+  /// rank(p) = max_{eta in p} |eta|; 0 for an empty profile.
+  size_t Rank() const;
+
+  /// "Profile{id, |ceis| CEIs, rank=..}" for diagnostics.
+  std::string ToString() const;
+};
+
+/// rank(P) = max_{p in P} rank(p); 0 for an empty set.
+size_t RankOf(const std::vector<Profile>& profiles);
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_PROFILE_H_

@@ -1,0 +1,113 @@
+#include "model/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace webmon {
+
+BudgetVector BudgetVector::Uniform(int64_t c) {
+  BudgetVector b;
+  b.uniform_ = c < 0 ? 0 : c;
+  return b;
+}
+
+BudgetVector BudgetVector::PerChronon(std::vector<int64_t> budgets) {
+  BudgetVector b;
+  b.per_chronon_ = std::move(budgets);
+  for (auto& v : b.per_chronon_) {
+    if (v < 0) v = 0;
+  }
+  // Ensure non-empty so is_uniform() is unambiguous.
+  if (b.per_chronon_.empty()) b.per_chronon_.push_back(0);
+  return b;
+}
+
+int64_t BudgetVector::At(Chronon t) const {
+  if (t < 0) return 0;
+  if (per_chronon_.empty()) return uniform_;
+  if (static_cast<size_t>(t) >= per_chronon_.size()) return 0;
+  return per_chronon_[static_cast<size_t>(t)];
+}
+
+int64_t BudgetVector::Max(Chronon k) const {
+  if (per_chronon_.empty()) return uniform_;
+  int64_t best = 0;
+  const size_t limit =
+      std::min(per_chronon_.size(), static_cast<size_t>(std::max<Chronon>(k, 0)));
+  for (size_t j = 0; j < limit; ++j) best = std::max(best, per_chronon_[j]);
+  return best;
+}
+
+Schedule::Schedule(uint32_t num_resources, Chronon num_chronons)
+    : num_resources_(num_resources),
+      num_chronons_(num_chronons),
+      by_chronon_(static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
+      by_resource_(num_resources) {}
+
+Status Schedule::AddProbe(ResourceId resource, Chronon t) {
+  if (resource >= num_resources_) {
+    return Status::OutOfRange("probe resource out of range");
+  }
+  if (t < 0 || t >= num_chronons_) {
+    return Status::OutOfRange("probe chronon out of range");
+  }
+  auto& probes = by_resource_[resource];
+  auto it = std::lower_bound(probes.begin(), probes.end(), t);
+  if (it != probes.end() && *it == t) {
+    return Status::AlreadyExists("duplicate probe");
+  }
+  probes.insert(it, t);
+  by_chronon_[static_cast<size_t>(t)].push_back(resource);
+  ++total_probes_;
+  return Status::OK();
+}
+
+bool Schedule::Probed(ResourceId resource, Chronon t) const {
+  if (resource >= num_resources_ || t < 0 || t >= num_chronons_) return false;
+  const auto& probes = by_resource_[resource];
+  return std::binary_search(probes.begin(), probes.end(), t);
+}
+
+bool Schedule::ProbedInRange(ResourceId resource, Chronon from,
+                             Chronon to) const {
+  if (resource >= num_resources_ || from > to) return false;
+  const auto& probes = by_resource_[resource];
+  auto it = std::lower_bound(probes.begin(), probes.end(), from);
+  return it != probes.end() && *it <= to;
+}
+
+const std::vector<ResourceId>& Schedule::ProbesAt(Chronon t) const {
+  static const std::vector<ResourceId>* const kEmpty =
+      new std::vector<ResourceId>();
+  if (t < 0 || t >= num_chronons_) return *kEmpty;
+  return by_chronon_[static_cast<size_t>(t)];
+}
+
+const std::vector<Chronon>& Schedule::ProbesOf(ResourceId resource) const {
+  static const std::vector<Chronon>* const kEmpty =
+      new std::vector<Chronon>();
+  if (resource >= num_resources_) return *kEmpty;
+  return by_resource_[resource];
+}
+
+Status Schedule::CheckFeasible(const BudgetVector& budget) const {
+  for (Chronon t = 0; t < num_chronons_; ++t) {
+    const auto used =
+        static_cast<int64_t>(by_chronon_[static_cast<size_t>(t)].size());
+    if (used > budget.At(t)) {
+      std::ostringstream os;
+      os << "budget exceeded at chronon " << t << ": used " << used
+         << " > allowed " << budget.At(t);
+      return Status::FailedPrecondition(os.str());
+    }
+  }
+  return Status::OK();
+}
+
+void Schedule::Clear() {
+  for (auto& v : by_chronon_) v.clear();
+  for (auto& v : by_resource_) v.clear();
+  total_probes_ = 0;
+}
+
+}  // namespace webmon

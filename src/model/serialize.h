@@ -1,0 +1,43 @@
+// Text serialization of ProblemInstance.
+//
+// Lets instances be saved, shared, and replayed across runs and tools (the
+// CLI can re-run a saved instance under different policies). The format is
+// line-oriented and versioned:
+//
+//   webmon-problem 1
+//   resources <n>
+//   chronons <K>
+//   budget uniform <c>            (or: budget perchronon <c0> <c1> ...)
+//   profile
+//   cei <arrival> <weight> <required>
+//   ei <resource> <start> <finish>
+//   ...
+//
+// Ids are regenerated on load (they are instance-local), so a round trip
+// preserves structure, windows, arrivals, weights and semantics, but not
+// the specific id values.
+
+#ifndef WEBMON_MODEL_SERIALIZE_H_
+#define WEBMON_MODEL_SERIALIZE_H_
+
+#include <string>
+
+#include "model/problem.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Serializes `problem` to the text format above.
+std::string ProblemToText(const ProblemInstance& problem);
+
+/// Parses the text format; the result is validated.
+StatusOr<ProblemInstance> ProblemFromText(const std::string& text);
+
+/// File round-trip helpers.
+Status SaveProblemToFile(const ProblemInstance& problem,
+                         const std::string& path);
+StatusOr<ProblemInstance> LoadProblemFromFile(const std::string& path);
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_SERIALIZE_H_

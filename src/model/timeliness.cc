@@ -1,0 +1,53 @@
+#include "model/timeliness.h"
+
+#include <algorithm>
+
+#include "model/completeness.h"
+
+namespace webmon {
+
+Chronon FirstCaptureChronon(const ExecutionInterval& ei,
+                            const Schedule& schedule) {
+  const auto& probes = schedule.ProbesOf(ei.resource);
+  auto it = std::lower_bound(probes.begin(), probes.end(), ei.start);
+  if (it == probes.end() || *it > ei.finish) return kInvalidChronon;
+  return *it;
+}
+
+TimelinessReport ComputeTimeliness(const ProblemInstance& problem,
+                                   const Schedule& schedule) {
+  TimelinessReport report;
+  int64_t immediate = 0;
+  int64_t captured = 0;
+  for (const auto& profile : problem.profiles()) {
+    for (const auto& cei : profile.ceis) {
+      Chronon completion = kInvalidChronon;
+      // The CEI completes when its RequiredCaptures()-th EI capture lands;
+      // collect per-EI capture chronons and take the needed order
+      // statistic.
+      std::vector<Chronon> capture_times;
+      for (const auto& ei : cei.eis) {
+        const Chronon at = FirstCaptureChronon(ei, schedule);
+        if (at == kInvalidChronon) continue;
+        capture_times.push_back(at);
+        report.ei_capture_delay.Add(static_cast<double>(at - ei.start));
+        ++captured;
+        if (at == ei.start) ++immediate;
+      }
+      const size_t needed = cei.RequiredCaptures();
+      if (capture_times.size() >= needed && needed > 0) {
+        std::sort(capture_times.begin(), capture_times.end());
+        completion = capture_times[needed - 1];
+        report.cei_completion_delay.Add(
+            static_cast<double>(completion - cei.EarliestStart()));
+      }
+    }
+  }
+  report.immediate_fraction =
+      captured == 0 ? 0.0
+                    : static_cast<double>(immediate) /
+                          static_cast<double>(captured);
+  return report;
+}
+
+}  // namespace webmon

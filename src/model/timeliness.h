@@ -1,0 +1,41 @@
+// Capture-delay (timeliness) metrics.
+//
+// The paper's Problem 1 maximizes completeness only, but the WIC baseline
+// it compares against was designed to balance completeness WITH timeliness.
+// These metrics expose that second dimension: how long after an execution
+// interval opens (or after the true update happens) was the capturing probe
+// issued? Lower is fresher data for the client.
+
+#ifndef WEBMON_MODEL_TIMELINESS_H_
+#define WEBMON_MODEL_TIMELINESS_H_
+
+#include "model/problem.h"
+#include "model/schedule.h"
+#include "util/stats.h"
+
+namespace webmon {
+
+/// Delay statistics of a schedule against an instance.
+struct TimelinessReport {
+  /// Over captured EIs: first capturing probe's chronon minus the EI start.
+  RunningStats ei_capture_delay;
+  /// Over captured CEIs: the chronon the CEI completed (its last needed EI
+  /// was captured) minus the CEI's earliest EI start.
+  RunningStats cei_completion_delay;
+  /// Fraction of captured EIs caught at their first possible chronon.
+  double immediate_fraction = 0.0;
+};
+
+/// Computes delays for every captured EI / CEI in `problem` under
+/// `schedule`.
+TimelinessReport ComputeTimeliness(const ProblemInstance& problem,
+                                   const Schedule& schedule);
+
+/// First chronon in [ei.start, ei.finish] at which `schedule` probes the
+/// EI's resource; kInvalidChronon if never.
+Chronon FirstCaptureChronon(const ExecutionInterval& ei,
+                            const Schedule& schedule);
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_TIMELINESS_H_

@@ -1,0 +1,34 @@
+// Fundamental identifiers and time units for the monitoring model
+// (paper Section III).
+
+#ifndef WEBMON_MODEL_TYPES_H_
+#define WEBMON_MODEL_TYPES_H_
+
+#include <cstdint>
+
+namespace webmon {
+
+/// An indivisible unit of time (paper footnote 10). Chronons are 0-based
+/// indices into the epoch T = (T_0, ..., T_{K-1}).
+using Chronon = int64_t;
+
+/// Sentinel for "no chronon".
+inline constexpr Chronon kInvalidChronon = -1;
+
+/// Index of a resource r_i in the resource set R = {r_1, ..., r_n}.
+/// 0-based internally.
+using ResourceId = uint32_t;
+
+/// Unique identifier of an execution interval within a problem instance.
+using EiId = uint64_t;
+
+/// Unique identifier of a complex execution interval within a problem
+/// instance.
+using CeiId = uint64_t;
+
+/// Index of a client profile p in P = {p_1, ..., p_m}. 0-based internally.
+using ProfileId = uint32_t;
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_TYPES_H_

@@ -1,0 +1,243 @@
+#include "offline/exact_solver.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "model/completeness.h"
+
+namespace webmon {
+
+namespace {
+
+// Flattened instance view used by the search.
+struct FlatEi {
+  ResourceId resource;
+  Chronon start;
+  Chronon finish;
+  uint32_t cei;  // index into FlatCei vector
+};
+
+struct FlatCei {
+  uint64_t mask = 0;      // bit per flattened EI index
+  uint32_t size = 0;      // number of EIs
+  uint32_t required = 0;  // captures needed to satisfy the CEI
+  double weight = 1.0;    // client utility of capturing the CEI
+};
+
+class Search {
+ public:
+  Search(const ProblemInstance& problem, const ExactSolverOptions& options)
+      : problem_(problem), options_(options), k_(problem.num_chronons()) {
+    for (const auto& profile : problem.profiles()) {
+      for (const auto& cei : profile.ceis) {
+        const uint32_t ci = static_cast<uint32_t>(ceis_.size());
+        ceis_.push_back({});
+        ceis_[ci].size = static_cast<uint32_t>(cei.eis.size());
+        ceis_[ci].required = static_cast<uint32_t>(cei.RequiredCaptures());
+        ceis_[ci].weight = cei.weight;
+        for (const auto& ei : cei.eis) {
+          const uint32_t e = static_cast<uint32_t>(eis_.size());
+          eis_.push_back({ei.resource, ei.start, ei.finish, ci});
+          ceis_[ci].mask |= (uint64_t{1} << e);
+        }
+      }
+    }
+  }
+
+  StatusOr<ExactResult> Run() {
+    if (static_cast<int64_t>(eis_.size()) > options_.max_eis) {
+      return Status::InvalidArgument(
+          "instance too large for exact search: " +
+          std::to_string(eis_.size()) + " EIs > max " +
+          std::to_string(options_.max_eis));
+    }
+    states_ = 0;
+    WEBMON_ASSIGN_OR_RETURN(const double best, Dfs(0, 0));
+
+    ExactResult result{Schedule(problem_.num_resources(), k_), 0, best, 0.0,
+                       0.0, states_};
+    WEBMON_RETURN_IF_ERROR(Reconstruct(&result.schedule));
+    result.captured_ceis = CapturedCeiCount(problem_, result.schedule);
+    result.completeness = GainedCompleteness(problem_, result.schedule);
+    result.weighted_completeness =
+        WeightedCompleteness(problem_, result.schedule);
+    return result;
+  }
+
+ private:
+  // True iff CEI ci is already satisfied under its capture semantics.
+  bool Completed(uint32_t ci, uint64_t captured) const {
+    return static_cast<uint32_t>(
+               __builtin_popcountll(captured & ceis_[ci].mask)) >=
+           ceis_[ci].required;
+  }
+
+  // True iff CEI ci can still be completed: the EIs whose windows have not
+  // fully passed by chronon t, plus those already captured, suffice.
+  bool Alive(uint32_t ci, Chronon t, uint64_t captured) const {
+    uint32_t failed = 0;
+    uint64_t mask = ceis_[ci].mask;
+    while (mask != 0) {
+      const int e = __builtin_ctzll(mask);
+      mask &= mask - 1;
+      if ((captured >> e) & 1) continue;
+      if (eis_[static_cast<size_t>(e)].finish < t) ++failed;
+    }
+    return ceis_[ci].size - failed >= ceis_[ci].required;
+  }
+
+  // Total weight of CEIs satisfied by `captured`.
+  double CompletedWeight(uint64_t captured) const {
+    double done = 0.0;
+    for (uint32_t ci = 0; ci < ceis_.size(); ++ci) {
+      if (Completed(ci, captured)) done += ceis_[ci].weight;
+    }
+    return done;
+  }
+
+  // Candidate resources at chronon t: those with an active uncaptured EI
+  // whose parent CEI is still alive. Returns (resource, captures-mask).
+  std::vector<std::pair<ResourceId, uint64_t>> Candidates(
+      Chronon t, uint64_t captured) const {
+    // capture mask per resource if probed at t.
+    std::unordered_map<ResourceId, uint64_t> gain;
+    for (uint32_t e = 0; e < eis_.size(); ++e) {
+      if ((captured >> e) & 1) continue;
+      const FlatEi& ei = eis_[e];
+      if (ei.start > t || ei.finish < t) continue;
+      if (Completed(ei.cei, captured)) continue;  // nothing to gain
+      if (!Alive(ei.cei, t, captured)) continue;
+      gain[ei.resource] |= (uint64_t{1} << e);
+    }
+    std::vector<std::pair<ResourceId, uint64_t>> out(gain.begin(), gain.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // Best final captured weight reachable from (t, captured).
+  StatusOr<double> Dfs(Chronon t, uint64_t captured) {
+    if (t >= k_) return CompletedWeight(captured);
+    const uint64_t key =
+        captured * static_cast<uint64_t>(k_ + 1) + static_cast<uint64_t>(t);
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    if (options_.max_states > 0 && ++states_ > options_.max_states) {
+      return Status::ResourceExhausted("exact search state budget exceeded");
+    }
+
+    const auto candidates = Candidates(t, captured);
+    const int64_t budget = problem_.budget().At(t);
+    const size_t pick =
+        std::min<size_t>(candidates.size(), static_cast<size_t>(
+                                                std::max<int64_t>(budget, 0)));
+    double best = 0;
+    if (pick == 0) {
+      WEBMON_ASSIGN_OR_RETURN(best, Dfs(t + 1, captured));
+    } else {
+      // Probing more resources never hurts, so enumerate subsets of size
+      // exactly `pick`.
+      std::vector<size_t> idx(pick);
+      Status failure = Status::OK();
+      // Iterative combination enumeration.
+      for (size_t i = 0; i < pick; ++i) idx[i] = i;
+      while (true) {
+        uint64_t next_captured = captured;
+        for (size_t i = 0; i < pick; ++i) {
+          next_captured |= candidates[idx[i]].second;
+        }
+        auto sub = Dfs(t + 1, next_captured);
+        if (!sub.ok()) return sub.status();
+        best = std::max(best, *sub);
+        // Advance combination.
+        size_t i = pick;
+        while (i > 0) {
+          --i;
+          if (idx[i] != i + candidates.size() - pick) break;
+          if (i == 0) {
+            i = pick;  // signal done
+            break;
+          }
+        }
+        if (i == pick) break;
+        ++idx[i];
+        for (size_t j = i + 1; j < pick; ++j) idx[j] = idx[j - 1] + 1;
+      }
+      (void)failure;
+    }
+    memo_[key] = best;
+    return best;
+  }
+
+  // Replays an optimal path, writing probes into `schedule`.
+  Status Reconstruct(Schedule* schedule) {
+    constexpr double kEps = 1e-9;
+    Chronon t = 0;
+    uint64_t captured = 0;
+    while (t < k_) {
+      WEBMON_ASSIGN_OR_RETURN(const double target, Dfs(t, captured));
+      const auto candidates = Candidates(t, captured);
+      const int64_t budget = problem_.budget().At(t);
+      const size_t pick = std::min<size_t>(
+          candidates.size(),
+          static_cast<size_t>(std::max<int64_t>(budget, 0)));
+      bool advanced = false;
+      if (pick == 0) {
+        t += 1;
+        advanced = true;
+      } else {
+        std::vector<size_t> idx(pick);
+        for (size_t i = 0; i < pick; ++i) idx[i] = i;
+        while (!advanced) {
+          uint64_t next_captured = captured;
+          for (size_t i = 0; i < pick; ++i) {
+            next_captured |= candidates[idx[i]].second;
+          }
+          WEBMON_ASSIGN_OR_RETURN(const double sub, Dfs(t + 1, next_captured));
+          if (sub >= target - kEps) {
+            for (size_t i = 0; i < pick; ++i) {
+              WEBMON_RETURN_IF_ERROR(
+                  schedule->AddProbe(candidates[idx[i]].first, t));
+            }
+            captured = next_captured;
+            t += 1;
+            advanced = true;
+            break;
+          }
+          size_t i = pick;
+          while (i > 0) {
+            --i;
+            if (idx[i] != i + candidates.size() - pick) break;
+            if (i == 0) {
+              i = pick;
+              break;
+            }
+          }
+          if (i == pick) {
+            return Status::Internal("exact reconstruction diverged from memo");
+          }
+          ++idx[i];
+          for (size_t j = i + 1; j < pick; ++j) idx[j] = idx[j - 1] + 1;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const ProblemInstance& problem_;
+  ExactSolverOptions options_;
+  Chronon k_;
+  std::vector<FlatEi> eis_;
+  std::vector<FlatCei> ceis_;
+  std::unordered_map<uint64_t, double> memo_;
+  int64_t states_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ExactResult> SolveExact(const ProblemInstance& problem,
+                                 const ExactSolverOptions& options) {
+  Search search(problem, options);
+  return search.Run();
+}
+
+}  // namespace webmon

@@ -1,0 +1,56 @@
+// Exact offline solver for Problem 1 by schedule search.
+//
+// Proposition 4 shows full enumeration costs O(K n^{K C_max + 1}); this
+// solver explores the same space with memoization on (chronon, captured-EI
+// set) and an optimistic-bound prune, which makes tiny instances (up to
+// ~24 EIs) tractable. It exists as the ground-truth oracle for tests: the
+// optimality of S-EDF under Proposition 1's conditions, the feasibility and
+// quality of the offline approximation, and the online policies' completeness
+// are all checked against it.
+
+#ifndef WEBMON_OFFLINE_EXACT_SOLVER_H_
+#define WEBMON_OFFLINE_EXACT_SOLVER_H_
+
+#include <cstdint>
+
+#include "model/problem.h"
+#include "model/schedule.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Result of an exact solve.
+struct ExactResult {
+  Schedule schedule;
+  /// Number of CEIs the optimal schedule captures. (The solver maximizes
+  /// total captured WEIGHT; with unit weights that coincides with the
+  /// count, otherwise the count is whatever the weight-optimal schedule
+  /// happens to capture.)
+  int64_t captured_ceis = 0;
+  /// Optimal total captured weight.
+  double captured_weight = 0.0;
+  /// Gained completeness (Eq. 1) of the returned schedule.
+  double completeness = 0.0;
+  /// Weighted completeness of the returned schedule (optimal).
+  double weighted_completeness = 0.0;
+  /// Number of DFS states expanded (diagnostics).
+  int64_t states_expanded = 0;
+};
+
+/// Options bounding the search.
+struct ExactSolverOptions {
+  /// Refuse instances with more EIs than this (the state space is 2^EIs).
+  int64_t max_eis = 24;
+  /// Abort after this many expanded states (0 = unlimited).
+  int64_t max_states = 50'000'000;
+};
+
+/// Computes an optimal schedule. Fails with InvalidArgument when the
+/// instance exceeds `options.max_eis`, ResourceExhausted when the state
+/// budget is hit.
+StatusOr<ExactResult> SolveExact(const ProblemInstance& problem,
+                                 const ExactSolverOptions& options = {});
+
+}  // namespace webmon
+
+#endif  // WEBMON_OFFLINE_EXACT_SOLVER_H_

@@ -1,0 +1,259 @@
+#include "offline/offline_approx.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "model/completeness.h"
+#include "offline/p1_transform.h"
+#include "util/stopwatch.h"
+
+namespace webmon {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Local-ratio solver (the paper's baseline).
+// ---------------------------------------------------------------------------
+
+// True iff the CEI pair cannot both be selected in the machine model:
+// selecting both would push some chronon's segment coverage above the
+// budget. `coverage` is the current per-chronon committed segment count;
+// the test is evaluated for v against u assuming u is already selected, so
+// it reduces to a pairwise segment-overlap test used during neighborhood
+// zeroing.
+bool SegmentsOverlap(const Cei& a, const Cei& b) {
+  for (const auto& ea : a.eis) {
+    for (const auto& eb : b.eis) {
+      if (ea.start <= eb.finish && eb.start <= ea.finish) return true;
+    }
+  }
+  return false;
+}
+
+OfflineApproxResult SolveLocalRatio(const ProblemInstance& problem) {
+  Stopwatch watch;
+  const Chronon k = problem.num_chronons();
+
+  std::vector<const Cei*> ceis = problem.AllCeis();
+  // Earliest-completion order: the local-ratio selection rule picks the
+  // positive-weight CEI whose last segment ends first.
+  std::sort(ceis.begin(), ceis.end(), [](const Cei* a, const Cei* b) {
+    const Chronon fa = a->LatestFinish();
+    const Chronon fb = b->LatestFinish();
+    if (fa != fb) return fa < fb;
+    const Chronon ca = a->TotalChronons();
+    const Chronon cb = b->TotalChronons();
+    if (ca != cb) return ca < cb;
+    return a->id < b->id;
+  });
+
+  // Unit profits: the recursive weight decomposition w -> w - w1(N[v])
+  // degenerates to zeroing the residual weight of v's conflict
+  // neighborhood. weight[i] > 0 <=> CEI i still selectable.
+  std::vector<double> weight(ceis.size(), 1.0);
+  // Per-chronon committed segment coverage (machine usage).
+  std::vector<int64_t> coverage(static_cast<size_t>(k), 0);
+
+  Schedule schedule(problem.num_resources(), k);
+  int64_t committed = 0;
+
+  for (size_t vi = 0; vi < ceis.size(); ++vi) {
+    if (weight[vi] <= 0.0) continue;
+    const Cei& v = *ceis[vi];
+
+    // Feasibility in the machine model: every chronon any EI of v spans
+    // must have a free budget unit per covering segment (two EIs of v
+    // overlapping in time each need their own unit).
+    std::vector<std::pair<Chronon, int64_t>> demand;  // chronon -> segments
+    for (const auto& ei : v.eis) {
+      for (Chronon t = ei.start; t <= ei.finish; ++t) {
+        auto it = std::find_if(demand.begin(), demand.end(),
+                               [t](const auto& d) { return d.first == t; });
+        if (it == demand.end()) {
+          demand.emplace_back(t, 1);
+        } else {
+          ++it->second;
+        }
+      }
+    }
+    bool feasible = true;
+    for (const auto& [t, units] : demand) {
+      if (coverage[static_cast<size_t>(t)] + units > problem.budget().At(t)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) {
+      weight[vi] = 0.0;
+      continue;
+    }
+
+    // Select v: occupy its segments and zero the weight of every CEI that
+    // conflicts with it under a now-exhausted chronon (for C = 1 this is
+    // exactly the split-interval-graph closed neighborhood).
+    for (const auto& ei : v.eis) {
+      for (Chronon t = ei.start; t <= ei.finish; ++t) {
+        ++coverage[static_cast<size_t>(t)];
+      }
+    }
+    ++committed;
+    // Probe each EI at its start chronon; the segment ownership guarantees
+    // per-chronon feasibility (probes at t <= EIs covering t <= coverage).
+    for (const auto& ei : v.eis) {
+      Status st = schedule.AddProbe(ei.resource, ei.start);
+      (void)st;  // AlreadyExists: the physical probe is shared.
+    }
+
+    // Neighborhood zeroing sweep — the expensive part of the local-ratio
+    // scheme (O(V) pairwise segment-overlap tests per selection).
+    for (size_t ui = 0; ui < ceis.size(); ++ui) {
+      if (ui == vi || weight[ui] <= 0.0) continue;
+      const Cei& u = *ceis[ui];
+      if (!SegmentsOverlap(v, u)) continue;
+      // u conflicts with v wherever budget is now exhausted.
+      bool blocked = false;
+      for (const auto& ei : u.eis) {
+        for (Chronon t = ei.start; t <= ei.finish && !blocked; ++t) {
+          if (coverage[static_cast<size_t>(t)] >= problem.budget().At(t)) {
+            blocked = true;
+          }
+        }
+        if (blocked) break;
+      }
+      if (blocked) weight[ui] = 0.0;
+    }
+  }
+
+  OfflineApproxResult result{std::move(schedule), committed, 0.0, 0.0};
+  result.completeness = GainedCompleteness(problem, result.schedule);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Greedy slot-assignment solver (stronger non-paper baseline).
+// ---------------------------------------------------------------------------
+
+// Greedy slot assignment for one CEI against the committed bookings.
+// On success commits the bookings and returns true; on failure leaves all
+// state untouched and returns false.
+class SlotAssigner {
+ public:
+  SlotAssigner(Schedule* schedule, std::vector<int64_t>* remaining,
+               bool allow_shared_probes)
+      : schedule_(schedule),
+        remaining_(remaining),
+        allow_shared_probes_(allow_shared_probes) {}
+
+  bool TryCommit(const Cei& cei) {
+    // Assign tight windows first: an EI with fewer feasible chronons is
+    // harder to place.
+    std::vector<const ExecutionInterval*> order;
+    order.reserve(cei.eis.size());
+    for (const auto& ei : cei.eis) order.push_back(&ei);
+    std::sort(order.begin(), order.end(),
+              [](const ExecutionInterval* a, const ExecutionInterval* b) {
+                if (a->Length() != b->Length()) {
+                  return a->Length() < b->Length();
+                }
+                return a->id < b->id;
+              });
+
+    std::vector<std::pair<ResourceId, Chronon>> booked;
+    for (const ExecutionInterval* ei : order) {
+      if (allow_shared_probes_) {
+        bool satisfied =
+            schedule_->ProbedInRange(ei->resource, ei->start, ei->finish);
+        if (!satisfied) {
+          for (const auto& [r, t] : booked) {
+            if (r == ei->resource && ei->Contains(t)) {
+              satisfied = true;
+              break;
+            }
+          }
+        }
+        if (satisfied) continue;
+      }
+
+      Chronon chosen = kInvalidChronon;
+      for (Chronon t = ei->start; t <= ei->finish; ++t) {
+        int64_t tentative = 0;
+        for (const auto& [r, t2] : booked) {
+          if (t2 == t) ++tentative;
+        }
+        if ((*remaining_)[static_cast<size_t>(t)] - tentative > 0) {
+          chosen = t;
+          break;
+        }
+      }
+      if (chosen == kInvalidChronon) return false;
+      booked.emplace_back(ei->resource, chosen);
+    }
+
+    for (const auto& [r, t] : booked) {
+      --(*remaining_)[static_cast<size_t>(t)];
+      Status st = schedule_->AddProbe(r, t);
+      (void)st;  // AlreadyExists: the probe is shared physically.
+    }
+    return true;
+  }
+
+ private:
+  Schedule* schedule_;
+  std::vector<int64_t>* remaining_;
+  bool allow_shared_probes_;
+};
+
+}  // namespace
+
+StatusOr<OfflineApproxResult> SolveOfflineApprox(
+    const ProblemInstance& problem, const OfflineApproxOptions& options) {
+  if (!options.transform_to_p1) {
+    return SolveLocalRatio(problem);
+  }
+  Stopwatch watch;
+  WEBMON_ASSIGN_OR_RETURN(
+      P1TransformResult transformed,
+      TransformToP1(problem, options.max_transform_ceis));
+  OfflineApproxResult result = SolveLocalRatio(transformed.problem);
+  // Evaluate the schedule against the ORIGINAL instance: identical
+  // resources, epoch and budget make it directly feasible there.
+  result.completeness = GainedCompleteness(problem, result.schedule);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<OfflineApproxResult> SolveOfflineGreedy(
+    const ProblemInstance& problem, const OfflineGreedyOptions& options) {
+  Stopwatch watch;
+  const Chronon k = problem.num_chronons();
+  Schedule schedule(problem.num_resources(), k);
+  std::vector<int64_t> remaining(static_cast<size_t>(k));
+  for (Chronon t = 0; t < k; ++t) {
+    remaining[static_cast<size_t>(t)] = problem.budget().At(t);
+  }
+
+  std::vector<const Cei*> order = problem.AllCeis();
+  std::sort(order.begin(), order.end(), [](const Cei* a, const Cei* b) {
+    const Chronon fa = a->LatestFinish();
+    const Chronon fb = b->LatestFinish();
+    if (fa != fb) return fa < fb;
+    const Chronon ca = a->TotalChronons();
+    const Chronon cb = b->TotalChronons();
+    if (ca != cb) return ca < cb;
+    return a->id < b->id;
+  });
+
+  SlotAssigner assigner(&schedule, &remaining, options.allow_shared_probes);
+  int64_t committed = 0;
+  for (const Cei* cei : order) {
+    if (assigner.TryCommit(*cei)) ++committed;
+  }
+
+  OfflineApproxResult result{std::move(schedule), committed, 0.0, 0.0};
+  result.completeness = GainedCompleteness(problem, result.schedule);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace webmon

@@ -1,0 +1,73 @@
+// Offline baselines for Problem 1 (paper Section IV-B.2).
+//
+// SolveOfflineApprox — the paper's baseline: the Local Ratio scheme of
+// Bar-Yehuda et al. for scheduling t-intervals, applied to CEIs as split
+// intervals. Each CEI's EIs are treated as machine segments: a selected CEI
+// exclusively occupies every chronon its EIs span (per budget unit), and two
+// CEIs conflict when their segments would exceed the per-chronon budget.
+// With the paper's unit profit per CEI the local-ratio weight decomposition
+// reduces to selecting CEIs in earliest-completion order and zeroing the
+// residual weight of their conflict neighborhoods. The machine model cannot
+// share probes across CEIs (the paper notes its bounds hold only without
+// intra-resource overlaps) and requires the full CEI set in advance; its
+// conflict-neighborhood sweeps make it far more expensive per EI than the
+// online policies, as Section V-D measures. Guarantees 2k / (2k+1)
+// approximation on P^[1] instances (2k+2 / 2k+3 after the Proposition 5
+// transformation).
+//
+// SolveOfflineGreedy — a stronger non-paper baseline: greedy
+// earliest-completion commitment with explicit per-chronon slot assignment
+// and optional free-riding on probes shared between CEIs. Provided for
+// ablation: it shows how much of the online policies' advantage over the
+// paper's baseline stems from the machine model's inability to share
+// probes.
+
+#ifndef WEBMON_OFFLINE_OFFLINE_APPROX_H_
+#define WEBMON_OFFLINE_OFFLINE_APPROX_H_
+
+#include <cstdint>
+
+#include "model/problem.h"
+#include "model/schedule.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Result of an offline baseline solve.
+struct OfflineApproxResult {
+  Schedule schedule;
+  /// CEIs the solver explicitly committed (selected independent set size).
+  int64_t committed_ceis = 0;
+  /// Eq. 1 completeness of the schedule (includes opportunistic captures of
+  /// non-committed CEIs by shared probes).
+  double completeness = 0.0;
+  /// Wall time of the solve, seconds.
+  double wall_seconds = 0.0;
+};
+
+/// Options for the local-ratio approximation.
+struct OfflineApproxOptions {
+  /// If true, first apply the Proposition 5 transformation (only feasible
+  /// for narrow instances; fails with ResourceExhausted otherwise).
+  bool transform_to_p1 = false;
+  int64_t max_transform_ceis = 100000;
+};
+
+/// The paper's offline approximation (local ratio on split intervals).
+StatusOr<OfflineApproxResult> SolveOfflineApprox(
+    const ProblemInstance& problem, const OfflineApproxOptions& options = {});
+
+/// Options for the greedy slot-assignment baseline.
+struct OfflineGreedyOptions {
+  /// Allow an EI to free-ride on a probe committed for another CEI on the
+  /// same resource within the EI's window.
+  bool allow_shared_probes = true;
+};
+
+/// The stronger non-paper greedy baseline (see file comment).
+StatusOr<OfflineApproxResult> SolveOfflineGreedy(
+    const ProblemInstance& problem, const OfflineGreedyOptions& options = {});
+
+}  // namespace webmon
+
+#endif  // WEBMON_OFFLINE_OFFLINE_APPROX_H_

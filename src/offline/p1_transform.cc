@@ -1,0 +1,75 @@
+#include "offline/p1_transform.h"
+
+#include "model/completeness.h"
+
+namespace webmon {
+
+StatusOr<P1TransformResult> TransformToP1(const ProblemInstance& problem,
+                                          int64_t max_output_ceis) {
+  // Pre-compute output size and enforce the guard.
+  int64_t total_out = 0;
+  for (const auto& profile : problem.profiles()) {
+    for (const auto& cei : profile.ceis) {
+      int64_t combos = 1;
+      for (const auto& ei : cei.eis) {
+        combos *= ei.Length();
+        if (combos > max_output_ceis) {
+          return Status::ResourceExhausted(
+              "P^[1] transformation would exceed the output cap (CEI " +
+              std::to_string(cei.id) + " alone has too many combinations)");
+        }
+      }
+      total_out += combos;
+      if (total_out > max_output_ceis) {
+        return Status::ResourceExhausted(
+            "P^[1] transformation output exceeds cap of " +
+            std::to_string(max_output_ceis) + " CEIs");
+      }
+    }
+  }
+
+  ProblemBuilder builder(problem.num_resources(), problem.num_chronons(),
+                         problem.budget());
+  std::vector<CeiId> origin;
+  origin.reserve(static_cast<size_t>(total_out));
+
+  for (const auto& profile : problem.profiles()) {
+    builder.BeginProfile();
+    for (const auto& cei : profile.ceis) {
+      // Enumerate the cartesian product of chronon choices, odometer-style.
+      const size_t k = cei.eis.size();
+      std::vector<Chronon> choice(k);
+      for (size_t q = 0; q < k; ++q) choice[q] = cei.eis[q].start;
+      while (true) {
+        std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+        eis.reserve(k);
+        for (size_t q = 0; q < k; ++q) {
+          eis.emplace_back(cei.eis[q].resource, choice[q], choice[q]);
+        }
+        WEBMON_ASSIGN_OR_RETURN(CeiId id, builder.AddCei(eis));
+        (void)id;
+        origin.push_back(cei.id);
+        // Advance the odometer.
+        size_t q = 0;
+        for (; q < k; ++q) {
+          if (choice[q] < cei.eis[q].finish) {
+            ++choice[q];
+            for (size_t p = 0; p < q; ++p) choice[p] = cei.eis[p].start;
+            break;
+          }
+        }
+        if (q == k) break;
+      }
+    }
+  }
+
+  WEBMON_ASSIGN_OR_RETURN(ProblemInstance transformed, builder.Build());
+  return P1TransformResult{std::move(transformed), std::move(origin)};
+}
+
+int64_t OriginalCeisCaptured(const ProblemInstance& original,
+                             const Schedule& schedule) {
+  return CapturedCeiCount(original, schedule);
+}
+
+}  // namespace webmon

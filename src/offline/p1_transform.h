@@ -1,0 +1,51 @@
+// Proposition 5 transformation: arbitrary instance -> P^[1] instance.
+//
+// Every CEI eta = {I_1, ..., I_k} with |I_q| = n_q chronons is replaced by
+// the prod_q n_q "combination" CEIs: one per choice of a single chronon from
+// each EI, with every new EI of width exactly one chronon on the original
+// EI's resource. A schedule that captures a combination CEI probes each
+// original EI inside its window, hence captures the original CEI; and any
+// capture of the original CEI corresponds to at least one captured
+// combination. (The paper's construction adds a (k+1)-th bookkeeping
+// interval to make the approximation-ratio accounting work — rank k maps to
+// rank k+1 — which is why an alpha(k)-approximation on P^[1] yields an
+// alpha(k+1)-approximation on P.)
+//
+// The transformation's output is exponential in rank (prod n_q per CEI),
+// which is precisely why the offline approach "does not scale well for real
+// world problem instances" (Section IV-B.2); a size guard enforces that.
+
+#ifndef WEBMON_OFFLINE_P1_TRANSFORM_H_
+#define WEBMON_OFFLINE_P1_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/problem.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// A transformed instance plus the mapping back to the original CEIs.
+struct P1TransformResult {
+  ProblemInstance problem;
+  /// origin[i] = id of the original CEI that transformed CEI #i (in
+  /// (profile, cei) iteration order) derives from.
+  std::vector<CeiId> origin;
+};
+
+/// Transforms `problem` into an equivalent P^[1] instance. Fails with
+/// ResourceExhausted when the output would exceed `max_output_ceis`.
+StatusOr<P1TransformResult> TransformToP1(const ProblemInstance& problem,
+                                          int64_t max_output_ceis = 100000);
+
+/// Given a schedule for the transformed instance (same resources/epoch),
+/// counts how many ORIGINAL CEIs it captures. Used to map approximation
+/// results back (any transformed-instance schedule is feasible for the
+/// original instance as budgets are identical).
+int64_t OriginalCeisCaptured(const ProblemInstance& original,
+                             const Schedule& schedule);
+
+}  // namespace webmon
+
+#endif  // WEBMON_OFFLINE_P1_TRANSFORM_H_

@@ -1,0 +1,268 @@
+#include "online/online_scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace webmon {
+
+OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
+                                 BudgetVector budget, Policy* policy,
+                                 SchedulerOptions options)
+    : num_resources_(num_resources),
+      num_chronons_(num_chronons),
+      budget_(std::move(budget)),
+      policy_(policy),
+      options_(options),
+      pending_by_start_(
+          static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
+      pushes_by_chronon_(
+          static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
+      probed_now_(num_resources, 0) {}
+
+Status OnlineScheduler::AddPush(ResourceId resource, Chronon t) {
+  if (resource >= num_resources_) {
+    return Status::OutOfRange("pushed resource out of range");
+  }
+  if (t < 0 || t >= num_chronons_) {
+    return Status::OutOfRange("push chronon outside the epoch");
+  }
+  if (t <= last_step_) {
+    return Status::FailedPrecondition(
+        "pushes must precede the Step for their chronon");
+  }
+  pushes_by_chronon_[static_cast<size_t>(t)].push_back(resource);
+  return Status::OK();
+}
+
+Status OnlineScheduler::AddArrival(const Cei* cei, Chronon now) {
+  if (cei == nullptr || cei->eis.empty()) {
+    return Status::InvalidArgument("arriving CEI must have at least one EI");
+  }
+  if (now < 0 || now >= num_chronons_) {
+    return Status::OutOfRange("arrival chronon outside the epoch");
+  }
+  if (now <= last_step_) {
+    return Status::FailedPrecondition(
+        "arrivals must precede the Step for their chronon");
+  }
+  states_.push_back(std::make_unique<CeiState>(cei));
+  CeiState* state = states_.back().get();
+  ++stats_.ceis_seen;
+  stats_.eis_seen += static_cast<int64_t>(cei->eis.size());
+
+  // EIs whose windows have already closed on arrival count as failed; the
+  // CEI is dead on arrival when the remaining EIs cannot satisfy it
+  // (cannot happen for instances passing ProblemInstance::Validate, but
+  // the streaming Proxy may submit late).
+  for (uint32_t i = 0; i < cei->eis.size(); ++i) {
+    if (cei->eis[i].finish < now) {
+      state->failed[i] = true;
+      ++state->num_failed;
+    }
+  }
+  if (state->BeyondRepair()) {
+    state->dead = true;
+    ++stats_.ceis_expired;
+    if (on_cei_expired_) on_cei_expired_(*cei);
+    return Status::OK();
+  }
+
+  for (uint32_t i = 0; i < cei->eis.size(); ++i) {
+    const ExecutionInterval& ei = cei->eis[i];
+    if (state->failed[i]) continue;
+    CandidateEi cand{state, i};
+    if (ei.start <= now) {
+      active_.push_back(cand);
+    } else if (ei.start < num_chronons_) {
+      pending_by_start_[static_cast<size_t>(ei.start)].push_back(cand);
+    }
+    // EIs starting at or beyond the epoch end can never be probed; the CEI
+    // will die when too many siblings expire or the epoch ends.
+  }
+  return Status::OK();
+}
+
+void OnlineScheduler::Activate(Chronon now) {
+  auto& bucket = pending_by_start_[static_cast<size_t>(now)];
+  for (const CandidateEi& cand : bucket) {
+    if (cand.state->dead || cand.state->Complete()) continue;
+    active_.push_back(cand);
+  }
+  bucket.clear();
+  bucket.shrink_to_fit();
+}
+
+void OnlineScheduler::MarkFailed(const CandidateEi& cand) {
+  CeiState& s = *cand.state;
+  if (s.failed[cand.ei_index] || s.captured[cand.ei_index]) return;
+  s.failed[cand.ei_index] = true;
+  ++s.num_failed;
+  if (!s.dead && !s.Complete() && s.BeyondRepair()) {
+    s.dead = true;
+    ++stats_.ceis_expired;
+    if (on_cei_expired_) on_cei_expired_(*s.cei);
+  }
+}
+
+void OnlineScheduler::Compact(Chronon now) {
+  auto keep = [now](const CandidateEi& cand) {
+    const CeiState& s = *cand.state;
+    return !s.dead && !s.Complete() && !s.captured[cand.ei_index] &&
+           !s.failed[cand.ei_index] && cand.ei().finish >= now;
+  };
+  // Account failures for EIs whose windows passed without capture while
+  // their CEI was still live (normally the end-of-step expiry sweep handles
+  // this at finish == now; this path covers chronon gaps).
+  for (const CandidateEi& cand : active_) {
+    const CeiState& s = *cand.state;
+    if (s.dead || s.Complete() || s.captured[cand.ei_index]) continue;
+    if (cand.ei().finish < now) MarkFailed(cand);
+  }
+  active_.erase(
+      std::remove_if(active_.begin(), active_.end(),
+                     [&](const CandidateEi& c) { return !keep(c); }),
+      active_.end());
+}
+
+Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
+                             std::vector<ResourceId>* probed) {
+  if (now < 0 || now >= num_chronons_) {
+    return Status::OutOfRange("step chronon outside the epoch");
+  }
+  if (now <= last_step_) {
+    return Status::FailedPrecondition("chronons must strictly increase");
+  }
+  if (!options_.resource_costs.empty() &&
+      options_.resource_costs.size() != num_resources_) {
+    return Status::InvalidArgument(
+        "resource_costs must have one entry per resource");
+  }
+  last_step_ = now;
+  if (probed) probed->clear();
+
+  Activate(now);
+  Compact(now);
+
+  // --- Server pushes: free captures, no budget consumed. ---
+  std::vector<ResourceId> pushed_now;
+  for (ResourceId r : pushes_by_chronon_[static_cast<size_t>(now)]) {
+    if (probed_now_[r]) continue;
+    probed_now_[r] = 1;
+    pushed_now.push_back(r);
+    ++stats_.pushes_delivered;
+  }
+  pushes_by_chronon_[static_cast<size_t>(now)].clear();
+
+  policy_->BeginChronon(active_, now);
+
+  // --- probeEIs: greedy selection of resources within the budget. ---
+  const int64_t budget = budget_.At(now);
+  std::vector<ResourceId> r_ids;  // resources probed this chronon
+  if (budget > 0 && !active_.empty()) {
+    const size_t n = active_.size();
+    std::vector<double> value(n);
+    for (size_t i = 0; i < n; ++i) value[i] = policy_->Value(active_[i], now);
+
+    const bool split_started = !options_.preemptive;
+    auto better = [&](uint32_t a, uint32_t b) {
+      const CandidateEi& ca = active_[a];
+      const CandidateEi& cb = active_[b];
+      if (split_started) {
+        // Non-preemptive: EIs of previously probed CEIs (cands+) strictly
+        // before fresh ones (cands-).
+        const bool sa = ca.state->Started();
+        const bool sb = cb.state->Started();
+        if (sa != sb) return sa;
+      }
+      if (value[a] != value[b]) return value[a] < value[b];
+      const Chronon da = ca.ei().finish;
+      const Chronon db = cb.ei().finish;
+      if (da != db) return da < db;  // earlier deadline first
+      if (ca.state->cei->id != cb.state->cei->id) {
+        return ca.state->cei->id < cb.state->cei->id;
+      }
+      return ca.ei_index < cb.ei_index;
+    };
+
+    std::vector<uint32_t> order;
+    if (budget == 1 && options_.resource_costs.empty()) {
+      // The paper's canonical C = 1 setting: only the single best
+      // candidate on a not-yet-covered resource matters — an O(n) scan
+      // instead of an O(n log n) sort. Resources already served by a push
+      // are skipped exactly as the greedy walk below would.
+      constexpr uint32_t kNone = ~uint32_t{0};
+      uint32_t best = kNone;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (probed_now_[active_[i].ei().resource]) continue;
+        if (best == kNone || better(i, best)) best = i;
+      }
+      if (best != kNone) order.push_back(best);
+    } else {
+      order.resize(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), better);
+    }
+
+    // With uniform costs every probe consumes one budget unit; with the
+    // varying-cost extension, probing r consumes resource_costs[r] of the
+    // chronon's cost capacity and cheaper candidates further down the
+    // ranking may still fit after an expensive one does not.
+    const bool uniform_costs = options_.resource_costs.empty();
+    const double capacity = static_cast<double>(budget);
+    double cost_used = 0.0;
+    for (uint32_t i : order) {
+      const ResourceId r = active_[i].ei().resource;
+      if (probed_now_[r]) continue;  // r already in R_ids: capture is free
+      const double cost = uniform_costs ? 1.0 : options_.resource_costs[r];
+      if (cost_used + cost > capacity) {
+        if (uniform_costs) break;
+        continue;
+      }
+      cost_used += cost;
+      probed_now_[r] = 1;
+      r_ids.push_back(r);
+      ++stats_.probes_issued;
+      if (schedule != nullptr) {
+        WEBMON_RETURN_IF_ERROR(schedule->AddProbe(r, now));
+      }
+      policy_->NotifyProbed(r, now);
+    }
+  }
+
+  // --- Capture every active EI whose resource was probed this chronon. ---
+  for (const CandidateEi& cand : active_) {
+    CeiState& s = *cand.state;
+    if (s.dead || s.Complete() || s.captured[cand.ei_index]) continue;
+    if (!probed_now_[cand.ei().resource]) continue;
+    s.captured[cand.ei_index] = true;
+    ++s.num_captured;
+    ++stats_.eis_captured;
+    if (s.Complete()) {
+      ++stats_.ceis_captured;
+      if (on_cei_captured_) on_cei_captured_(*s.cei);
+    }
+  }
+
+  // --- Expire: an EI closing uncaptured at `now` fails; the CEI dies once
+  // too many EIs have failed for its semantics (with AND semantics, one).
+  for (const CandidateEi& cand : active_) {
+    CeiState& s = *cand.state;
+    if (s.dead || s.Complete() || s.captured[cand.ei_index]) continue;
+    if (cand.ei().finish == now) MarkFailed(cand);
+  }
+
+  if (probed) *probed = r_ids;
+  for (ResourceId r : r_ids) probed_now_[r] = 0;
+  for (ResourceId r : pushed_now) probed_now_[r] = 0;
+  return Status::OK();
+}
+
+size_t OnlineScheduler::NumCandidateCeis() const {
+  size_t live = 0;
+  for (const auto& s : states_) {
+    if (!s->dead && !s->Complete()) ++live;
+  }
+  return live;
+}
+
+}  // namespace webmon

@@ -1,0 +1,139 @@
+// OnlineScheduler: the generic online complex-monitoring algorithm
+// (paper Appendix A, Algorithm 1 + procedure probeEIs).
+//
+// At each chronon T_j the scheduler
+//   1. receives the CEIs arriving at T_j (AddArrivals),
+//   2. activates their EIs as the EIs' start chronons are reached,
+//   3. asks the policy to rank the active candidate EIs and greedily probes
+//      up to C_j distinct resources (non-preemptive mode first serves EIs of
+//      CEIs that already had an EI captured),
+//   4. captures every active EI whose resource was probed this chronon
+//      (exploiting intra-resource overlap, the R_ids set of Algorithm 1),
+//   5. kills CEIs for which an EI expired uncaptured at T_j — they can never
+//      be completed, so their remaining EIs stop consuming budget.
+
+#ifndef WEBMON_ONLINE_ONLINE_SCHEDULER_H_
+#define WEBMON_ONLINE_ONLINE_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "model/cei.h"
+#include "model/schedule.h"
+#include "model/types.h"
+#include "policy/policy.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Execution options for the online algorithm.
+struct SchedulerOptions {
+  /// Preemptive mode considers all candidate EIs in one pool; non-preemptive
+  /// mode first exhausts EIs of previously probed (started) CEIs
+  /// (paper Section IV-A).
+  bool preemptive = true;
+  /// Varying probe costs (the extension Section III-C defers): when
+  /// non-empty (must have one entry per resource, each > 0), the
+  /// per-chronon budget C_j is a cost capacity and probing resource r
+  /// consumes resource_costs[r] of it, instead of every probe costing 1.
+  std::vector<double> resource_costs;
+};
+
+/// Counters accumulated over a run.
+struct SchedulerStats {
+  int64_t ceis_seen = 0;
+  int64_t ceis_captured = 0;
+  int64_t ceis_expired = 0;
+  int64_t eis_seen = 0;
+  int64_t eis_captured = 0;
+  int64_t probes_issued = 0;
+  /// Server pushes delivered (captures they caused count in eis_captured).
+  int64_t pushes_delivered = 0;
+};
+
+/// The online proxy scheduling engine. Not thread-safe; drive it from a
+/// single chronon loop.
+class OnlineScheduler {
+ public:
+  /// `policy` must outlive the scheduler. `num_chronons` bounds the epoch.
+  OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
+                  BudgetVector budget, Policy* policy,
+                  SchedulerOptions options = {});
+
+  OnlineScheduler(const OnlineScheduler&) = delete;
+  OnlineScheduler& operator=(const OnlineScheduler&) = delete;
+
+  /// Registers CEIs arriving at chronon `now`. Must be called before
+  /// Step(now); `cei` pointers must stay valid for the scheduler's lifetime.
+  /// Rejects CEIs that are empty or whose capture window already passed.
+  Status AddArrival(const Cei* cei, Chronon now);
+
+  /// Registers a server push of `resource` delivered at chronon `t`
+  /// (paper Section III: "occasionally a server may push an update").
+  /// Pushed content captures every EI on the resource active at `t` for
+  /// free — no probe budget is consumed and nothing is written to the
+  /// Schedule. `t` must not precede the next Step.
+  Status AddPush(ResourceId resource, Chronon t);
+
+  /// Executes chronon `now` (steps must use strictly increasing chronons):
+  /// selects and issues probes, updates capture state, expires CEIs. If
+  /// `schedule` is non-null, issued probes are recorded in it.
+  /// Returns the resources probed this chronon via `probed` if non-null.
+  Status Step(Chronon now, Schedule* schedule,
+              std::vector<ResourceId>* probed = nullptr);
+
+  /// Called with every CEI id that completes (all EIs captured).
+  void set_on_cei_captured(std::function<void(const Cei&)> cb) {
+    on_cei_captured_ = std::move(cb);
+  }
+  /// Called with every CEI id that dies (an EI expired uncaptured).
+  void set_on_cei_expired(std::function<void(const Cei&)> cb) {
+    on_cei_expired_ = std::move(cb);
+  }
+
+  const SchedulerStats& stats() const { return stats_; }
+
+  /// Number of currently live candidate CEIs (diagnostics).
+  size_t NumCandidateCeis() const;
+  /// Number of currently active candidate EIs (diagnostics).
+  size_t NumActiveEis() const { return active_.size(); }
+
+ private:
+  // Activates EIs whose start chronon is `now`, plus (for fresh arrivals)
+  // EIs already in their window.
+  void Activate(Chronon now);
+  // Records that `cand`'s window expired uncaptured; kills the CEI when its
+  // semantics can no longer be satisfied.
+  void MarkFailed(const CandidateEi& cand);
+  // Removes captured/failed/dead/expired entries from active_.
+  void Compact(Chronon now);
+
+  uint32_t num_resources_;
+  Chronon num_chronons_;
+  BudgetVector budget_;
+  Policy* policy_;
+  SchedulerOptions options_;
+
+  // Owned CEI scheduling states; pointers into this deque-like storage are
+  // stable because we never erase.
+  std::vector<std::unique_ptr<CeiState>> states_;
+  // Currently active candidate EIs (window contains the current chronon).
+  std::vector<CandidateEi> active_;
+  // pending_by_start_[t] = EIs becoming active at chronon t.
+  std::vector<std::vector<CandidateEi>> pending_by_start_;
+  // pushes_by_chronon_[t] = resources whose servers push at chronon t.
+  std::vector<std::vector<ResourceId>> pushes_by_chronon_;
+  // Scratch: marks resources probed or pushed in the current step (R_ids).
+  std::vector<uint8_t> probed_now_;
+
+  Chronon last_step_ = -1;
+  SchedulerStats stats_;
+  std::function<void(const Cei&)> on_cei_captured_;
+  std::function<void(const Cei&)> on_cei_expired_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_ONLINE_ONLINE_SCHEDULER_H_

@@ -1,0 +1,95 @@
+#include "online/proxy.h"
+
+#include <algorithm>
+
+namespace webmon {
+
+Proxy::Proxy(uint32_t num_resources, Chronon horizon, BudgetVector budget,
+             std::unique_ptr<Policy> policy, SchedulerOptions options)
+    : horizon_(horizon),
+      policy_(std::move(policy)),
+      schedule_(num_resources, horizon),
+      scheduler_(num_resources, horizon, std::move(budget), policy_.get(),
+                 options) {}
+
+StatusOr<CeiId> Proxy::Submit(
+    const std::vector<std::tuple<ResourceId, Chronon, Chronon>>& eis,
+    double weight, uint32_t required) {
+  if (Done()) {
+    return Status::OutOfRange("proxy epoch already finished");
+  }
+  if (eis.empty()) {
+    return Status::InvalidArgument("a complex need requires at least one EI");
+  }
+  if (weight <= 0.0) {
+    return Status::InvalidArgument("need weight must be positive");
+  }
+  if (required > eis.size()) {
+    return Status::InvalidArgument(
+        "cannot require more captures than the need has EIs");
+  }
+  Cei cei;
+  cei.id = next_cei_id_++;
+  cei.profile = 0;  // the streaming API tracks needs, not profiles
+  cei.arrival = now_;
+  cei.weight = weight;
+  cei.required = required;
+  for (const auto& [resource, start, finish] : eis) {
+    ExecutionInterval ei;
+    ei.id = next_ei_id_++;
+    ei.resource = resource;
+    // Clamp the window into the remaining epoch; a need expressed for the
+    // past cannot be monitored.
+    ei.start = std::max(start, now_);
+    ei.finish = std::min(finish, horizon_ - 1);
+    if (ei.start > ei.finish) {
+      return Status::InvalidArgument(
+          "EI window lies entirely in the past or beyond the horizon");
+    }
+    cei.eis.push_back(ei);
+  }
+  ceis_.push_back(std::move(cei));
+  const Cei* stored = &ceis_.back();
+  Status st = scheduler_.AddArrival(stored, now_);
+  if (!st.ok()) {
+    ceis_.pop_back();
+    return st;
+  }
+  return stored->id;
+}
+
+Status Proxy::Push(ResourceId resource) {
+  if (Done()) {
+    return Status::OutOfRange("proxy epoch already finished");
+  }
+  return scheduler_.AddPush(resource, now_);
+}
+
+StatusOr<std::vector<ResourceId>> Proxy::Tick() {
+  if (Done()) {
+    return Status::OutOfRange("proxy epoch already finished");
+  }
+  std::vector<ResourceId> probed;
+  WEBMON_RETURN_IF_ERROR(scheduler_.Step(now_, &schedule_, &probed));
+  ++now_;
+  return probed;
+}
+
+double Proxy::CompletenessSoFar() const {
+  const auto& s = scheduler_.stats();
+  if (s.ceis_seen == 0) return 0.0;
+  return static_cast<double>(s.ceis_captured) /
+         static_cast<double>(s.ceis_seen);
+}
+
+void Proxy::set_on_cei_captured(std::function<void(CeiId)> cb) {
+  scheduler_.set_on_cei_captured(
+      [cb = std::move(cb)](const Cei& cei) { cb(cei.id); });
+}
+
+void Proxy::set_on_cei_expired(std::function<void(CeiId)> cb) {
+  scheduler_.set_on_cei_expired(
+      [cb = std::move(cb)](const Cei& cei) { cb(cei.id); });
+}
+
+}  // namespace webmon

@@ -1,0 +1,85 @@
+// Proxy: the streaming facade of the library's public API.
+//
+// A Proxy models the paper's personalized-portal proxy: clients Submit()
+// complex execution intervals as their information needs materialize (e.g.
+// a keyword match on a blog probe triggers the crossing of two more
+// streams), and the proxy Tick()s once per chronon, deciding which resources
+// to probe under its budget. This is the interface the example applications
+// exercise; batch experiments use RunOnline instead.
+
+#ifndef WEBMON_ONLINE_PROXY_H_
+#define WEBMON_ONLINE_PROXY_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "model/schedule.h"
+#include "online/online_scheduler.h"
+#include "policy/policy.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// A pull-based monitoring proxy over `num_resources` resources for an epoch
+/// of `horizon` chronons.
+class Proxy {
+ public:
+  Proxy(uint32_t num_resources, Chronon horizon, BudgetVector budget,
+        std::unique_ptr<Policy> policy, SchedulerOptions options = {});
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  /// Registers a complex need arriving at the current chronon. Each element
+  /// of `eis` is (resource, start, finish). `weight` is the client utility
+  /// of satisfying the need; `required` = 0 demands ALL EIs be captured
+  /// (AND semantics), otherwise any `required` of them suffice. Returns the
+  /// assigned CEI id.
+  StatusOr<CeiId> Submit(
+      const std::vector<std::tuple<ResourceId, Chronon, Chronon>>& eis,
+      double weight = 1.0, uint32_t required = 0);
+
+  /// Delivers a server push of `resource` at the current chronon: every
+  /// pending need with an active EI on the resource is captured for free
+  /// when the next Tick() executes (the paper's Example 3 "WHEN ON PUSH").
+  Status Push(ResourceId resource);
+
+  /// Executes the current chronon and advances time. Returns the resources
+  /// the proxy probed. Fails with OutOfRange once the horizon is reached.
+  StatusOr<std::vector<ResourceId>> Tick();
+
+  /// The chronon the next Tick() will execute.
+  Chronon now() const { return now_; }
+  /// True once the whole epoch has been executed.
+  bool Done() const { return now_ >= horizon_; }
+
+  /// Full probe history so far.
+  const Schedule& schedule() const { return schedule_; }
+  const SchedulerStats& stats() const { return scheduler_.stats(); }
+
+  /// Fraction of submitted CEIs captured so far.
+  double CompletenessSoFar() const;
+
+  /// Invoked when a submitted CEI completes / dies.
+  void set_on_cei_captured(std::function<void(CeiId)> cb);
+  void set_on_cei_expired(std::function<void(CeiId)> cb);
+
+ private:
+  Chronon horizon_;
+  Chronon now_ = 0;
+  std::unique_ptr<Policy> policy_;
+  // Owns submitted CEI definitions; deque keeps pointers stable for the
+  // scheduler.
+  std::deque<Cei> ceis_;
+  CeiId next_cei_id_ = 0;
+  EiId next_ei_id_ = 0;
+  Schedule schedule_;
+  OnlineScheduler scheduler_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_ONLINE_PROXY_H_

@@ -1,0 +1,45 @@
+#include "online/run.h"
+
+#include <vector>
+
+#include "model/completeness.h"
+#include "util/stopwatch.h"
+
+namespace webmon {
+
+StatusOr<OnlineRunResult> RunOnline(const ProblemInstance& problem,
+                                    Policy* policy,
+                                    SchedulerOptions options) {
+  if (policy == nullptr) {
+    return Status::InvalidArgument("RunOnline: policy must not be null");
+  }
+  const Chronon k = problem.num_chronons();
+
+  // Bucket CEIs by arrival chronon so the proxy only learns of each CEI at
+  // its reveal time (the online setting of Section IV).
+  std::vector<std::vector<const Cei*>> arrivals(static_cast<size_t>(k));
+  for (const Cei* cei : problem.AllCeis()) {
+    arrivals[static_cast<size_t>(cei->arrival)].push_back(cei);
+  }
+
+  OnlineRunResult result{
+      Schedule(problem.num_resources(), k), SchedulerStats{}, 0.0, 0.0, 0.0};
+  OnlineScheduler scheduler(problem.num_resources(), k, problem.budget(),
+                            policy, options);
+
+  Stopwatch watch;
+  for (Chronon t = 0; t < k; ++t) {
+    for (const Cei* cei : arrivals[static_cast<size_t>(t)]) {
+      WEBMON_RETURN_IF_ERROR(scheduler.AddArrival(cei, t));
+    }
+    WEBMON_RETURN_IF_ERROR(scheduler.Step(t, &result.schedule));
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+
+  result.stats = scheduler.stats();
+  result.completeness = GainedCompleteness(problem, result.schedule);
+  result.ei_completeness = EiCompleteness(problem, result.schedule);
+  return result;
+}
+
+}  // namespace webmon

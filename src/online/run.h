@@ -1,0 +1,35 @@
+// Convenience driver: run the online algorithm over a whole ProblemInstance.
+
+#ifndef WEBMON_ONLINE_RUN_H_
+#define WEBMON_ONLINE_RUN_H_
+
+#include "model/problem.h"
+#include "model/schedule.h"
+#include "online/online_scheduler.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Result of an online run over a full instance.
+struct OnlineRunResult {
+  Schedule schedule;
+  SchedulerStats stats;
+  /// Gained completeness per Eq. 1 (schedule-evaluated; equals
+  /// stats.ceis_captured / TotalCeis by construction).
+  double completeness = 0.0;
+  /// EI-level completeness (Figure 10 upper-bound denominator).
+  double ei_completeness = 0.0;
+  /// Wall time spent inside the chronon loop, in seconds (Section V-D
+  /// runtime metric, to be normalized per EI by the caller).
+  double wall_seconds = 0.0;
+};
+
+/// Reveals each CEI at its arrival chronon and steps the scheduler through
+/// the instance's whole epoch under `policy`.
+StatusOr<OnlineRunResult> RunOnline(const ProblemInstance& problem,
+                                    Policy* policy,
+                                    SchedulerOptions options = {});
+
+}  // namespace webmon
+
+#endif  // WEBMON_ONLINE_RUN_H_

@@ -1,0 +1,3 @@
+#include "policy/candidate.h"
+
+// Header-only for now; this TU anchors the target.

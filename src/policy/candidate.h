@@ -1,0 +1,91 @@
+// Runtime candidate state shared between policies and the online scheduler.
+//
+// At chronon T_j the proxy holds a set of candidate CEIs, cands(eta) —
+// those that arrived at or before T_j and are neither fully captured nor
+// dead — and the bag of their EIs, cands(I) (paper Section IV, Appendix A).
+// CeiState tracks, per candidate CEI, which of its EIs have been captured so
+// far; CandidateEi is a cheap handle to one EI of one candidate CEI.
+
+#ifndef WEBMON_POLICY_CANDIDATE_H_
+#define WEBMON_POLICY_CANDIDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/cei.h"
+
+namespace webmon {
+
+/// Mutable per-CEI scheduling state. Owned by the online scheduler; policies
+/// only read it.
+struct CeiState {
+  explicit CeiState(const Cei* cei_def)
+      : cei(cei_def),
+        captured(cei_def->eis.size(), false),
+        failed(cei_def->eis.size(), false) {}
+
+  /// The immutable CEI definition.
+  const Cei* cei;
+  /// captured[i] == true iff cei->eis[i] has been captured.
+  std::vector<bool> captured;
+  /// failed[i] == true iff cei->eis[i]'s window expired uncaptured.
+  std::vector<bool> failed;
+  /// Running count of captured EIs (== count of true in `captured`).
+  size_t num_captured = 0;
+  /// Running count of failed EIs (== count of true in `failed`).
+  size_t num_failed = 0;
+  /// Set when the CEI can no longer be satisfied: more EIs failed than the
+  /// subset semantics tolerate.
+  bool dead = false;
+
+  /// True iff enough EIs are captured to satisfy the CEI (all of them under
+  /// the paper's baseline AND semantics; `required` of them under the
+  /// Section VII "alternatives" extension).
+  bool Complete() const { return num_captured >= cei->RequiredCaptures(); }
+
+  /// True iff at least one EI has been captured (used by non-preemptive
+  /// policies to prioritize previously probed CEIs).
+  bool Started() const { return num_captured > 0; }
+
+  /// Number of EI captures still needed to satisfy the CEI.
+  size_t Residual() const {
+    const size_t needed = cei->RequiredCaptures();
+    return needed > num_captured ? needed - num_captured : 0;
+  }
+
+  /// True iff too many EIs have failed for the CEI ever to complete.
+  bool BeyondRepair() const {
+    return cei->eis.size() - num_failed < cei->RequiredCaptures();
+  }
+};
+
+/// Handle to one EI of one candidate CEI.
+struct CandidateEi {
+  CeiState* state = nullptr;
+  uint32_t ei_index = 0;
+
+  const ExecutionInterval& ei() const { return state->cei->eis[ei_index]; }
+  bool IsCaptured() const { return state->captured[ei_index]; }
+};
+
+/// S-EDF deadline value of a single EI at chronon `now`: the number of
+/// remaining chronons until the interval closes, I.T_f - T + 1
+/// (paper Section IV-A). Exposed here because M-EDF reuses it.
+inline Chronon SEdfValue(const ExecutionInterval& ei, Chronon now) {
+  return ei.finish - now + 1;
+}
+
+/// The per-sibling term of M-EDF: for an already-active EI this is its S-EDF
+/// deadline from `now`; for a not-yet-active EI the paper evaluates the EDF
+/// "with T = 0" relative to the interval, i.e. its full length. Both cases
+/// collapse to finish - max(now, start) + 1, the number of chronons of the
+/// EI that are still usable — matching the paper's Examples 1 and 2, where
+/// M-EDF "accumulates the number of chronons of all remaining EIs".
+inline Chronon MEdfSiblingValue(const ExecutionInterval& ei, Chronon now) {
+  const Chronon effective_now = now > ei.start ? now : ei.start;
+  return ei.finish - effective_now + 1;
+}
+
+}  // namespace webmon
+
+#endif  // WEBMON_POLICY_CANDIDATE_H_

@@ -1,0 +1,15 @@
+#include "policy/m_edf.h"
+
+namespace webmon {
+
+double MEdfPolicy::Value(const CandidateEi& cand, Chronon now) const {
+  const CeiState& state = *cand.state;
+  Chronon total = 0;
+  for (size_t i = 0; i < state.cei->eis.size(); ++i) {
+    if (state.captured[i]) continue;
+    total += MEdfSiblingValue(state.cei->eis[i], now);
+  }
+  return static_cast<double>(total);
+}
+
+}  // namespace webmon

@@ -1,0 +1,9 @@
+#include "policy/mrsf.h"
+
+namespace webmon {
+
+double MrsfPolicy::Value(const CandidateEi& cand, Chronon /*now*/) const {
+  return static_cast<double>(cand.state->Residual());
+}
+
+}  // namespace webmon

@@ -1,0 +1,22 @@
+#include "policy/policy.h"
+
+namespace webmon {
+
+void Policy::BeginChronon(const std::vector<CandidateEi>& /*active*/,
+                          Chronon /*now*/) {}
+
+void Policy::NotifyProbed(ResourceId /*resource*/, Chronon /*now*/) {}
+
+const char* PolicyLevelToString(Policy::Level level) {
+  switch (level) {
+    case Policy::Level::kIndividualEi:
+      return "individual-EI";
+    case Policy::Level::kRank:
+      return "rank";
+    case Policy::Level::kMultiEi:
+      return "multi-EI";
+  }
+  return "?";
+}
+
+}  // namespace webmon

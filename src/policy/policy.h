@@ -1,0 +1,66 @@
+// Policy interface for online probe selection (paper Section IV-A).
+//
+// At every chronon the online scheduler asks the configured policy to rank
+// the active candidate EIs and greedily takes up to C_j of them (with
+// resource dedup). All paper policies prefer the candidate with MINIMAL
+// value, so Value() is a cost: lower is more urgent.
+//
+// Policies are classified by how much of the profile hierarchy they inspect:
+//   kIndividualEi — only the single EI (S-EDF, WIC);
+//   kRank         — the parent CEI's residual rank (MRSF);
+//   kMultiEi      — all sibling EIs of the parent CEI (M-EDF).
+
+#ifndef WEBMON_POLICY_POLICY_H_
+#define WEBMON_POLICY_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/types.h"
+#include "policy/candidate.h"
+
+namespace webmon {
+
+/// Abstract probe-selection policy.
+class Policy {
+ public:
+  /// Information level used by the policy (paper's three-level
+  /// classification).
+  enum class Level {
+    kIndividualEi,
+    kRank,
+    kMultiEi,
+  };
+
+  virtual ~Policy() = default;
+
+  /// Short identifier used in reports, e.g. "S-EDF".
+  virtual std::string name() const = 0;
+
+  /// The classification level.
+  virtual Level level() const = 0;
+
+  /// Called once per chronon before any Value() calls, with the full set of
+  /// active candidate EIs. Stateful policies (e.g. WIC's per-resource
+  /// aggregation) precompute here; the default does nothing.
+  virtual void BeginChronon(const std::vector<CandidateEi>& active,
+                            Chronon now);
+
+  /// Cost of probing `cand` at chronon `now`; the scheduler picks candidates
+  /// in ascending Value order. Ties are broken by earlier deadline, then by
+  /// EI id, to keep runs deterministic.
+  virtual double Value(const CandidateEi& cand, Chronon now) const = 0;
+
+  /// Called by the scheduler after it decides to probe `resource` at `now`.
+  /// Lets history-sensitive policies (round-robin) advance their state; the
+  /// default does nothing.
+  virtual void NotifyProbed(ResourceId resource, Chronon now);
+};
+
+/// Returns the canonical spelling of `level`.
+const char* PolicyLevelToString(Policy::Level level);
+
+}  // namespace webmon
+
+#endif  // WEBMON_POLICY_POLICY_H_

@@ -1,0 +1,58 @@
+#include "policy/policy_factory.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "policy/m_edf.h"
+#include "policy/mrsf.h"
+#include "policy/random_policy.h"
+#include "policy/round_robin.h"
+#include "policy/s_edf.h"
+#include "policy/weighted_mrsf.h"
+#include "policy/wic.h"
+
+namespace webmon {
+
+namespace {
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+}  // namespace
+
+StatusOr<std::unique_ptr<Policy>> MakePolicy(std::string_view name,
+                                             uint64_t seed) {
+  const std::string n = Lower(name);
+  if (n == "s-edf" || n == "sedf") {
+    return std::unique_ptr<Policy>(new SEdfPolicy());
+  }
+  if (n == "mrsf") {
+    return std::unique_ptr<Policy>(new MrsfPolicy());
+  }
+  if (n == "m-edf" || n == "medf") {
+    return std::unique_ptr<Policy>(new MEdfPolicy());
+  }
+  if (n == "w-mrsf" || n == "wmrsf") {
+    return std::unique_ptr<Policy>(new WeightedMrsfPolicy());
+  }
+  if (n == "wic") {
+    return std::unique_ptr<Policy>(new WicPolicy());
+  }
+  if (n == "random") {
+    return std::unique_ptr<Policy>(new RandomPolicy(seed));
+  }
+  if (n == "round-robin" || n == "roundrobin") {
+    return std::unique_ptr<Policy>(new RoundRobinPolicy());
+  }
+  return Status::NotFound("unknown policy: " + std::string(name));
+}
+
+std::vector<std::string> KnownPolicyNames() {
+  return {"s-edf", "mrsf", "m-edf", "w-mrsf", "wic", "random",
+          "round-robin"};
+}
+
+}  // namespace webmon

@@ -1,0 +1,27 @@
+// Factory for constructing policies by name, used by benches and examples.
+
+#ifndef WEBMON_POLICY_POLICY_FACTORY_H_
+#define WEBMON_POLICY_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "policy/policy.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Creates a policy instance. Known names (case-insensitive):
+/// "s-edf", "mrsf", "m-edf", "wic", "random", "round-robin".
+/// `seed` is only used by stochastic policies.
+StatusOr<std::unique_ptr<Policy>> MakePolicy(std::string_view name,
+                                             uint64_t seed = 42);
+
+/// All known policy names, in canonical order.
+std::vector<std::string> KnownPolicyNames();
+
+}  // namespace webmon
+
+#endif  // WEBMON_POLICY_POLICY_FACTORY_H_

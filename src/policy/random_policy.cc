@@ -1,0 +1,24 @@
+#include "policy/random_policy.h"
+
+namespace webmon {
+
+namespace {
+uint64_t Key(const CandidateEi& cand) {
+  return (cand.state->cei->id << 16) ^ cand.ei_index;
+}
+}  // namespace
+
+void RandomPolicy::BeginChronon(const std::vector<CandidateEi>& active,
+                                Chronon /*now*/) {
+  draws_.clear();
+  for (const auto& cand : active) {
+    draws_[Key(cand)] = rng_.UniformDouble();
+  }
+}
+
+double RandomPolicy::Value(const CandidateEi& cand, Chronon /*now*/) const {
+  auto it = draws_.find(Key(cand));
+  return (it == draws_.end()) ? 1.0 : it->second;
+}
+
+}  // namespace webmon

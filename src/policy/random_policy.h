@@ -1,0 +1,37 @@
+// Random policy: a sanity-check lower baseline not present in the paper.
+// Assigns each active candidate an i.i.d. uniform cost, so the scheduler's
+// pick is a uniform random subset of active EIs (after resource dedup).
+
+#ifndef WEBMON_POLICY_RANDOM_POLICY_H_
+#define WEBMON_POLICY_RANDOM_POLICY_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "policy/policy.h"
+#include "util/rng.h"
+
+namespace webmon {
+
+/// Uniform-random probe selection. Deterministic given the seed.
+class RandomPolicy final : public Policy {
+ public:
+  explicit RandomPolicy(uint64_t seed = 42) : rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+  Level level() const override { return Level::kIndividualEi; }
+
+  void BeginChronon(const std::vector<CandidateEi>& active,
+                    Chronon now) override;
+  double Value(const CandidateEi& cand, Chronon now) const override;
+
+ private:
+  Rng rng_;
+  // Draw per (CEI id, EI index) per chronon so Value() is stable within a
+  // chronon, as the scheduler may call it repeatedly while selecting.
+  std::unordered_map<uint64_t, double> draws_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_POLICY_RANDOM_POLICY_H_

@@ -1,0 +1,23 @@
+#include "policy/round_robin.h"
+
+namespace webmon {
+
+void RoundRobinPolicy::BeginChronon(const std::vector<CandidateEi>& /*active*/,
+                                    Chronon /*now*/) {}
+
+double RoundRobinPolicy::Value(const CandidateEi& cand, Chronon now) const {
+  auto it = last_probed_.find(cand.ei().resource);
+  const Chronon last = (it == last_probed_.end()) ? -1 : it->second;
+  // Recently probed resources cost more; never-probed resources cost least.
+  // A small deadline term breaks ties toward urgent intervals.
+  const double recency = static_cast<double>(last + 1);
+  const double deadline =
+      static_cast<double>(SEdfValue(cand.ei(), now));
+  return recency * 1e6 + deadline;
+}
+
+void RoundRobinPolicy::NotifyProbed(ResourceId resource, Chronon now) {
+  last_probed_[resource] = now;
+}
+
+}  // namespace webmon

@@ -1,0 +1,34 @@
+// Round-robin policy: another non-paper baseline. Cycles deterministically
+// over resources, preferring the resource least recently probed; within a
+// resource, earlier deadlines first.
+
+#ifndef WEBMON_POLICY_ROUND_ROBIN_H_
+#define WEBMON_POLICY_ROUND_ROBIN_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "policy/policy.h"
+
+namespace webmon {
+
+/// Least-recently-probed-resource-first selection.
+class RoundRobinPolicy final : public Policy {
+ public:
+  std::string name() const override { return "RoundRobin"; }
+  Level level() const override { return Level::kIndividualEi; }
+
+  void BeginChronon(const std::vector<CandidateEi>& active,
+                    Chronon now) override;
+  double Value(const CandidateEi& cand, Chronon now) const override;
+
+  /// Advances the rotation when the scheduler probes `resource`.
+  void NotifyProbed(ResourceId resource, Chronon now) override;
+
+ private:
+  std::unordered_map<ResourceId, Chronon> last_probed_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_POLICY_ROUND_ROBIN_H_

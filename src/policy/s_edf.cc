@@ -1,0 +1,9 @@
+#include "policy/s_edf.h"
+
+namespace webmon {
+
+double SEdfPolicy::Value(const CandidateEi& cand, Chronon now) const {
+  return static_cast<double>(SEdfValue(cand.ei(), now));
+}
+
+}  // namespace webmon

@@ -1,0 +1,11 @@
+#include "policy/weighted_mrsf.h"
+
+namespace webmon {
+
+double WeightedMrsfPolicy::Value(const CandidateEi& cand,
+                                 Chronon /*now*/) const {
+  // weight > 0 is enforced by ProblemInstance::Validate.
+  return static_cast<double>(cand.state->Residual()) / cand.state->cei->weight;
+}
+
+}  // namespace webmon

@@ -1,0 +1,21 @@
+#include "policy/wic.h"
+
+namespace webmon {
+
+void WicPolicy::BeginChronon(const std::vector<CandidateEi>& active,
+                             Chronon /*now*/) {
+  utility_.clear();
+  for (const auto& cand : active) {
+    // Uniform urgency: each pending EI contributes 1 unit of utility to its
+    // resource.
+    utility_[cand.ei().resource] += 1.0;
+  }
+}
+
+double WicPolicy::Value(const CandidateEi& cand, Chronon /*now*/) const {
+  auto it = utility_.find(cand.ei().resource);
+  const double utility = (it == utility_.end()) ? 0.0 : it->second;
+  return -utility;
+}
+
+}  // namespace webmon

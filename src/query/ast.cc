@@ -1,0 +1,118 @@
+#include "query/ast.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace webmon {
+
+const char* TriggerKindToString(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kEvery:
+      return "EVERY";
+    case TriggerKind::kContent:
+      return "CONTAINS";
+    case TriggerKind::kPush:
+      return "ON PUSH";
+    case TriggerKind::kNotify:
+      return "ON NOTIFY";
+  }
+  return "?";
+}
+
+std::string QuerySpec::ToString() const {
+  std::ostringstream os;
+  os << "SELECT item AS " << alias << " FROM feed(" << feed << ") WHEN ";
+  switch (trigger) {
+    case TriggerKind::kEvery:
+      os << "EVERY " << period;
+      if (!anchor_def.empty()) os << " AS " << anchor_def;
+      break;
+    case TriggerKind::kContent:
+      os << depends_on << " CONTAINS %" << needle << "%";
+      break;
+    case TriggerKind::kPush:
+      os << "ON PUSH";
+      if (!anchor_def.empty()) os << " AS " << anchor_def;
+      break;
+    case TriggerKind::kNotify:
+      os << "ON NOTIFY";
+      if (!anchor_def.empty()) os << " AS " << anchor_def;
+      break;
+  }
+  if (!within_anchor.empty()) {
+    os << " WITHIN " << within_anchor << "+" << within_offset;
+  }
+  return os.str();
+}
+
+Status ValidateQueries(const std::vector<QuerySpec>& queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries given");
+  }
+  std::unordered_map<std::string, const QuerySpec*> by_alias;
+  std::unordered_map<std::string, const QuerySpec*> by_anchor;
+  for (const auto& q : queries) {
+    if (q.alias.empty()) {
+      return Status::InvalidArgument("query missing an alias");
+    }
+    if (q.feed.empty()) {
+      return Status::InvalidArgument("query " + q.alias + " missing a feed");
+    }
+    if (!by_alias.emplace(q.alias, &q).second) {
+      return Status::InvalidArgument("duplicate alias " + q.alias);
+    }
+    if (!q.anchor_def.empty() &&
+        !by_anchor.emplace(q.anchor_def, &q).second) {
+      return Status::InvalidArgument("duplicate anchor " + q.anchor_def);
+    }
+    if (q.trigger == TriggerKind::kEvery && q.period <= 0) {
+      return Status::InvalidArgument("query " + q.alias +
+                                     " has non-positive period");
+    }
+    if (q.trigger == TriggerKind::kContent && q.needle.empty()) {
+      return Status::InvalidArgument("query " + q.alias +
+                                     " has an empty CONTAINS pattern");
+    }
+    if (q.within_offset < 0) {
+      return Status::InvalidArgument("query " + q.alias +
+                                     " has a negative WITHIN offset");
+    }
+  }
+  for (const auto& q : queries) {
+    if (q.trigger == TriggerKind::kContent) {
+      auto dep = by_alias.find(q.depends_on);
+      if (dep == by_alias.end()) {
+        return Status::InvalidArgument("query " + q.alias +
+                                       " depends on unknown alias " +
+                                       q.depends_on);
+      }
+      if (dep->second->trigger == TriggerKind::kContent) {
+        return Status::InvalidArgument(
+            "query " + q.alias +
+            " depends on a content-triggered query; chains must root at an "
+            "EVERY or ON PUSH query");
+      }
+    }
+    if (!q.within_anchor.empty()) {
+      auto anchor = by_anchor.find(q.within_anchor);
+      if (anchor == by_anchor.end()) {
+        return Status::InvalidArgument("query " + q.alias +
+                                       " references unknown anchor " +
+                                       q.within_anchor);
+      }
+      // The anchor must be this query's own trigger or its dependency's.
+      const QuerySpec* owner = anchor->second;
+      const bool own = owner == &q || owner->alias == q.alias;
+      const bool dependency_anchor =
+          q.trigger == TriggerKind::kContent && owner->alias == q.depends_on;
+      if (!own && !dependency_anchor) {
+        return Status::InvalidArgument(
+            "query " + q.alias + " uses anchor " + q.within_anchor +
+            " that belongs to neither itself nor its dependency");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace webmon

@@ -1,0 +1,51 @@
+// Tokenizer for the continuous-query language.
+
+#ifndef WEBMON_QUERY_LEXER_H_
+#define WEBMON_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace webmon {
+
+/// Token categories. Keywords are recognized case-insensitively and
+/// reported as kKeyword with an upper-cased text.
+enum class TokenKind {
+  kKeyword,     // SELECT ITEM AS FROM FEED WHEN EVERY WITHIN CONTAINS ON
+                // PUSH MINUTES SECONDS CHRONONS
+  kIdentifier,  // F1, MishBlog, T1 ...
+  kNumber,      // 10
+  kPattern,     // %oil%  (text without the % delimiters)
+  kLParen,      // (
+  kRParen,      // )
+  kPlus,        // +
+  kSemicolon,   // ;
+  kEnd,         // end of input
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// One token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t value = 0;  // for kNumber
+  size_t offset = 0;
+
+  std::string ToString() const;
+};
+
+/// Tokenizes `input`; the result always ends with a kEnd token. Fails on
+/// unterminated patterns or unexpected characters.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+/// True iff `word` (already upper-cased) is a language keyword.
+bool IsKeyword(const std::string& word);
+
+}  // namespace webmon
+
+#endif  // WEBMON_QUERY_LEXER_H_

@@ -1,0 +1,165 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+
+namespace webmon {
+
+namespace {
+
+/// Token-stream cursor with typed expectations.
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AtKeyword(const char* keyword) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == keyword;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!AtKeyword(keyword)) {
+      return Error(std::string("expected ") + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  StatusOr<int64_t> ExpectNumber(const char* what) {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().value;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(std::string("expected ") + TokenKindToString(kind));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  /// Consumes an optional time-unit keyword (all units are chronons).
+  void SkipUnit() {
+    if (AtKeyword("MINUTES") || AtKeyword("SECONDS") ||
+        AtKeyword("CHRONONS")) {
+      Advance();
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + ", got " + Peek().ToString() +
+                                   " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+ private:
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<QuerySpec> ParseOne(Cursor& cursor) {
+  QuerySpec query;
+  WEBMON_RETURN_IF_ERROR(cursor.ExpectKeyword("SELECT"));
+  WEBMON_RETURN_IF_ERROR(cursor.ExpectKeyword("ITEM"));
+  WEBMON_RETURN_IF_ERROR(cursor.ExpectKeyword("AS"));
+  WEBMON_ASSIGN_OR_RETURN(query.alias, cursor.ExpectIdentifier("alias"));
+  WEBMON_RETURN_IF_ERROR(cursor.ExpectKeyword("FROM"));
+  WEBMON_RETURN_IF_ERROR(cursor.ExpectKeyword("FEED"));
+  WEBMON_RETURN_IF_ERROR(cursor.Expect(TokenKind::kLParen));
+  WEBMON_ASSIGN_OR_RETURN(query.feed, cursor.ExpectIdentifier("feed name"));
+  WEBMON_RETURN_IF_ERROR(cursor.Expect(TokenKind::kRParen));
+  WEBMON_RETURN_IF_ERROR(cursor.ExpectKeyword("WHEN"));
+
+  if (cursor.AtKeyword("EVERY")) {
+    cursor.Advance();
+    query.trigger = TriggerKind::kEvery;
+    WEBMON_ASSIGN_OR_RETURN(query.period, cursor.ExpectNumber("period"));
+    cursor.SkipUnit();
+    if (cursor.AtKeyword("AS")) {
+      cursor.Advance();
+      WEBMON_ASSIGN_OR_RETURN(query.anchor_def,
+                              cursor.ExpectIdentifier("anchor name"));
+    }
+  } else if (cursor.AtKeyword("ON")) {
+    cursor.Advance();
+    if (cursor.AtKeyword("PUSH")) {
+      cursor.Advance();
+      query.trigger = TriggerKind::kPush;
+    } else if (cursor.AtKeyword("NOTIFY")) {
+      cursor.Advance();
+      query.trigger = TriggerKind::kNotify;
+    } else {
+      return cursor.Error("expected PUSH or NOTIFY after ON");
+    }
+    if (cursor.AtKeyword("AS")) {
+      cursor.Advance();
+      WEBMON_ASSIGN_OR_RETURN(query.anchor_def,
+                              cursor.ExpectIdentifier("anchor name"));
+    }
+  } else if (cursor.Peek().kind == TokenKind::kIdentifier) {
+    query.trigger = TriggerKind::kContent;
+    query.depends_on = cursor.Advance().text;
+    WEBMON_RETURN_IF_ERROR(cursor.ExpectKeyword("CONTAINS"));
+    if (cursor.Peek().kind != TokenKind::kPattern) {
+      return cursor.Error("expected %pattern%");
+    }
+    query.needle = cursor.Advance().text;
+  } else {
+    return cursor.Error("expected EVERY, ON PUSH, or a dependency alias");
+  }
+
+  if (cursor.AtKeyword("WITHIN")) {
+    cursor.Advance();
+    WEBMON_ASSIGN_OR_RETURN(query.within_anchor,
+                            cursor.ExpectIdentifier("anchor"));
+    WEBMON_RETURN_IF_ERROR(cursor.Expect(TokenKind::kPlus));
+    WEBMON_ASSIGN_OR_RETURN(query.within_offset,
+                            cursor.ExpectNumber("offset"));
+    cursor.SkipUnit();
+  }
+  return query;
+}
+
+}  // namespace
+
+StatusOr<QuerySpec> ParseQuery(std::string_view text) {
+  WEBMON_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Cursor cursor(tokens);
+  WEBMON_ASSIGN_OR_RETURN(QuerySpec query, ParseOne(cursor));
+  if (cursor.Peek().kind == TokenKind::kSemicolon) cursor.Advance();
+  if (cursor.Peek().kind != TokenKind::kEnd) {
+    return cursor.Error("trailing input after query");
+  }
+  return query;
+}
+
+StatusOr<std::vector<QuerySpec>> ParseQueries(std::string_view text) {
+  WEBMON_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Cursor cursor(tokens);
+  std::vector<QuerySpec> queries;
+  while (cursor.Peek().kind != TokenKind::kEnd) {
+    WEBMON_ASSIGN_OR_RETURN(QuerySpec query, ParseOne(cursor));
+    queries.push_back(std::move(query));
+    if (cursor.Peek().kind == TokenKind::kSemicolon) {
+      cursor.Advance();
+      continue;
+    }
+    if (cursor.Peek().kind != TokenKind::kEnd) {
+      return cursor.Error("expected ';' between queries");
+    }
+  }
+  WEBMON_RETURN_IF_ERROR(ValidateQueries(queries));
+  return queries;
+}
+
+}  // namespace webmon

@@ -1,0 +1,36 @@
+// Recursive-descent parser for the continuous-query language.
+//
+// Grammar (keywords case-insensitive; time units MINUTES / SECONDS /
+// CHRONONS all denote chronons):
+//
+//   queries  := query (';' query)* ';'?
+//   query    := SELECT ITEM AS ident
+//               FROM FEED '(' ident ')'
+//               WHEN trigger
+//               (WITHIN ident '+' number unit?)?
+//   trigger  := EVERY number unit? (AS ident)?
+//             | ident CONTAINS pattern
+//             | ON PUSH (AS ident)?
+//   pattern  := '%' text '%'
+
+#ifndef WEBMON_QUERY_PARSER_H_
+#define WEBMON_QUERY_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Parses a single query.
+StatusOr<QuerySpec> ParseQuery(std::string_view text);
+
+/// Parses a ';'-separated list of queries and validates the set
+/// (ValidateQueries).
+StatusOr<std::vector<QuerySpec>> ParseQueries(std::string_view text);
+
+}  // namespace webmon
+
+#endif  // WEBMON_QUERY_PARSER_H_

@@ -1,0 +1,68 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+namespace webmon {
+
+TableWriter BuildPolicyTable(const ExperimentResult& result,
+                             const ReportOptions& options) {
+  std::vector<std::string> headers{"policy", "completeness"};
+  if (options.ci) headers.push_back("ci95");
+  if (options.validated) headers.push_back("validated");
+  if (options.runtime) headers.push_back("us/EI");
+  if (options.timeliness) headers.push_back("capture delay");
+  if (options.probes) headers.push_back("probes");
+  TableWriter table(std::move(headers));
+
+  for (const auto& p : result.policies) {
+    std::vector<std::string> row{p.spec.Label(),
+                                 TableWriter::Percent(p.completeness.mean())};
+    if (options.ci) {
+      row.push_back(TableWriter::Percent(p.completeness.ci95_halfwidth()));
+    }
+    if (options.validated) {
+      row.push_back(TableWriter::Percent(p.validated_completeness.mean()));
+    }
+    if (options.runtime) {
+      row.push_back(TableWriter::Fmt(p.usec_per_ei.mean(), 3));
+    }
+    if (options.timeliness) {
+      row.push_back(TableWriter::Fmt(p.mean_capture_delay.mean(), 2));
+    }
+    if (options.probes) {
+      row.push_back(TableWriter::Fmt(p.probes.mean(), 0));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  if (result.offline.has_value()) {
+    std::vector<std::string> row{
+        "offline-approx",
+        TableWriter::Percent(result.offline->completeness.mean())};
+    if (options.ci) {
+      row.push_back(
+          TableWriter::Percent(result.offline->completeness.ci95_halfwidth()));
+    }
+    if (options.validated) {
+      row.push_back(TableWriter::Percent(
+          result.offline->validated_completeness.mean()));
+    }
+    if (options.runtime) {
+      row.push_back(TableWriter::Fmt(result.offline->usec_per_ei.mean(), 3));
+    }
+    if (options.timeliness) row.push_back("-");
+    if (options.probes) row.push_back("-");
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::string WorkloadSummary(const ExperimentResult& result) {
+  std::ostringstream os;
+  os << "avg CEIs=" << result.total_ceis.mean()
+     << " avg EIs=" << result.total_eis.mean()
+     << " reps=" << result.total_ceis.count();
+  return os.str();
+}
+
+}  // namespace webmon

@@ -1,0 +1,34 @@
+// Report formatting: turn experiment results into the paper-style tables.
+//
+// Benches, the CLI, and tests all print the same per-policy listings; this
+// module is the single place that decides column layout and formatting.
+
+#ifndef WEBMON_SIM_REPORT_H_
+#define WEBMON_SIM_REPORT_H_
+
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/table_writer.h"
+
+namespace webmon {
+
+/// Which optional columns to include.
+struct ReportOptions {
+  bool validated = true;    // validated completeness column
+  bool runtime = false;     // usec/EI column
+  bool timeliness = false;  // mean capture delay column
+  bool probes = true;       // probes issued column
+  bool ci = false;          // 95% CI half-width next to completeness
+};
+
+/// Builds the per-policy table (plus the offline row when present).
+TableWriter BuildPolicyTable(const ExperimentResult& result,
+                             const ReportOptions& options = {});
+
+/// One-line workload summary ("avg CEIs=... avg EIs=...").
+std::string WorkloadSummary(const ExperimentResult& result);
+
+}  // namespace webmon
+
+#endif  // WEBMON_SIM_REPORT_H_

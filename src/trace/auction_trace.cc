@@ -1,0 +1,65 @@
+#include "trace/auction_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/poisson.h"
+
+namespace webmon {
+
+StatusOr<EventTrace> GenerateAuctionTrace(const AuctionTraceOptions& options,
+                                          Rng& rng) {
+  if (options.num_auctions == 0) {
+    return Status::InvalidArgument("need at least one auction");
+  }
+  if (options.num_chronons <= 1) {
+    return Status::InvalidArgument("epoch too short for auctions");
+  }
+  if (options.target_total_bids < 0) {
+    return Status::InvalidArgument("target_total_bids must be >= 0");
+  }
+  if (options.sniping_boost < 1.0) {
+    return Status::InvalidArgument("sniping_boost must be >= 1");
+  }
+  if (options.sniping_fraction < 0.0 || options.sniping_fraction > 1.0) {
+    return Status::InvalidArgument("sniping_fraction must be in [0,1]");
+  }
+
+  EventTrace trace(options.num_auctions, options.num_chronons);
+  const double k = static_cast<double>(options.num_chronons);
+  const double bids_per_auction =
+      static_cast<double>(options.target_total_bids) /
+      static_cast<double>(options.num_auctions);
+
+  for (uint32_t a = 0; a < options.num_auctions; ++a) {
+    // Stagger the start; the auction runs to the end of the epoch (all the
+    // paper's auctions are full three-day auctions observed concurrently).
+    const double start =
+        rng.UniformDouble(0.0, std::max(0.0, options.stagger_fraction) * k);
+    const double duration = k - start;
+    if (duration <= 1.0) continue;
+    const double snipe_len = options.sniping_fraction * duration;
+    const double snipe_begin = k - snipe_len;
+
+    // Choose the base rate so the expected bid count per auction matches:
+    // base * (duration - snipe_len) + base * boost * snipe_len = target.
+    const double effective =
+        (duration - snipe_len) + options.sniping_boost * snipe_len;
+    const double base = bids_per_auction / effective;
+    const double max_rate = base * options.sniping_boost;
+
+    auto rate = [&](double t) {
+      if (t < start) return 0.0;
+      return (t >= snipe_begin) ? base * options.sniping_boost : base;
+    };
+    WEBMON_ASSIGN_OR_RETURN(std::vector<double> arrivals,
+                            ThinnedPoissonArrivals(rate, max_rate, k, rng));
+    for (Chronon t : BucketArrivals(arrivals, k, options.num_chronons)) {
+      WEBMON_RETURN_IF_ERROR(trace.AddEvent(a, t));
+    }
+  }
+  trace.Finalize();
+  return trace;
+}
+
+}  // namespace webmon

@@ -1,0 +1,43 @@
+// Synthetic eBay-style auction trace (substitute for the paper's real trace).
+//
+// The paper used a real trace of 732 three-day eBay laptop auctions with
+// 11,150 bids total. We cannot redistribute that trace, so we synthesize an
+// equivalent: each auction is a resource whose bid arrivals form a
+// non-homogeneous Poisson process over the auction's lifetime, with an
+// intensity ramp in the closing phase ("bid sniping", a well-documented
+// property of eBay auctions). The scheduling problem only observes update
+// event times per resource, so a generator matching the trace's count,
+// horizon, and end-of-auction burstiness exercises the identical code path.
+
+#ifndef WEBMON_TRACE_AUCTION_TRACE_H_
+#define WEBMON_TRACE_AUCTION_TRACE_H_
+
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Parameters calibrated to the paper's trace by default.
+struct AuctionTraceOptions {
+  /// Number of auctions (one resource each).
+  uint32_t num_auctions = 732;
+  /// Expected total bids across all auctions.
+  int64_t target_total_bids = 11150;
+  /// Epoch length. Default: 3 days at 5-minute chronons.
+  Chronon num_chronons = 864;
+  /// Auctions start staggered in [0, stagger_fraction * K).
+  double stagger_fraction = 0.25;
+  /// Intensity multiplier during the closing phase.
+  double sniping_boost = 5.0;
+  /// Fraction of the auction lifetime forming the closing phase.
+  double sniping_fraction = 0.1;
+};
+
+/// Generates one auction trace; deterministic given `rng` state.
+StatusOr<EventTrace> GenerateAuctionTrace(const AuctionTraceOptions& options,
+                                          Rng& rng);
+
+}  // namespace webmon
+
+#endif  // WEBMON_TRACE_AUCTION_TRACE_H_

@@ -1,0 +1,87 @@
+#include "trace/news_trace.h"
+
+#include <cmath>
+
+#include "util/poisson.h"
+#include "util/zipf.h"
+
+namespace webmon {
+
+namespace {
+
+// Expected number of distinct chronons with >= 1 event when a feed with
+// Poisson rate `rate` (events per chronon) runs for `k` chronons.
+double ExpectedUnique(double rate, double k) {
+  return k * (1.0 - std::exp(-rate));
+}
+
+}  // namespace
+
+StatusOr<EventTrace> GenerateNewsTrace(const NewsTraceOptions& options,
+                                       Rng& rng) {
+  if (options.num_feeds == 0) {
+    return Status::InvalidArgument("need at least one feed");
+  }
+  if (options.num_chronons <= 0) {
+    return Status::InvalidArgument("epoch must have at least one chronon");
+  }
+  if (options.target_total_events < 0) {
+    return Status::InvalidArgument("target_total_events must be >= 0");
+  }
+  const double k = static_cast<double>(options.num_chronons);
+  const double target = static_cast<double>(options.target_total_events);
+  if (target > 0.95 * k * static_cast<double>(options.num_feeds)) {
+    return Status::InvalidArgument(
+        "target_total_events too large for the epoch: at most one event per "
+        "feed per chronon survives");
+  }
+  WEBMON_ASSIGN_OR_RETURN(
+      ZipfSampler skew,
+      ZipfSampler::Create(options.num_feeds, options.activity_skew));
+
+  // A chronon is indivisible, so multiple events of a feed within one
+  // chronon collapse into one observable update. Calibrate a global rate
+  // multiplier m (binary search) so the EXPECTED POST-COLLAPSE total matches
+  // target_total_events despite the Zipf skew concentrating raw events on
+  // the top feeds.
+  std::vector<double> share(options.num_feeds);
+  for (uint32_t f = 0; f < options.num_feeds; ++f) {
+    share[f] = skew.Probability(f + 1);
+  }
+  double multiplier = 1.0;
+  if (target > 0) {
+    double lo = 0.0;
+    double hi = 1.0;
+    auto unique_total = [&](double m) {
+      double total = 0.0;
+      for (uint32_t f = 0; f < options.num_feeds; ++f) {
+        total += ExpectedUnique(m * share[f] * target / k, k);
+      }
+      return total;
+    };
+    while (unique_total(hi) < target && hi < 1e6) hi *= 2.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (unique_total(mid) < target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    multiplier = 0.5 * (lo + hi);
+  }
+
+  EventTrace trace(options.num_feeds, options.num_chronons);
+  for (uint32_t f = 0; f < options.num_feeds; ++f) {
+    const double rate = multiplier * share[f] * target / k;
+    WEBMON_ASSIGN_OR_RETURN(std::vector<double> arrivals,
+                            HomogeneousPoissonArrivals(rate, k, rng));
+    for (Chronon t : BucketArrivals(arrivals, k, options.num_chronons)) {
+      WEBMON_RETURN_IF_ERROR(trace.AddEvent(f, t));
+    }
+  }
+  trace.Finalize();
+  return trace;
+}
+
+}  // namespace webmon

@@ -1,0 +1,41 @@
+#include "trace/poisson_trace.h"
+
+#include <cmath>
+
+#include "util/poisson.h"
+
+namespace webmon {
+
+StatusOr<EventTrace> GeneratePoissonTrace(const PoissonTraceOptions& options,
+                                          Rng& rng) {
+  if (options.lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be >= 0");
+  }
+  if (options.heterogeneity < 0.0) {
+    return Status::InvalidArgument("heterogeneity must be >= 0");
+  }
+  if (options.num_chronons <= 0) {
+    return Status::InvalidArgument("epoch must have at least one chronon");
+  }
+  EventTrace trace(options.num_resources, options.num_chronons);
+  const double horizon = static_cast<double>(options.num_chronons);
+  for (uint32_t r = 0; r < options.num_resources; ++r) {
+    double lambda = options.lambda;
+    if (options.heterogeneity > 0.0) {
+      // Log-normal multiplier with unit mean: exp(N(-s^2/2, s)).
+      const double s = options.heterogeneity;
+      lambda *= std::exp(rng.Normal(-0.5 * s * s, s));
+    }
+    const double rate = lambda / horizon;
+    WEBMON_ASSIGN_OR_RETURN(std::vector<double> arrivals,
+                            HomogeneousPoissonArrivals(rate, horizon, rng));
+    for (Chronon t :
+         BucketArrivals(arrivals, horizon, options.num_chronons)) {
+      WEBMON_RETURN_IF_ERROR(trace.AddEvent(r, t));
+    }
+  }
+  trace.Finalize();
+  return trace;
+}
+
+}  // namespace webmon

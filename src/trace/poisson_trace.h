@@ -1,0 +1,36 @@
+// Synthetic Poisson trace generator (paper Section V-A.1).
+//
+// Each resource's update stream is a homogeneous Poisson process whose
+// intensity is controlled by lambda, the expected number of updates per
+// resource over the whole epoch (the paper sweeps lambda in [10, 50] with a
+// baseline of 20). An optional heterogeneity factor lets resources differ in
+// activity while preserving the average.
+
+#ifndef WEBMON_TRACE_POISSON_TRACE_H_
+#define WEBMON_TRACE_POISSON_TRACE_H_
+
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Parameters of the synthetic trace.
+struct PoissonTraceOptions {
+  uint32_t num_resources = 1000;
+  Chronon num_chronons = 1000;
+  /// Expected updates per resource over the epoch (Table I's lambda).
+  double lambda = 20.0;
+  /// 0 = all resources share lambda; otherwise each resource's rate is
+  /// lambda * f where f is log-normal-ish: exp(N(0, heterogeneity)),
+  /// normalized to keep the mean rate at lambda.
+  double heterogeneity = 0.0;
+};
+
+/// Generates one trace; deterministic given `rng` state.
+StatusOr<EventTrace> GeneratePoissonTrace(const PoissonTraceOptions& options,
+                                          Rng& rng);
+
+}  // namespace webmon
+
+#endif  // WEBMON_TRACE_POISSON_TRACE_H_

@@ -1,0 +1,113 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace webmon {
+
+EventTrace::EventTrace(uint32_t num_resources, Chronon num_chronons)
+    : num_resources_(num_resources),
+      num_chronons_(num_chronons),
+      events_(num_resources) {}
+
+Status EventTrace::AddEvent(ResourceId resource, Chronon t) {
+  if (resource >= num_resources_) {
+    return Status::OutOfRange("event resource out of range");
+  }
+  if (t < 0 || t >= num_chronons_) {
+    return Status::OutOfRange("event chronon out of range");
+  }
+  events_[resource].push_back(t);
+  ++total_events_;
+  return Status::OK();
+}
+
+void EventTrace::Finalize() {
+  total_events_ = 0;
+  for (auto& stream : events_) {
+    std::sort(stream.begin(), stream.end());
+    stream.erase(std::unique(stream.begin(), stream.end()), stream.end());
+    total_events_ += static_cast<int64_t>(stream.size());
+  }
+}
+
+const std::vector<Chronon>& EventTrace::EventsOf(ResourceId resource) const {
+  static const std::vector<Chronon>* const kEmpty = new std::vector<Chronon>();
+  if (resource >= num_resources_) return *kEmpty;
+  return events_[resource];
+}
+
+Chronon EventTrace::NextEventAtOrAfter(ResourceId resource, Chronon t) const {
+  const auto& stream = EventsOf(resource);
+  auto it = std::lower_bound(stream.begin(), stream.end(), t);
+  return it == stream.end() ? kInvalidChronon : *it;
+}
+
+Chronon EventTrace::LastEventAtOrBefore(ResourceId resource, Chronon t) const {
+  const auto& stream = EventsOf(resource);
+  auto it = std::upper_bound(stream.begin(), stream.end(), t);
+  return it == stream.begin() ? kInvalidChronon : *(it - 1);
+}
+
+bool EventTrace::HasEventInRange(ResourceId resource, Chronon from,
+                                 Chronon to) const {
+  const Chronon next = NextEventAtOrAfter(resource, from);
+  return next != kInvalidChronon && next <= to;
+}
+
+std::string EventTrace::ToText() const {
+  std::ostringstream os;
+  os << "webmon-trace " << num_resources_ << " " << num_chronons_ << "\n";
+  for (uint32_t r = 0; r < num_resources_; ++r) {
+    for (Chronon t : events_[r]) {
+      os << r << " " << t << "\n";
+    }
+  }
+  return os.str();
+}
+
+StatusOr<EventTrace> EventTrace::FromText(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  int64_t n = 0;
+  int64_t k = 0;
+  if (!(is >> magic >> n >> k) || magic != "webmon-trace" || n < 0 || k <= 0) {
+    return Status::InvalidArgument("malformed trace header");
+  }
+  EventTrace trace(static_cast<uint32_t>(n), k);
+  int64_t r = 0;
+  int64_t t = 0;
+  while (is >> r >> t) {
+    if (r < 0 || r >= n) {
+      return Status::OutOfRange("trace event resource out of range");
+    }
+    WEBMON_RETURN_IF_ERROR(
+        trace.AddEvent(static_cast<ResourceId>(r), t));
+  }
+  if (!is.eof()) {
+    return Status::InvalidArgument("malformed trace event line");
+  }
+  trace.Finalize();
+  return trace;
+}
+
+Status EventTrace::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << ToText();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<EventTrace> EventTrace::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromText(buf.str());
+}
+
+}  // namespace webmon

@@ -1,0 +1,77 @@
+// EventTrace: the stream of update events per resource.
+//
+// Both real-world traces the paper uses (eBay auctions, RSS news feeds) and
+// the synthetic Poisson traces reduce to this structure: for each resource,
+// the sorted chronons at which the resource's content changed. The workload
+// generator turns these into execution intervals; the noise experiments
+// validate probes against the true trace.
+
+#ifndef WEBMON_TRACE_TRACE_H_
+#define WEBMON_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/types.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// One update event.
+struct UpdateEvent {
+  ResourceId resource = 0;
+  Chronon chronon = 0;
+
+  friend bool operator==(const UpdateEvent& a, const UpdateEvent& b) = default;
+};
+
+/// Per-resource sorted update event streams over a fixed epoch.
+class EventTrace {
+ public:
+  EventTrace(uint32_t num_resources, Chronon num_chronons);
+
+  /// Appends an event; call Finalize() after the last AddEvent. Fails for
+  /// out-of-range coordinates.
+  Status AddEvent(ResourceId resource, Chronon t);
+
+  /// Sorts and dedups every stream; must be called before queries if events
+  /// were added out of order.
+  void Finalize();
+
+  /// Sorted event chronons of `resource` (empty for out-of-range ids).
+  const std::vector<Chronon>& EventsOf(ResourceId resource) const;
+
+  /// First event chronon >= t on `resource`; kInvalidChronon if none.
+  Chronon NextEventAtOrAfter(ResourceId resource, Chronon t) const;
+
+  /// Last event chronon <= t on `resource`; kInvalidChronon if none.
+  Chronon LastEventAtOrBefore(ResourceId resource, Chronon t) const;
+
+  /// True iff `resource` has an event in [from, to] inclusive.
+  bool HasEventInRange(ResourceId resource, Chronon from, Chronon to) const;
+
+  int64_t TotalEvents() const { return total_events_; }
+  uint32_t num_resources() const { return num_resources_; }
+  Chronon num_chronons() const { return num_chronons_; }
+
+  /// Serializes as text: header line "webmon-trace <n> <K>", then one line
+  /// "<resource> <chronon>" per event.
+  std::string ToText() const;
+  /// Parses the ToText() format.
+  static StatusOr<EventTrace> FromText(const std::string& text);
+
+  /// File round-trip helpers for sharing traces between runs.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<EventTrace> LoadFromFile(const std::string& path);
+
+ private:
+  uint32_t num_resources_;
+  Chronon num_chronons_;
+  int64_t total_events_ = 0;
+  std::vector<std::vector<Chronon>> events_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_TRACE_TRACE_H_

@@ -1,0 +1,83 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace webmon {
+
+double FitZipfExponent(const std::vector<int64_t>& counts) {
+  // Collect positive counts in descending order; rank them 1..n.
+  std::vector<int64_t> sorted;
+  sorted.reserve(counts.size());
+  for (int64_t c : counts) {
+    if (c > 0) sorted.push_back(c);
+  }
+  if (sorted.size() < 2) return 0.0;
+  std::sort(sorted.begin(), sorted.end(), std::greater<int64_t>());
+
+  // Least squares on y = log(count), x = log(rank): slope = -exponent.
+  double sum_x = 0;
+  double sum_y = 0;
+  double sum_xx = 0;
+  double sum_xy = 0;
+  const double n = static_cast<double>(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(static_cast<double>(sorted[i]));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const double denom = n * sum_xx - sum_x * sum_x;
+  if (denom <= 0.0) return 0.0;
+  const double slope = (n * sum_xy - sum_x * sum_y) / denom;
+  return std::max(0.0, -slope);
+}
+
+TraceStats ComputeTraceStats(const EventTrace& trace) {
+  TraceStats stats;
+  stats.total_events = trace.TotalEvents();
+  stats.num_resources = trace.num_resources();
+  stats.num_chronons = trace.num_chronons();
+
+  std::vector<int64_t> counts;
+  counts.reserve(trace.num_resources());
+  for (ResourceId r = 0; r < trace.num_resources(); ++r) {
+    const auto& events = trace.EventsOf(r);
+    counts.push_back(static_cast<int64_t>(events.size()));
+    if (!events.empty()) ++stats.active_resources;
+    stats.events_per_resource.Add(static_cast<double>(events.size()));
+    for (size_t i = 1; i < events.size(); ++i) {
+      stats.inter_update_gap.Add(
+          static_cast<double>(events[i] - events[i - 1]));
+    }
+  }
+
+  if (stats.total_events > 0 && !counts.empty()) {
+    std::vector<int64_t> sorted = counts;
+    std::sort(sorted.begin(), sorted.end(), std::greater<int64_t>());
+    const size_t decile = std::max<size_t>(1, sorted.size() / 10);
+    int64_t top = 0;
+    for (size_t i = 0; i < decile; ++i) top += sorted[i];
+    stats.top_decile_share =
+        static_cast<double>(top) / static_cast<double>(stats.total_events);
+  }
+  stats.zipf_exponent = FitZipfExponent(counts);
+  return stats;
+}
+
+std::string TraceStats::ToString() const {
+  std::ostringstream os;
+  os << "trace: " << num_resources << " resources x " << num_chronons
+     << " chronons, " << total_events << " events (" << active_resources
+     << " active resources)\n"
+     << "events/resource: " << events_per_resource.ToString() << "\n"
+     << "inter-update gap: " << inter_update_gap.ToString() << "\n"
+     << "top-decile activity share: " << top_decile_share << "\n"
+     << "fitted Zipf exponent: " << zipf_exponent << "\n";
+  return os.str();
+}
+
+}  // namespace webmon

@@ -1,0 +1,54 @@
+// Trace analysis: the statistics the paper's workload modeling relies on.
+//
+// Section II cites feed-refresh statistics (55% of feeds update hourly) and
+// Section V-A.2 estimates the Zipf skew of Web-feed activity (alpha ~ 1.37).
+// TraceStats computes the same descriptors for any EventTrace: per-resource
+// event counts, inter-update gap statistics, activity concentration, and a
+// least-squares Zipf-exponent fit of the activity distribution — used for
+// calibrating synthetic traces and by the CLI's `inspect` command.
+
+#ifndef WEBMON_TRACE_TRACE_STATS_H_
+#define WEBMON_TRACE_TRACE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/stats.h"
+
+namespace webmon {
+
+/// Descriptive statistics of one trace.
+struct TraceStats {
+  int64_t total_events = 0;
+  uint32_t num_resources = 0;
+  Chronon num_chronons = 0;
+  /// Resources with at least one event.
+  uint32_t active_resources = 0;
+  /// Distribution of per-resource event counts.
+  RunningStats events_per_resource;
+  /// Distribution of inter-update gaps (pooled over resources with >= 2
+  /// events).
+  RunningStats inter_update_gap;
+  /// Fraction of all events on the busiest 10% of resources (activity
+  /// concentration; 0.1 means perfectly uniform).
+  double top_decile_share = 0.0;
+  /// Least-squares Zipf exponent fitted to the rank-ordered activity
+  /// distribution (0 for degenerate traces).
+  double zipf_exponent = 0.0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Computes statistics for `trace`.
+TraceStats ComputeTraceStats(const EventTrace& trace);
+
+/// Least-squares slope fit of log(count) vs log(rank) over the non-zero,
+/// descending `counts`; returns the Zipf exponent (>= 0). Exposed for
+/// tests.
+double FitZipfExponent(const std::vector<int64_t>& counts);
+
+}  // namespace webmon
+
+#endif  // WEBMON_TRACE_TRACE_STATS_H_

@@ -1,0 +1,142 @@
+#include "trace/update_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/poisson.h"
+
+namespace webmon {
+
+// ---------------------------------------------------------------- Perfect --
+
+PerfectUpdateModel::PerfectUpdateModel(const EventTrace& trace)
+    : UpdateModel(trace.num_resources(), trace.num_chronons()),
+      trace_(trace) {}
+
+const std::vector<Chronon>& PerfectUpdateModel::PredictedUpdates(
+    ResourceId resource) const {
+  return trace_.EventsOf(resource);
+}
+
+Chronon PerfectUpdateModel::IntendedTrueEvent(ResourceId resource,
+                                              size_t index) const {
+  const auto& events = trace_.EventsOf(resource);
+  if (index >= events.size()) return kInvalidChronon;
+  return events[index];
+}
+
+// -------------------------------------------------------------------- FPN --
+
+FpnUpdateModel::FpnUpdateModel(uint32_t num_resources, Chronon num_chronons,
+                               double z_noise)
+    : UpdateModel(num_resources, num_chronons),
+      z_noise_(z_noise),
+      pairs_(num_resources),
+      predicted_(num_resources) {}
+
+StatusOr<FpnUpdateModel> FpnUpdateModel::Create(const EventTrace& trace,
+                                                double z_noise,
+                                                Chronon max_shift, Rng& rng) {
+  if (z_noise < 0.0 || z_noise > 1.0) {
+    return Status::InvalidArgument("z_noise must be in [0,1]");
+  }
+  if (max_shift <= 0) {
+    return Status::InvalidArgument("max_shift must be positive");
+  }
+  FpnUpdateModel model(trace.num_resources(), trace.num_chronons(), z_noise);
+  const Chronon k = trace.num_chronons();
+  for (ResourceId r = 0; r < trace.num_resources(); ++r) {
+    auto& pairs = model.pairs_[r];
+    for (Chronon e : trace.EventsOf(r)) {
+      Chronon p = e;
+      if (rng.Bernoulli(z_noise)) {
+        // Non-zero shift in [-max_shift, max_shift], clamped to the epoch.
+        Chronon shift = 0;
+        while (shift == 0) {
+          shift = rng.UniformInt(-max_shift, max_shift);
+        }
+        p = std::clamp<Chronon>(e + shift, 0, k - 1);
+        if (p == e) {
+          // Clamping collapsed the shift; push one chronon inward.
+          p = (e == 0) ? 1 : e - 1;
+          if (p >= k) p = k - 1;
+        }
+      }
+      pairs.emplace_back(p, e);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    auto& predicted = model.predicted_[r];
+    predicted.reserve(pairs.size());
+    for (const auto& [p, e] : pairs) predicted.push_back(p);
+  }
+  return model;
+}
+
+const std::vector<Chronon>& FpnUpdateModel::PredictedUpdates(
+    ResourceId resource) const {
+  static const std::vector<Chronon>* const kEmpty = new std::vector<Chronon>();
+  if (resource >= predicted_.size()) return *kEmpty;
+  return predicted_[resource];
+}
+
+Chronon FpnUpdateModel::IntendedTrueEvent(ResourceId resource,
+                                          size_t index) const {
+  if (resource >= pairs_.size() || index >= pairs_[resource].size()) {
+    return kInvalidChronon;
+  }
+  return pairs_[resource][index].second;
+}
+
+std::string FpnUpdateModel::name() const {
+  return "fpn(z=" + std::to_string(z_noise_) + ")";
+}
+
+// ------------------------------------------------------ EstimatedPoisson --
+
+EstimatedPoissonModel::EstimatedPoissonModel(const EventTrace& trace)
+    : UpdateModel(trace.num_resources(), trace.num_chronons()),
+      trace_(trace),
+      predicted_(trace.num_resources()) {}
+
+StatusOr<EstimatedPoissonModel> EstimatedPoissonModel::Create(
+    const EventTrace& trace, Rng& rng) {
+  EstimatedPoissonModel model(trace);
+  const double horizon = static_cast<double>(trace.num_chronons());
+  for (ResourceId r = 0; r < trace.num_resources(); ++r) {
+    const double rate =
+        static_cast<double>(trace.EventsOf(r).size()) / horizon;
+    WEBMON_ASSIGN_OR_RETURN(std::vector<double> arrivals,
+                            HomogeneousPoissonArrivals(rate, horizon, rng));
+    model.predicted_[r] =
+        BucketArrivals(arrivals, horizon, trace.num_chronons());
+    std::sort(model.predicted_[r].begin(), model.predicted_[r].end());
+    model.predicted_[r].erase(
+        std::unique(model.predicted_[r].begin(), model.predicted_[r].end()),
+        model.predicted_[r].end());
+  }
+  return model;
+}
+
+const std::vector<Chronon>& EstimatedPoissonModel::PredictedUpdates(
+    ResourceId resource) const {
+  static const std::vector<Chronon>* const kEmpty = new std::vector<Chronon>();
+  if (resource >= predicted_.size()) return *kEmpty;
+  return predicted_[resource];
+}
+
+Chronon EstimatedPoissonModel::IntendedTrueEvent(ResourceId resource,
+                                                 size_t index) const {
+  if (resource >= predicted_.size() || index >= predicted_[resource].size()) {
+    return kInvalidChronon;
+  }
+  const Chronon p = predicted_[resource][index];
+  // Nearest true event to the prediction.
+  const Chronon before = trace_.LastEventAtOrBefore(resource, p);
+  const Chronon after = trace_.NextEventAtOrAfter(resource, p);
+  if (before == kInvalidChronon) return after;
+  if (after == kInvalidChronon) return before;
+  return (p - before <= after - p) ? before : after;
+}
+
+}  // namespace webmon

@@ -1,0 +1,125 @@
+// Update models: the proxy's belief about when resources update.
+//
+// The beginning of an execution interval is determined by an update event;
+// when the server does not push, the proxy must *predict* the event using an
+// update model (paper Section III-A). The workload generator places EIs at
+// the model's predicted update times; the noise experiments (Section V-H)
+// then validate captures against the true event trace.
+//
+// Three models are provided:
+//  * PerfectUpdateModel — predictions equal the true events (no noise).
+//  * FpnUpdateModel — the paper's FPN(Z) noisy model: with probability
+//    z_noise each predicted event deviates from the true event by a random
+//    non-zero shift. (The paper's prose is self-contradictory about the
+//    polarity of Z; here z_noise = 0 is a perfect model and z_noise = 1 is
+//    totally noisy, which matches the trend Figure 15 describes.)
+//  * EstimatedPoissonModel — the Section V-H news experiment: a homogeneous
+//    Poisson model whose per-resource rate is estimated from the trace, with
+//    predictions regenerated from that model.
+
+#ifndef WEBMON_TRACE_UPDATE_MODEL_H_
+#define WEBMON_TRACE_UPDATE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// A (possibly imperfect) prediction of each resource's update stream.
+class UpdateModel {
+ public:
+  virtual ~UpdateModel() = default;
+
+  /// Predicted update chronons for `resource`, sorted ascending.
+  virtual const std::vector<Chronon>& PredictedUpdates(
+      ResourceId resource) const = 0;
+
+  /// The true event chronon that prediction #`index` (into
+  /// PredictedUpdates(resource)) intends to capture; kInvalidChronon when
+  /// the model cannot associate one. Used to build per-EI validity windows.
+  virtual Chronon IntendedTrueEvent(ResourceId resource,
+                                    size_t index) const = 0;
+
+  /// Short identifier for reports.
+  virtual std::string name() const = 0;
+
+  uint32_t num_resources() const { return num_resources_; }
+  Chronon num_chronons() const { return num_chronons_; }
+
+ protected:
+  UpdateModel(uint32_t num_resources, Chronon num_chronons)
+      : num_resources_(num_resources), num_chronons_(num_chronons) {}
+
+  uint32_t num_resources_;
+  Chronon num_chronons_;
+};
+
+/// Predictions equal the true trace. Keeps a reference to `trace`, which
+/// must outlive the model.
+class PerfectUpdateModel final : public UpdateModel {
+ public:
+  explicit PerfectUpdateModel(const EventTrace& trace);
+
+  const std::vector<Chronon>& PredictedUpdates(
+      ResourceId resource) const override;
+  Chronon IntendedTrueEvent(ResourceId resource, size_t index) const override;
+  std::string name() const override { return "perfect"; }
+
+ private:
+  const EventTrace& trace_;
+};
+
+/// FPN(Z)-style noisy model. Owns its perturbed predictions.
+class FpnUpdateModel final : public UpdateModel {
+ public:
+  /// `z_noise` in [0,1] is the probability each event's prediction deviates;
+  /// deviations are uniform non-zero shifts in [-max_shift, +max_shift],
+  /// clamped into the epoch. Fails for out-of-range parameters.
+  static StatusOr<FpnUpdateModel> Create(const EventTrace& trace,
+                                         double z_noise, Chronon max_shift,
+                                         Rng& rng);
+
+  const std::vector<Chronon>& PredictedUpdates(
+      ResourceId resource) const override;
+  Chronon IntendedTrueEvent(ResourceId resource, size_t index) const override;
+  std::string name() const override;
+
+  double z_noise() const { return z_noise_; }
+
+ private:
+  FpnUpdateModel(uint32_t num_resources, Chronon num_chronons, double z_noise);
+
+  double z_noise_;
+  // Per resource, (predicted, true) pairs sorted by predicted chronon.
+  std::vector<std::vector<std::pair<Chronon, Chronon>>> pairs_;
+  // Cached prediction-only views aligned with pairs_.
+  std::vector<std::vector<Chronon>> predicted_;
+};
+
+/// Homogeneous Poisson model with per-resource rate estimated from the
+/// trace; predictions are regenerated from the estimated model.
+class EstimatedPoissonModel final : public UpdateModel {
+ public:
+  static StatusOr<EstimatedPoissonModel> Create(const EventTrace& trace,
+                                                Rng& rng);
+
+  const std::vector<Chronon>& PredictedUpdates(
+      ResourceId resource) const override;
+  Chronon IntendedTrueEvent(ResourceId resource, size_t index) const override;
+  std::string name() const override { return "estimated-poisson"; }
+
+ private:
+  EstimatedPoissonModel(const EventTrace& trace);
+
+  const EventTrace& trace_;
+  std::vector<std::vector<Chronon>> predicted_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_TRACE_UPDATE_MODEL_H_

@@ -1,0 +1,183 @@
+#include "util/flags.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace webmon {
+
+FlagSet::FlagSet(std::string program_description)
+    : program_description_(std::move(program_description)) {}
+
+FlagSet& FlagSet::Add(const std::string& name, Type type,
+                      std::string default_value, const std::string& help) {
+  assert(!name.empty() && "flag name must not be empty");
+  auto [it, inserted] = flags_.emplace(
+      name, Flag{type, help, default_value, default_value, false});
+  assert(inserted && "duplicate flag registration");
+  (void)it;
+  (void)inserted;
+  return *this;
+}
+
+FlagSet& FlagSet::AddString(const std::string& name,
+                            std::string default_value,
+                            const std::string& help) {
+  return Add(name, Type::kString, std::move(default_value), help);
+}
+
+FlagSet& FlagSet::AddInt(const std::string& name, int64_t default_value,
+                         const std::string& help) {
+  return Add(name, Type::kInt, std::to_string(default_value), help);
+}
+
+FlagSet& FlagSet::AddDouble(const std::string& name, double default_value,
+                            const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  return Add(name, Type::kDouble, os.str(), help);
+}
+
+FlagSet& FlagSet::AddBool(const std::string& name, bool default_value,
+                          const std::string& help) {
+  return Add(name, Type::kBool, default_value ? "true" : "false", help);
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::NotFound("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kString:
+      break;
+    case Type::kInt: {
+      int64_t v = 0;
+      if (!ParseInt64(value, &v)) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      break;
+    }
+    case Type::kDouble: {
+      double v = 0;
+      if (!ParseDouble(value, &v)) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      break;
+    }
+    case Type::kBool: {
+      if (value != "true" && value != "false" && value != "1" &&
+          value != "0") {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      break;
+    }
+  }
+  flag.value = (flag.type == Type::kBool)
+                   ? ((value == "true" || value == "1") ? "true" : "false")
+                   : value;
+  flag.set = true;
+  return Status::OK();
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      WEBMON_RETURN_IF_ERROR(SetValue(std::string(arg.substr(0, eq)),
+                                      std::string(arg.substr(eq + 1))));
+      continue;
+    }
+    std::string name(arg);
+    // Boolean forms: --flag and --no-flag.
+    auto it = flags_.find(name);
+    if (it != flags_.end() && it->second.type == Type::kBool) {
+      WEBMON_RETURN_IF_ERROR(SetValue(name, "true"));
+      continue;
+    }
+    if (StartsWith(name, "no-")) {
+      const std::string base = name.substr(3);
+      auto base_it = flags_.find(base);
+      if (base_it != flags_.end() && base_it->second.type == Type::kBool) {
+        WEBMON_RETURN_IF_ERROR(SetValue(base, "false"));
+        continue;
+      }
+    }
+    // Space-separated value: --flag value.
+    if (it == flags_.end()) {
+      return Status::NotFound("unknown flag --" + name);
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + name + " expects a value");
+    }
+    WEBMON_RETURN_IF_ERROR(SetValue(name, argv[++i]));
+  }
+  return Status::OK();
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.type != type) return nullptr;
+  return &it->second;
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  const Flag* flag = Find(name, Type::kString);
+  assert(flag && "GetString on unregistered or mistyped flag");
+  return flag ? flag->value : "";
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  const Flag* flag = Find(name, Type::kInt);
+  assert(flag && "GetInt on unregistered or mistyped flag");
+  int64_t v = 0;
+  if (flag) ParseInt64(flag->value, &v);
+  return v;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  const Flag* flag = Find(name, Type::kDouble);
+  assert(flag && "GetDouble on unregistered or mistyped flag");
+  double v = 0;
+  if (flag) ParseDouble(flag->value, &v);
+  return v;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  const Flag* flag = Find(name, Type::kBool);
+  assert(flag && "GetBool on unregistered or mistyped flag");
+  return flag && flag->value == "true";
+}
+
+bool FlagSet::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string FlagSet::Help() const {
+  std::ostringstream os;
+  if (!program_description_.empty()) os << program_description_ << "\n\n";
+  os << "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace webmon

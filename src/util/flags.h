@@ -1,0 +1,76 @@
+// Minimal command-line flag parsing for the webmon tools and benches.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name` forms. Flags are registered with defaults and help text;
+// unknown flags are an error (catching typos beats silently ignoring them).
+
+#ifndef WEBMON_UTIL_FLAGS_H_
+#define WEBMON_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace webmon {
+
+/// A set of registered flags plus parsed values. Not thread-safe; build,
+/// parse, and query from one thread (tools' main()).
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = "");
+
+  // Registration. Each returns *this for chaining. Names must be unique
+  // and non-empty, without the leading "--".
+  FlagSet& AddString(const std::string& name, std::string default_value,
+                     const std::string& help);
+  FlagSet& AddInt(const std::string& name, int64_t default_value,
+                  const std::string& help);
+  FlagSet& AddDouble(const std::string& name, double default_value,
+                     const std::string& help);
+  FlagSet& AddBool(const std::string& name, bool default_value,
+                   const std::string& help);
+
+  /// Parses argv (skipping argv[0]). Non-flag arguments are collected into
+  /// positional(). Fails on unknown flags or unparsable values.
+  Status Parse(int argc, const char* const* argv);
+
+  // Typed getters; the flag must have been registered with that type.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True iff the flag was explicitly set on the command line.
+  bool WasSet(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing every flag with its default and help string.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;  // canonical string form
+    std::string default_value;
+    bool set = false;
+  };
+
+  FlagSet& Add(const std::string& name, Type type, std::string default_value,
+               const std::string& help);
+  Status SetValue(const std::string& name, const std::string& value);
+  const Flag* Find(const std::string& name, Type type) const;
+
+  std::string program_description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_FLAGS_H_

@@ -1,0 +1,79 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace webmon {
+
+StatusOr<Histogram> Histogram::Create(double lo, double hi,
+                                      uint32_t num_buckets) {
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("Histogram: lo must be < hi");
+  }
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("Histogram: need at least one bucket");
+  }
+  return Histogram(lo, hi, num_buckets);
+}
+
+Histogram::Histogram(double lo, double hi, uint32_t num_buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(num_buckets)),
+      counts_(num_buckets, 0) {}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+  ++counts_[idx];
+}
+
+double Histogram::BucketLow(uint32_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range <= 0) return lo_;
+  const double target = q * static_cast<double>(in_range);
+  double cum = 0.0;
+  for (uint32_t i = 0; i < num_buckets(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      if (counts_[i] == 0) return BucketLow(i);
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return BucketLow(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString(uint32_t max_bar_width) const {
+  int64_t max_count = 1;
+  for (int64_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream os;
+  for (uint32_t i = 0; i < num_buckets(); ++i) {
+    const auto bar = static_cast<uint32_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(max_count) *
+        max_bar_width);
+    os << "[" << BucketLow(i) << ", " << BucketLow(i) + width_ << ") "
+       << counts_[i] << " " << std::string(bar, '#') << "\n";
+  }
+  if (underflow_ > 0) os << "underflow " << underflow_ << "\n";
+  if (overflow_ > 0) os << "overflow " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace webmon

@@ -1,0 +1,56 @@
+// Fixed-width histogram for distribution sanity checks and bench reports.
+
+#ifndef WEBMON_UTIL_HISTOGRAM_H_
+#define WEBMON_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace webmon {
+
+/// Counts observations in equal-width buckets over [lo, hi); values outside
+/// the range land in underflow/overflow counters.
+class Histogram {
+ public:
+  /// Creates a histogram; fails if lo >= hi or num_buckets == 0.
+  static StatusOr<Histogram> Create(double lo, double hi,
+                                    uint32_t num_buckets);
+
+  /// Records one observation.
+  void Add(double x);
+
+  /// Count in bucket `i`; i must be < num_buckets().
+  int64_t BucketCount(uint32_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket `i`.
+  double BucketLow(uint32_t i) const;
+
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int64_t total() const { return total_; }
+  uint32_t num_buckets() const { return static_cast<uint32_t>(counts_.size()); }
+
+  /// Value below which `q` (in [0,1]) of in-range observations fall,
+  /// interpolated within the bucket; returns lo/hi at the extremes.
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering (one row per bucket with a bar).
+  std::string ToString(uint32_t max_bar_width = 40) const;
+
+ private:
+  Histogram(double lo, double hi, uint32_t num_buckets);
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_HISTOGRAM_H_

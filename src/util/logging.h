@@ -1,0 +1,91 @@
+// Minimal leveled logging.
+//
+// webmon is a library, so logging is conservative: everything goes to stderr
+// through a process-wide level filter, with no dynamic allocation on the
+// filtered-out path beyond the stream expression itself.
+
+#ifndef WEBMON_UTIL_LOGGING_H_
+#define WEBMON_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace webmon {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum level that will be emitted (default kWarning).
+void SetLogLevel(LogLevel level);
+/// Returns the current minimum level.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log statement and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the stream expression when the statement is filtered out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define WEBMON_LOG(level)                                                  \
+  (::webmon::LogLevel::level < ::webmon::GetLogLevel())                    \
+      ? void(0)                                                            \
+      : void(::webmon::internal_logging::LogMessage(                       \
+                 ::webmon::LogLevel::level, __FILE__, __LINE__)            \
+             << "")
+
+// WEBMON_LOG is statement-shaped via the ternary; provide a stream-shaped
+// variant for the common `WEBMON_LOG_INFO << ...` usage.
+#define WEBMON_LOG_STREAM(level)                        \
+  ::webmon::internal_logging::LogMessage(               \
+      ::webmon::LogLevel::level, __FILE__, __LINE__)
+
+#define WEBMON_LOG_DEBUG                                          \
+  if (::webmon::LogLevel::kDebug < ::webmon::GetLogLevel()) {     \
+  } else                                                          \
+    WEBMON_LOG_STREAM(kDebug)
+#define WEBMON_LOG_INFO                                           \
+  if (::webmon::LogLevel::kInfo < ::webmon::GetLogLevel()) {      \
+  } else                                                          \
+    WEBMON_LOG_STREAM(kInfo)
+#define WEBMON_LOG_WARNING                                        \
+  if (::webmon::LogLevel::kWarning < ::webmon::GetLogLevel()) {   \
+  } else                                                          \
+    WEBMON_LOG_STREAM(kWarning)
+#define WEBMON_LOG_ERROR                                          \
+  if (::webmon::LogLevel::kError < ::webmon::GetLogLevel()) {     \
+  } else                                                          \
+    WEBMON_LOG_STREAM(kError)
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_LOGGING_H_

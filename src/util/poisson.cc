@@ -1,0 +1,68 @@
+#include "util/poisson.h"
+
+#include <cmath>
+
+namespace webmon {
+
+StatusOr<std::vector<double>> HomogeneousPoissonArrivals(double rate,
+                                                         double horizon,
+                                                         Rng& rng) {
+  if (rate < 0.0) {
+    return Status::InvalidArgument("Poisson rate must be >= 0");
+  }
+  if (horizon < 0.0) {
+    return Status::InvalidArgument("Poisson horizon must be >= 0");
+  }
+  std::vector<double> arrivals;
+  if (rate == 0.0 || horizon == 0.0) return arrivals;
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(rate);
+    if (t >= horizon) break;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+StatusOr<std::vector<double>> ThinnedPoissonArrivals(
+    const std::function<double(double)>& rate, double max_rate, double horizon,
+    Rng& rng) {
+  if (max_rate <= 0.0) {
+    return Status::InvalidArgument("thinning max_rate must be > 0");
+  }
+  if (horizon < 0.0) {
+    return Status::InvalidArgument("Poisson horizon must be >= 0");
+  }
+  std::vector<double> arrivals;
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(max_rate);
+    if (t >= horizon) break;
+    const double r = rate(t);
+    if (r > max_rate) {
+      return Status::InvalidArgument(
+          "intensity function exceeds declared max_rate");
+    }
+    if (rng.UniformDouble() * max_rate < r) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
+std::vector<int64_t> BucketArrivals(const std::vector<double>& arrivals,
+                                    double horizon, int64_t num_chronons) {
+  std::vector<int64_t> out;
+  out.reserve(arrivals.size());
+  if (horizon <= 0.0 || num_chronons <= 0) return out;
+  const double scale = static_cast<double>(num_chronons) / horizon;
+  for (double t : arrivals) {
+    if (t < 0.0 || t >= horizon) continue;
+    int64_t c = static_cast<int64_t>(t * scale);
+    if (c >= num_chronons) c = num_chronons - 1;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace webmon

@@ -1,0 +1,42 @@
+// Poisson process event-time generation.
+//
+// The synthetic traces in the paper are "generated using a Poisson based
+// update model; the parameter lambda controls the update intensity of each
+// resource" (Section V-A.1). We provide both homogeneous processes (constant
+// rate) and non-homogeneous processes via thinning, which the auction trace
+// generator uses to model end-of-auction bid bursts.
+
+#ifndef WEBMON_UTIL_POISSON_H_
+#define WEBMON_UTIL_POISSON_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Generates arrival times of a homogeneous Poisson process with `rate`
+/// events per unit time on [0, horizon). Fails if rate < 0 or horizon < 0.
+StatusOr<std::vector<double>> HomogeneousPoissonArrivals(double rate,
+                                                         double horizon,
+                                                         Rng& rng);
+
+/// Generates arrival times of a non-homogeneous Poisson process on
+/// [0, horizon) whose intensity at time t is `rate(t)`, bounded above by
+/// `max_rate`, using Lewis-Shedler thinning. Fails if max_rate <= 0 or
+/// horizon < 0, or if rate(t) exceeds max_rate at a proposed point.
+StatusOr<std::vector<double>> ThinnedPoissonArrivals(
+    const std::function<double(double)>& rate, double max_rate, double horizon,
+    Rng& rng);
+
+/// Buckets continuous arrival times into integer chronons [0, num_chronons),
+/// discarding events outside the range. Multiple events may share a chronon.
+std::vector<int64_t> BucketArrivals(const std::vector<double>& arrivals,
+                                    double horizon, int64_t num_chronons);
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_POISSON_H_

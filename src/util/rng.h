@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for webmon.
+//
+// All stochastic components of the library (trace generation, workload
+// generation, noise models, randomized policies) draw from Rng so that every
+// experiment is exactly reproducible from a single 64-bit seed. The core
+// generator is xoshiro256** seeded via SplitMix64, which is both fast and of
+// high statistical quality; we avoid std::mt19937 because its state is large
+// and its seeding from a single integer is notoriously weak.
+
+#ifndef WEBMON_UTIL_RNG_H_
+#define WEBMON_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace webmon {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Exposed for seeding and for tests.
+uint64_t SplitMix64Next(uint64_t& state);
+
+/// xoshiro256** generator with convenience sampling methods.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions if needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator whose entire state is derived from `seed` via
+  /// SplitMix64, per the xoshiro authors' recommendation.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64-bit output.
+  uint64_t operator()() { return Next64(); }
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// nearly-divisionless unbiased method.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponential variate with rate `lambda` (> 0).
+  double Exponential(double lambda);
+
+  /// Poisson variate with mean `mean` (>= 0). Uses Knuth's method for small
+  /// means and a normal approximation with rejection touch-up for large ones.
+  int64_t Poisson(double mean);
+
+  /// Standard normal variate (Marsaglia polar method, cached pair).
+  double Normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful to give each resource or
+  /// profile its own stream without correlation.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_RNG_H_

@@ -1,0 +1,55 @@
+// Streaming statistics accumulators used by experiment harnesses.
+
+#ifndef WEBMON_UTIL_STATS_H_
+#define WEBMON_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace webmon {
+
+/// Accumulates count / mean / variance / min / max in a single pass using
+/// Welford's numerically stable update.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator (parallel Welford combine).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Minimum observation; +inf when empty.
+  double min() const { return min_; }
+  /// Maximum observation; -inf when empty.
+  double max() const { return max_; }
+  /// Sum of the observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the ~95% normal confidence interval for the mean
+  /// (1.96 * stddev / sqrt(count)); 0 when fewer than two observations.
+  double ci95_halfwidth() const;
+
+  /// "mean=... sd=... min=... max=... n=..." for logging.
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_STATS_H_

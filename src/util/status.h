@@ -1,0 +1,162 @@
+// Status and StatusOr: exception-free error handling for webmon.
+//
+// Modeled on the Status idiom used by RocksDB / Arrow / Abseil: functions
+// that can fail return a Status (or a StatusOr<T> when they also produce a
+// value). Statuses carry a code and a human-readable message. Statuses are
+// cheap to copy for OK and carry a heap string only on error.
+
+#ifndef WEBMON_UTIL_STATUS_H_
+#define WEBMON_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace webmon {
+
+/// Canonical error space, a subset of the Abseil canonical codes that the
+/// library actually uses.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kResourceExhausted = 7,
+  kAlreadyExists = 8,
+  kIOError = 9,
+};
+
+/// Returns the canonical spelling of `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Immutable after construction.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with `code` and `message`. `code` must not be kOk;
+  /// use the default constructor (or OK()) for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other) = default;
+  Status& operator=(const Status& other) = default;
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  // Factories for each error code.
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status Unimplemented(std::string msg);
+  static Status Internal(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status IOError(std::string msg);
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; kOk iff ok().
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const;
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so Status copies are cheap; error states are immutable.
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status; `status.ok()` must be false.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr constructed from OK status without a value");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK() when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// The held value; must not be called when !ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK status out of the calling function.
+#define WEBMON_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::webmon::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define WEBMON_ASSIGN_OR_RETURN(lhs, expr)    \
+  WEBMON_ASSIGN_OR_RETURN_IMPL_(              \
+      WEBMON_STATUS_CONCAT_(_statusor_, __LINE__), lhs, expr)
+
+#define WEBMON_STATUS_CONCAT_INNER_(a, b) a##b
+#define WEBMON_STATUS_CONCAT_(a, b) WEBMON_STATUS_CONCAT_INNER_(a, b)
+#define WEBMON_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_STATUS_H_

@@ -1,0 +1,41 @@
+// Wall-clock stopwatch for the runtime-cost experiments (Section V-D).
+
+#ifndef WEBMON_UTIL_STOPWATCH_H_
+#define WEBMON_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace webmon {
+
+/// Measures elapsed wall time with steady_clock; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in whole nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_STOPWATCH_H_

@@ -1,0 +1,36 @@
+// Small string helpers shared across modules.
+
+#ifndef WEBMON_UTIL_STRING_UTIL_H_
+#define WEBMON_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webmon {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive substring test; used by the example applications for the
+/// paper's `F1 CONTAINS %oil%` style predicates.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Parses a signed decimal integer; returns false on any non-numeric input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a double; returns false on any non-numeric input.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_STRING_UTIL_H_

@@ -1,0 +1,89 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace webmon {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TableWriter::Fmt(int64_t v) { return std::to_string(v); }
+
+std::string TableWriter::Percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string TableWriter::ToText() const {
+  size_t ncols = headers_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<size_t> widths(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(headers_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = (i < row.size()) ? row[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cell;
+      if (i + 1 < ncols) os << "  ";
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  size_t rule_len = 0;
+  for (size_t w : widths) rule_len += w;
+  rule_len += 2 * (ncols > 0 ? ncols - 1 : 0);
+  os << std::string(rule_len, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TableWriter::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ",";
+      os << CsvEscape(row[i]);
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TableWriter::Print(std::ostream& os) const { os << ToText(); }
+
+}  // namespace webmon

@@ -1,0 +1,49 @@
+// Aligned-column table and CSV emission for bench harnesses.
+//
+// Every bench binary prints the same rows/series the paper's figure or table
+// reports; TableWriter keeps those listings readable on a terminal while the
+// CSV form is machine-consumable for plotting.
+
+#ifndef WEBMON_UTIL_TABLE_WRITER_H_
+#define WEBMON_UTIL_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace webmon {
+
+/// Accumulates rows of string cells and renders them as an aligned text
+/// table or as CSV.
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept.
+  void AddRow(std::vector<std::string> cells);
+
+  // Cell formatting helpers.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(int64_t v);
+  static std::string Percent(double fraction, int precision = 1);
+
+  /// Renders with space-padded, left-aligned columns.
+  std::string ToText() const;
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote are quoted).
+  std::string ToCsv() const;
+
+  /// Convenience: writes ToText() to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,41 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace webmon {
+
+StatusOr<ZipfSampler> ZipfSampler::Create(uint32_t n, double theta) {
+  if (n == 0) {
+    return Status::InvalidArgument("ZipfSampler: n must be positive");
+  }
+  if (theta < 0.0) {
+    return Status::InvalidArgument("ZipfSampler: theta must be >= 0");
+  }
+  std::vector<double> cdf(n);
+  double sum = 0.0;
+  for (uint32_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    cdf[i - 1] = sum;
+  }
+  for (auto& c : cdf) c /= sum;
+  cdf.back() = 1.0;  // guard against floating point shortfall
+  return ZipfSampler(n, theta, std::move(cdf));
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double theta, std::vector<double> cdf)
+    : n_(n), theta_(theta), cdf_(std::move(cdf)) {}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::Probability(uint32_t i) const {
+  if (i == 0 || i > n_) return 0.0;
+  const double lower = (i == 1) ? 0.0 : cdf_[i - 2];
+  return cdf_[i - 1] - lower;
+}
+
+}  // namespace webmon

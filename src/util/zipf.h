@@ -1,0 +1,52 @@
+// Zipf-distributed sampling over {1, ..., n}.
+//
+// The paper's workload generator uses two Zipf distributions: Zipf(beta, k)
+// for the rank (complexity) of each profile and Zipf(alpha, n) for the
+// resources each CEI refers to (Section V-A.2). theta = 0 degenerates to the
+// uniform distribution U[1, n]; larger theta skews probability mass toward
+// small indices ("popular" items).
+
+#ifndef WEBMON_UTIL_ZIPF_H_
+#define WEBMON_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Samples from P(X = i) = (1/i^theta) / H(n, theta) for i in {1..n}.
+///
+/// Uses a precomputed CDF with binary search: construction is O(n) and each
+/// sample is O(log n), which is exact (no approximation) and fast enough for
+/// every workload size in the paper (n <= 2000 resources).
+class ZipfSampler {
+ public:
+  /// Creates a sampler; fails if n == 0 or theta < 0.
+  static StatusOr<ZipfSampler> Create(uint32_t n, double theta);
+
+  /// Draws an index in {1, ..., n} (1-based, matching the paper's notation).
+  uint32_t Sample(Rng& rng) const;
+
+  /// Draws a 0-based index in {0, ..., n-1}.
+  uint32_t SampleIndex(Rng& rng) const { return Sample(rng) - 1; }
+
+  /// Exact probability of drawing value `i` (1-based).
+  double Probability(uint32_t i) const;
+
+  uint32_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  ZipfSampler(uint32_t n, double theta, std::vector<double> cdf);
+
+  uint32_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i+1); cdf_.back() == 1.
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_ZIPF_H_

@@ -1,0 +1,203 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/zipf.h"
+
+namespace webmon {
+
+namespace {
+
+// Draws `count` resources via Zipf(alpha, n). When `distinct` is set, keeps
+// redrawing (bounded), then falls back to filling with the most popular
+// unused resources so generation always succeeds when count <= n.
+StatusOr<std::vector<ResourceId>> DrawResources(const ZipfSampler& sampler,
+                                                uint32_t count, bool distinct,
+                                                Rng& rng) {
+  std::vector<ResourceId> chosen;
+  chosen.reserve(count);
+  if (!distinct) {
+    for (uint32_t i = 0; i < count; ++i) {
+      chosen.push_back(sampler.SampleIndex(rng));
+    }
+    return chosen;
+  }
+  if (count > sampler.n()) {
+    return Status::InvalidArgument(
+        "cannot draw more distinct resources than exist");
+  }
+  std::unordered_set<ResourceId> seen;
+  uint32_t attempts = 0;
+  const uint32_t max_attempts = 100 * count + 100;
+  while (chosen.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const ResourceId r = sampler.SampleIndex(rng);
+    if (seen.insert(r).second) chosen.push_back(r);
+  }
+  for (ResourceId r = 0; chosen.size() < count; ++r) {
+    if (seen.insert(r).second) chosen.push_back(r);
+  }
+  return chosen;
+}
+
+// Computes the [start, finish] of an interval anchored at `event` under the
+// template's semantics. For kWindow, `slack` is the chosen window length
+// (precomputed so the predicted EI and its true validity window share it);
+// for kOverwrite, `next_event` is the following event on the same stream
+// (kInvalidChronon if none). `k` is the epoch length.
+std::pair<Chronon, Chronon> IntervalAt(const ProfileTemplate& tmpl,
+                                       Chronon event, Chronon next_event,
+                                       Chronon slack, Chronon k) {
+  Chronon finish;
+  if (tmpl.semantics == LengthSemantics::kWindow) {
+    finish = event + slack;
+  } else {
+    finish = (next_event == kInvalidChronon) ? k - 1 : next_event - 1;
+  }
+  // Cap by omega and by the epoch.
+  if (tmpl.max_ei_length > 0) {
+    finish = std::min(finish, event + tmpl.max_ei_length - 1);
+  }
+  finish = std::min(finish, k - 1);
+  finish = std::max(finish, event);  // at least the event chronon itself
+  return {event, finish};
+}
+
+}  // namespace
+
+StatusOr<GeneratedWorkload> GenerateWorkload(const ProfileTemplate& tmpl,
+                                             const WorkloadOptions& options,
+                                             const UpdateModel& model,
+                                             const EventTrace& true_trace,
+                                             Rng& rng) {
+  if (tmpl.max_rank == 0) {
+    return Status::InvalidArgument("template rank must be at least 1");
+  }
+  if (model.num_resources() != true_trace.num_resources() ||
+      model.num_chronons() != true_trace.num_chronons()) {
+    return Status::InvalidArgument(
+        "update model and true trace describe different worlds");
+  }
+  const uint32_t n = model.num_resources();
+  const Chronon k = model.num_chronons();
+  if (n == 0) return Status::InvalidArgument("need at least one resource");
+
+  WEBMON_ASSIGN_OR_RETURN(ZipfSampler resource_sampler,
+                          ZipfSampler::Create(n, options.alpha));
+  WEBMON_ASSIGN_OR_RETURN(ZipfSampler rank_sampler,
+                          ZipfSampler::Create(tmpl.max_rank, options.beta));
+
+  ProblemBuilder builder(n, k, BudgetVector::Uniform(options.budget));
+  TrueWindowMap true_windows;
+  // True windows for each added CEI, in insertion order; re-associated with
+  // EI ids after Build().
+  std::vector<std::vector<TrueWindow>> windows_per_cei;
+
+  for (uint32_t pi = 0; pi < options.num_profiles; ++pi) {
+    // Stage 1: profile complexity.
+    const uint32_t rank =
+        tmpl.exact_rank ? tmpl.max_rank : rank_sampler.Sample(rng);
+    // Stage 2: the resources this profile crosses.
+    WEBMON_ASSIGN_OR_RETURN(
+        std::vector<ResourceId> resources,
+        DrawResources(resource_sampler, rank, options.distinct_resources,
+                      rng));
+
+    builder.BeginProfile();
+
+    // Per-resource cursor into the predicted update stream. In parallel
+    // mode round j simply uses index j; in sequential mode the cursors
+    // advance past the previous round's last event.
+    std::vector<size_t> next_index(resources.size(), 0);
+    Chronon cursor = kInvalidChronon;  // last event of the previous round
+
+    for (uint32_t round = 0;; ++round) {
+      if (options.max_ceis_per_profile > 0 &&
+          round >= options.max_ceis_per_profile) {
+        break;
+      }
+      // Resolve this round's event index per resource.
+      bool all_have = true;
+      std::vector<size_t> indices(resources.size());
+      for (size_t i = 0; i < resources.size(); ++i) {
+        const auto& predicted = model.PredictedUpdates(resources[i]);
+        if (options.sequential_rounds) {
+          size_t idx = next_index[i];
+          while (idx < predicted.size() && predicted[idx] <= cursor) ++idx;
+          next_index[i] = idx;
+          if (idx >= predicted.size()) {
+            all_have = false;
+            break;
+          }
+          indices[i] = idx;
+        } else {
+          if (round >= predicted.size()) {
+            all_have = false;
+            break;
+          }
+          indices[i] = round;
+        }
+      }
+      if (!all_have) break;
+
+      std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+      eis.reserve(resources.size());
+      std::vector<TrueWindow> windows;
+      windows.reserve(resources.size());
+      Chronon round_last_event = 0;
+      for (size_t i = 0; i < resources.size(); ++i) {
+        const ResourceId r = resources[i];
+        const auto& predicted = model.PredictedUpdates(r);
+        const size_t idx = indices[i];
+        const Chronon p = predicted[idx];
+        const Chronon p_next =
+            (idx + 1 < predicted.size()) ? predicted[idx + 1]
+                                         : kInvalidChronon;
+        const Chronon slack =
+            (tmpl.semantics == LengthSemantics::kWindow && tmpl.random_window)
+                ? rng.UniformInt(0, tmpl.window)
+                : tmpl.window;
+        const auto [start, finish] = IntervalAt(tmpl, p, p_next, slack, k);
+        eis.emplace_back(r, start, finish);
+        round_last_event = std::max(round_last_event, p);
+
+        // Validity window anchored at the intended true event, with the
+        // same slack the client's need specifies.
+        const Chronon e = model.IntendedTrueEvent(r, idx);
+        if (e == kInvalidChronon) {
+          windows.push_back(TrueWindow{0, -1});
+        } else {
+          const Chronon e_next = true_trace.NextEventAtOrAfter(r, e + 1);
+          const auto [ts, tf] = IntervalAt(tmpl, e, e_next, slack, k);
+          windows.push_back(TrueWindow{ts, tf});
+        }
+      }
+      WEBMON_ASSIGN_OR_RETURN(CeiId cei_id, builder.AddCei(eis));
+      (void)cei_id;
+      windows_per_cei.push_back(std::move(windows));
+
+      if (options.sequential_rounds) {
+        cursor = round_last_event;
+      }
+    }
+  }
+
+  WEBMON_ASSIGN_OR_RETURN(ProblemInstance problem, builder.Build());
+
+  // Associate true windows with EI ids: CEIs were added in (profile, cei)
+  // order, so walking the built instance in the same order re-aligns them.
+  size_t cei_counter = 0;
+  for (const auto& profile : problem.profiles()) {
+    for (const auto& cei : profile.ceis) {
+      const auto& windows = windows_per_cei[cei_counter++];
+      for (size_t i = 0; i < cei.eis.size(); ++i) {
+        true_windows[cei.eis[i].id] = windows[i];
+      }
+    }
+  }
+
+  return GeneratedWorkload{std::move(problem), std::move(true_windows)};
+}
+
+}  // namespace webmon

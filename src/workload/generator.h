@@ -1,0 +1,86 @@
+// Profile-instance generation (paper Section V-A.2).
+//
+// Given an update model over a trace, generates m profile instances in two
+// Zipf stages:
+//   1. the rank of each profile is drawn from Zipf(beta, k) — beta = 0 is
+//      uniform U[1,k], larger beta favors simpler profiles;
+//   2. the profile's resources are drawn from Zipf(alpha, n) — alpha = 0 is
+//      uniform, larger alpha skews toward popular resources (alpha ~ 1.37
+//      was measured for Web feeds).
+// Each profile then yields one CEI per "round": round j crosses the j-th
+// predicted update of every chosen resource, with EI lengths given by the
+// template's overwrite / window(w) semantics. Rounds continue while every
+// chosen resource still has a j-th predicted update (optionally capped).
+
+#ifndef WEBMON_WORKLOAD_GENERATOR_H_
+#define WEBMON_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "model/problem.h"
+#include "trace/trace.h"
+#include "trace/update_model.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "workload/profile_template.h"
+
+namespace webmon {
+
+/// Knobs of the generator beyond the template shape.
+struct WorkloadOptions {
+  /// Number of profile instances m.
+  uint32_t num_profiles = 100;
+  /// Resource-popularity skew (stage-2 Zipf alpha).
+  double alpha = 0.3;
+  /// Rank-variance skew (stage-1 Zipf beta); only used when the template has
+  /// exact_rank == false.
+  double beta = 0.0;
+  /// Require the EIs of a CEI to refer to distinct resources (used to avoid
+  /// intra-resource overlap inside a CEI, e.g. the P^[1] experiments).
+  bool distinct_resources = true;
+  /// Cap on CEIs generated per profile; 0 = unlimited (all rounds).
+  uint32_t max_ceis_per_profile = 0;
+  /// Round construction. Parallel rounds (false) pair the j-th predicted
+  /// update of every chosen resource — all of a profile's CEIs coexist.
+  /// Sequential rounds (true) model the paper's AuctionWatch semantics
+  /// ("notify after a new bid is posted in ALL k auctions", then restart):
+  /// round j+1 anchors at the first predicted updates strictly after round
+  /// j's last event, so a profile's CEIs follow one another and the number
+  /// of CEIs grows with the update intensity.
+  bool sequential_rounds = false;
+  /// Uniform per-chronon probe budget C of the built instance.
+  int64_t budget = 1;
+};
+
+/// The true capture-validity window of an EI (equals the EI itself under a
+/// perfect model; shifted under noisy models).
+struct TrueWindow {
+  Chronon start = 0;
+  Chronon finish = -1;  // start > finish denotes an unsatisfiable window
+
+  bool Empty() const { return start > finish; }
+};
+
+/// EiId -> true validity window, for noise-experiment validation.
+using TrueWindowMap = std::unordered_map<EiId, TrueWindow>;
+
+/// A generated instance plus the information needed to validate captures
+/// against the true event stream.
+struct GeneratedWorkload {
+  ProblemInstance problem;
+  TrueWindowMap true_windows;
+};
+
+/// Generates a workload. `model` supplies the predicted update streams used
+/// to place EIs; `true_trace` supplies the real events used to compute
+/// validity windows (pass the same trace the model was built from).
+StatusOr<GeneratedWorkload> GenerateWorkload(const ProfileTemplate& tmpl,
+                                             const WorkloadOptions& options,
+                                             const UpdateModel& model,
+                                             const EventTrace& true_trace,
+                                             Rng& rng);
+
+}  // namespace webmon
+
+#endif  // WEBMON_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,48 @@
+#include "workload/profile_template.h"
+
+#include <sstream>
+
+namespace webmon {
+
+const char* LengthSemanticsToString(LengthSemantics semantics) {
+  switch (semantics) {
+    case LengthSemantics::kOverwrite:
+      return "overwrite";
+    case LengthSemantics::kWindow:
+      return "window";
+  }
+  return "?";
+}
+
+ProfileTemplate ProfileTemplate::AuctionWatch(uint32_t k, bool exact_rank,
+                                              Chronon window) {
+  ProfileTemplate t;
+  t.name = "AuctionWatch(" + std::to_string(k) + ")";
+  t.max_rank = k;
+  t.exact_rank = exact_rank;
+  t.semantics = LengthSemantics::kWindow;
+  t.window = window;
+  return t;
+}
+
+ProfileTemplate ProfileTemplate::NewsWatch(uint32_t k, bool exact_rank,
+                                           Chronon max_ei_length) {
+  ProfileTemplate t;
+  t.name = "NewsWatch(" + std::to_string(k) + ")";
+  t.max_rank = k;
+  t.exact_rank = exact_rank;
+  t.semantics = LengthSemantics::kOverwrite;
+  t.max_ei_length = max_ei_length;
+  return t;
+}
+
+std::string ProfileTemplate::ToString() const {
+  std::ostringstream os;
+  os << name << "{rank" << (exact_rank ? "=" : "<=") << max_rank << " "
+     << LengthSemanticsToString(semantics);
+  if (semantics == LengthSemantics::kWindow) os << "(w=" << window << ")";
+  os << " omega=" << max_ei_length << "}";
+  return os.str();
+}
+
+}  // namespace webmon

@@ -1,0 +1,64 @@
+// Profile templates (paper Section V-A.2).
+//
+// A template such as AuctionWatch(k) specifies the *shape* of generated
+// profiles: the maximal number of streams crossed per CEI (the rank k) and
+// how each EI's length is derived from the update stream — `overwrite`
+// (capture each update before the next one replaces it) or `window(w)`
+// (capture each update within w chronons of its occurrence).
+
+#ifndef WEBMON_WORKLOAD_PROFILE_TEMPLATE_H_
+#define WEBMON_WORKLOAD_PROFILE_TEMPLATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "model/types.h"
+
+namespace webmon {
+
+/// How EI lengths follow from the update stream.
+enum class LengthSemantics {
+  /// EI spans from the update until just before the next update.
+  kOverwrite,
+  /// EI spans w chronons from the update (w = 0 gives unit-width EIs, the
+  /// P^[1] class).
+  kWindow,
+};
+
+const char* LengthSemanticsToString(LengthSemantics semantics);
+
+/// A named profile shape.
+struct ProfileTemplate {
+  std::string name = "Custom";
+  /// Maximal CEI rank k (streams crossed per CEI).
+  uint32_t max_rank = 1;
+  /// If true, every CEI has exactly max_rank EIs; otherwise each profile's
+  /// rank is drawn from Zipf(beta, max_rank) ("upto k" in the paper).
+  bool exact_rank = true;
+  LengthSemantics semantics = LengthSemantics::kWindow;
+  /// Window length w (chronons); only used with kWindow.
+  Chronon window = 10;
+  /// Hard cap omega on any EI's length (Table I's "Max. EI length").
+  Chronon max_ei_length = 20;
+  /// If true (kWindow only), each EI's slack is drawn uniformly from
+  /// [0, window] instead of being exactly `window` — Table I describes
+  /// omega as a MAXIMUM EI length, so the baseline workloads vary lengths.
+  bool random_window = false;
+
+  /// "AuctionWatch(k)": monitor k auctions, notify when a new bid has been
+  /// observed in all k (the paper's running template).
+  static ProfileTemplate AuctionWatch(uint32_t k, bool exact_rank,
+                                      Chronon window);
+
+  /// "NewsWatch(k)": cross k news feeds with overwrite semantics — items
+  /// must be scraped before they roll off the feed.
+  static ProfileTemplate NewsWatch(uint32_t k, bool exact_rank,
+                                   Chronon max_ei_length);
+
+  /// One-line description for reports.
+  std::string ToString() const;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_WORKLOAD_PROFILE_TEMPLATE_H_

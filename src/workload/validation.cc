@@ -1,0 +1,57 @@
+#include "workload/validation.h"
+
+#include <algorithm>
+
+namespace webmon {
+
+bool EiValidlyCaptured(const ExecutionInterval& ei, const Schedule& schedule,
+                       const TrueWindowMap& true_windows) {
+  auto it = true_windows.find(ei.id);
+  if (it == true_windows.end()) {
+    // No recorded window: the EI is its own validity window (perfect model).
+    return schedule.ProbedInRange(ei.resource, ei.start, ei.finish);
+  }
+  const TrueWindow& w = it->second;
+  if (w.Empty()) return false;
+  const Chronon from = std::max(ei.start, w.start);
+  const Chronon to = std::min(ei.finish, w.finish);
+  if (from > to) return false;
+  return schedule.ProbedInRange(ei.resource, from, to);
+}
+
+bool CeiValidlyCaptured(const Cei& cei, const Schedule& schedule,
+                        const TrueWindowMap& true_windows) {
+  if (cei.eis.empty()) return false;
+  const size_t needed = cei.RequiredCaptures();
+  size_t captured = 0;
+  for (const auto& ei : cei.eis) {
+    if (EiValidlyCaptured(ei, schedule, true_windows)) {
+      if (++captured >= needed) return true;
+    }
+  }
+  return captured >= needed;
+}
+
+int64_t ValidlyCapturedCeiCount(const ProblemInstance& problem,
+                                const Schedule& schedule,
+                                const TrueWindowMap& true_windows) {
+  int64_t captured = 0;
+  for (const auto& profile : problem.profiles()) {
+    for (const auto& cei : profile.ceis) {
+      if (CeiValidlyCaptured(cei, schedule, true_windows)) ++captured;
+    }
+  }
+  return captured;
+}
+
+double ValidatedCompleteness(const ProblemInstance& problem,
+                             const Schedule& schedule,
+                             const TrueWindowMap& true_windows) {
+  const int64_t total = problem.TotalCeis();
+  if (total == 0) return 0.0;
+  return static_cast<double>(
+             ValidlyCapturedCeiCount(problem, schedule, true_windows)) /
+         static_cast<double>(total);
+}
+
+}  // namespace webmon

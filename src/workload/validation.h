@@ -1,0 +1,41 @@
+// Validated completeness: capture evaluation against the true event stream
+// (paper Section V-H).
+//
+// Under a noisy update model the EIs the proxy schedules against are placed
+// at *predicted* update times. A probe only truly delivers the update if it
+// also falls inside the EI's true validity window (the span during which the
+// real update is observable under the template's semantics). Validated
+// completeness counts a CEI only when every EI received such a valid probe.
+
+#ifndef WEBMON_WORKLOAD_VALIDATION_H_
+#define WEBMON_WORKLOAD_VALIDATION_H_
+
+#include "model/problem.h"
+#include "model/schedule.h"
+#include "workload/generator.h"
+
+namespace webmon {
+
+/// True iff some probe lands in the intersection of the EI's scheduled
+/// window and its true validity window.
+bool EiValidlyCaptured(const ExecutionInterval& ei, const Schedule& schedule,
+                       const TrueWindowMap& true_windows);
+
+/// True iff every EI of the CEI is validly captured.
+bool CeiValidlyCaptured(const Cei& cei, const Schedule& schedule,
+                        const TrueWindowMap& true_windows);
+
+/// Number of CEIs validly captured.
+int64_t ValidlyCapturedCeiCount(const ProblemInstance& problem,
+                                const Schedule& schedule,
+                                const TrueWindowMap& true_windows);
+
+/// Eq. 1 evaluated with validated captures. With a perfect model (every true
+/// window equals its EI) this equals GainedCompleteness.
+double ValidatedCompleteness(const ProblemInstance& problem,
+                             const Schedule& schedule,
+                             const TrueWindowMap& true_windows);
+
+}  // namespace webmon
+
+#endif  // WEBMON_WORKLOAD_VALIDATION_H_

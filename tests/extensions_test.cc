@@ -1,0 +1,448 @@
+// Tests for the paper's extension points implemented beyond the baseline:
+// client profile utilities (Section VII), subset / "alternatives" capture
+// semantics (Section VII), varying probe costs (Section III-C), and server
+// pushes (Section III / Example 3).
+
+#include <gtest/gtest.h>
+
+#include "model/completeness.h"
+#include "offline/exact_solver.h"
+#include "online/proxy.h"
+#include "online/run.h"
+#include "policy/mrsf.h"
+#include "policy/policy_factory.h"
+#include "policy/s_edf.h"
+#include "policy/weighted_mrsf.h"
+#include "workload/validation.h"
+
+#include "test_util.h"
+
+namespace webmon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Client utilities (weights).
+// ---------------------------------------------------------------------------
+
+TEST(WeightedCompletenessTest, WeighsCapturedCeis) {
+  ProblemBuilder builder(2, 10, BudgetVector::Uniform(1));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{0, 0, 4}}, -1, /*weight=*/3.0).ok());
+  ASSERT_TRUE(builder.AddCei({{1, 5, 9}}, -1, /*weight=*/1.0).ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  Schedule s(2, 10);
+  ASSERT_TRUE(s.AddProbe(0, 2).ok());
+  EXPECT_DOUBLE_EQ(WeightedCompleteness(*problem, s), 0.75);
+  EXPECT_DOUBLE_EQ(GainedCompleteness(*problem, s), 0.5);
+}
+
+TEST(WeightedCompletenessTest, UnitWeightsEqualGainedCompleteness) {
+  const auto problem = testing_util::MakeProblemOneCeiPerProfile(
+      2, 10, 1, {{{0, 0, 4}}, {{1, 5, 9}}});
+  Schedule s(2, 10);
+  ASSERT_TRUE(s.AddProbe(1, 6).ok());
+  EXPECT_DOUBLE_EQ(WeightedCompleteness(problem, s),
+                   GainedCompleteness(problem, s));
+}
+
+TEST(WeightValidationTest, NonPositiveWeightRejected) {
+  ProblemBuilder builder(1, 10, BudgetVector::Uniform(1));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{0, 0, 4}}, -1, /*weight=*/0.0).ok());
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(WeightedMrsfTest, PrefersHighUtility) {
+  // Two rank-1 unit CEIs competing at the same chronon; W-MRSF must pick
+  // the weight-5 one, plain MRSF picks by id tiebreak.
+  ProblemBuilder builder(2, 3, BudgetVector::Uniform(1));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{0, 1, 1}}, -1, /*weight=*/1.0).ok());
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{1, 1, 1}}, -1, /*weight=*/5.0).ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+
+  auto weighted = MakePolicy("w-mrsf");
+  ASSERT_TRUE(weighted.ok());
+  auto run = RunOnline(*problem, weighted->get());
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->schedule.Probed(1, 1));
+  EXPECT_DOUBLE_EQ(WeightedCompleteness(*problem, run->schedule), 5.0 / 6.0);
+}
+
+TEST(WeightedMrsfTest, DegeneratesToMrsfOnUnitWeights) {
+  Rng rng(0xF00);
+  for (int trial = 0; trial < 10; ++trial) {
+    ProblemBuilder builder(3, 10, BudgetVector::Uniform(1));
+    for (int c = 0; c < 6; ++c) {
+      builder.BeginProfile();
+      std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+      const int rank = 1 + static_cast<int>(rng.UniformU64(2));
+      for (int e = 0; e < rank; ++e) {
+        const auto r = static_cast<ResourceId>(rng.UniformU64(3));
+        const auto s = static_cast<Chronon>(rng.UniformU64(10));
+        const auto f =
+            std::min<Chronon>(s + static_cast<Chronon>(rng.UniformU64(3)), 9);
+        eis.emplace_back(r, s, f);
+      }
+      ASSERT_TRUE(builder.AddCei(eis).ok());
+    }
+    auto problem = builder.Build();
+    ASSERT_TRUE(problem.ok());
+    MrsfPolicy mrsf;
+    WeightedMrsfPolicy weighted;
+    auto a = RunOnline(*problem, &mrsf);
+    auto b = RunOnline(*problem, &weighted);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    for (ResourceId r = 0; r < 3; ++r) {
+      EXPECT_EQ(a->schedule.ProbesOf(r), b->schedule.ProbesOf(r));
+    }
+  }
+}
+
+TEST(WeightedExactTest, OptimizerPrefersHeavyCei) {
+  // Two unit CEIs collide at chronon 1 with C = 1; the optimum must take
+  // the weight-5 one even though ids favor the other.
+  ProblemBuilder builder(2, 3, BudgetVector::Uniform(1));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{0, 1, 1}}, -1, /*weight=*/1.0).ok());
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{1, 1, 1}}, -1, /*weight=*/5.0).ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  auto exact = SolveExact(*problem);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(exact->captured_weight, 5.0);
+  EXPECT_TRUE(exact->schedule.Probed(1, 1));
+  EXPECT_DOUBLE_EQ(exact->weighted_completeness, 5.0 / 6.0);
+}
+
+TEST(WeightedExactTest, WMrsfNeverBeatsWeightedOptimum) {
+  Rng rng(0xF1E);
+  for (int trial = 0; trial < 15; ++trial) {
+    ProblemBuilder builder(3, 8, BudgetVector::Uniform(1));
+    for (int c = 0; c < 5; ++c) {
+      builder.BeginProfile();
+      std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+      const int rank = 1 + static_cast<int>(rng.UniformU64(2));
+      for (int e = 0; e < rank; ++e) {
+        const auto r = static_cast<ResourceId>(rng.UniformU64(3));
+        const auto s = static_cast<Chronon>(rng.UniformU64(8));
+        const auto f =
+            std::min<Chronon>(s + static_cast<Chronon>(rng.UniformU64(3)), 7);
+        eis.emplace_back(r, s, f);
+      }
+      const double weight = 0.5 + rng.UniformDouble() * 4.0;
+      ASSERT_TRUE(builder.AddCei(eis, -1, weight).ok());
+    }
+    auto problem = builder.Build();
+    ASSERT_TRUE(problem.ok());
+    if (problem->TotalEis() > 11) continue;
+    auto exact = SolveExact(*problem);
+    ASSERT_TRUE(exact.ok());
+    auto policy = MakePolicy("w-mrsf");
+    ASSERT_TRUE(policy.ok());
+    auto run = RunOnline(*problem, policy->get());
+    ASSERT_TRUE(run.ok());
+    EXPECT_LE(WeightedCompleteness(*problem, run->schedule),
+              exact->weighted_completeness + 1e-9)
+        << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subset ("alternatives") semantics.
+// ---------------------------------------------------------------------------
+
+TEST(SubsetSemanticsTest, CeiCapturedCountsRequired) {
+  ProblemBuilder builder(3, 10, BudgetVector::Uniform(3));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder
+                  .AddCei({{0, 0, 4}, {1, 0, 4}, {2, 0, 4}}, -1, 1.0,
+                          /*required=*/2)
+                  .ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  const Cei& cei = problem->profiles()[0].ceis[0];
+  Schedule s(3, 10);
+  ASSERT_TRUE(s.AddProbe(0, 1).ok());
+  EXPECT_FALSE(CeiCaptured(cei, s));  // 1 of 2 required
+  ASSERT_TRUE(s.AddProbe(2, 1).ok());
+  EXPECT_TRUE(CeiCaptured(cei, s));  // 2 of 2 required
+}
+
+TEST(SubsetSemanticsTest, RequiredBeyondSizeRejected) {
+  ProblemBuilder builder(1, 10, BudgetVector::Uniform(1));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{0, 0, 4}}, -1, 1.0, /*required=*/2).ok());
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(SubsetSemanticsTest, SchedulerCompletesAtRequiredCount) {
+  // 2-of-3: capturing two EIs completes the CEI; the third stops consuming
+  // budget, freeing it for the competing rank-1 CEI.
+  ProblemBuilder builder(4, 6, BudgetVector::Uniform(1));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder
+                  .AddCei({{0, 0, 1}, {1, 1, 2}, {2, 2, 5}}, -1, 1.0,
+                          /*required=*/2)
+                  .ok());
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{3, 2, 3}}).ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  SEdfPolicy policy;
+  auto run = RunOnline(*problem, &policy);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.ceis_captured, 2);
+  // The subset CEI completed with its first two EIs; resource 2 untouched.
+  EXPECT_TRUE(run->schedule.ProbesOf(2).empty());
+}
+
+TEST(SubsetSemanticsTest, CeiSurvivesToleratedFailures) {
+  // 1-of-2: the first EI expires unprobed (budget 0 at its only chronon),
+  // but the CEI survives and completes via the second EI.
+  ProblemBuilder builder(2, 6, BudgetVector::PerChronon({0, 1, 1, 1, 1, 1}));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder
+                  .AddCei({{0, 0, 0}, {1, 3, 5}}, 0, 1.0, /*required=*/1)
+                  .ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  SEdfPolicy policy;
+  auto run = RunOnline(*problem, &policy);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.ceis_captured, 1);
+  EXPECT_EQ(run->stats.ceis_expired, 0);
+}
+
+TEST(SubsetSemanticsTest, CeiDiesWhenTooManyFail) {
+  // 2-of-2 (= AND) with both EIs at budgetless chronons: dies.
+  ProblemBuilder builder(2, 4, BudgetVector::PerChronon({0, 0, 1, 1}));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder
+                  .AddCei({{0, 0, 0}, {1, 1, 1}}, 0, 1.0, /*required=*/2)
+                  .ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  SEdfPolicy policy;
+  auto run = RunOnline(*problem, &policy);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.ceis_captured, 0);
+  EXPECT_EQ(run->stats.ceis_expired, 1);
+}
+
+TEST(SubsetSemanticsTest, ExactSolverHonorsRequired) {
+  // Two EIs at the same chronon on different resources, C = 1: under AND
+  // semantics optimal is 0; under 1-of-2 optimal is 1.
+  ProblemBuilder and_builder(2, 2, BudgetVector::Uniform(1));
+  and_builder.BeginProfile();
+  ASSERT_TRUE(and_builder.AddCei({{0, 0, 0}, {1, 0, 0}}).ok());
+  auto and_problem = and_builder.Build();
+  ASSERT_TRUE(and_problem.ok());
+  auto and_result = SolveExact(*and_problem);
+  ASSERT_TRUE(and_result.ok());
+  EXPECT_EQ(and_result->captured_ceis, 0);
+
+  ProblemBuilder or_builder(2, 2, BudgetVector::Uniform(1));
+  or_builder.BeginProfile();
+  ASSERT_TRUE(
+      or_builder.AddCei({{0, 0, 0}, {1, 0, 0}}, -1, 1.0, /*required=*/1)
+          .ok());
+  auto or_problem = or_builder.Build();
+  ASSERT_TRUE(or_problem.ok());
+  auto or_result = SolveExact(*or_problem);
+  ASSERT_TRUE(or_result.ok());
+  EXPECT_EQ(or_result->captured_ceis, 1);
+}
+
+TEST(SubsetSemanticsTest, SchedulerMatchesScheduleEvaluation) {
+  Rng rng(0xF0F);
+  for (int trial = 0; trial < 20; ++trial) {
+    ProblemBuilder builder(3, 10, BudgetVector::Uniform(1));
+    for (int c = 0; c < 5; ++c) {
+      builder.BeginProfile();
+      std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+      const uint32_t rank = 1 + static_cast<uint32_t>(rng.UniformU64(3));
+      for (uint32_t e = 0; e < rank; ++e) {
+        const auto r = static_cast<ResourceId>(rng.UniformU64(3));
+        const auto s = static_cast<Chronon>(rng.UniformU64(10));
+        const auto f =
+            std::min<Chronon>(s + static_cast<Chronon>(rng.UniformU64(3)), 9);
+        eis.emplace_back(r, s, f);
+      }
+      const uint32_t required =
+          1 + static_cast<uint32_t>(rng.UniformU64(rank));
+      ASSERT_TRUE(builder.AddCei(eis, -1, 1.0, required).ok());
+    }
+    auto problem = builder.Build();
+    ASSERT_TRUE(problem.ok());
+    MrsfPolicy policy;
+    auto run = RunOnline(*problem, &policy);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->stats.ceis_captured,
+              CapturedCeiCount(*problem, run->schedule))
+        << trial;
+  }
+}
+
+TEST(SubsetSemanticsTest, ValidationHonorsRequired) {
+  ProblemBuilder builder(2, 10, BudgetVector::Uniform(2));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder
+                  .AddCei({{0, 0, 4}, {1, 0, 4}}, -1, 1.0, /*required=*/1)
+                  .ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  const Cei& cei = problem->profiles()[0].ceis[0];
+  TrueWindowMap windows;
+  windows[cei.eis[0].id] = TrueWindow{0, 4};
+  windows[cei.eis[1].id] = TrueWindow{0, -1};  // second EI never valid
+  Schedule s(2, 10);
+  ASSERT_TRUE(s.AddProbe(0, 2).ok());
+  EXPECT_TRUE(CeiValidlyCaptured(cei, s, windows));  // 1-of-2 suffices
+}
+
+// ---------------------------------------------------------------------------
+// Varying probe costs.
+// ---------------------------------------------------------------------------
+
+TEST(ProbeCostsTest, BudgetActsAsCostCapacity) {
+  // Resources cost {2, 1, 1}; capacity 2 per chronon: either r0 alone or
+  // both r1 and r2.
+  const auto problem = testing_util::MakeProblemOneCeiPerProfile(
+      3, 2, 2, {{{0, 0, 1}}, {{1, 0, 0}}, {{2, 0, 0}}});
+  SEdfPolicy policy;
+  SchedulerOptions options;
+  options.resource_costs = {2.0, 1.0, 1.0};
+  auto run = RunOnline(problem, &policy, options);
+  ASSERT_TRUE(run.ok());
+  // S-EDF prefers the unit deadlines (r1, r2) at chronon 0 — both fit the
+  // capacity — then r0 at chronon 1.
+  EXPECT_TRUE(run->schedule.Probed(1, 0));
+  EXPECT_TRUE(run->schedule.Probed(2, 0));
+  EXPECT_TRUE(run->schedule.Probed(0, 1));
+  EXPECT_EQ(run->stats.ceis_captured, 3);
+}
+
+TEST(ProbeCostsTest, ExpensiveResourceSkippedWhenOverCapacity) {
+  // r0 costs 3 > capacity 2: it can never be probed; the cheaper r1 is.
+  const auto problem = testing_util::MakeProblemOneCeiPerProfile(
+      2, 2, 2, {{{0, 0, 1}}, {{1, 0, 1}}});
+  SEdfPolicy policy;
+  SchedulerOptions options;
+  options.resource_costs = {3.0, 1.0};
+  auto run = RunOnline(problem, &policy, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->schedule.ProbesOf(0).empty());
+  EXPECT_FALSE(run->schedule.ProbesOf(1).empty());
+  EXPECT_EQ(run->stats.ceis_captured, 1);
+}
+
+TEST(ProbeCostsTest, WrongCostVectorSizeRejected) {
+  SEdfPolicy policy;
+  SchedulerOptions options;
+  options.resource_costs = {1.0};  // 2 resources
+  OnlineScheduler scheduler(2, 5, BudgetVector::Uniform(1), &policy, options);
+  EXPECT_EQ(scheduler.Step(0, nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProbeCostsTest, UniformCostsMatchDefault) {
+  const auto problem = testing_util::MakeProblemOneCeiPerProfile(
+      3, 6, 2, {{{0, 0, 2}}, {{1, 1, 3}}, {{2, 2, 4}}});
+  SEdfPolicy policy;
+  SchedulerOptions unit;
+  unit.resource_costs = {1.0, 1.0, 1.0};
+  auto a = RunOnline(problem, &policy);
+  auto b = RunOnline(problem, &policy, unit);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (ResourceId r = 0; r < 3; ++r) {
+    EXPECT_EQ(a->schedule.ProbesOf(r), b->schedule.ProbesOf(r));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server pushes.
+// ---------------------------------------------------------------------------
+
+TEST(PushTest, PushCapturesWithoutBudget) {
+  // Zero budget everywhere: only the push can capture.
+  ProblemBuilder builder(1, 5, BudgetVector::Uniform(0));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{0, 1, 3}}).ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  SEdfPolicy policy;
+  OnlineScheduler scheduler(1, 5, BudgetVector::Uniform(0), &policy);
+  ASSERT_TRUE(scheduler.AddArrival(problem->AllCeis()[0], 0).ok());
+  ASSERT_TRUE(scheduler.AddPush(0, 2).ok());
+  for (Chronon t = 0; t < 5; ++t) {
+    ASSERT_TRUE(scheduler.Step(t, nullptr).ok());
+  }
+  EXPECT_EQ(scheduler.stats().ceis_captured, 1);
+  EXPECT_EQ(scheduler.stats().probes_issued, 0);
+  EXPECT_EQ(scheduler.stats().pushes_delivered, 1);
+}
+
+TEST(PushTest, PushFreesBudgetForOtherResources) {
+  // Both EIs end at chronon 0 with C = 1; a push of r0 lets the probe go
+  // to r1 and both CEIs are captured.
+  const auto problem = testing_util::MakeProblemOneCeiPerProfile(
+      2, 2, 1, {{{0, 0, 0}}, {{1, 0, 0}}});
+  SEdfPolicy policy;
+  OnlineScheduler scheduler(2, 2, BudgetVector::Uniform(1), &policy);
+  for (const Cei* cei : problem.AllCeis()) {
+    ASSERT_TRUE(scheduler.AddArrival(cei, 0).ok());
+  }
+  ASSERT_TRUE(scheduler.AddPush(0, 0).ok());
+  std::vector<ResourceId> probed;
+  ASSERT_TRUE(scheduler.Step(0, nullptr, &probed).ok());
+  ASSERT_EQ(probed.size(), 1u);
+  EXPECT_EQ(probed[0], 1u);  // budget went to r1
+  EXPECT_EQ(scheduler.stats().ceis_captured, 2);
+}
+
+TEST(PushTest, PushValidation) {
+  SEdfPolicy policy;
+  OnlineScheduler scheduler(2, 5, BudgetVector::Uniform(1), &policy);
+  EXPECT_EQ(scheduler.AddPush(2, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(scheduler.AddPush(0, 5).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(scheduler.Step(0, nullptr).ok());
+  EXPECT_EQ(scheduler.AddPush(0, 0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PushTest, ProxyPushExample3) {
+  // The paper's Example 3: a push from the stock exchange (T1) triggers
+  // crossing futures and currency within 1 second. Model: the pushed
+  // update satisfies the stock EI for free; the proxy probes the other two.
+  auto policy = MakePolicy("mrsf");
+  ASSERT_TRUE(policy.ok());
+  Proxy proxy(3, 10, BudgetVector::Uniform(1), std::move(*policy));
+  // Need: stock (r0) now, futures (r1) and currency (r2) within 4 chronons.
+  ASSERT_TRUE(proxy.Submit({{0, 0, 0}, {1, 0, 4}, {2, 0, 4}}).ok());
+  ASSERT_TRUE(proxy.Push(0).ok());
+  while (!proxy.Done()) {
+    ASSERT_TRUE(proxy.Tick().ok());
+  }
+  EXPECT_EQ(proxy.stats().ceis_captured, 1);
+  EXPECT_EQ(proxy.stats().pushes_delivered, 1);
+  // Only the two pull probes were spent.
+  EXPECT_EQ(proxy.stats().probes_issued, 2);
+}
+
+TEST(PushTest, ProxySubmitWeightAndRequiredValidation) {
+  auto policy = MakePolicy("mrsf");
+  ASSERT_TRUE(policy.ok());
+  Proxy proxy(2, 10, BudgetVector::Uniform(1), std::move(*policy));
+  EXPECT_FALSE(proxy.Submit({{0, 0, 5}}, /*weight=*/0.0).ok());
+  EXPECT_FALSE(proxy.Submit({{0, 0, 5}}, 1.0, /*required=*/2).ok());
+  EXPECT_TRUE(proxy.Submit({{0, 0, 5}, {1, 0, 5}}, 2.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace webmon

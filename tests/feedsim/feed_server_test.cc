@@ -1,0 +1,85 @@
+#include "feedsim/feed_server.h"
+
+#include <gtest/gtest.h>
+
+#include "feedsim/content_generator.h"
+
+namespace webmon {
+namespace {
+
+FeedItem Item(uint64_t id, Chronon t, std::string content = "x") {
+  FeedItem item;
+  item.id = id;
+  item.published = t;
+  item.content = std::move(content);
+  return item;
+}
+
+TEST(FeedServerTest, PublishAndFetch) {
+  FeedServer server(0, 3);
+  EXPECT_EQ(server.Publish(Item(1, 0, "a")), 0u);
+  EXPECT_EQ(server.Publish(Item(2, 1, "b")), 0u);
+  auto items = server.Fetch();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].content, "a");
+  EXPECT_EQ(items[1].content, "b");
+  EXPECT_EQ(server.total_published(), 2);
+  EXPECT_EQ(server.total_evicted(), 0);
+}
+
+TEST(FeedServerTest, EvictsOldestWhenFull) {
+  FeedServer server(0, 2);
+  server.Publish(Item(1, 0, "a"));
+  server.Publish(Item(2, 1, "b"));
+  EXPECT_EQ(server.Publish(Item(3, 2, "c")), 1u);
+  auto items = server.Fetch();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].content, "b");
+  EXPECT_EQ(items[1].content, "c");
+  EXPECT_EQ(server.total_evicted(), 1);
+}
+
+TEST(FeedServerTest, CapacityClampedToOne) {
+  FeedServer server(0, 0);
+  EXPECT_EQ(server.capacity(), 1u);
+  server.Publish(Item(1, 0, "a"));
+  server.Publish(Item(2, 1, "b"));
+  ASSERT_EQ(server.size(), 1u);
+  EXPECT_EQ(server.Fetch()[0].content, "b");
+}
+
+TEST(ContentGeneratorTest, KeywordInjectionRate) {
+  ContentGenerator gen({"oil"}, 0.4);
+  Rng rng(7);
+  int with_keyword = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.ContainsKeyword(gen.Next(rng))) ++with_keyword;
+  }
+  EXPECT_NEAR(static_cast<double>(with_keyword) / n, 0.4, 0.03);
+}
+
+TEST(ContentGeneratorTest, NoKeywordsNeverMatch) {
+  ContentGenerator gen({}, 1.0);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.ContainsKeyword(gen.Next(rng)));
+  }
+}
+
+TEST(ContentGeneratorTest, ZeroProbabilityNeverInjects) {
+  ContentGenerator gen({"oil"}, 0.0);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(gen.ContainsKeyword(gen.Next(rng)));
+  }
+}
+
+TEST(ContentGeneratorTest, MatchIsCaseInsensitive) {
+  ContentGenerator gen({"OIL"}, 1.0);
+  EXPECT_TRUE(gen.ContainsKeyword("crude oil spikes"));
+  EXPECT_FALSE(gen.ContainsKeyword("gold rallies"));
+}
+
+}  // namespace
+}  // namespace webmon

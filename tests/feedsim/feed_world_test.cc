@@ -1,0 +1,128 @@
+#include "feedsim/feed_world.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+EventTrace SmallTrace() {
+  EventTrace trace(2, 20);
+  for (Chronon t : {1, 5, 9}) EXPECT_TRUE(trace.AddEvent(0, t).ok());
+  for (Chronon t : {3, 7}) EXPECT_TRUE(trace.AddEvent(1, t).ok());
+  trace.Finalize();
+  return trace;
+}
+
+TEST(FeedWorldTest, PublishesOnSchedule) {
+  const EventTrace trace = SmallTrace();
+  auto world = FeedWorld::Create(trace);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->num_feeds(), 2u);
+  world->AdvanceTo(4);
+  EXPECT_EQ(world->total_published(), 2);  // events at 1 and 3
+  world->AdvanceTo(20);
+  EXPECT_EQ(world->total_published(), 5);
+}
+
+TEST(FeedWorldTest, AdvanceIsMonotonic) {
+  const EventTrace trace = SmallTrace();
+  auto world = FeedWorld::Create(trace);
+  ASSERT_TRUE(world.ok());
+  world->AdvanceTo(10);
+  const int64_t published = world->total_published();
+  world->AdvanceTo(5);  // no-op
+  EXPECT_EQ(world->total_published(), published);
+}
+
+TEST(FeedWorldTest, ProbeReturnsBufferSnapshot) {
+  const EventTrace trace = SmallTrace();
+  auto world = FeedWorld::Create(trace);
+  ASSERT_TRUE(world.ok());
+  auto items = world->Probe(0, 6);
+  ASSERT_TRUE(items.ok());
+  ASSERT_EQ(items->size(), 2u);  // events at 1 and 5
+  EXPECT_EQ((*items)[0].published, 1);
+  EXPECT_EQ((*items)[1].published, 5);
+}
+
+TEST(FeedWorldTest, ProbeValidation) {
+  const EventTrace trace = SmallTrace();
+  auto world = FeedWorld::Create(trace);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->Probe(5, 0).status().code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(world->Probe(0, 10).ok());
+  EXPECT_EQ(world->Probe(0, 5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FeedWorldTest, SmallBuffersEvict) {
+  EventTrace trace(1, 50);
+  for (Chronon t = 0; t < 10; ++t) ASSERT_TRUE(trace.AddEvent(0, t).ok());
+  trace.Finalize();
+  FeedWorldOptions options;
+  options.buffer_capacity = 3;
+  auto world = FeedWorld::Create(trace, options);
+  ASSERT_TRUE(world.ok());
+  auto items = world->Probe(0, 20);
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items->size(), 3u);
+  EXPECT_EQ(world->total_evicted(), 7);
+}
+
+TEST(FeedWorldTest, PushSubscription) {
+  const EventTrace trace = SmallTrace();
+  auto world = FeedWorld::Create(trace);
+  ASSERT_TRUE(world.ok());
+  std::vector<Chronon> pushed;
+  ASSERT_TRUE(
+      world->Subscribe(0, [&](const FeedItem& item) {
+        pushed.push_back(item.published);
+      }).ok());
+  world->AdvanceTo(20);
+  EXPECT_EQ(pushed, (std::vector<Chronon>{1, 5, 9}));
+  EXPECT_EQ(world->Subscribe(9, [](const FeedItem&) {}).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FeedWorldTest, ItemIdsGloballyUniqueAndOrdered) {
+  const EventTrace trace = SmallTrace();
+  auto world = FeedWorld::Create(trace);
+  ASSERT_TRUE(world.ok());
+  std::vector<uint64_t> ids;
+  for (ResourceId r = 0; r < 2; ++r) {
+    ASSERT_TRUE(world->Subscribe(r, [&](const FeedItem& item) {
+      ids.push_back(item.id);
+    }).ok());
+  }
+  world->AdvanceTo(20);
+  ASSERT_EQ(ids.size(), 5u);
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], ids[i - 1]);
+}
+
+TEST(FeedWorldTest, DeterministicContent) {
+  const EventTrace trace = SmallTrace();
+  FeedWorldOptions options;
+  options.seed = 99;
+  auto a = FeedWorld::Create(trace, options);
+  auto b = FeedWorld::Create(trace, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto items_a = a->Probe(0, 10);
+  auto items_b = b->Probe(0, 10);
+  ASSERT_TRUE(items_a.ok());
+  ASSERT_TRUE(items_b.ok());
+  ASSERT_EQ(items_a->size(), items_b->size());
+  for (size_t i = 0; i < items_a->size(); ++i) {
+    EXPECT_EQ((*items_a)[i].content, (*items_b)[i].content);
+  }
+}
+
+TEST(FeedWorldTest, ZeroCapacityRejected) {
+  const EventTrace trace = SmallTrace();
+  FeedWorldOptions options;
+  options.buffer_capacity = 0;
+  EXPECT_FALSE(FeedWorld::Create(trace, options).ok());
+}
+
+}  // namespace
+}  // namespace webmon

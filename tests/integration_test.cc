@@ -1,0 +1,137 @@
+// Cross-module integration tests: statistical shapes the paper's evaluation
+// relies on, checked end-to-end (trace -> workload -> scheduler -> metric).
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace webmon {
+namespace {
+
+ExperimentConfig BaseConfig() {
+  ExperimentConfig config;
+  config.trace_kind = TraceKind::kPoisson;
+  config.poisson.num_resources = 60;
+  config.poisson.num_chronons = 150;
+  config.poisson.lambda = 10.0;
+  config.profile_template = ProfileTemplate::AuctionWatch(4, true, 4);
+  config.workload.num_profiles = 25;
+  config.workload.budget = 1;
+  config.repetitions = 4;
+  config.seed = 11;
+  return config;
+}
+
+double Completeness(const ExperimentResult& result, size_t i = 0) {
+  return result.policies[i].completeness.mean();
+}
+
+// The paper's central claim: rank-aware policies (MRSF, M-EDF) dominate the
+// rank-blind S-EDF and the Random baseline under contention.
+TEST(IntegrationShapes, RankAwarePoliciesDominate) {
+  auto result = RunExperiment(
+      BaseConfig(),
+      {{"mrsf", true}, {"m-edf", true}, {"s-edf", true}, {"random", true}});
+  ASSERT_TRUE(result.ok()) << result.status();
+  const double mrsf = Completeness(*result, 0);
+  const double medf = Completeness(*result, 1);
+  const double sedf = Completeness(*result, 2);
+  const double random = Completeness(*result, 3);
+  EXPECT_GT(mrsf, sedf);
+  EXPECT_GT(medf, sedf);
+  EXPECT_GT(mrsf, random);
+}
+
+// Figure 13's shape: completeness grows markedly with budget.
+TEST(IntegrationShapes, BudgetIncreasesCompleteness) {
+  auto config = BaseConfig();
+  std::vector<double> by_budget;
+  for (int64_t c : {1, 3, 5}) {
+    config.workload.budget = c;
+    auto result = RunExperiment(config, {{"mrsf", true}});
+    ASSERT_TRUE(result.ok());
+    by_budget.push_back(Completeness(*result));
+  }
+  EXPECT_LT(by_budget[0], by_budget[1]);
+  EXPECT_LT(by_budget[1], by_budget[2]);
+}
+
+// Figure 12's shape: higher update intensity -> more CEIs to capture with
+// the same budget -> lower completeness.
+TEST(IntegrationShapes, UpdateIntensityDecreasesCompleteness) {
+  auto config = BaseConfig();
+  config.poisson.lambda = 5.0;
+  auto low = RunExperiment(config, {{"mrsf", true}});
+  config.poisson.lambda = 30.0;
+  auto high = RunExperiment(config, {{"mrsf", true}});
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(Completeness(*low), Completeness(*high));
+}
+
+// Figure 10's trend: completeness decreases as the rank grows.
+TEST(IntegrationShapes, RankDecreasesCompleteness) {
+  auto config = BaseConfig();
+  config.profile_template = ProfileTemplate::AuctionWatch(1, true, 4);
+  auto rank1 = RunExperiment(config, {{"mrsf", true}});
+  config.profile_template = ProfileTemplate::AuctionWatch(5, true, 4);
+  auto rank5 = RunExperiment(config, {{"mrsf", true}});
+  ASSERT_TRUE(rank1.ok());
+  ASSERT_TRUE(rank5.ok());
+  EXPECT_GT(Completeness(*rank1), Completeness(*rank5));
+}
+
+// Figure 14's shape: skew toward popular resources creates intra-resource
+// overlap that shared probes exploit.
+TEST(IntegrationShapes, ResourceSkewIncreasesCompleteness) {
+  auto config = BaseConfig();
+  config.workload.distinct_resources = false;
+  config.workload.alpha = 0.0;
+  auto uniform = RunExperiment(config, {{"mrsf", true}});
+  config.workload.alpha = 1.2;
+  auto skewed = RunExperiment(config, {{"mrsf", true}});
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(skewed.ok());
+  EXPECT_GT(Completeness(*skewed), Completeness(*uniform));
+}
+
+// Figure 15's shape: noise strictly degrades validated completeness,
+// monotonically across levels (statistically).
+TEST(IntegrationShapes, NoiseSweepMonotone) {
+  auto config = BaseConfig();
+  config.repetitions = 3;
+  std::vector<double> validated;
+  for (double z : {0.0, 0.5, 1.0}) {
+    config.z_noise = z;
+    auto result = RunExperiment(config, {{"m-edf", true}});
+    ASSERT_TRUE(result.ok());
+    validated.push_back(result->policies[0].validated_completeness.mean());
+  }
+  EXPECT_GT(validated[0], validated[1]);
+  EXPECT_GT(validated[1], validated[2]);
+}
+
+// Section V-B's observation: preemption helps the rank-aware policies.
+TEST(IntegrationShapes, PreemptionHelpsMrsf) {
+  auto config = BaseConfig();
+  config.repetitions = 5;
+  auto result =
+      RunExperiment(config, {{"mrsf", true}, {"mrsf", false}});
+  ASSERT_TRUE(result.ok());
+  // Preemptive at least as good (small tolerance for stochastic ties).
+  EXPECT_GE(Completeness(*result, 0) + 0.03, Completeness(*result, 1));
+}
+
+// WIC is dominated by the rank-aware policies in the Figure 10 setting
+// (w = 0, exact rank, C = 1, distinct resources).
+TEST(IntegrationShapes, WicIsDominated) {
+  auto config = BaseConfig();
+  config.profile_template = ProfileTemplate::AuctionWatch(4, true, 0);
+  config.repetitions = 6;
+  auto result = RunExperiment(config, {{"mrsf", true}, {"wic", true}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(Completeness(*result, 0), Completeness(*result, 1));
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,74 @@
+#include "model/cei.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+Cei MakeCei(std::vector<std::tuple<ResourceId, Chronon, Chronon>> specs) {
+  Cei cei;
+  EiId next = 0;
+  for (const auto& [r, s, f] : specs) {
+    ExecutionInterval ei;
+    ei.id = next++;
+    ei.resource = r;
+    ei.start = s;
+    ei.finish = f;
+    cei.eis.push_back(ei);
+  }
+  return cei;
+}
+
+TEST(CeiTest, RankIsEiCount) {
+  EXPECT_EQ(MakeCei({{0, 0, 1}}).Rank(), 1u);
+  EXPECT_EQ(MakeCei({{0, 0, 1}, {1, 2, 3}, {2, 4, 5}}).Rank(), 3u);
+}
+
+TEST(CeiTest, EarliestStartLatestFinish) {
+  const Cei cei = MakeCei({{0, 5, 9}, {1, 2, 3}, {2, 7, 12}});
+  EXPECT_EQ(cei.EarliestStart(), 2);
+  EXPECT_EQ(cei.LatestFinish(), 12);
+}
+
+TEST(CeiTest, EmptyCeiSentinels) {
+  Cei cei;
+  EXPECT_EQ(cei.EarliestStart(), kInvalidChronon);
+  EXPECT_EQ(cei.LatestFinish(), kInvalidChronon);
+  EXPECT_EQ(cei.TotalChronons(), 0);
+}
+
+TEST(CeiTest, TotalChrononsSumsLengths) {
+  // The M-EDF example quantity: 5 + 6 + 5 + 6 = 22.
+  const Cei cei = MakeCei({{0, 10, 14}, {1, 16, 21}, {2, 23, 27}, {3, 30, 35}});
+  EXPECT_EQ(cei.TotalChronons(), 22);
+}
+
+TEST(CeiTest, IntraResourceOverlapDetected) {
+  EXPECT_TRUE(
+      MakeCei({{0, 0, 5}, {0, 3, 8}}).HasIntraResourceOverlap());
+  // Same resource, disjoint windows: no overlap.
+  EXPECT_FALSE(
+      MakeCei({{0, 0, 2}, {0, 5, 8}}).HasIntraResourceOverlap());
+  // Different resources, overlapping windows: not intra-resource.
+  EXPECT_FALSE(
+      MakeCei({{0, 0, 5}, {1, 3, 8}}).HasIntraResourceOverlap());
+}
+
+TEST(CeiTest, UnitWidthDetection) {
+  EXPECT_TRUE(MakeCei({{0, 3, 3}, {1, 5, 5}}).IsUnitWidth());
+  EXPECT_FALSE(MakeCei({{0, 3, 4}, {1, 5, 5}}).IsUnitWidth());
+  // An empty CEI is vacuously unit width.
+  EXPECT_TRUE(Cei{}.IsUnitWidth());
+}
+
+TEST(CeiTest, ToStringMentionsIds) {
+  Cei cei = MakeCei({{0, 0, 1}});
+  cei.id = 9;
+  cei.profile = 4;
+  const std::string s = cei.ToString();
+  EXPECT_NE(s.find("9"), std::string::npos);
+  EXPECT_NE(s.find("p=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webmon

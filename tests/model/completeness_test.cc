@@ -1,0 +1,103 @@
+#include "model/completeness.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblem;
+using testing_util::MakeProblemOneCeiPerProfile;
+
+TEST(CompletenessTest, EiCapturedByProbeInWindow) {
+  const auto problem = MakeProblem(2, 10, 1, {{{{0, 2, 5}}}});
+  Schedule s(2, 10);
+  const auto& ei = problem.profiles()[0].ceis[0].eis[0];
+  EXPECT_FALSE(EiCaptured(ei, s));
+  ASSERT_TRUE(s.AddProbe(0, 3).ok());
+  EXPECT_TRUE(EiCaptured(ei, s));
+}
+
+TEST(CompletenessTest, ProbeOutsideWindowDoesNotCapture) {
+  const auto problem = MakeProblem(2, 10, 1, {{{{0, 2, 5}}}});
+  Schedule s(2, 10);
+  ASSERT_TRUE(s.AddProbe(0, 6).ok());
+  ASSERT_TRUE(s.AddProbe(1, 3).ok());
+  EXPECT_FALSE(EiCaptured(problem.profiles()[0].ceis[0].eis[0], s));
+}
+
+TEST(CompletenessTest, CeiNeedsAllEis) {
+  const auto problem =
+      MakeProblem(3, 10, 2, {{{{0, 0, 2}, {1, 3, 5}, {2, 6, 8}}}});
+  const auto& cei = problem.profiles()[0].ceis[0];
+  Schedule s(3, 10);
+  ASSERT_TRUE(s.AddProbe(0, 1).ok());
+  ASSERT_TRUE(s.AddProbe(1, 4).ok());
+  EXPECT_FALSE(CeiCaptured(cei, s));  // third EI missing
+  ASSERT_TRUE(s.AddProbe(2, 7).ok());
+  EXPECT_TRUE(CeiCaptured(cei, s));
+}
+
+TEST(CompletenessTest, EmptyCeiNeverCaptured) {
+  Cei empty;
+  Schedule s(1, 5);
+  EXPECT_FALSE(CeiCaptured(empty, s));
+}
+
+TEST(CompletenessTest, GainedCompletenessEquation1) {
+  // Two profiles; three CEIs total; capture exactly one.
+  const auto problem = MakeProblem(
+      3, 10, 3,
+      {{{{0, 0, 2}}, {{1, 3, 5}}},
+       {{{2, 6, 8}}}});
+  Schedule s(3, 10);
+  ASSERT_TRUE(s.AddProbe(1, 4).ok());
+  EXPECT_EQ(CapturedCeiCount(problem, s), 1);
+  EXPECT_DOUBLE_EQ(GainedCompleteness(problem, s), 1.0 / 3.0);
+}
+
+TEST(CompletenessTest, OneProbeCanCaptureManyOverlappingEis) {
+  // Intra-resource overlap: one probe serves both CEIs.
+  const auto problem = MakeProblemOneCeiPerProfile(
+      1, 10, 1, {{{0, 0, 5}}, {{0, 3, 8}}});
+  Schedule s(1, 10);
+  ASSERT_TRUE(s.AddProbe(0, 4).ok());
+  EXPECT_EQ(CapturedCeiCount(problem, s), 2);
+  EXPECT_DOUBLE_EQ(GainedCompleteness(problem, s), 1.0);
+}
+
+TEST(CompletenessTest, EiCompletenessCountsIndividually) {
+  const auto problem =
+      MakeProblem(2, 10, 2, {{{{0, 0, 2}, {1, 3, 5}}}});
+  Schedule s(2, 10);
+  ASSERT_TRUE(s.AddProbe(0, 1).ok());
+  EXPECT_EQ(CapturedEiCount(problem, s), 1);
+  EXPECT_DOUBLE_EQ(EiCompleteness(problem, s), 0.5);
+  EXPECT_DOUBLE_EQ(GainedCompleteness(problem, s), 0.0);
+}
+
+TEST(CompletenessTest, EmptyInstanceYieldsZero) {
+  ProblemInstance problem(1, 5, BudgetVector::Uniform(1));
+  Schedule s(1, 5);
+  EXPECT_DOUBLE_EQ(GainedCompleteness(problem, s), 0.0);
+  EXPECT_DOUBLE_EQ(EiCompleteness(problem, s), 0.0);
+}
+
+TEST(CompletenessTest, ProbeAtWindowEdgesCaptures) {
+  const auto problem = MakeProblem(1, 10, 1, {{{{0, 2, 5}}}});
+  const auto& ei = problem.profiles()[0].ceis[0].eis[0];
+  {
+    Schedule s(1, 10);
+    ASSERT_TRUE(s.AddProbe(0, 2).ok());
+    EXPECT_TRUE(EiCaptured(ei, s));
+  }
+  {
+    Schedule s(1, 10);
+    ASSERT_TRUE(s.AddProbe(0, 5).ok());
+    EXPECT_TRUE(EiCaptured(ei, s));
+  }
+}
+
+}  // namespace
+}  // namespace webmon

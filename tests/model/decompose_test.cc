@@ -1,0 +1,79 @@
+#include "model/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "model/completeness.h"
+#include "online/run.h"
+#include "policy/s_edf.h"
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblem;
+
+TEST(DecomposeTest, EveryEiBecomesItsOwnCei) {
+  const auto problem = MakeProblem(
+      3, 12, 1,
+      {{{{0, 0, 3}, {1, 4, 7}}, {{2, 8, 11}}},
+       {{{0, 2, 5}, {1, 6, 9}, {2, 1, 10}}}});
+  auto decomposed = DecomposeToRank1(problem);
+  ASSERT_TRUE(decomposed.ok()) << decomposed.status();
+  EXPECT_EQ(decomposed->TotalCeis(), problem.TotalEis());
+  EXPECT_EQ(decomposed->TotalEis(), problem.TotalEis());
+  EXPECT_EQ(decomposed->Rank(), 1u);
+}
+
+TEST(DecomposeTest, PreservesWindowsAndResources) {
+  const auto problem = MakeProblem(2, 10, 1, {{{{0, 2, 6}, {1, 3, 8}}}});
+  auto decomposed = DecomposeToRank1(problem);
+  ASSERT_TRUE(decomposed.ok());
+  auto ceis = decomposed->AllCeis();
+  ASSERT_EQ(ceis.size(), 2u);
+  EXPECT_EQ(ceis[0]->eis[0].resource, 0u);
+  EXPECT_EQ(ceis[0]->eis[0].start, 2);
+  EXPECT_EQ(ceis[0]->eis[0].finish, 6);
+  EXPECT_EQ(ceis[1]->eis[0].resource, 1u);
+}
+
+TEST(DecomposeTest, BudgetPreserved) {
+  const auto problem = MakeProblem(2, 10, 3, {{{{0, 2, 6}}}});
+  auto decomposed = DecomposeToRank1(problem);
+  ASSERT_TRUE(decomposed.ok());
+  EXPECT_EQ(decomposed->budget().At(0), 3);
+}
+
+TEST(DecomposeTest, CompletenessEqualsOriginalEiCompleteness) {
+  // Running any policy on the decomposed instance: its CEI completeness is
+  // an EI-level metric for the original.
+  const auto problem = MakeProblem(
+      3, 12, 1, {{{{0, 0, 3}, {1, 4, 7}}, {{2, 8, 11}}}});
+  auto decomposed = DecomposeToRank1(problem);
+  ASSERT_TRUE(decomposed.ok());
+  SEdfPolicy policy;
+  auto run = RunOnline(*decomposed, &policy);
+  ASSERT_TRUE(run.ok());
+  EXPECT_DOUBLE_EQ(run->completeness,
+                   EiCompleteness(problem, run->schedule));
+}
+
+TEST(DecomposeTest, UpperBoundsCeiCompleteness) {
+  // The decomposed optimal EI completeness upper-bounds any policy's CEI
+  // completeness on the original.
+  const auto problem = MakeProblem(
+      3, 12, 1,
+      {{{{0, 0, 3}, {1, 0, 3}}, {{2, 5, 7}}},
+       {{{0, 6, 9}, {2, 8, 11}}}});
+  auto decomposed = DecomposeToRank1(problem);
+  ASSERT_TRUE(decomposed.ok());
+  SEdfPolicy policy;
+  auto bound_run = RunOnline(*decomposed, &policy);
+  auto orig_run = RunOnline(problem, &policy);
+  ASSERT_TRUE(bound_run.ok());
+  ASSERT_TRUE(orig_run.ok());
+  EXPECT_LE(orig_run->completeness, bound_run->completeness + 1e-12);
+}
+
+}  // namespace
+}  // namespace webmon

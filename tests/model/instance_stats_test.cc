@@ -1,0 +1,75 @@
+#include "model/instance_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblem;
+
+TEST(InstanceStatsTest, CountsAndRank) {
+  const auto problem = MakeProblem(
+      4, 20, 1,
+      {{{{0, 0, 4}, {1, 5, 9}}, {{2, 3, 7}}},
+       {{{3, 10, 19}, {0, 12, 15}, {1, 0, 9}}}});
+  const InstanceStats stats = ComputeInstanceStats(problem);
+  EXPECT_EQ(stats.num_profiles, 2);
+  EXPECT_EQ(stats.num_ceis, 3);
+  EXPECT_EQ(stats.num_eis, 6);
+  EXPECT_EQ(stats.rank, 3u);
+  EXPECT_DOUBLE_EQ(stats.cei_rank.mean(), 2.0);  // (2 + 1 + 3) / 3
+  EXPECT_FALSE(stats.unit_width);
+}
+
+TEST(InstanceStatsTest, LoadFactor) {
+  // 3 EIs over an epoch with total budget 20 x 1.
+  const auto problem = MakeProblem(
+      2, 20, 1, {{{{0, 0, 4}}, {{1, 5, 9}}, {{0, 10, 14}}}});
+  const InstanceStats stats = ComputeInstanceStats(problem);
+  EXPECT_DOUBLE_EQ(stats.load_factor, 3.0 / 20.0);
+}
+
+TEST(InstanceStatsTest, PeakConcurrentEis) {
+  // Windows [0,5], [3,8], [4,6]: chronons 4-5 have all three open.
+  const auto problem = MakeProblem(
+      3, 10, 1, {{{{0, 0, 5}}, {{1, 3, 8}}, {{2, 4, 6}}}});
+  const InstanceStats stats = ComputeInstanceStats(problem);
+  EXPECT_EQ(stats.peak_concurrent_eis, 3);
+}
+
+TEST(InstanceStatsTest, IntraOverlapCount) {
+  const auto problem = MakeProblem(
+      2, 10, 1,
+      {{{{0, 0, 5}, {0, 3, 8}}},     // overlap on r0
+       {{{0, 0, 2}, {1, 0, 2}}}});   // no intra overlap
+  const InstanceStats stats = ComputeInstanceStats(problem);
+  EXPECT_EQ(stats.ceis_with_intra_overlap, 1);
+}
+
+TEST(InstanceStatsTest, UnitWidthDetection) {
+  const auto problem = MakeProblem(2, 10, 1, {{{{0, 3, 3}, {1, 5, 5}}}});
+  const InstanceStats stats = ComputeInstanceStats(problem);
+  EXPECT_TRUE(stats.unit_width);
+  EXPECT_DOUBLE_EQ(stats.ei_length.mean(), 1.0);
+}
+
+TEST(InstanceStatsTest, EmptyInstance) {
+  ProblemInstance problem(2, 10, BudgetVector::Uniform(1));
+  const InstanceStats stats = ComputeInstanceStats(problem);
+  EXPECT_EQ(stats.num_ceis, 0);
+  EXPECT_EQ(stats.load_factor, 0.0);
+  EXPECT_EQ(stats.peak_concurrent_eis, 0);
+}
+
+TEST(InstanceStatsTest, ToStringMentionsFields) {
+  const auto problem = MakeProblem(2, 10, 1, {{{{0, 3, 3}}}});
+  const std::string s = ComputeInstanceStats(problem).ToString();
+  EXPECT_NE(s.find("load factor"), std::string::npos);
+  EXPECT_NE(s.find("P^[1]"), std::string::npos);
+  EXPECT_NE(s.find("peak concurrent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,60 @@
+#include "model/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+ExecutionInterval Ei(ResourceId r, Chronon s, Chronon f) {
+  ExecutionInterval ei;
+  ei.resource = r;
+  ei.start = s;
+  ei.finish = f;
+  return ei;
+}
+
+TEST(ExecutionIntervalTest, LengthCountsChronons) {
+  EXPECT_EQ(Ei(0, 3, 3).Length(), 1);
+  EXPECT_EQ(Ei(0, 3, 7).Length(), 5);
+}
+
+TEST(ExecutionIntervalTest, ContainsIsInclusive) {
+  const auto ei = Ei(0, 3, 7);
+  EXPECT_FALSE(ei.Contains(2));
+  EXPECT_TRUE(ei.Contains(3));
+  EXPECT_TRUE(ei.Contains(5));
+  EXPECT_TRUE(ei.Contains(7));
+  EXPECT_FALSE(ei.Contains(8));
+}
+
+TEST(ExecutionIntervalTest, OverlapsSymmetric) {
+  const auto a = Ei(0, 0, 5);
+  const auto b = Ei(0, 5, 9);
+  const auto c = Ei(0, 6, 9);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_FALSE(c.Overlaps(a));
+}
+
+TEST(ExecutionIntervalTest, SelfOverlap) {
+  const auto a = Ei(1, 2, 4);
+  EXPECT_TRUE(a.Overlaps(a));
+}
+
+TEST(ExecutionIntervalTest, ToStringContainsFields) {
+  auto ei = Ei(3, 1, 9);
+  ei.id = 77;
+  const std::string s = ei.ToString();
+  EXPECT_NE(s.find("77"), std::string::npos);
+  EXPECT_NE(s.find("r=3"), std::string::npos);
+  EXPECT_NE(s.find("[1,9]"), std::string::npos);
+}
+
+TEST(ExecutionIntervalTest, Equality) {
+  EXPECT_EQ(Ei(0, 1, 2), Ei(0, 1, 2));
+  EXPECT_FALSE(Ei(0, 1, 2) == Ei(1, 1, 2));
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,50 @@
+#include "model/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblem;
+
+TEST(ProfileTest, RankIsMaxCeiRank) {
+  const auto problem = MakeProblem(
+      4, 10, 1,
+      {{// profile 0: CEIs of rank 1 and 3
+        {{0, 0, 1}},
+        {{0, 0, 1}, {1, 2, 3}, {2, 4, 5}}}});
+  EXPECT_EQ(problem.profiles()[0].Rank(), 3u);
+  EXPECT_EQ(problem.profiles()[0].Size(), 2u);
+}
+
+TEST(ProfileTest, EmptyProfileRankZero) {
+  Profile p;
+  EXPECT_EQ(p.Rank(), 0u);
+  EXPECT_EQ(p.Size(), 0u);
+}
+
+TEST(ProfileTest, RankOfProfileSet) {
+  const auto problem = MakeProblem(
+      4, 10, 1,
+      {{{{0, 0, 1}}},                              // rank 1
+       {{{0, 0, 1}, {1, 2, 3}}},                   // rank 2
+       {{{0, 0, 1}, {1, 2, 3}, {2, 4, 5}}}});      // rank 3
+  EXPECT_EQ(RankOf(problem.profiles()), 3u);
+  EXPECT_EQ(problem.Rank(), 3u);
+}
+
+TEST(ProfileTest, RankOfEmptySet) {
+  EXPECT_EQ(RankOf({}), 0u);
+}
+
+TEST(ProfileTest, ToStringMentionsRank) {
+  const auto problem =
+      MakeProblem(2, 10, 1, {{{{0, 0, 1}, {1, 2, 3}}}});
+  const std::string s = problem.profiles()[0].ToString();
+  EXPECT_NE(s.find("rank=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,112 @@
+#include "model/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(BudgetVectorTest, UniformEverywhere) {
+  const auto b = BudgetVector::Uniform(3);
+  EXPECT_EQ(b.At(0), 3);
+  EXPECT_EQ(b.At(999), 3);
+  EXPECT_EQ(b.Max(100), 3);
+  EXPECT_TRUE(b.is_uniform());
+}
+
+TEST(BudgetVectorTest, UniformNegativeClampedToZero) {
+  EXPECT_EQ(BudgetVector::Uniform(-5).At(0), 0);
+}
+
+TEST(BudgetVectorTest, NegativeChrononGetsZero) {
+  EXPECT_EQ(BudgetVector::Uniform(2).At(-1), 0);
+}
+
+TEST(BudgetVectorTest, PerChrononLookup) {
+  const auto b = BudgetVector::PerChronon({1, 0, 2});
+  EXPECT_EQ(b.At(0), 1);
+  EXPECT_EQ(b.At(1), 0);
+  EXPECT_EQ(b.At(2), 2);
+  EXPECT_EQ(b.At(3), 0);  // beyond the vector
+  EXPECT_FALSE(b.is_uniform());
+}
+
+TEST(BudgetVectorTest, PerChrononMaxWithinEpoch) {
+  const auto b = BudgetVector::PerChronon({1, 5, 2});
+  EXPECT_EQ(b.Max(3), 5);
+  EXPECT_EQ(b.Max(1), 1);  // only chronon 0 considered
+}
+
+TEST(ScheduleTest, AddAndQueryProbes) {
+  Schedule s(3, 10);
+  EXPECT_TRUE(s.AddProbe(1, 4).ok());
+  EXPECT_TRUE(s.Probed(1, 4));
+  EXPECT_FALSE(s.Probed(1, 5));
+  EXPECT_FALSE(s.Probed(0, 4));
+  EXPECT_EQ(s.TotalProbes(), 1);
+}
+
+TEST(ScheduleTest, DuplicateProbeRejected) {
+  Schedule s(3, 10);
+  EXPECT_TRUE(s.AddProbe(1, 4).ok());
+  EXPECT_EQ(s.AddProbe(1, 4).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.TotalProbes(), 1);
+}
+
+TEST(ScheduleTest, OutOfRangeRejected) {
+  Schedule s(3, 10);
+  EXPECT_EQ(s.AddProbe(3, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.AddProbe(0, 10).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.AddProbe(0, -1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ScheduleTest, ProbedInRange) {
+  Schedule s(2, 20);
+  ASSERT_TRUE(s.AddProbe(0, 10).ok());
+  EXPECT_TRUE(s.ProbedInRange(0, 5, 15));
+  EXPECT_TRUE(s.ProbedInRange(0, 10, 10));
+  EXPECT_FALSE(s.ProbedInRange(0, 0, 9));
+  EXPECT_FALSE(s.ProbedInRange(0, 11, 19));
+  EXPECT_FALSE(s.ProbedInRange(1, 5, 15));
+  EXPECT_FALSE(s.ProbedInRange(0, 15, 5));  // inverted range
+}
+
+TEST(ScheduleTest, ViewsStayConsistent) {
+  Schedule s(3, 5);
+  ASSERT_TRUE(s.AddProbe(2, 1).ok());
+  ASSERT_TRUE(s.AddProbe(0, 1).ok());
+  ASSERT_TRUE(s.AddProbe(2, 3).ok());
+  EXPECT_EQ(s.ProbesAt(1).size(), 2u);
+  EXPECT_EQ(s.ProbesAt(2).size(), 0u);
+  const auto& of2 = s.ProbesOf(2);
+  ASSERT_EQ(of2.size(), 2u);
+  EXPECT_EQ(of2[0], 1);
+  EXPECT_EQ(of2[1], 3);
+}
+
+TEST(ScheduleTest, OutOfRangeViewsEmpty) {
+  Schedule s(2, 5);
+  EXPECT_TRUE(s.ProbesAt(-1).empty());
+  EXPECT_TRUE(s.ProbesAt(5).empty());
+  EXPECT_TRUE(s.ProbesOf(2).empty());
+}
+
+TEST(ScheduleTest, CheckFeasible) {
+  Schedule s(3, 4);
+  ASSERT_TRUE(s.AddProbe(0, 0).ok());
+  ASSERT_TRUE(s.AddProbe(1, 0).ok());
+  EXPECT_TRUE(s.CheckFeasible(BudgetVector::Uniform(2)).ok());
+  EXPECT_EQ(s.CheckFeasible(BudgetVector::Uniform(1)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ScheduleTest, ClearResets) {
+  Schedule s(2, 5);
+  ASSERT_TRUE(s.AddProbe(0, 0).ok());
+  s.Clear();
+  EXPECT_EQ(s.TotalProbes(), 0);
+  EXPECT_FALSE(s.Probed(0, 0));
+  EXPECT_TRUE(s.AddProbe(0, 0).ok());  // re-adding works
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,93 @@
+#include "model/timeliness.h"
+
+#include <gtest/gtest.h>
+
+#include "online/run.h"
+#include "policy/s_edf.h"
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblem;
+using testing_util::MakeProblemOneCeiPerProfile;
+
+TEST(TimelinessTest, FirstCaptureChronon) {
+  const auto problem = MakeProblem(1, 10, 1, {{{{0, 2, 7}}}});
+  const auto& ei = problem.profiles()[0].ceis[0].eis[0];
+  Schedule s(1, 10);
+  EXPECT_EQ(FirstCaptureChronon(ei, s), kInvalidChronon);
+  ASSERT_TRUE(s.AddProbe(0, 9).ok());  // outside window
+  EXPECT_EQ(FirstCaptureChronon(ei, s), kInvalidChronon);
+  ASSERT_TRUE(s.AddProbe(0, 5).ok());
+  EXPECT_EQ(FirstCaptureChronon(ei, s), 5);
+  ASSERT_TRUE(s.AddProbe(0, 3).ok());
+  EXPECT_EQ(FirstCaptureChronon(ei, s), 3);  // earliest wins
+}
+
+TEST(TimelinessTest, DelaysComputed) {
+  const auto problem =
+      MakeProblem(2, 12, 2, {{{{0, 0, 5}, {1, 2, 9}}}});
+  Schedule s(2, 12);
+  ASSERT_TRUE(s.AddProbe(0, 0).ok());  // immediate
+  ASSERT_TRUE(s.AddProbe(1, 6).ok());  // delay 4
+  const TimelinessReport report = ComputeTimeliness(problem, s);
+  EXPECT_EQ(report.ei_capture_delay.count(), 2);
+  EXPECT_DOUBLE_EQ(report.ei_capture_delay.mean(), 2.0);  // (0 + 4) / 2
+  EXPECT_DOUBLE_EQ(report.immediate_fraction, 0.5);
+  // CEI completes at chronon 6; earliest start is 0.
+  EXPECT_EQ(report.cei_completion_delay.count(), 1);
+  EXPECT_DOUBLE_EQ(report.cei_completion_delay.mean(), 6.0);
+}
+
+TEST(TimelinessTest, UncapturedCeisExcluded) {
+  const auto problem = MakeProblemOneCeiPerProfile(
+      2, 10, 1, {{{0, 0, 2}}, {{1, 5, 8}}});
+  Schedule s(2, 10);
+  ASSERT_TRUE(s.AddProbe(0, 1).ok());
+  const TimelinessReport report = ComputeTimeliness(problem, s);
+  EXPECT_EQ(report.ei_capture_delay.count(), 1);
+  EXPECT_EQ(report.cei_completion_delay.count(), 1);
+}
+
+TEST(TimelinessTest, SubsetSemanticsUseOrderStatistic) {
+  // 1-of-2: completion is the FIRST capture, not the last.
+  ProblemBuilder builder(2, 10, BudgetVector::Uniform(2));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{0, 0, 5}, {1, 0, 9}}, 0, 1.0,
+                             /*required=*/1)
+                  .ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  Schedule s(2, 10);
+  ASSERT_TRUE(s.AddProbe(0, 2).ok());
+  ASSERT_TRUE(s.AddProbe(1, 8).ok());
+  const TimelinessReport report = ComputeTimeliness(*problem, s);
+  EXPECT_DOUBLE_EQ(report.cei_completion_delay.mean(), 2.0);
+}
+
+TEST(TimelinessTest, EmptySchedule) {
+  const auto problem = MakeProblem(1, 10, 1, {{{{0, 2, 7}}}});
+  Schedule s(1, 10);
+  const TimelinessReport report = ComputeTimeliness(problem, s);
+  EXPECT_EQ(report.ei_capture_delay.count(), 0);
+  EXPECT_EQ(report.immediate_fraction, 0.0);
+}
+
+TEST(TimelinessTest, SEdfIsTimelyOnSlackInstances) {
+  // With no contention S-EDF probes at the deadline edge of the most
+  // urgent EI first; delays stay within the window length.
+  const auto problem = MakeProblemOneCeiPerProfile(
+      3, 20, 1, {{{0, 0, 5}}, {{1, 6, 11}}, {{2, 12, 17}}});
+  SEdfPolicy policy;
+  auto run = RunOnline(problem, &policy);
+  ASSERT_TRUE(run.ok());
+  const TimelinessReport report =
+      ComputeTimeliness(problem, run->schedule);
+  EXPECT_EQ(report.ei_capture_delay.count(), 3);
+  EXPECT_LE(report.ei_capture_delay.max(), 5.0);
+}
+
+}  // namespace
+}  // namespace webmon

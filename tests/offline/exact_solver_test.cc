@@ -1,0 +1,139 @@
+#include "offline/exact_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "model/completeness.h"
+#include "util/rng.h"
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblem;
+using testing_util::MakeProblemOneCeiPerProfile;
+
+TEST(ExactSolverTest, TrivialSingleEi) {
+  const auto problem = MakeProblem(1, 5, 1, {{{{0, 1, 3}}}});
+  auto result = SolveExact(problem);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->captured_ceis, 1);
+  EXPECT_DOUBLE_EQ(result->completeness, 1.0);
+  EXPECT_EQ(CapturedCeiCount(problem, result->schedule), 1);
+}
+
+TEST(ExactSolverTest, BudgetForcesChoice) {
+  // Two unit CEIs at the same chronon on different resources, C = 1:
+  // optimum is exactly 1.
+  const auto problem = MakeProblemOneCeiPerProfile(
+      2, 3, 1, {{{0, 1, 1}}, {{1, 1, 1}}});
+  auto result = SolveExact(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->captured_ceis, 1);
+}
+
+TEST(ExactSolverTest, StaggeringBeatsGreedyTrap) {
+  // CEI A: r0 [0,1]; CEI B: r1 [0,0]. Probing r1 at 0 and r0 at 1 captures
+  // both — the optimum must find the stagger.
+  const auto problem = MakeProblemOneCeiPerProfile(
+      2, 3, 1, {{{0, 0, 1}}, {{1, 0, 0}}});
+  auto result = SolveExact(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->captured_ceis, 2);
+  EXPECT_TRUE(result->schedule.Probed(1, 0));
+  EXPECT_TRUE(result->schedule.Probed(0, 1));
+}
+
+TEST(ExactSolverTest, MultiEiCeiAcrossResources) {
+  const auto problem = MakeProblem(
+      2, 6, 1, {{{{0, 0, 2}, {1, 3, 5}}}});
+  auto result = SolveExact(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->captured_ceis, 1);
+}
+
+TEST(ExactSolverTest, ImpossibleCeiYieldsZero) {
+  // Two EIs of one CEI on different resources at the same single chronon
+  // with C = 1: cannot capture both.
+  const auto problem = MakeProblem(2, 2, 1, {{{{0, 0, 0}, {1, 0, 0}}}});
+  auto result = SolveExact(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->captured_ceis, 0);
+}
+
+TEST(ExactSolverTest, BudgetTwoCapturesBoth) {
+  const auto problem = MakeProblem(2, 2, 2, {{{{0, 0, 0}, {1, 0, 0}}}});
+  auto result = SolveExact(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->captured_ceis, 1);
+  EXPECT_EQ(result->schedule.ProbesAt(0).size(), 2u);
+}
+
+TEST(ExactSolverTest, SharedProbeExploitsIntraResourceOverlap) {
+  // Three CEIs all on r0 with overlapping windows around chronon 4: one
+  // probe captures all three, freeing budget for the CEI on r1.
+  const auto problem = MakeProblemOneCeiPerProfile(
+      2, 8, 1,
+      {{{0, 2, 4}}, {{0, 4, 6}}, {{0, 3, 5}}, {{1, 0, 7}}});
+  auto result = SolveExact(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->captured_ceis, 4);
+}
+
+TEST(ExactSolverTest, RejectsOversizedInstance) {
+  ProblemBuilder builder(2, 30, BudgetVector::Uniform(1));
+  builder.BeginProfile();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(builder.AddCei({{0, i, i}}).ok());
+  }
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  EXPECT_EQ(SolveExact(*problem).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExactSolverTest, ScheduleIsFeasible) {
+  Rng rng(0xE1);
+  for (int trial = 0; trial < 10; ++trial) {
+    ProblemBuilder builder(3, 8, BudgetVector::Uniform(1));
+    for (int c = 0; c < 4; ++c) {
+      builder.BeginProfile();
+      std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+      const int rank = 1 + static_cast<int>(rng.UniformU64(2));
+      for (int e = 0; e < rank; ++e) {
+        const auto r = static_cast<ResourceId>(rng.UniformU64(3));
+        const auto s = static_cast<Chronon>(rng.UniformU64(8));
+        const auto f = std::min<Chronon>(s + static_cast<Chronon>(
+                                                 rng.UniformU64(3)),
+                                         7);
+        eis.emplace_back(r, s, f);
+      }
+      ASSERT_TRUE(builder.AddCei(eis).ok());
+    }
+    auto problem = builder.Build();
+    ASSERT_TRUE(problem.ok());
+    auto result = SolveExact(*problem);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->schedule.CheckFeasible(problem->budget()).ok());
+    // The reconstructed schedule achieves the claimed optimum.
+    EXPECT_EQ(CapturedCeiCount(*problem, result->schedule),
+              result->captured_ceis);
+  }
+}
+
+TEST(ExactSolverTest, PerChrononBudgetRespected) {
+  const auto problem = MakeProblemOneCeiPerProfile(
+      2, 2, 1, {{{0, 0, 1}}, {{1, 0, 1}}});
+  // Budget 2 at chronon 0, 0 at chronon 1.
+  ProblemInstance custom(2, 2, BudgetVector::PerChronon({2, 0}));
+  custom.mutable_profiles() = problem.profiles();
+  ASSERT_TRUE(custom.Validate().ok());
+  auto result = SolveExact(custom);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->captured_ceis, 2);
+  EXPECT_EQ(result->schedule.ProbesAt(0).size(), 2u);
+  EXPECT_EQ(result->schedule.ProbesAt(1).size(), 0u);
+}
+
+}  // namespace
+}  // namespace webmon

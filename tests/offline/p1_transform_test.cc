@@ -1,0 +1,110 @@
+#include "offline/p1_transform.h"
+
+#include <gtest/gtest.h>
+
+#include "model/completeness.h"
+#include "offline/exact_solver.h"
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblem;
+using testing_util::MakeProblemOneCeiPerProfile;
+
+TEST(P1TransformTest, UnitInstanceIsFixedPoint) {
+  const auto problem = MakeProblem(2, 5, 1, {{{{0, 1, 1}, {1, 3, 3}}}});
+  auto result = TransformToP1(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->problem.TotalCeis(), 1);
+  EXPECT_TRUE(result->problem.IsUnitWidth());
+  EXPECT_EQ(result->origin.size(), 1u);
+}
+
+TEST(P1TransformTest, CombinationCountIsProductOfLengths) {
+  // EI lengths 3 and 2 -> 6 combinations.
+  const auto problem = MakeProblem(2, 10, 1, {{{{0, 0, 2}, {1, 4, 5}}}});
+  auto result = TransformToP1(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->problem.TotalCeis(), 6);
+  EXPECT_TRUE(result->problem.IsUnitWidth());
+  for (CeiId origin : result->origin) {
+    EXPECT_EQ(origin, problem.profiles()[0].ceis[0].id);
+  }
+}
+
+TEST(P1TransformTest, CombinationsCoverAllChrononChoices) {
+  const auto problem = MakeProblem(1, 6, 1, {{{{0, 1, 3}}}});
+  auto result = TransformToP1(problem);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->problem.TotalCeis(), 3);
+  std::vector<Chronon> starts;
+  for (const Cei* cei : result->problem.AllCeis()) {
+    ASSERT_EQ(cei->eis.size(), 1u);
+    starts.push_back(cei->eis[0].start);
+  }
+  std::sort(starts.begin(), starts.end());
+  EXPECT_EQ(starts, (std::vector<Chronon>{1, 2, 3}));
+}
+
+TEST(P1TransformTest, PreservesProfileStructure) {
+  const auto problem = MakeProblem(
+      2, 8, 1, {{{{0, 0, 1}}}, {{{1, 2, 3}}}});
+  auto result = TransformToP1(problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->problem.profiles().size(), 2u);
+}
+
+TEST(P1TransformTest, GuardsAgainstBlowup) {
+  // 10^3 = 1000 combinations > cap of 100.
+  const auto problem = MakeProblem(
+      3, 30, 1, {{{{0, 0, 9}, {1, 10, 19}, {2, 20, 29}}}});
+  EXPECT_EQ(TransformToP1(problem, 100).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// Proposition 5 semantics: a schedule capturing a transformed CEI captures
+// the original CEI, and the transformed optimum is at least the original
+// optimum (every original capture corresponds to >= 1 combination).
+TEST(P1TransformTest, SolutionsMapBack) {
+  const auto problem = MakeProblemOneCeiPerProfile(
+      2, 6, 1, {{{0, 0, 2}, {1, 3, 5}}, {{1, 0, 1}}});
+  auto transformed = TransformToP1(problem);
+  ASSERT_TRUE(transformed.ok());
+
+  auto exact_orig = SolveExact(problem);
+  ASSERT_TRUE(exact_orig.ok());
+
+  // Schedule computed on the transformed instance, evaluated on the
+  // original: captures at least... exactly as many original CEIs as the
+  // transformed schedule captures distinct origins.
+  auto exact_trans = SolveExact(transformed->problem);
+  if (exact_trans.ok()) {
+    const int64_t mapped_back =
+        OriginalCeisCaptured(problem, exact_trans->schedule);
+    EXPECT_LE(mapped_back, exact_orig->captured_ceis);
+    EXPECT_GE(mapped_back, 1);
+  }
+
+  // And the original optimal schedule captures >= optimal many transformed
+  // CEIs? At least one combination per captured original CEI.
+  int64_t captured_combos =
+      CapturedCeiCount(transformed->problem, exact_orig->schedule);
+  EXPECT_GE(captured_combos, exact_orig->captured_ceis);
+}
+
+TEST(P1TransformTest, RankPreservedPerCei) {
+  const auto problem = MakeProblem(3, 10, 1,
+                                   {{{{0, 0, 1}, {1, 2, 3}, {2, 4, 6}}}});
+  auto result = TransformToP1(problem);
+  ASSERT_TRUE(result.ok());
+  for (const Cei* cei : result->problem.AllCeis()) {
+    EXPECT_EQ(cei->Rank(), 3u);
+  }
+  // 2 * 2 * 3 = 12 combinations.
+  EXPECT_EQ(result->problem.TotalCeis(), 12);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,108 @@
+#include "online/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/policy_factory.h"
+
+namespace webmon {
+namespace {
+
+std::unique_ptr<Policy> Mrsf() {
+  auto policy = MakePolicy("mrsf");
+  EXPECT_TRUE(policy.ok());
+  return std::move(*policy);
+}
+
+TEST(ProxyTest, SubmitAndCapture) {
+  Proxy proxy(2, 10, BudgetVector::Uniform(1), Mrsf());
+  auto id = proxy.Submit({{0, 0, 3}, {1, 2, 6}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  while (!proxy.Done()) {
+    ASSERT_TRUE(proxy.Tick().ok());
+  }
+  EXPECT_EQ(proxy.stats().ceis_captured, 1);
+  EXPECT_DOUBLE_EQ(proxy.CompletenessSoFar(), 1.0);
+}
+
+TEST(ProxyTest, TickReturnsProbedResources) {
+  Proxy proxy(2, 5, BudgetVector::Uniform(2), Mrsf());
+  ASSERT_TRUE(proxy.Submit({{0, 0, 0}}).ok());
+  ASSERT_TRUE(proxy.Submit({{1, 0, 0}}).ok());
+  auto probed = proxy.Tick();
+  ASSERT_TRUE(probed.ok());
+  EXPECT_EQ(probed->size(), 2u);
+}
+
+TEST(ProxyTest, SubmitMidEpoch) {
+  Proxy proxy(1, 10, BudgetVector::Uniform(1), Mrsf());
+  ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_TRUE(proxy.Tick().ok());
+  EXPECT_EQ(proxy.now(), 2);
+  ASSERT_TRUE(proxy.Submit({{0, 2, 5}}).ok());
+  while (!proxy.Done()) {
+    ASSERT_TRUE(proxy.Tick().ok());
+  }
+  EXPECT_EQ(proxy.stats().ceis_captured, 1);
+}
+
+TEST(ProxyTest, PastWindowsAreClamped) {
+  Proxy proxy(1, 10, BudgetVector::Uniform(1), Mrsf());
+  ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_TRUE(proxy.Tick().ok());  // now = 3
+  // Window [0, 8] is clamped to [3, 8]; still capturable.
+  ASSERT_TRUE(proxy.Submit({{0, 0, 8}}).ok());
+  while (!proxy.Done()) {
+    ASSERT_TRUE(proxy.Tick().ok());
+  }
+  EXPECT_EQ(proxy.stats().ceis_captured, 1);
+}
+
+TEST(ProxyTest, FullyPastNeedDies) {
+  Proxy proxy(1, 10, BudgetVector::Uniform(1), Mrsf());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(proxy.Tick().ok());
+  int expired = 0;
+  proxy.set_on_cei_expired([&](CeiId) { ++expired; });
+  // Window [0, 2] lies entirely in the past: start is clamped to 5 > 2,
+  // which Submit rejects as an invalid need.
+  auto id = proxy.Submit({{0, 0, 2}});
+  EXPECT_FALSE(id.ok());
+}
+
+TEST(ProxyTest, EmptySubmitRejected) {
+  Proxy proxy(1, 10, BudgetVector::Uniform(1), Mrsf());
+  EXPECT_EQ(proxy.Submit({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProxyTest, RejectsAfterHorizon) {
+  Proxy proxy(1, 2, BudgetVector::Uniform(1), Mrsf());
+  ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_TRUE(proxy.Tick().ok());
+  EXPECT_TRUE(proxy.Done());
+  EXPECT_EQ(proxy.Tick().status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(proxy.Submit({{0, 0, 1}}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ProxyTest, CapturedCallbackReportsId) {
+  Proxy proxy(1, 5, BudgetVector::Uniform(1), Mrsf());
+  std::vector<CeiId> captured;
+  proxy.set_on_cei_captured([&](CeiId id) { captured.push_back(id); });
+  auto id = proxy.Submit({{0, 0, 2}});
+  ASSERT_TRUE(id.ok());
+  while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], *id);
+}
+
+TEST(ProxyTest, ScheduleAccessible) {
+  Proxy proxy(2, 5, BudgetVector::Uniform(1), Mrsf());
+  ASSERT_TRUE(proxy.Submit({{1, 0, 4}}).ok());
+  while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
+  EXPECT_GE(proxy.schedule().TotalProbes(), 1);
+  EXPECT_TRUE(proxy.schedule().ProbedInRange(1, 0, 4));
+}
+
+}  // namespace
+}  // namespace webmon

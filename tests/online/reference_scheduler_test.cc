@@ -1,0 +1,205 @@
+// Differential test: the optimized OnlineScheduler against a deliberately
+// naive re-implementation of Algorithm 1 that recomputes everything from
+// scratch each chronon. Any divergence in probes or captures on random
+// instances is a bug in one of them.
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "model/completeness.h"
+#include "online/run.h"
+#include "policy/policy_factory.h"
+#include "util/rng.h"
+
+namespace webmon {
+namespace {
+
+struct NaiveResult {
+  Schedule schedule;
+  int64_t captured_ceis = 0;
+  int64_t probes = 0;
+};
+
+// Straight-line Algorithm 1: no incremental candidate bookkeeping, no
+// lazy compaction — just full rescans. Mirrors the scheduler's selection
+// comparator exactly.
+NaiveResult RunNaive(const ProblemInstance& problem, Policy& policy,
+                     bool preemptive) {
+  const Chronon k = problem.num_chronons();
+  NaiveResult result{Schedule(problem.num_resources(), k), 0, 0};
+
+  std::vector<const Cei*> ceis = problem.AllCeis();
+  std::vector<std::unique_ptr<CeiState>> states;
+  states.reserve(ceis.size());
+  for (const Cei* cei : ceis) {
+    states.push_back(std::make_unique<CeiState>(cei));
+  }
+
+  for (Chronon t = 0; t < k; ++t) {
+    // Death from scratch: a CEI is dead at t if its uncaptured EIs that
+    // have fully expired leave too few EIs to satisfy it.
+    for (auto& state : states) {
+      size_t failed = 0;
+      for (size_t i = 0; i < state->cei->eis.size(); ++i) {
+        if (!state->captured[i] && state->cei->eis[i].finish < t) ++failed;
+      }
+      state->num_failed = failed;
+      if (state->cei->eis.size() - failed <
+          state->cei->RequiredCaptures()) {
+        state->dead = true;
+      }
+    }
+
+    // Active candidates at t.
+    std::vector<CandidateEi> active;
+    for (auto& state : states) {
+      if (state->dead || state->Complete() || state->cei->arrival > t) {
+        continue;
+      }
+      for (uint32_t i = 0; i < state->cei->eis.size(); ++i) {
+        const ExecutionInterval& ei = state->cei->eis[i];
+        if (state->captured[i]) continue;
+        if (ei.start <= t && t <= ei.finish) {
+          active.push_back({state.get(), i});
+        }
+      }
+    }
+
+    policy.BeginChronon(active, t);
+
+    std::vector<double> value(active.size());
+    for (size_t i = 0; i < active.size(); ++i) {
+      value[i] = policy.Value(active[i], t);
+    }
+    std::vector<uint32_t> order(active.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const CandidateEi& ca = active[a];
+      const CandidateEi& cb = active[b];
+      if (!preemptive) {
+        const bool sa = ca.state->Started();
+        const bool sb = cb.state->Started();
+        if (sa != sb) return sa;
+      }
+      if (value[a] != value[b]) return value[a] < value[b];
+      if (ca.ei().finish != cb.ei().finish) {
+        return ca.ei().finish < cb.ei().finish;
+      }
+      if (ca.state->cei->id != cb.state->cei->id) {
+        return ca.state->cei->id < cb.state->cei->id;
+      }
+      return ca.ei_index < cb.ei_index;
+    });
+
+    std::vector<bool> probed(problem.num_resources(), false);
+    int64_t count = 0;
+    const int64_t budget = problem.budget().At(t);
+    for (uint32_t i : order) {
+      if (count >= budget) break;
+      const ResourceId r = active[i].ei().resource;
+      if (probed[r]) continue;
+      probed[r] = true;
+      ++count;
+      ++result.probes;
+      EXPECT_TRUE(result.schedule.AddProbe(r, t).ok());
+      policy.NotifyProbed(r, t);
+    }
+
+    // Capture sweep.
+    for (const CandidateEi& cand : active) {
+      CeiState& s = *cand.state;
+      if (s.Complete() || s.captured[cand.ei_index]) continue;
+      if (!probed[cand.ei().resource]) continue;
+      s.captured[cand.ei_index] = true;
+      ++s.num_captured;
+    }
+  }
+
+  for (const auto& state : states) {
+    if (state->Complete()) ++result.captured_ceis;
+  }
+  return result;
+}
+
+ProblemInstance RandomInstance(Rng& rng, bool with_extensions) {
+  const uint32_t n = 2 + static_cast<uint32_t>(rng.UniformU64(4));
+  const Chronon k = 8 + static_cast<Chronon>(rng.UniformU64(12));
+  const int64_t c = 1 + static_cast<int64_t>(rng.UniformU64(2));
+  ProblemBuilder builder(n, k, BudgetVector::Uniform(c));
+  const uint32_t num_ceis = 4 + static_cast<uint32_t>(rng.UniformU64(6));
+  for (uint32_t i = 0; i < num_ceis; ++i) {
+    builder.BeginProfile();
+    const uint32_t rank = 1 + static_cast<uint32_t>(rng.UniformU64(3));
+    std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+    for (uint32_t e = 0; e < rank; ++e) {
+      const auto r = static_cast<ResourceId>(rng.UniformU64(n));
+      const auto s =
+          static_cast<Chronon>(rng.UniformU64(static_cast<uint64_t>(k)));
+      const auto f =
+          std::min<Chronon>(s + static_cast<Chronon>(rng.UniformU64(4)),
+                            k - 1);
+      eis.emplace_back(r, s, f);
+    }
+    double weight = 1.0;
+    uint32_t required = 0;
+    if (with_extensions) {
+      weight = 0.5 + rng.UniformDouble() * 4.0;
+      required = 1 + static_cast<uint32_t>(rng.UniformU64(rank));
+    }
+    EXPECT_TRUE(builder.AddCei(eis, -1, weight, required).ok());
+  }
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
+}
+
+class ReferenceDifferential
+    : public ::testing::TestWithParam<std::tuple<std::string, bool, bool>> {};
+
+TEST_P(ReferenceDifferential, SchedulesIdentically) {
+  const auto& [policy_name, preemptive, with_extensions] = GetParam();
+  Rng rng(0xD1FF + preemptive * 7 + with_extensions * 31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const ProblemInstance problem = RandomInstance(rng, with_extensions);
+
+    auto fast_policy = MakePolicy(policy_name, 11);
+    auto naive_policy = MakePolicy(policy_name, 11);
+    ASSERT_TRUE(fast_policy.ok());
+    ASSERT_TRUE(naive_policy.ok());
+
+    SchedulerOptions options;
+    options.preemptive = preemptive;
+    auto fast = RunOnline(problem, fast_policy->get(), options);
+    ASSERT_TRUE(fast.ok());
+    NaiveResult naive = RunNaive(problem, **naive_policy, preemptive);
+
+    EXPECT_EQ(fast->stats.ceis_captured, naive.captured_ceis)
+        << policy_name << " trial " << trial << " " << problem.Summary();
+    EXPECT_EQ(fast->stats.probes_issued, naive.probes);
+    for (ResourceId r = 0; r < problem.num_resources(); ++r) {
+      EXPECT_EQ(fast->schedule.ProbesOf(r), naive.schedule.ProbesOf(r))
+          << policy_name << " resource " << r << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ReferenceDifferential,
+    ::testing::Combine(::testing::Values("s-edf", "mrsf", "m-edf", "wic",
+                                         "w-mrsf"),
+                       ::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, bool, bool>>&
+           info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + (std::get<1>(info.param) ? "_P" : "_NP") +
+             (std::get<2>(info.param) ? "_ext" : "_base");
+    });
+
+}  // namespace
+}  // namespace webmon

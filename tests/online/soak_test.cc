@@ -1,0 +1,84 @@
+// Soak test: a long-running streaming proxy with continuous random
+// submissions must stay healthy — bounded candidate set, consistent
+// accounting, no budget violations — over tens of thousands of chronons.
+
+#include <gtest/gtest.h>
+
+#include "online/online_scheduler.h"
+#include "policy/policy_factory.h"
+#include "util/rng.h"
+
+#include <deque>
+
+namespace webmon {
+namespace {
+
+TEST(SoakTest, LongStreamingRunStaysHealthy) {
+  constexpr Chronon kHorizon = 20000;
+  constexpr uint32_t kResources = 50;
+  auto policy = MakePolicy("mrsf");
+  ASSERT_TRUE(policy.ok());
+  OnlineScheduler scheduler(kResources, kHorizon, BudgetVector::Uniform(2),
+                            policy->get());
+
+  Rng rng(0x50AC);
+  std::deque<Cei> storage;  // stable addresses for the scheduler
+  CeiId next_cei = 0;
+  EiId next_ei = 0;
+  int64_t submitted = 0;
+
+  Schedule schedule(kResources, kHorizon);
+  size_t max_live_ceis = 0;
+  size_t max_active_eis = 0;
+
+  for (Chronon t = 0; t < kHorizon; ++t) {
+    // ~1.5 new complex needs per chronon, ranks 1..4, windows up to 20.
+    const int arrivals = static_cast<int>(rng.UniformU64(4));
+    for (int a = 0; a < arrivals; ++a) {
+      Cei cei;
+      cei.id = next_cei++;
+      cei.arrival = t;
+      const uint32_t rank = 1 + static_cast<uint32_t>(rng.UniformU64(4));
+      for (uint32_t e = 0; e < rank; ++e) {
+        ExecutionInterval ei;
+        ei.id = next_ei++;
+        ei.resource = static_cast<ResourceId>(rng.UniformU64(kResources));
+        ei.start = t + static_cast<Chronon>(rng.UniformU64(10));
+        ei.finish = std::min<Chronon>(
+            ei.start + 1 + static_cast<Chronon>(rng.UniformU64(20)),
+            kHorizon - 1);
+        if (ei.start >= kHorizon) ei.start = kHorizon - 1;
+        if (ei.finish < ei.start) ei.finish = ei.start;
+        cei.eis.push_back(ei);
+      }
+      storage.push_back(std::move(cei));
+      ASSERT_TRUE(scheduler.AddArrival(&storage.back(), t).ok());
+      ++submitted;
+    }
+    ASSERT_TRUE(scheduler.Step(t, &schedule).ok());
+    // NumCandidateCeis scans every CEI ever seen; sample it sparsely.
+    if (t % 512 == 0) {
+      max_live_ceis = std::max(max_live_ceis, scheduler.NumCandidateCeis());
+    }
+    max_active_eis = std::max(max_active_eis, scheduler.NumActiveEis());
+  }
+
+  const SchedulerStats& stats = scheduler.stats();
+  // Accounting closes: every submitted CEI was seen; captured + expired
+  // cannot exceed seen; leftovers are still pending at the horizon.
+  EXPECT_EQ(stats.ceis_seen, submitted);
+  EXPECT_LE(stats.ceis_captured + stats.ceis_expired, stats.ceis_seen);
+  EXPECT_GT(stats.ceis_captured, 0);
+  EXPECT_GT(stats.ceis_expired, 0);  // the load is oversubscribed
+  // Budget respected everywhere.
+  EXPECT_TRUE(schedule.CheckFeasible(BudgetVector::Uniform(2)).ok());
+  EXPECT_LE(stats.probes_issued, 2 * kHorizon);
+  // The live candidate set stays bounded (windows cap at ~30 chronons, so
+  // live CEIs are O(arrival rate x window), far below the total submitted).
+  EXPECT_LT(max_live_ceis, 1000u);
+  EXPECT_LT(max_active_eis, 2000u);
+  EXPECT_GT(submitted, 25000);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,88 @@
+// Paper Figure 1 as a precise hand-built scenario.
+//
+// The introduction's arbitrage figure shows FIVE complex execution
+// intervals, each pairing one interval on stock market A with one on stock
+// market B — the analyst "is satisfied only if the proxy probes both
+// servers and captures both intervals of each CEI". This test builds that
+// exact structure and checks the scheduling consequences end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "model/completeness.h"
+#include "offline/exact_solver.h"
+#include "online/run.h"
+#include "policy/policy_factory.h"
+
+namespace webmon {
+namespace {
+
+constexpr ResourceId kMarketA = 0;
+constexpr ResourceId kMarketB = 1;
+
+// Five rank-2 CEIs spread over a 30-chronon epoch; the two markets' windows
+// overlap pairwise (the "crossed almost simultaneously" requirement).
+StatusOr<ProblemInstance> Figure1Instance(int64_t budget) {
+  ProblemBuilder builder(2, 30, BudgetVector::Uniform(budget));
+  builder.BeginProfile();  // the analyst
+  const std::vector<std::pair<Chronon, Chronon>> windows = {
+      {0, 4}, {5, 9}, {12, 16}, {18, 22}, {24, 28}};
+  for (const auto& [s, f] : windows) {
+    WEBMON_RETURN_IF_ERROR(builder
+                               .AddCei({{kMarketA, s, f},
+                                        {kMarketB, s + 1, f + 1}})
+                               .status());
+  }
+  return builder.Build();
+}
+
+TEST(PaperFigure1, BudgetOneCapturesEveryOpportunity) {
+  // Windows are 5 chronons wide and disjoint across CEIs: even C = 1
+  // suffices — probe A then B inside each window.
+  auto problem = Figure1Instance(1);
+  ASSERT_TRUE(problem.ok());
+  for (const char* name : {"mrsf", "m-edf", "s-edf"}) {
+    auto policy = MakePolicy(name);
+    ASSERT_TRUE(policy.ok());
+    auto run = RunOnline(*problem, policy->get());
+    ASSERT_TRUE(run.ok());
+    EXPECT_DOUBLE_EQ(run->completeness, 1.0) << name;
+    // Each CEI needs exactly two probes; no waste.
+    EXPECT_EQ(run->stats.probes_issued, 10) << name;
+  }
+}
+
+TEST(PaperFigure1, MatchesExactOptimum) {
+  auto problem = Figure1Instance(1);
+  ASSERT_TRUE(problem.ok());
+  auto exact = SolveExact(*problem);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->captured_ceis, 5);
+}
+
+TEST(PaperFigure1, ZeroBudgetCapturesNothing) {
+  auto problem = Figure1Instance(0);
+  ASSERT_TRUE(problem.ok());
+  auto policy = MakePolicy("mrsf");
+  ASSERT_TRUE(policy.ok());
+  auto run = RunOnline(*problem, policy->get());
+  ASSERT_TRUE(run.ok());
+  EXPECT_DOUBLE_EQ(run->completeness, 0.0);
+  EXPECT_EQ(run->stats.ceis_expired, 5);
+}
+
+TEST(PaperFigure1, BothLegsRequired) {
+  // Budget forced to market A only (via per-chronon budget of 1 and
+  // deadline structure won't do it — instead check the semantics directly):
+  // capturing only the A legs yields zero completeness.
+  auto problem = Figure1Instance(1);
+  ASSERT_TRUE(problem.ok());
+  Schedule only_a(2, 30);
+  for (const Cei* cei : problem->AllCeis()) {
+    ASSERT_TRUE(only_a.AddProbe(kMarketA, cei->eis[0].start).ok());
+  }
+  EXPECT_DOUBLE_EQ(GainedCompleteness(*problem, only_a), 0.0);
+  EXPECT_EQ(CapturedEiCount(*problem, only_a), 5);  // A legs captured
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,60 @@
+#include "policy/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(PolicyFactoryTest, CreatesAllKnownPolicies) {
+  for (const std::string& name : KnownPolicyNames()) {
+    auto policy = MakePolicy(name);
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_NE((*policy).get(), nullptr);
+  }
+}
+
+TEST(PolicyFactoryTest, CaseInsensitive) {
+  EXPECT_TRUE(MakePolicy("MRSF").ok());
+  EXPECT_TRUE(MakePolicy("S-EDF").ok());
+  EXPECT_TRUE(MakePolicy("m-EdF").ok());
+}
+
+TEST(PolicyFactoryTest, AcceptsAliases) {
+  auto sedf = MakePolicy("sedf");
+  ASSERT_TRUE(sedf.ok());
+  EXPECT_EQ((*sedf)->name(), "S-EDF");
+  auto medf = MakePolicy("medf");
+  ASSERT_TRUE(medf.ok());
+  EXPECT_EQ((*medf)->name(), "M-EDF");
+  EXPECT_TRUE(MakePolicy("roundrobin").ok());
+}
+
+TEST(PolicyFactoryTest, UnknownNameFails) {
+  EXPECT_EQ(MakePolicy("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(PolicyFactoryTest, NamesRoundTrip) {
+  // The canonical name of every constructed policy maps back to itself.
+  for (const std::string& name : KnownPolicyNames()) {
+    auto policy = MakePolicy(name);
+    ASSERT_TRUE(policy.ok());
+    auto again = MakePolicy((*policy)->name());
+    ASSERT_TRUE(again.ok()) << (*policy)->name();
+    EXPECT_EQ((*again)->name(), (*policy)->name());
+  }
+}
+
+TEST(PolicyFactoryTest, PaperPolicyLevels) {
+  auto sedf = MakePolicy("s-edf");
+  auto mrsf = MakePolicy("mrsf");
+  auto medf = MakePolicy("m-edf");
+  auto wic = MakePolicy("wic");
+  ASSERT_TRUE(sedf.ok() && mrsf.ok() && medf.ok() && wic.ok());
+  EXPECT_EQ((*sedf)->level(), Policy::Level::kIndividualEi);
+  EXPECT_EQ((*mrsf)->level(), Policy::Level::kRank);
+  EXPECT_EQ((*medf)->level(), Policy::Level::kMultiEi);
+  EXPECT_EQ((*wic)->level(), Policy::Level::kIndividualEi);
+}
+
+}  // namespace
+}  // namespace webmon

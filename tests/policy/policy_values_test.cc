@@ -1,0 +1,178 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "policy/m_edf.h"
+#include "policy/mrsf.h"
+#include "policy/random_policy.h"
+#include "policy/round_robin.h"
+#include "policy/s_edf.h"
+#include "policy/wic.h"
+
+namespace webmon {
+namespace {
+
+Cei MakeCei(std::vector<std::tuple<ResourceId, Chronon, Chronon>> specs,
+            CeiId id = 0) {
+  Cei cei;
+  cei.id = id;
+  EiId next = id * 100;
+  for (const auto& [r, s, f] : specs) {
+    ExecutionInterval ei;
+    ei.id = next++;
+    ei.resource = r;
+    ei.start = s;
+    ei.finish = f;
+    cei.eis.push_back(ei);
+  }
+  return cei;
+}
+
+TEST(CandidateTest, SEdfValueCountsRemainingChronons) {
+  ExecutionInterval ei;
+  ei.start = 5;
+  ei.finish = 14;
+  EXPECT_EQ(SEdfValue(ei, 10), 5);
+  EXPECT_EQ(SEdfValue(ei, 14), 1);  // last chance
+  EXPECT_EQ(SEdfValue(ei, 5), 10);
+}
+
+TEST(CandidateTest, MEdfSiblingValueUsesFullLengthWhenInactive) {
+  ExecutionInterval ei;
+  ei.start = 20;
+  ei.finish = 33;
+  // Not yet active at chronon 10: value is the interval's full length.
+  EXPECT_EQ(MEdfSiblingValue(ei, 10), 14);
+  // Active: deadline distance.
+  EXPECT_EQ(MEdfSiblingValue(ei, 25), 9);
+}
+
+TEST(CeiStateTest, TracksCapturesAndResidual) {
+  const Cei cei = MakeCei({{0, 0, 2}, {1, 3, 5}, {2, 6, 8}});
+  CeiState state(&cei);
+  EXPECT_FALSE(state.Started());
+  EXPECT_FALSE(state.Complete());
+  EXPECT_EQ(state.Residual(), 3u);
+  state.captured[0] = true;
+  state.num_captured = 1;
+  EXPECT_TRUE(state.Started());
+  EXPECT_EQ(state.Residual(), 2u);
+  state.captured[1] = state.captured[2] = true;
+  state.num_captured = 3;
+  EXPECT_TRUE(state.Complete());
+}
+
+TEST(SEdfPolicyTest, ValueIsDeadlineDistance) {
+  const Cei cei = MakeCei({{0, 5, 14}});
+  CeiState state(&cei);
+  CandidateEi cand{&state, 0};
+  SEdfPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.Value(cand, 10), 5.0);
+  EXPECT_EQ(policy.name(), "S-EDF");
+  EXPECT_EQ(policy.level(), Policy::Level::kIndividualEi);
+}
+
+TEST(MrsfPolicyTest, ValueIsResidualEiCount) {
+  const Cei cei = MakeCei({{0, 0, 5}, {1, 0, 5}, {2, 0, 5}, {3, 0, 5}});
+  CeiState state(&cei);
+  MrsfPolicy policy;
+  CandidateEi cand{&state, 0};
+  EXPECT_DOUBLE_EQ(policy.Value(cand, 0), 4.0);
+  state.captured[1] = true;
+  state.num_captured = 1;
+  EXPECT_DOUBLE_EQ(policy.Value(cand, 0), 3.0);
+  EXPECT_EQ(policy.level(), Policy::Level::kRank);
+}
+
+TEST(MEdfPolicyTest, SumsUncapturedSiblingChronons) {
+  const Cei cei = MakeCei({{0, 10, 14}, {1, 16, 21}, {2, 23, 27}, {3, 30, 35}});
+  CeiState state(&cei);
+  MEdfPolicy policy;
+  CandidateEi cand{&state, 0};
+  // At chronon 10: 5 (active) + 6 + 5 + 6 (full lengths) = 22.
+  EXPECT_DOUBLE_EQ(policy.Value(cand, 10), 22.0);
+  // Capturing a sibling removes its term.
+  state.captured[3] = true;
+  state.num_captured = 1;
+  EXPECT_DOUBLE_EQ(policy.Value(cand, 10), 16.0);
+  EXPECT_EQ(policy.level(), Policy::Level::kMultiEi);
+}
+
+TEST(MEdfPolicyTest, ActiveSiblingCountedFromNow) {
+  const Cei cei = MakeCei({{0, 0, 9}, {1, 0, 19}});
+  CeiState state(&cei);
+  MEdfPolicy policy;
+  CandidateEi cand{&state, 0};
+  // At chronon 5: (9-5+1) + (19-5+1) = 5 + 15 = 20.
+  EXPECT_DOUBLE_EQ(policy.Value(cand, 5), 20.0);
+}
+
+TEST(WicPolicyTest, PrefersResourceWithMostPendingEis) {
+  const Cei a = MakeCei({{0, 0, 5}}, 1);
+  const Cei b = MakeCei({{0, 0, 5}}, 2);
+  const Cei c = MakeCei({{1, 0, 5}}, 3);
+  CeiState sa(&a);
+  CeiState sb(&b);
+  CeiState sc(&c);
+  std::vector<CandidateEi> active{{&sa, 0}, {&sb, 0}, {&sc, 0}};
+  WicPolicy policy;
+  policy.BeginChronon(active, 0);
+  // Resource 0 has utility 2, resource 1 has 1; lower cost = preferred.
+  EXPECT_LT(policy.Value(active[0], 0), policy.Value(active[2], 0));
+  EXPECT_DOUBLE_EQ(policy.Value(active[0], 0), -2.0);
+  EXPECT_DOUBLE_EQ(policy.Value(active[2], 0), -1.0);
+}
+
+TEST(WicPolicyTest, UnknownResourceHasZeroUtility) {
+  const Cei a = MakeCei({{0, 0, 5}});
+  CeiState sa(&a);
+  WicPolicy policy;
+  policy.BeginChronon({}, 0);
+  CandidateEi cand{&sa, 0};
+  EXPECT_DOUBLE_EQ(policy.Value(cand, 0), 0.0);
+}
+
+TEST(RandomPolicyTest, StableWithinChronon) {
+  const Cei a = MakeCei({{0, 0, 5}}, 1);
+  CeiState sa(&a);
+  std::vector<CandidateEi> active{{&sa, 0}};
+  RandomPolicy policy(7);
+  policy.BeginChronon(active, 0);
+  const double v1 = policy.Value(active[0], 0);
+  const double v2 = policy.Value(active[0], 0);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(RandomPolicyTest, DeterministicAcrossInstances) {
+  const Cei a = MakeCei({{0, 0, 5}}, 1);
+  CeiState sa(&a);
+  std::vector<CandidateEi> active{{&sa, 0}};
+  RandomPolicy p1(7);
+  RandomPolicy p2(7);
+  p1.BeginChronon(active, 0);
+  p2.BeginChronon(active, 0);
+  EXPECT_EQ(p1.Value(active[0], 0), p2.Value(active[0], 0));
+}
+
+TEST(RoundRobinPolicyTest, PrefersLeastRecentlyProbed) {
+  const Cei a = MakeCei({{0, 0, 9}}, 1);
+  const Cei b = MakeCei({{1, 0, 9}}, 2);
+  CeiState sa(&a);
+  CeiState sb(&b);
+  CandidateEi ca{&sa, 0};
+  CandidateEi cb{&sb, 0};
+  RoundRobinPolicy policy;
+  // Initially equal deadlines; after probing resource 0 it becomes costly.
+  policy.NotifyProbed(0, 3);
+  EXPECT_GT(policy.Value(ca, 4), policy.Value(cb, 4));
+}
+
+TEST(PolicyLevelToStringTest, CoversAll) {
+  EXPECT_STREQ(PolicyLevelToString(Policy::Level::kIndividualEi),
+               "individual-EI");
+  EXPECT_STREQ(PolicyLevelToString(Policy::Level::kRank), "rank");
+  EXPECT_STREQ(PolicyLevelToString(Policy::Level::kMultiEi), "multi-EI");
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,157 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+// The paper's Example 2, query q1, nearly verbatim.
+TEST(ParserTest, PaperQ1) {
+  auto query = ParseQuery(
+      "SELECT item AS F1 FROM feed(MishBlog) "
+      "WHEN EVERY 10 MINUTES AS T1 WITHIN T1+2 MINUTES");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->alias, "F1");
+  EXPECT_EQ(query->feed, "MishBlog");
+  EXPECT_EQ(query->trigger, TriggerKind::kEvery);
+  EXPECT_EQ(query->period, 10);
+  EXPECT_EQ(query->anchor_def, "T1");
+  EXPECT_EQ(query->within_anchor, "T1");
+  EXPECT_EQ(query->within_offset, 2);
+}
+
+// The paper's Example 2, query q2.
+TEST(ParserTest, PaperQ2) {
+  auto query = ParseQuery(
+      "SELECT item AS F2 FROM feed(CNNBreakingNews) "
+      "WHEN F1 CONTAINS %oil% WITHIN T1+10 MINUTES");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->trigger, TriggerKind::kContent);
+  EXPECT_EQ(query->depends_on, "F1");
+  EXPECT_EQ(query->needle, "oil");
+  EXPECT_EQ(query->within_anchor, "T1");
+  EXPECT_EQ(query->within_offset, 10);
+}
+
+// The paper's Example 3, query q1 (push-triggered).
+TEST(ParserTest, PaperExample3Push) {
+  auto query = ParseQuery(
+      "SELECT item AS F1 FROM feed(StockExchange) WHEN ON PUSH AS T1");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->trigger, TriggerKind::kPush);
+  EXPECT_EQ(query->anchor_def, "T1");
+  EXPECT_TRUE(query->within_anchor.empty());
+}
+
+TEST(ParserTest, OnNotifyTrigger) {
+  auto query = ParseQuery(
+      "SELECT item AS F1 FROM feed(MishBlog) WHEN ON NOTIFY AS T1 "
+      "WITHIN T1+5");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->trigger, TriggerKind::kNotify);
+  EXPECT_EQ(query->anchor_def, "T1");
+  EXPECT_EQ(query->within_offset, 5);
+  // Round trip.
+  auto reparsed = ParseQuery(query->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->trigger, TriggerKind::kNotify);
+}
+
+TEST(ParserTest, OnWithoutPushOrNotifyRejected) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT item AS F1 FROM feed(X) WHEN ON SOMETHING").ok());
+}
+
+TEST(ParserTest, WithinIsOptional) {
+  auto query =
+      ParseQuery("SELECT item AS F1 FROM feed(X) WHEN EVERY 5");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->within_anchor.empty());
+  EXPECT_EQ(query->within_offset, 0);
+}
+
+TEST(ParserTest, MultiQueryProgram) {
+  auto queries = ParseQueries(
+      "SELECT item AS F1 FROM feed(MishBlog) "
+      "  WHEN EVERY 10 AS T1 WITHIN T1+2;"
+      "SELECT item AS F2 FROM feed(CNNBreakingNews) "
+      "  WHEN F1 CONTAINS %oil% WITHIN T1+10;"
+      "SELECT item AS F3 FROM feed(CNNMoney) "
+      "  WHEN F1 CONTAINS %oil% WITHIN T1+10");
+  ASSERT_TRUE(queries.ok()) << queries.status();
+  ASSERT_EQ(queries->size(), 3u);
+  EXPECT_EQ((*queries)[2].alias, "F3");
+  EXPECT_EQ((*queries)[2].depends_on, "F1");
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  auto queries =
+      ParseQueries("SELECT item AS F1 FROM feed(X) WHEN EVERY 5;");
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries->size(), 1u);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  const std::string text =
+      "SELECT item AS F1 FROM feed(MishBlog) WHEN EVERY 10 AS T1 "
+      "WITHIN T1+2";
+  auto query = ParseQuery(text);
+  ASSERT_TRUE(query.ok());
+  auto reparsed = ParseQuery(query->ToString());
+  ASSERT_TRUE(reparsed.ok()) << query->ToString();
+  EXPECT_EQ(reparsed->ToString(), query->ToString());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT item F1 FROM feed(X) WHEN EVERY 5").ok());
+  EXPECT_FALSE(ParseQuery("SELECT item AS F1 FROM X WHEN EVERY 5").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT item AS F1 FROM feed(X) WHEN EVERY five").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT item AS F1 FROM feed(X) WHEN F2 CONTAINS oil").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT item AS F1 FROM feed(X) WHEN EVERY 5 garbage").ok());
+}
+
+TEST(ParserTest, ValidationErrors) {
+  // Duplicate alias.
+  EXPECT_FALSE(ParseQueries("SELECT item AS F1 FROM feed(X) WHEN EVERY 5;"
+                            "SELECT item AS F1 FROM feed(Y) WHEN EVERY 5")
+                   .ok());
+  // Unknown dependency.
+  EXPECT_FALSE(ParseQueries("SELECT item AS F2 FROM feed(Y) WHEN F9 "
+                            "CONTAINS %x%")
+                   .ok());
+  // Unknown WITHIN anchor.
+  EXPECT_FALSE(ParseQueries("SELECT item AS F1 FROM feed(X) WHEN EVERY 5 "
+                            "WITHIN T9+1")
+                   .ok());
+  // Content query depending on a content query.
+  EXPECT_FALSE(
+      ParseQueries("SELECT item AS F1 FROM feed(X) WHEN EVERY 5 AS T1;"
+                   "SELECT item AS F2 FROM feed(Y) WHEN F1 CONTAINS %a%;"
+                   "SELECT item AS F3 FROM feed(Z) WHEN F2 CONTAINS %b%")
+          .ok());
+  // Anchor belonging to an unrelated query.
+  EXPECT_FALSE(
+      ParseQueries("SELECT item AS F1 FROM feed(X) WHEN EVERY 5 AS T1;"
+                   "SELECT item AS F2 FROM feed(Y) WHEN EVERY 7 AS T2;"
+                   "SELECT item AS F3 FROM feed(Z) WHEN F1 CONTAINS %a% "
+                   "WITHIN T2+3")
+          .ok());
+  // Zero period.
+  EXPECT_FALSE(
+      ParseQueries("SELECT item AS F1 FROM feed(X) WHEN EVERY 0").ok());
+}
+
+TEST(ParserTest, DependencyAnchorAllowed) {
+  auto queries =
+      ParseQueries("SELECT item AS F1 FROM feed(X) WHEN ON PUSH AS T1;"
+                   "SELECT item AS F2 FROM feed(Y) WHEN F1 CONTAINS %a% "
+                   "WITHIN T1+3");
+  ASSERT_TRUE(queries.ok()) << queries.status();
+}
+
+}  // namespace
+}  // namespace webmon

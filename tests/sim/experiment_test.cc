@@ -1,0 +1,144 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.trace_kind = TraceKind::kPoisson;
+  config.poisson.num_resources = 40;
+  config.poisson.num_chronons = 120;
+  config.poisson.lambda = 8.0;
+  config.profile_template = ProfileTemplate::AuctionWatch(3, true, 5);
+  config.workload.num_profiles = 15;
+  config.workload.alpha = 0.3;
+  config.workload.budget = 1;
+  config.repetitions = 3;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ExperimentTest, RunsAllPoliciesAndAggregates) {
+  auto result = RunExperiment(
+      SmallConfig(),
+      {{"mrsf", true}, {"s-edf", false}, {"m-edf", true}},
+      /*include_offline=*/true);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->policies.size(), 3u);
+  for (const auto& p : result->policies) {
+    EXPECT_EQ(p.completeness.count(), 3);
+    EXPECT_GE(p.completeness.mean(), 0.0);
+    EXPECT_LE(p.completeness.mean(), 1.0);
+    EXPECT_GT(p.probes.mean(), 0.0);
+  }
+  ASSERT_TRUE(result->offline.has_value());
+  EXPECT_EQ(result->offline->completeness.count(), 3);
+  EXPECT_GT(result->total_ceis.mean(), 0.0);
+  EXPECT_GT(result->total_eis.mean(), result->total_ceis.mean());
+}
+
+TEST(ExperimentTest, DeterministicAcrossCalls) {
+  auto a = RunExperiment(SmallConfig(), {{"mrsf", true}});
+  auto b = RunExperiment(SmallConfig(), {{"mrsf", true}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->policies[0].completeness.mean(),
+            b->policies[0].completeness.mean());
+  EXPECT_EQ(a->total_ceis.mean(), b->total_ceis.mean());
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  auto config = SmallConfig();
+  auto a = RunExperiment(config, {{"mrsf", true}});
+  config.seed = 8;
+  auto b = RunExperiment(config, {{"mrsf", true}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->total_ceis.mean(), b->total_ceis.mean());
+}
+
+TEST(ExperimentTest, PerfectModelValidatedEqualsScheduled) {
+  auto result = RunExperiment(SmallConfig(), {{"mrsf", true}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->policies[0].completeness.mean(),
+                   result->policies[0].validated_completeness.mean());
+}
+
+TEST(ExperimentTest, NoisyModelValidatedNeverExceedsScheduled) {
+  auto config = SmallConfig();
+  config.z_noise = 0.6;
+  config.noise_max_shift = 8;
+  auto result = RunExperiment(config, {{"m-edf", true}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->policies[0].validated_completeness.mean(),
+            result->policies[0].completeness.mean() + 1e-12);
+}
+
+TEST(ExperimentTest, NoiseDegradesValidatedCompleteness) {
+  auto clean_cfg = SmallConfig();
+  clean_cfg.repetitions = 4;
+  auto noisy_cfg = clean_cfg;
+  noisy_cfg.z_noise = 0.9;
+  noisy_cfg.noise_max_shift = 15;
+  auto clean = RunExperiment(clean_cfg, {{"m-edf", true}});
+  auto noisy = RunExperiment(noisy_cfg, {{"m-edf", true}});
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_LT(noisy->policies[0].validated_completeness.mean(),
+            clean->policies[0].validated_completeness.mean());
+}
+
+TEST(ExperimentTest, AuctionTraceKindRuns) {
+  auto config = SmallConfig();
+  config.trace_kind = TraceKind::kAuction;
+  config.auction.num_auctions = 60;
+  config.auction.target_total_bids = 600;
+  config.auction.num_chronons = 200;
+  config.repetitions = 2;
+  auto result = RunExperiment(config, {{"mrsf", true}});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->total_ceis.mean(), 0.0);
+}
+
+TEST(ExperimentTest, NewsTraceWithEstimatedModelRuns) {
+  auto config = SmallConfig();
+  config.trace_kind = TraceKind::kNews;
+  config.news.num_feeds = 20;
+  config.news.target_total_events = 800;
+  config.news.num_chronons = 200;
+  config.use_estimated_model = true;
+  config.workload.max_ceis_per_profile = 10;
+  config.repetitions = 2;
+  auto result = RunExperiment(config, {{"m-edf", true}});
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Estimated model: validated completeness strictly below scheduled
+  // (almost surely, given regenerated predictions).
+  EXPECT_LE(result->policies[0].validated_completeness.mean(),
+            result->policies[0].completeness.mean() + 1e-12);
+}
+
+TEST(ExperimentTest, ZeroRepetitionsRejected) {
+  auto config = SmallConfig();
+  config.repetitions = 0;
+  EXPECT_FALSE(RunExperiment(config, {{"mrsf", true}}).ok());
+}
+
+TEST(ExperimentTest, UnknownPolicyRejected) {
+  EXPECT_FALSE(RunExperiment(SmallConfig(), {{"bogus", true}}).ok());
+}
+
+TEST(ExperimentTest, PolicySpecLabels) {
+  EXPECT_EQ((PolicySpec{"mrsf", true}).Label(), "mrsf(P)");
+  EXPECT_EQ((PolicySpec{"S-EDF", false}).Label(), "S-EDF(NP)");
+}
+
+TEST(ExperimentTest, TraceKindNames) {
+  EXPECT_STREQ(TraceKindToString(TraceKind::kPoisson), "poisson");
+  EXPECT_STREQ(TraceKindToString(TraceKind::kAuction), "auction");
+  EXPECT_STREQ(TraceKindToString(TraceKind::kNews), "news");
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,73 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+ExperimentResult FakeResult(bool with_offline) {
+  ExperimentResult result;
+  PolicyResult p;
+  p.spec = {"mrsf", true};
+  p.completeness.Add(0.5);
+  p.completeness.Add(0.7);
+  p.validated_completeness.Add(0.4);
+  p.validated_completeness.Add(0.6);
+  p.usec_per_ei.Add(0.25);
+  p.mean_capture_delay.Add(3.0);
+  p.probes.Add(100);
+  result.policies.push_back(p);
+  if (with_offline) {
+    result.offline.emplace();
+    result.offline->completeness.Add(0.3);
+    result.offline->validated_completeness.Add(0.3);
+    result.offline->usec_per_ei.Add(1.5);
+  }
+  result.total_ceis.Add(40);
+  result.total_eis.Add(120);
+  return result;
+}
+
+TEST(ReportTest, DefaultColumns) {
+  const auto table = BuildPolicyTable(FakeResult(false));
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("mrsf(P)"), std::string::npos);
+  EXPECT_NE(text.find("60.0%"), std::string::npos);  // mean completeness
+  EXPECT_NE(text.find("validated"), std::string::npos);
+  EXPECT_NE(text.find("probes"), std::string::npos);
+  EXPECT_EQ(text.find("us/EI"), std::string::npos);
+}
+
+TEST(ReportTest, OptionalColumns) {
+  ReportOptions options;
+  options.runtime = true;
+  options.timeliness = true;
+  options.ci = true;
+  options.validated = false;
+  options.probes = false;
+  const auto table = BuildPolicyTable(FakeResult(false), options);
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("us/EI"), std::string::npos);
+  EXPECT_NE(text.find("capture delay"), std::string::npos);
+  EXPECT_NE(text.find("ci95"), std::string::npos);
+  EXPECT_EQ(text.find("validated"), std::string::npos);
+  EXPECT_EQ(text.find("probes"), std::string::npos);
+}
+
+TEST(ReportTest, OfflineRowAppended) {
+  const auto table = BuildPolicyTable(FakeResult(true));
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("offline-approx"), std::string::npos);
+  EXPECT_NE(text.find("30.0%"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(ReportTest, WorkloadSummary) {
+  const std::string summary = WorkloadSummary(FakeResult(false));
+  EXPECT_NE(summary.find("avg CEIs=40"), std::string::npos);
+  EXPECT_NE(summary.find("avg EIs=120"), std::string::npos);
+  EXPECT_NE(summary.find("reps=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,54 @@
+// Shared helpers for webmon tests.
+
+#ifndef WEBMON_TESTS_TEST_UTIL_H_
+#define WEBMON_TESTS_TEST_UTIL_H_
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/problem.h"
+
+namespace webmon {
+namespace testing_util {
+
+/// (resource, start, finish) triple describing one EI.
+using EiSpec = std::tuple<ResourceId, Chronon, Chronon>;
+/// A CEI is a list of EIs.
+using CeiSpec = std::vector<EiSpec>;
+/// A profile is a list of CEIs.
+using ProfileSpec = std::vector<CeiSpec>;
+
+/// Builds a validated instance from nested specs; aborts the test on error.
+inline ProblemInstance MakeProblem(uint32_t num_resources,
+                                   Chronon num_chronons, int64_t budget,
+                                   const std::vector<ProfileSpec>& profiles) {
+  ProblemBuilder builder(num_resources, num_chronons,
+                         BudgetVector::Uniform(budget));
+  for (const auto& profile : profiles) {
+    builder.BeginProfile();
+    for (const auto& cei : profile) {
+      auto id = builder.AddCei(cei);
+      EXPECT_TRUE(id.ok()) << id.status();
+    }
+  }
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status();
+  return std::move(built).value();
+}
+
+/// Shorthand: one profile per CEI (each client has a single complex need).
+inline ProblemInstance MakeProblemOneCeiPerProfile(
+    uint32_t num_resources, Chronon num_chronons, int64_t budget,
+    const std::vector<CeiSpec>& ceis) {
+  std::vector<ProfileSpec> profiles;
+  profiles.reserve(ceis.size());
+  for (const auto& cei : ceis) profiles.push_back({cei});
+  return MakeProblem(num_resources, num_chronons, budget, profiles);
+}
+
+}  // namespace testing_util
+}  // namespace webmon
+
+#endif  // WEBMON_TESTS_TEST_UTIL_H_

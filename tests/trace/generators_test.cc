@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "trace/auction_trace.h"
+#include "trace/news_trace.h"
+#include "trace/poisson_trace.h"
+
+namespace webmon {
+namespace {
+
+TEST(PoissonTraceTest, RespectsDimensions) {
+  PoissonTraceOptions options;
+  options.num_resources = 10;
+  options.num_chronons = 100;
+  options.lambda = 5.0;
+  Rng rng(1);
+  auto trace = GeneratePoissonTrace(options, rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_resources(), 10u);
+  EXPECT_EQ(trace->num_chronons(), 100);
+  for (ResourceId r = 0; r < 10; ++r) {
+    for (Chronon t : trace->EventsOf(r)) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, 100);
+    }
+  }
+}
+
+TEST(PoissonTraceTest, MeanEventsMatchLambda) {
+  PoissonTraceOptions options;
+  options.num_resources = 500;
+  options.num_chronons = 1000;
+  options.lambda = 20.0;
+  Rng rng(2);
+  auto trace = GeneratePoissonTrace(options, rng);
+  ASSERT_TRUE(trace.ok());
+  const double mean =
+      static_cast<double>(trace->TotalEvents()) / 500.0;
+  EXPECT_NEAR(mean, 20.0, 1.0);
+}
+
+TEST(PoissonTraceTest, DeterministicGivenSeed) {
+  PoissonTraceOptions options;
+  options.num_resources = 5;
+  options.num_chronons = 50;
+  options.lambda = 10.0;
+  Rng rng1(42);
+  Rng rng2(42);
+  auto a = GeneratePoissonTrace(options, rng1);
+  auto b = GeneratePoissonTrace(options, rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToText(), b->ToText());
+}
+
+TEST(PoissonTraceTest, HeterogeneityPreservesMeanRoughly) {
+  PoissonTraceOptions options;
+  options.num_resources = 1000;
+  options.num_chronons = 500;
+  options.lambda = 10.0;
+  options.heterogeneity = 0.5;
+  Rng rng(3);
+  auto trace = GeneratePoissonTrace(options, rng);
+  ASSERT_TRUE(trace.ok());
+  const double mean = static_cast<double>(trace->TotalEvents()) / 1000.0;
+  EXPECT_NEAR(mean, 10.0, 1.5);
+}
+
+TEST(PoissonTraceTest, RejectsBadParams) {
+  Rng rng(4);
+  PoissonTraceOptions bad;
+  bad.lambda = -1;
+  EXPECT_FALSE(GeneratePoissonTrace(bad, rng).ok());
+  bad = {};
+  bad.heterogeneity = -1;
+  EXPECT_FALSE(GeneratePoissonTrace(bad, rng).ok());
+  bad = {};
+  bad.num_chronons = 0;
+  EXPECT_FALSE(GeneratePoissonTrace(bad, rng).ok());
+}
+
+TEST(AuctionTraceTest, CalibratedToPaperTotals) {
+  AuctionTraceOptions options;  // defaults: 732 auctions, 11150 bids
+  Rng rng(5);
+  auto trace = GenerateAuctionTrace(options, rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_resources(), 732u);
+  // Within 10% of the real trace's bid count (Poisson variance + dedup of
+  // same-chronon bids pull the realized count slightly down).
+  EXPECT_NEAR(static_cast<double>(trace->TotalEvents()), 11150.0, 1115.0);
+}
+
+TEST(AuctionTraceTest, SnipingConcentratesLateBids) {
+  AuctionTraceOptions options;
+  options.num_auctions = 200;
+  options.target_total_bids = 8000;
+  options.num_chronons = 1000;
+  options.stagger_fraction = 0.0;  // all auctions span the full epoch
+  options.sniping_boost = 8.0;
+  options.sniping_fraction = 0.1;
+  Rng rng(6);
+  auto trace = GenerateAuctionTrace(options, rng);
+  ASSERT_TRUE(trace.ok());
+  int64_t last_decile = 0;
+  for (ResourceId r = 0; r < options.num_auctions; ++r) {
+    for (Chronon t : trace->EventsOf(r)) {
+      if (t >= 900) ++last_decile;
+    }
+  }
+  const double frac = static_cast<double>(last_decile) /
+                      static_cast<double>(trace->TotalEvents());
+  // With boost 8 on the last 10%: expected share = 0.8/1.7 ~ 0.47.
+  EXPECT_GT(frac, 0.35);
+}
+
+TEST(AuctionTraceTest, RejectsBadParams) {
+  Rng rng(7);
+  AuctionTraceOptions bad;
+  bad.num_auctions = 0;
+  EXPECT_FALSE(GenerateAuctionTrace(bad, rng).ok());
+  bad = {};
+  bad.sniping_boost = 0.5;
+  EXPECT_FALSE(GenerateAuctionTrace(bad, rng).ok());
+  bad = {};
+  bad.sniping_fraction = 1.5;
+  EXPECT_FALSE(GenerateAuctionTrace(bad, rng).ok());
+  bad = {};
+  bad.target_total_bids = -1;
+  EXPECT_FALSE(GenerateAuctionTrace(bad, rng).ok());
+}
+
+TEST(NewsTraceTest, CalibratedToPaperTotals) {
+  NewsTraceOptions options;  // defaults: 130 feeds, 68000 events
+  Rng rng(8);
+  auto trace = GenerateNewsTrace(options, rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_resources(), 130u);
+  // Dedup of same-chronon events trims the total; allow 15%.
+  EXPECT_NEAR(static_cast<double>(trace->TotalEvents()), 68000.0, 10200.0);
+}
+
+TEST(NewsTraceTest, ActivityIsSkewed) {
+  NewsTraceOptions options;
+  Rng rng(9);
+  auto trace = GenerateNewsTrace(options, rng);
+  ASSERT_TRUE(trace.ok());
+  // Feed 0 (most popular under Zipf) should far exceed the last feed.
+  EXPECT_GT(trace->EventsOf(0).size(), 10 * trace->EventsOf(129).size());
+}
+
+TEST(NewsTraceTest, RejectsBadParams) {
+  Rng rng(10);
+  NewsTraceOptions bad;
+  bad.num_feeds = 0;
+  EXPECT_FALSE(GenerateNewsTrace(bad, rng).ok());
+  bad = {};
+  bad.target_total_events = -5;
+  EXPECT_FALSE(GenerateNewsTrace(bad, rng).ok());
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,103 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(EventTraceTest, AddAndQuery) {
+  EventTrace trace(2, 10);
+  ASSERT_TRUE(trace.AddEvent(0, 3).ok());
+  ASSERT_TRUE(trace.AddEvent(0, 7).ok());
+  ASSERT_TRUE(trace.AddEvent(1, 5).ok());
+  trace.Finalize();
+  EXPECT_EQ(trace.TotalEvents(), 3);
+  EXPECT_EQ(trace.EventsOf(0).size(), 2u);
+  EXPECT_EQ(trace.EventsOf(1).size(), 1u);
+  EXPECT_TRUE(trace.EventsOf(2).empty());
+}
+
+TEST(EventTraceTest, RejectsOutOfRange) {
+  EventTrace trace(2, 10);
+  EXPECT_EQ(trace.AddEvent(2, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(trace.AddEvent(0, 10).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(trace.AddEvent(0, -1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(EventTraceTest, FinalizeSortsAndDedups) {
+  EventTrace trace(1, 10);
+  ASSERT_TRUE(trace.AddEvent(0, 7).ok());
+  ASSERT_TRUE(trace.AddEvent(0, 3).ok());
+  ASSERT_TRUE(trace.AddEvent(0, 7).ok());
+  trace.Finalize();
+  EXPECT_EQ(trace.TotalEvents(), 2);
+  EXPECT_EQ(trace.EventsOf(0), (std::vector<Chronon>{3, 7}));
+}
+
+TEST(EventTraceTest, NextAndLastEventQueries) {
+  EventTrace trace(1, 20);
+  for (Chronon t : {2, 8, 15}) ASSERT_TRUE(trace.AddEvent(0, t).ok());
+  trace.Finalize();
+  EXPECT_EQ(trace.NextEventAtOrAfter(0, 0), 2);
+  EXPECT_EQ(trace.NextEventAtOrAfter(0, 2), 2);
+  EXPECT_EQ(trace.NextEventAtOrAfter(0, 3), 8);
+  EXPECT_EQ(trace.NextEventAtOrAfter(0, 16), kInvalidChronon);
+  EXPECT_EQ(trace.LastEventAtOrBefore(0, 1), kInvalidChronon);
+  EXPECT_EQ(trace.LastEventAtOrBefore(0, 2), 2);
+  EXPECT_EQ(trace.LastEventAtOrBefore(0, 14), 8);
+  EXPECT_EQ(trace.LastEventAtOrBefore(0, 19), 15);
+}
+
+TEST(EventTraceTest, HasEventInRange) {
+  EventTrace trace(1, 20);
+  ASSERT_TRUE(trace.AddEvent(0, 10).ok());
+  trace.Finalize();
+  EXPECT_TRUE(trace.HasEventInRange(0, 5, 15));
+  EXPECT_TRUE(trace.HasEventInRange(0, 10, 10));
+  EXPECT_FALSE(trace.HasEventInRange(0, 0, 9));
+  EXPECT_FALSE(trace.HasEventInRange(0, 11, 19));
+}
+
+TEST(EventTraceTest, TextRoundTrip) {
+  EventTrace trace(3, 50);
+  ASSERT_TRUE(trace.AddEvent(0, 1).ok());
+  ASSERT_TRUE(trace.AddEvent(2, 49).ok());
+  ASSERT_TRUE(trace.AddEvent(1, 25).ok());
+  trace.Finalize();
+  auto parsed = EventTrace::FromText(trace.ToText());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_resources(), 3u);
+  EXPECT_EQ(parsed->num_chronons(), 50);
+  EXPECT_EQ(parsed->TotalEvents(), 3);
+  EXPECT_EQ(parsed->EventsOf(1), (std::vector<Chronon>{25}));
+}
+
+TEST(EventTraceTest, FromTextRejectsGarbage) {
+  EXPECT_FALSE(EventTrace::FromText("").ok());
+  EXPECT_FALSE(EventTrace::FromText("not-a-trace 1 1").ok());
+  EXPECT_FALSE(EventTrace::FromText("webmon-trace 1 0").ok());
+  EXPECT_FALSE(EventTrace::FromText("webmon-trace 1 10\n5 3\n").ok());
+  EXPECT_FALSE(EventTrace::FromText("webmon-trace 1 10\n0 xyz\n").ok());
+}
+
+TEST(EventTraceTest, FileRoundTrip) {
+  EventTrace trace(2, 10);
+  ASSERT_TRUE(trace.AddEvent(1, 4).ok());
+  trace.Finalize();
+  const std::string path = ::testing::TempDir() + "/webmon_trace_test.txt";
+  ASSERT_TRUE(trace.SaveToFile(path).ok());
+  auto loaded = EventTrace::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->EventsOf(1), (std::vector<Chronon>{4}));
+  std::remove(path.c_str());
+}
+
+TEST(EventTraceTest, LoadMissingFileFails) {
+  EXPECT_EQ(EventTrace::LoadFromFile("/nonexistent/path.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,152 @@
+#include "trace/update_model.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+EventTrace SmallTrace() {
+  EventTrace trace(2, 100);
+  for (Chronon t : {10, 30, 60, 90}) EXPECT_TRUE(trace.AddEvent(0, t).ok());
+  for (Chronon t : {5, 50}) EXPECT_TRUE(trace.AddEvent(1, t).ok());
+  trace.Finalize();
+  return trace;
+}
+
+TEST(PerfectModelTest, PredictionsEqualTrueEvents) {
+  const EventTrace trace = SmallTrace();
+  PerfectUpdateModel model(trace);
+  EXPECT_EQ(model.PredictedUpdates(0), trace.EventsOf(0));
+  EXPECT_EQ(model.PredictedUpdates(1), trace.EventsOf(1));
+  EXPECT_EQ(model.IntendedTrueEvent(0, 1), 30);
+  EXPECT_EQ(model.IntendedTrueEvent(0, 99), kInvalidChronon);
+  EXPECT_EQ(model.name(), "perfect");
+}
+
+TEST(FpnModelTest, ZeroNoiseIsPerfect) {
+  const EventTrace trace = SmallTrace();
+  Rng rng(1);
+  auto model = FpnUpdateModel::Create(trace, 0.0, 5, rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->PredictedUpdates(0), trace.EventsOf(0));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(model->IntendedTrueEvent(0, i), trace.EventsOf(0)[i]);
+  }
+}
+
+TEST(FpnModelTest, FullNoiseShiftsEveryPrediction) {
+  const EventTrace trace = SmallTrace();
+  Rng rng(2);
+  auto model = FpnUpdateModel::Create(trace, 1.0, 5, rng);
+  ASSERT_TRUE(model.ok());
+  // Every prediction must deviate from its intended true event.
+  for (ResourceId r = 0; r < 2; ++r) {
+    const auto& predicted = model->PredictedUpdates(r);
+    ASSERT_EQ(predicted.size(), trace.EventsOf(r).size());
+    for (size_t i = 0; i < predicted.size(); ++i) {
+      const Chronon e = model->IntendedTrueEvent(r, i);
+      EXPECT_NE(predicted[i], e);
+      EXPECT_LE(std::abs(predicted[i] - e), 5);
+      EXPECT_GE(predicted[i], 0);
+      EXPECT_LT(predicted[i], 100);
+    }
+  }
+}
+
+TEST(FpnModelTest, PredictionsStaySorted) {
+  const EventTrace trace = SmallTrace();
+  Rng rng(3);
+  auto model = FpnUpdateModel::Create(trace, 0.7, 10, rng);
+  ASSERT_TRUE(model.ok());
+  for (ResourceId r = 0; r < 2; ++r) {
+    const auto& predicted = model->PredictedUpdates(r);
+    for (size_t i = 1; i < predicted.size(); ++i) {
+      EXPECT_LE(predicted[i - 1], predicted[i]);
+    }
+  }
+}
+
+TEST(FpnModelTest, PartialNoiseMostlyPerturbs) {
+  EventTrace trace(1, 10000);
+  for (Chronon t = 0; t < 10000; t += 10) {
+    ASSERT_TRUE(trace.AddEvent(0, t).ok());
+  }
+  trace.Finalize();
+  Rng rng(4);
+  auto model = FpnUpdateModel::Create(trace, 0.3, 3, rng);
+  ASSERT_TRUE(model.ok());
+  int shifted = 0;
+  const auto& predicted = model->PredictedUpdates(0);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] != model->IntendedTrueEvent(0, i)) ++shifted;
+  }
+  const double frac = static_cast<double>(shifted) /
+                      static_cast<double>(predicted.size());
+  EXPECT_NEAR(frac, 0.3, 0.05);
+}
+
+TEST(FpnModelTest, RejectsBadParams) {
+  const EventTrace trace = SmallTrace();
+  Rng rng(5);
+  EXPECT_FALSE(FpnUpdateModel::Create(trace, -0.1, 5, rng).ok());
+  EXPECT_FALSE(FpnUpdateModel::Create(trace, 1.1, 5, rng).ok());
+  EXPECT_FALSE(FpnUpdateModel::Create(trace, 0.5, 0, rng).ok());
+}
+
+TEST(FpnModelTest, NameMentionsNoise) {
+  const EventTrace trace = SmallTrace();
+  Rng rng(6);
+  auto model = FpnUpdateModel::Create(trace, 0.25, 5, rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NE(model->name().find("0.25"), std::string::npos);
+}
+
+TEST(EstimatedPoissonModelTest, RateTracksTraceDensity) {
+  EventTrace trace(2, 1000);
+  for (Chronon t = 0; t < 1000; t += 5) {
+    ASSERT_TRUE(trace.AddEvent(0, t).ok());  // 200 events
+  }
+  ASSERT_TRUE(trace.AddEvent(1, 500).ok());  // 1 event
+  trace.Finalize();
+  Rng rng(7);
+  auto model = EstimatedPoissonModel::Create(trace, rng);
+  ASSERT_TRUE(model.ok());
+  // Busy resource gets roughly as many predictions as events.
+  EXPECT_NEAR(static_cast<double>(model->PredictedUpdates(0).size()), 200.0,
+              45.0);
+  EXPECT_LE(model->PredictedUpdates(1).size(), 5u);
+}
+
+TEST(EstimatedPoissonModelTest, IntendedEventIsNearest) {
+  EventTrace trace(1, 100);
+  for (Chronon t : {10, 50, 90}) ASSERT_TRUE(trace.AddEvent(0, t).ok());
+  trace.Finalize();
+  Rng rng(8);
+  auto model = EstimatedPoissonModel::Create(trace, rng);
+  ASSERT_TRUE(model.ok());
+  const auto& predicted = model->PredictedUpdates(0);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const Chronon e = model->IntendedTrueEvent(0, i);
+    // The intended event is one of the true events and is the closest one.
+    Chronon best = 10;
+    for (Chronon cand : {Chronon{10}, Chronon{50}, Chronon{90}}) {
+      if (std::abs(cand - predicted[i]) < std::abs(best - predicted[i])) {
+        best = cand;
+      }
+    }
+    EXPECT_EQ(e, best) << "prediction at " << predicted[i];
+  }
+}
+
+TEST(EstimatedPoissonModelTest, EmptyResourceHasNoPredictions) {
+  EventTrace trace(1, 100);
+  trace.Finalize();
+  Rng rng(9);
+  auto model = EstimatedPoissonModel::Create(trace, rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->PredictedUpdates(0).empty());
+  EXPECT_EQ(model->IntendedTrueEvent(0, 0), kInvalidChronon);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,122 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+FlagSet MakeFlags() {
+  FlagSet flags("test tool");
+  flags.AddString("policy", "mrsf", "policy name")
+      .AddInt("profiles", 100, "number of profiles")
+      .AddDouble("lambda", 20.0, "update intensity")
+      .AddBool("preemptive", true, "preemptive scheduling");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsWhenUnparsed) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(flags.GetString("policy"), "mrsf");
+  EXPECT_EQ(flags.GetInt("profiles"), 100);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lambda"), 20.0);
+  EXPECT_TRUE(flags.GetBool("preemptive"));
+  EXPECT_FALSE(flags.WasSet("policy"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"tool", "--policy=m-edf", "--profiles=500",
+                        "--lambda=35.5"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  EXPECT_EQ(flags.GetString("policy"), "m-edf");
+  EXPECT_EQ(flags.GetInt("profiles"), 500);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lambda"), 35.5);
+  EXPECT_TRUE(flags.WasSet("policy"));
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"tool", "--policy", "wic", "--profiles", "250"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(flags.GetString("policy"), "wic");
+  EXPECT_EQ(flags.GetInt("profiles"), 250);
+}
+
+TEST(FlagsTest, BoolForms) {
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"tool", "--preemptive"};
+    ASSERT_TRUE(flags.Parse(2, argv).ok());
+    EXPECT_TRUE(flags.GetBool("preemptive"));
+  }
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"tool", "--no-preemptive"};
+    ASSERT_TRUE(flags.Parse(2, argv).ok());
+    EXPECT_FALSE(flags.GetBool("preemptive"));
+  }
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"tool", "--preemptive=false"};
+    ASSERT_TRUE(flags.Parse(2, argv).ok());
+    EXPECT_FALSE(flags.GetBool("preemptive"));
+  }
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"tool", "--preemptive=1"};
+    ASSERT_TRUE(flags.Parse(2, argv).ok());
+    EXPECT_TRUE(flags.GetBool("preemptive"));
+  }
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"tool", "run", "--profiles=5", "trace.txt"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "trace.txt");
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"tool", "--bogus=1"};
+  EXPECT_EQ(flags.Parse(2, argv).code(), StatusCode::kNotFound);
+}
+
+TEST(FlagsTest, BadValuesRejected) {
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"tool", "--profiles=ten"};
+    EXPECT_EQ(flags.Parse(2, argv).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"tool", "--lambda=fast"};
+    EXPECT_EQ(flags.Parse(2, argv).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"tool", "--preemptive=maybe"};
+    EXPECT_EQ(flags.Parse(2, argv).code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"tool", "--policy"};
+  EXPECT_EQ(flags.Parse(2, argv).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, HelpListsFlags) {
+  FlagSet flags = MakeFlags();
+  const std::string help = flags.Help();
+  EXPECT_NE(help.find("--policy"), std::string::npos);
+  EXPECT_NE(help.find("default: mrsf"), std::string::npos);
+  EXPECT_NE(help.find("test tool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,72 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(HistogramTest, RejectsBadRange) {
+  EXPECT_FALSE(Histogram::Create(1.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(2.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(0.0, 1.0, 0).ok());
+}
+
+TEST(HistogramTest, BucketsCountCorrectly) {
+  auto h = Histogram::Create(0.0, 10.0, 10);
+  ASSERT_TRUE(h.ok());
+  h->Add(0.0);
+  h->Add(0.5);
+  h->Add(9.99);
+  h->Add(5.0);
+  EXPECT_EQ(h->BucketCount(0), 2);
+  EXPECT_EQ(h->BucketCount(5), 1);
+  EXPECT_EQ(h->BucketCount(9), 1);
+  EXPECT_EQ(h->total(), 4);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  auto h = Histogram::Create(0.0, 1.0, 2);
+  ASSERT_TRUE(h.ok());
+  h->Add(-0.1);
+  h->Add(1.0);  // hi is exclusive
+  h->Add(2.0);
+  EXPECT_EQ(h->underflow(), 1);
+  EXPECT_EQ(h->overflow(), 2);
+  EXPECT_EQ(h->total(), 3);
+}
+
+TEST(HistogramTest, BucketLowEdges) {
+  auto h = Histogram::Create(10.0, 20.0, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h->BucketLow(0), 10.0);
+  EXPECT_DOUBLE_EQ(h->BucketLow(4), 18.0);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  auto h = Histogram::Create(0.0, 100.0, 100);
+  ASSERT_TRUE(h.ok());
+  for (int i = 0; i < 100; ++i) h->Add(i + 0.5);
+  EXPECT_NEAR(h->Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h->Quantile(0.9), 90.0, 1.5);
+  EXPECT_LE(h->Quantile(0.0), 1.0);
+}
+
+TEST(HistogramTest, QuantileOnEmpty) {
+  auto h = Histogram::Create(0.0, 1.0, 4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ToStringRendersBars) {
+  auto h = Histogram::Create(0.0, 2.0, 2);
+  ASSERT_TRUE(h.ok());
+  h->Add(0.5);
+  h->Add(1.5);
+  h->Add(1.6);
+  const std::string s = h->ToString(10);
+  EXPECT_NE(s.find("#"), std::string::npos);
+  EXPECT_NE(s.find("[0, 1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,121 @@
+#include "util/poisson.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(PoissonProcessTest, RejectsNegativeRate) {
+  Rng rng(1);
+  EXPECT_FALSE(HomogeneousPoissonArrivals(-1.0, 10.0, rng).ok());
+}
+
+TEST(PoissonProcessTest, RejectsNegativeHorizon) {
+  Rng rng(1);
+  EXPECT_FALSE(HomogeneousPoissonArrivals(1.0, -1.0, rng).ok());
+}
+
+TEST(PoissonProcessTest, ZeroRateYieldsNoArrivals) {
+  Rng rng(2);
+  auto arrivals = HomogeneousPoissonArrivals(0.0, 100.0, rng);
+  ASSERT_TRUE(arrivals.ok());
+  EXPECT_TRUE(arrivals->empty());
+}
+
+TEST(PoissonProcessTest, ArrivalsSortedAndInHorizon) {
+  Rng rng(3);
+  auto arrivals = HomogeneousPoissonArrivals(0.5, 200.0, rng);
+  ASSERT_TRUE(arrivals.ok());
+  double prev = -1.0;
+  for (double t : *arrivals) {
+    EXPECT_GT(t, prev);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 200.0);
+    prev = t;
+  }
+}
+
+TEST(PoissonProcessTest, ExpectedCountMatchesRateTimesHorizon) {
+  Rng rng(4);
+  double total = 0;
+  const int reps = 300;
+  for (int i = 0; i < reps; ++i) {
+    auto arrivals = HomogeneousPoissonArrivals(0.2, 100.0, rng);
+    ASSERT_TRUE(arrivals.ok());
+    total += static_cast<double>(arrivals->size());
+  }
+  EXPECT_NEAR(total / reps, 20.0, 1.0);
+}
+
+TEST(ThinnedPoissonTest, RejectsBadMaxRate) {
+  Rng rng(5);
+  EXPECT_FALSE(
+      ThinnedPoissonArrivals([](double) { return 1.0; }, 0.0, 10.0, rng)
+          .ok());
+}
+
+TEST(ThinnedPoissonTest, DetectsRateAboveMax) {
+  Rng rng(6);
+  auto result =
+      ThinnedPoissonArrivals([](double) { return 5.0; }, 1.0, 100.0, rng);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ThinnedPoissonTest, ConstantRateMatchesHomogeneous) {
+  Rng rng(7);
+  double total = 0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    auto arrivals = ThinnedPoissonArrivals([](double) { return 0.3; }, 0.3,
+                                           100.0, rng);
+    ASSERT_TRUE(arrivals.ok());
+    total += static_cast<double>(arrivals->size());
+  }
+  EXPECT_NEAR(total / reps, 30.0, 2.0);
+}
+
+TEST(ThinnedPoissonTest, StepRateConcentratesMass) {
+  Rng rng(8);
+  // Rate 0 on [0, 50), rate 1.0 on [50, 100).
+  auto rate = [](double t) { return t < 50.0 ? 0.0 : 1.0; };
+  int early = 0;
+  int late = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto arrivals = ThinnedPoissonArrivals(rate, 1.0, 100.0, rng);
+    ASSERT_TRUE(arrivals.ok());
+    for (double t : *arrivals) {
+      (t < 50.0 ? early : late) += 1;
+    }
+  }
+  EXPECT_EQ(early, 0);
+  EXPECT_GT(late, 1000);
+}
+
+TEST(BucketArrivalsTest, MapsToChronons) {
+  std::vector<double> arrivals{0.0, 0.5, 9.99, 50.0, 99.9};
+  auto buckets = BucketArrivals(arrivals, 100.0, 10);
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_EQ(buckets[0], 0);
+  EXPECT_EQ(buckets[1], 0);
+  EXPECT_EQ(buckets[2], 0);
+  EXPECT_EQ(buckets[3], 5);
+  EXPECT_EQ(buckets[4], 9);
+}
+
+TEST(BucketArrivalsTest, DiscardsOutOfRange) {
+  std::vector<double> arrivals{-1.0, 100.0, 150.0, 10.0};
+  auto buckets = BucketArrivals(arrivals, 100.0, 10);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0], 1);
+}
+
+TEST(BucketArrivalsTest, DegenerateInputs) {
+  EXPECT_TRUE(BucketArrivals({1.0}, 0.0, 10).empty());
+  EXPECT_TRUE(BucketArrivals({1.0}, 10.0, 0).empty());
+  EXPECT_TRUE(BucketArrivals({}, 10.0, 10).empty());
+}
+
+}  // namespace
+}  // namespace webmon

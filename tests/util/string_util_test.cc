@@ -1,0 +1,88 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(SplitTest, Basic) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("webmon-trace", "webmon"));
+  EXPECT_FALSE(StartsWith("web", "webmon"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(ContainsIgnoreCaseTest, MatchesThePaperPredicate) {
+  // The paper's q2: WHEN F1 CONTAINS %oil%.
+  EXPECT_TRUE(ContainsIgnoreCase("Crude OIL spikes again", "oil"));
+  EXPECT_TRUE(ContainsIgnoreCase("oil", "OIL"));
+  EXPECT_FALSE(ContainsIgnoreCase("gold rally", "oil"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("", "oil"));
+}
+
+TEST(ParseInt64Test, Valid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(ParseInt64Test, Invalid) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(ParseDoubleTest, Valid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.14", &v));
+  EXPECT_DOUBLE_EQ(v, 3.14);
+  EXPECT_TRUE(ParseDouble(" -2e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("pi", &v));
+  EXPECT_FALSE(ParseDouble("1.5z", &v));
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,70 @@
+#include "util/table_writer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(TableWriterTest, TextAlignsColumns) {
+  TableWriter t({"policy", "completeness"});
+  t.AddRow({"MRSF", "0.76"});
+  t.AddRow({"S-EDF", "0.69"});
+  const std::string out = t.ToText();
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("MRSF"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Column starts align: "completeness" and "0.76" begin at same offset.
+  const size_t header_col = out.find("completeness");
+  const size_t value_col = out.find("0.76");
+  const size_t header_line_start = out.rfind('\n', header_col);
+  const size_t value_line_start = out.rfind('\n', value_col);
+  EXPECT_EQ(header_col - header_line_start, value_col - value_line_start);
+}
+
+TEST(TableWriterTest, HandlesShortRows) {
+  TableWriter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string out = t.ToText();
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCells) {
+  TableWriter t({"name", "note"});
+  t.AddRow({"x,y", "say \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvPlainCellsUnquoted) {
+  TableWriter t({"a"});
+  t.AddRow({"simple"});
+  EXPECT_EQ(t.ToCsv(), "a\nsimple\n");
+}
+
+TEST(TableWriterTest, FmtHelpers) {
+  EXPECT_EQ(TableWriter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::Fmt(static_cast<int64_t>(42)), "42");
+  EXPECT_EQ(TableWriter::Percent(0.756, 1), "75.6%");
+  EXPECT_EQ(TableWriter::Percent(1.0, 0), "100%");
+}
+
+TEST(TableWriterTest, PrintWritesToStream) {
+  TableWriter t({"h"});
+  t.AddRow({"v"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str(), t.ToText());
+}
+
+TEST(TableWriterTest, NumRows) {
+  TableWriter t({"h"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"v"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace webmon

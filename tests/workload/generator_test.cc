@@ -1,0 +1,355 @@
+#include "workload/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/poisson_trace.h"
+
+namespace webmon {
+namespace {
+
+EventTrace FixedTrace(uint32_t n, Chronon k, Chronon period) {
+  EventTrace trace(n, k);
+  for (ResourceId r = 0; r < n; ++r) {
+    for (Chronon t = 1; t < k; t += period) {
+      EXPECT_TRUE(trace.AddEvent(r, t).ok());
+    }
+  }
+  trace.Finalize();
+  return trace;
+}
+
+TEST(GeneratorTest, ProducesOneCeiPerRound) {
+  // 10 resources, events every 10 chronons over 100 -> 10 rounds.
+  const EventTrace trace = FixedTrace(10, 100, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(2, true, 5);
+  WorkloadOptions options;
+  options.num_profiles = 4;
+  Rng rng(1);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  const auto& problem = workload->problem;
+  EXPECT_EQ(problem.profiles().size(), 4u);
+  for (const auto& profile : problem.profiles()) {
+    EXPECT_EQ(profile.ceis.size(), 10u);  // one per round
+    for (const auto& cei : profile.ceis) {
+      EXPECT_EQ(cei.Rank(), 2u);  // exact_rank
+    }
+  }
+  EXPECT_TRUE(problem.Validate().ok());
+}
+
+TEST(GeneratorTest, WindowSemanticsSetLengths) {
+  const EventTrace trace = FixedTrace(4, 100, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(1, true, 5);
+  WorkloadOptions options;
+  options.num_profiles = 2;
+  Rng rng(2);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  for (const Cei* cei : workload->problem.AllCeis()) {
+    for (const auto& ei : cei->eis) {
+      EXPECT_EQ(ei.Length(), 6);  // [p, p + 5]
+    }
+  }
+}
+
+TEST(GeneratorTest, WindowZeroGivesUnitWidthP1) {
+  const EventTrace trace = FixedTrace(4, 100, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(2, true, 0);
+  WorkloadOptions options;
+  options.num_profiles = 3;
+  Rng rng(3);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_TRUE(workload->problem.IsUnitWidth());
+}
+
+TEST(GeneratorTest, OverwriteSemanticsSpanUntilNextEvent) {
+  const EventTrace trace = FixedTrace(4, 100, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::NewsWatch(1, true, 50);
+  WorkloadOptions options;
+  options.num_profiles = 1;
+  Rng rng(4);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  const auto& ceis = workload->problem.profiles()[0].ceis;
+  ASSERT_GE(ceis.size(), 2u);
+  // First event at 1, next at 11 -> EI [1, 10].
+  EXPECT_EQ(ceis[0].eis[0].start, 1);
+  EXPECT_EQ(ceis[0].eis[0].finish, 10);
+}
+
+TEST(GeneratorTest, OverwriteRespectsMaxEiLengthCap) {
+  const EventTrace trace = FixedTrace(2, 100, 40);  // sparse events
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::NewsWatch(1, true, 8);
+  WorkloadOptions options;
+  options.num_profiles = 1;
+  Rng rng(5);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  for (const Cei* cei : workload->problem.AllCeis()) {
+    for (const auto& ei : cei->eis) {
+      EXPECT_LE(ei.Length(), 8);
+    }
+  }
+}
+
+TEST(GeneratorTest, DistinctResourcesWithinCei) {
+  const EventTrace trace = FixedTrace(6, 60, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(4, true, 3);
+  WorkloadOptions options;
+  options.num_profiles = 10;
+  options.distinct_resources = true;
+  options.alpha = 1.0;  // heavy skew makes collisions likely without dedup
+  Rng rng(6);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  for (const Cei* cei : workload->problem.AllCeis()) {
+    std::set<ResourceId> resources;
+    for (const auto& ei : cei->eis) resources.insert(ei.resource);
+    EXPECT_EQ(resources.size(), cei->eis.size());
+  }
+}
+
+TEST(GeneratorTest, RankVarianceFollowsBeta) {
+  const EventTrace trace = FixedTrace(10, 60, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(5, /*exact_rank=*/false,
+                                                       3);
+  WorkloadOptions options;
+  options.num_profiles = 300;
+  options.beta = 2.0;  // strong preference for simple profiles
+  Rng rng(7);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  int rank1 = 0;
+  int rank5 = 0;
+  for (const auto& profile : workload->problem.profiles()) {
+    if (profile.Rank() == 1) ++rank1;
+    if (profile.Rank() == 5) ++rank5;
+  }
+  EXPECT_GT(rank1, 5 * std::max(rank5, 1));
+}
+
+TEST(GeneratorTest, AlphaSkewsResourceChoice) {
+  const EventTrace trace = FixedTrace(50, 60, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(1, true, 3);
+  WorkloadOptions options;
+  options.num_profiles = 400;
+  options.alpha = 1.5;
+  Rng rng(8);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  int on_popular = 0;  // resources 0..4
+  int total = 0;
+  for (const Cei* cei : workload->problem.AllCeis()) {
+    for (const auto& ei : cei->eis) {
+      ++total;
+      if (ei.resource < 5) ++on_popular;
+    }
+  }
+  // Under uniform choice ~10% would hit the top 5 of 50; Zipf(1.5) puts the
+  // majority there.
+  EXPECT_GT(static_cast<double>(on_popular) / total, 0.4);
+}
+
+TEST(GeneratorTest, MaxCeisPerProfileCaps) {
+  const EventTrace trace = FixedTrace(4, 100, 5);  // ~20 rounds
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(1, true, 2);
+  WorkloadOptions options;
+  options.num_profiles = 3;
+  options.max_ceis_per_profile = 7;
+  Rng rng(9);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& profile : workload->problem.profiles()) {
+    EXPECT_EQ(profile.ceis.size(), 7u);
+  }
+}
+
+TEST(GeneratorTest, TrueWindowsEqualEisUnderPerfectModel) {
+  const EventTrace trace = FixedTrace(4, 100, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(2, true, 5);
+  WorkloadOptions options;
+  options.num_profiles = 2;
+  Rng rng(10);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  for (const Cei* cei : workload->problem.AllCeis()) {
+    for (const auto& ei : cei->eis) {
+      auto it = workload->true_windows.find(ei.id);
+      ASSERT_NE(it, workload->true_windows.end());
+      EXPECT_EQ(it->second.start, ei.start);
+      EXPECT_EQ(it->second.finish, ei.finish);
+    }
+  }
+}
+
+TEST(GeneratorTest, BudgetFlowsIntoInstance) {
+  const EventTrace trace = FixedTrace(4, 50, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(1, true, 2);
+  WorkloadOptions options;
+  options.num_profiles = 1;
+  options.budget = 3;
+  Rng rng(11);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->problem.budget().At(0), 3);
+}
+
+TEST(GeneratorTest, RejectsRankBeyondResources) {
+  const EventTrace trace = FixedTrace(2, 50, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(5, true, 2);
+  WorkloadOptions options;
+  options.num_profiles = 1;
+  options.distinct_resources = true;
+  Rng rng(12);
+  EXPECT_FALSE(GenerateWorkload(tmpl, options, model, trace, rng).ok());
+}
+
+TEST(GeneratorTest, RejectsZeroRankTemplate) {
+  const EventTrace trace = FixedTrace(2, 50, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl;
+  tmpl.max_rank = 0;
+  WorkloadOptions options;
+  Rng rng(13);
+  EXPECT_FALSE(GenerateWorkload(tmpl, options, model, trace, rng).ok());
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  const EventTrace trace = FixedTrace(6, 80, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(3, false, 5);
+  WorkloadOptions options;
+  options.num_profiles = 5;
+  Rng rng1(99);
+  Rng rng2(99);
+  auto a = GenerateWorkload(tmpl, options, model, trace, rng1);
+  auto b = GenerateWorkload(tmpl, options, model, trace, rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->problem.TotalCeis(), b->problem.TotalCeis());
+  EXPECT_EQ(a->problem.TotalEis(), b->problem.TotalEis());
+  auto ceis_a = a->problem.AllCeis();
+  auto ceis_b = b->problem.AllCeis();
+  for (size_t i = 0; i < ceis_a.size(); ++i) {
+    EXPECT_EQ(ceis_a[i]->eis, ceis_b[i]->eis);
+  }
+}
+
+TEST(GeneratorTest, SequentialRoundsFollowOneAnother) {
+  // Events every 10 chronons; sequential rounds must anchor round j+1
+  // strictly after round j's last event, so CEIs of a profile are ordered
+  // and non-overlapping in their anchor events.
+  const EventTrace trace = FixedTrace(6, 100, 10);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(2, true, 3);
+  WorkloadOptions options;
+  options.num_profiles = 4;
+  options.sequential_rounds = true;
+  Rng rng(21);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  for (const auto& profile : workload->problem.profiles()) {
+    Chronon prev_last = kInvalidChronon;
+    for (const auto& cei : profile.ceis) {
+      Chronon first = cei.eis.front().start;
+      Chronon last = cei.eis.front().start;
+      for (const auto& ei : cei.eis) {
+        first = std::min(first, ei.start);
+        last = std::max(last, ei.start);
+      }
+      EXPECT_GT(first, prev_last);
+      prev_last = last;
+    }
+  }
+}
+
+TEST(GeneratorTest, SequentialRoundsSkipOvertakenEvents) {
+  // r0 publishes at 1 and 2; r1 at 3 and 4. Parallel rounds pair
+  // (1,3) and (2,4) -> 2 CEIs. Sequential rounds finish round 1 at the
+  // r1 event (chronon 3), by which time r0's second event (2) is stale:
+  // only 1 CEI results.
+  EventTrace trace(2, 50);
+  ASSERT_TRUE(trace.AddEvent(0, 1).ok());
+  ASSERT_TRUE(trace.AddEvent(0, 2).ok());
+  ASSERT_TRUE(trace.AddEvent(1, 3).ok());
+  ASSERT_TRUE(trace.AddEvent(1, 4).ok());
+  trace.Finalize();
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(2, true, 2);
+  WorkloadOptions options;
+  options.num_profiles = 1;
+  options.distinct_resources = true;
+  Rng rng1(22);
+  auto parallel = GenerateWorkload(tmpl, options, model, trace, rng1);
+  options.sequential_rounds = true;
+  Rng rng2(22);
+  auto sequential = GenerateWorkload(tmpl, options, model, trace, rng2);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(parallel->problem.TotalCeis(), 2);
+  EXPECT_EQ(sequential->problem.TotalCeis(), 1);
+}
+
+TEST(GeneratorTest, RandomWindowVariesLengthsWithinBound) {
+  const EventTrace trace = FixedTrace(4, 200, 25);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(1, true, 8);
+  tmpl.random_window = true;
+  tmpl.max_ei_length = 20;
+  WorkloadOptions options;
+  options.num_profiles = 30;
+  Rng rng(23);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  std::set<Chronon> lengths;
+  for (const Cei* cei : workload->problem.AllCeis()) {
+    for (const auto& ei : cei->eis) {
+      EXPECT_GE(ei.Length(), 1);
+      EXPECT_LE(ei.Length(), 9);  // slack in [0, 8]
+      lengths.insert(ei.Length());
+    }
+  }
+  EXPECT_GT(lengths.size(), 3u);  // lengths actually vary
+}
+
+TEST(GeneratorTest, RandomWindowSharedWithTrueWindow) {
+  // The drawn slack is part of the client's requirement, so the true
+  // validity window must have the same length as the scheduled EI under a
+  // perfect model.
+  const EventTrace trace = FixedTrace(4, 200, 25);
+  PerfectUpdateModel model(trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(2, true, 8);
+  tmpl.random_window = true;
+  WorkloadOptions options;
+  options.num_profiles = 10;
+  Rng rng(24);
+  auto workload = GenerateWorkload(tmpl, options, model, trace, rng);
+  ASSERT_TRUE(workload.ok());
+  for (const Cei* cei : workload->problem.AllCeis()) {
+    for (const auto& ei : cei->eis) {
+      auto it = workload->true_windows.find(ei.id);
+      ASSERT_NE(it, workload->true_windows.end());
+      EXPECT_EQ(it->second.start, ei.start);
+      EXPECT_EQ(it->second.finish, ei.finish);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,44 @@
+#include "workload/profile_template.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(ProfileTemplateTest, AuctionWatchShape) {
+  const auto t = ProfileTemplate::AuctionWatch(3, /*exact_rank=*/false, 20);
+  EXPECT_EQ(t.name, "AuctionWatch(3)");
+  EXPECT_EQ(t.max_rank, 3u);
+  EXPECT_FALSE(t.exact_rank);
+  EXPECT_EQ(t.semantics, LengthSemantics::kWindow);
+  EXPECT_EQ(t.window, 20);
+}
+
+TEST(ProfileTemplateTest, NewsWatchShape) {
+  const auto t = ProfileTemplate::NewsWatch(5, /*exact_rank=*/true, 15);
+  EXPECT_EQ(t.name, "NewsWatch(5)");
+  EXPECT_EQ(t.max_rank, 5u);
+  EXPECT_TRUE(t.exact_rank);
+  EXPECT_EQ(t.semantics, LengthSemantics::kOverwrite);
+  EXPECT_EQ(t.max_ei_length, 15);
+}
+
+TEST(ProfileTemplateTest, ToStringMentionsShape) {
+  const auto t = ProfileTemplate::AuctionWatch(3, true, 10);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("AuctionWatch(3)"), std::string::npos);
+  EXPECT_NE(s.find("rank=3"), std::string::npos);
+  EXPECT_NE(s.find("window(w=10)"), std::string::npos);
+
+  const auto upto = ProfileTemplate::AuctionWatch(3, false, 10);
+  EXPECT_NE(upto.ToString().find("rank<=3"), std::string::npos);
+}
+
+TEST(LengthSemanticsTest, ToString) {
+  EXPECT_STREQ(LengthSemanticsToString(LengthSemantics::kOverwrite),
+               "overwrite");
+  EXPECT_STREQ(LengthSemanticsToString(LengthSemantics::kWindow), "window");
+}
+
+}  // namespace
+}  // namespace webmon

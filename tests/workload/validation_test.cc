@@ -1,0 +1,105 @@
+#include "workload/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "model/completeness.h"
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblem;
+
+TEST(ValidationTest, MissingWindowFallsBackToEi) {
+  const auto problem = MakeProblem(1, 10, 1, {{{{0, 2, 5}}}});
+  Schedule s(1, 10);
+  ASSERT_TRUE(s.AddProbe(0, 3).ok());
+  TrueWindowMap empty;
+  EXPECT_TRUE(
+      EiValidlyCaptured(problem.profiles()[0].ceis[0].eis[0], s, empty));
+  EXPECT_DOUBLE_EQ(ValidatedCompleteness(problem, s, empty), 1.0);
+}
+
+TEST(ValidationTest, ProbeMustHitIntersection) {
+  const auto problem = MakeProblem(1, 20, 1, {{{{0, 2, 8}}}});
+  const auto& ei = problem.profiles()[0].ceis[0].eis[0];
+  TrueWindowMap windows;
+  windows[ei.id] = TrueWindow{6, 12};  // true event was later than predicted
+  {
+    Schedule s(1, 20);
+    ASSERT_TRUE(s.AddProbe(0, 3).ok());  // inside EI, before true window
+    EXPECT_FALSE(EiValidlyCaptured(ei, s, windows));
+  }
+  {
+    Schedule s(1, 20);
+    ASSERT_TRUE(s.AddProbe(0, 7).ok());  // inside both
+    EXPECT_TRUE(EiValidlyCaptured(ei, s, windows));
+  }
+  {
+    Schedule s(1, 20);
+    ASSERT_TRUE(s.AddProbe(0, 10).ok());  // inside true window, outside EI
+    EXPECT_FALSE(EiValidlyCaptured(ei, s, windows));
+  }
+}
+
+TEST(ValidationTest, EmptyTrueWindowNeverValidates) {
+  const auto problem = MakeProblem(1, 10, 1, {{{{0, 2, 5}}}});
+  const auto& ei = problem.profiles()[0].ceis[0].eis[0];
+  TrueWindowMap windows;
+  windows[ei.id] = TrueWindow{0, -1};
+  Schedule s(1, 10);
+  ASSERT_TRUE(s.AddProbe(0, 3).ok());
+  EXPECT_FALSE(EiValidlyCaptured(ei, s, windows));
+}
+
+TEST(ValidationTest, DisjointWindowsNeverValidate) {
+  const auto problem = MakeProblem(1, 30, 1, {{{{0, 2, 5}}}});
+  const auto& ei = problem.profiles()[0].ceis[0].eis[0];
+  TrueWindowMap windows;
+  windows[ei.id] = TrueWindow{10, 15};  // no overlap with [2,5]
+  Schedule s(1, 30);
+  for (Chronon t = 2; t <= 5; ++t) ASSERT_TRUE(s.AddProbe(0, t).ok());
+  EXPECT_FALSE(EiValidlyCaptured(ei, s, windows));
+}
+
+TEST(ValidationTest, CeiNeedsAllEisValid) {
+  const auto problem =
+      MakeProblem(2, 20, 2, {{{{0, 0, 5}, {1, 6, 12}}}});
+  const auto& cei = problem.profiles()[0].ceis[0];
+  TrueWindowMap windows;
+  windows[cei.eis[0].id] = TrueWindow{0, 5};
+  windows[cei.eis[1].id] = TrueWindow{10, 12};  // tail of the EI only
+  Schedule s(2, 20);
+  ASSERT_TRUE(s.AddProbe(0, 1).ok());
+  ASSERT_TRUE(s.AddProbe(1, 7).ok());  // misses the valid tail
+  EXPECT_FALSE(CeiValidlyCaptured(cei, s, windows));
+  ASSERT_TRUE(s.AddProbe(1, 11).ok());
+  EXPECT_TRUE(CeiValidlyCaptured(cei, s, windows));
+}
+
+TEST(ValidationTest, CountsAndEquation) {
+  const auto problem = MakeProblem(
+      2, 10, 2, {{{{0, 0, 4}}, {{1, 5, 9}}}});
+  TrueWindowMap windows;
+  const auto& ceis = problem.profiles()[0].ceis;
+  windows[ceis[0].eis[0].id] = TrueWindow{0, 4};
+  windows[ceis[1].eis[0].id] = TrueWindow{0, -1};  // unsatisfiable
+  Schedule s(2, 10);
+  ASSERT_TRUE(s.AddProbe(0, 2).ok());
+  ASSERT_TRUE(s.AddProbe(1, 7).ok());
+  EXPECT_EQ(ValidlyCapturedCeiCount(problem, s, windows), 1);
+  EXPECT_DOUBLE_EQ(ValidatedCompleteness(problem, s, windows), 0.5);
+  // Unvalidated completeness sees both captured.
+  EXPECT_DOUBLE_EQ(GainedCompleteness(problem, s), 1.0);
+}
+
+TEST(ValidationTest, EmptyInstanceYieldsZero) {
+  ProblemInstance problem(1, 5, BudgetVector::Uniform(1));
+  Schedule s(1, 5);
+  TrueWindowMap windows;
+  EXPECT_DOUBLE_EQ(ValidatedCompleteness(problem, s, windows), 0.0);
+}
+
+}  // namespace
+}  // namespace webmon

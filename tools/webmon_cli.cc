@@ -1,0 +1,465 @@
+// webmon_cli: command-line front-end to the webmon library.
+//
+// Subcommands:
+//   run      — run a monitoring experiment (Table I style) and print the
+//              per-policy completeness/runtime table.
+//   inspect  — generate a trace (or load one from a file) and print its
+//              statistics (event counts, gaps, activity skew).
+//   query    — execute a continuous-query program against a simulated feed
+//              world and print per-query statistics.
+//
+// Examples:
+//   webmon_cli run --trace=poisson --lambda=30 --profiles=200 --rank=5
+//       --policies=mrsf,m-edf,s-edf --budget=2
+//   webmon_cli inspect --trace=auction
+//   webmon_cli query --horizon=200
+//       --program="SELECT item AS F1 FROM feed(Blog) WHEN EVERY 10" 
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "policy/policy_factory.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "model/completeness.h"
+#include "model/instance_stats.h"
+#include "model/serialize.h"
+#include "offline/offline_approx.h"
+#include "online/run.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "trace/update_model.h"
+#include "workload/generator.h"
+#include "trace/trace_stats.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+namespace webmon {
+namespace {
+
+void AddCommonTraceFlags(FlagSet& flags) {
+  flags.AddString("trace", "poisson", "trace kind: poisson|auction|news")
+      .AddInt("resources", 1000, "number of resources n (poisson)")
+      .AddInt("chronons", 1000, "epoch length K")
+      .AddDouble("lambda", 20.0, "updates per resource per epoch (poisson)")
+      .AddInt("seed", 1, "RNG seed");
+}
+
+StatusOr<ExperimentConfig> ConfigFromFlags(const FlagSet& flags) {
+  ExperimentConfig config;
+  const std::string kind = flags.GetString("trace");
+  if (kind == "poisson") {
+    config.trace_kind = TraceKind::kPoisson;
+    config.poisson.num_resources =
+        static_cast<uint32_t>(flags.GetInt("resources"));
+    config.poisson.num_chronons = flags.GetInt("chronons");
+    config.poisson.lambda = flags.GetDouble("lambda");
+  } else if (kind == "auction") {
+    config.trace_kind = TraceKind::kAuction;
+  } else if (kind == "news") {
+    config.trace_kind = TraceKind::kNews;
+  } else {
+    return Status::InvalidArgument("unknown trace kind: " + kind);
+  }
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  return config;
+}
+
+int RunCommand(int argc, const char* const* argv) {
+  FlagSet flags("webmon_cli run: execute a monitoring experiment");
+  AddCommonTraceFlags(flags);
+  flags.AddInt("profiles", 100, "number of client profiles m")
+      .AddInt("rank", 3, "CEI rank k (streams crossed)")
+      .AddBool("exact-rank", false, "all CEIs have exactly rank k "
+                                    "(otherwise 'upto k' via Zipf(beta,k))")
+      .AddDouble("alpha", 0.3, "resource popularity skew")
+      .AddDouble("beta", 0.0, "profile rank skew")
+      .AddInt("window", 10, "capture window w (chronons)")
+      .AddBool("random-window", true, "draw per-EI slack uniformly in [0,w]")
+      .AddBool("sequential-rounds", true,
+               "profiles restart rounds after notification")
+      .AddInt("budget", 1, "probes per chronon C")
+      .AddDouble("noise", 0.0, "FPN noise probability z in [0,1]")
+      .AddString("policies", "mrsf,m-edf,s-edf",
+                 "comma-separated policies (suffix ':np' for "
+                 "non-preemptive)")
+      .AddBool("offline", false, "also run the offline approximation")
+      .AddInt("reps", 5, "repetitions");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+
+  auto config = ConfigFromFlags(flags);
+  if (!config.ok()) {
+    std::cerr << config.status() << "\n";
+    return 2;
+  }
+  config->profile_template = ProfileTemplate::AuctionWatch(
+      static_cast<uint32_t>(flags.GetInt("rank")),
+      flags.GetBool("exact-rank"), flags.GetInt("window"));
+  config->profile_template.random_window = flags.GetBool("random-window");
+  config->workload.num_profiles =
+      static_cast<uint32_t>(flags.GetInt("profiles"));
+  config->workload.alpha = flags.GetDouble("alpha");
+  config->workload.beta = flags.GetDouble("beta");
+  config->workload.budget = flags.GetInt("budget");
+  config->workload.sequential_rounds = flags.GetBool("sequential-rounds");
+  config->z_noise = flags.GetDouble("noise");
+  config->repetitions = static_cast<uint32_t>(flags.GetInt("reps"));
+
+  std::vector<PolicySpec> specs;
+  for (const std::string& token : Split(flags.GetString("policies"), ',')) {
+    std::string name(StripWhitespace(token));
+    if (name.empty()) continue;
+    bool preemptive = true;
+    if (name.size() > 3 && name.substr(name.size() - 3) == ":np") {
+      preemptive = false;
+      name = name.substr(0, name.size() - 3);
+    }
+    specs.push_back({name, preemptive});
+  }
+  if (specs.empty()) {
+    std::cerr << "no policies given\n";
+    return 2;
+  }
+
+  auto result = RunExperiment(*config, specs, flags.GetBool("offline"));
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "trace=" << flags.GetString("trace")
+            << " profiles=" << config->workload.num_profiles
+            << " rank=" << flags.GetInt("rank")
+            << " C=" << config->workload.budget
+            << " seed=" << config->seed << "  "
+            << WorkloadSummary(*result) << "\n\n";
+  ReportOptions report;
+  report.runtime = true;
+  report.timeliness = true;
+  BuildPolicyTable(*result, report).Print(std::cout);
+  return 0;
+}
+
+int PoliciesCommand(int /*argc*/, const char* const* /*argv*/) {
+  // The paper's Section IV-A three-level classification plus the Appendix B
+  // per-value computation cost.
+  TableWriter table({"policy", "information level", "value cost",
+                     "description"});
+  struct RowSpec {
+    const char* name;
+    const char* cost;
+    const char* description;
+  };
+  const RowSpec rows[] = {
+      {"s-edf", "Theta(1)",
+       "earliest deadline first over single EIs (Prop. 1: optimal for "
+       "rank 1, no intra-resource overlap)"},
+      {"mrsf", "Theta(1)",
+       "fewest residual EIs first (Prop. 2: l-competitive)"},
+      {"m-edf", "O(k)",
+       "fewest total remaining chronons first (Prop. 3: == MRSF on P^[1])"},
+      {"w-mrsf", "Theta(1)",
+       "MRSF residual divided by client utility (Section VII extension)"},
+      {"wic", "Theta(1)",
+       "max accumulated per-resource utility (prior-art baseline)"},
+      {"random", "Theta(1)", "uniform random candidate (sanity baseline)"},
+      {"round-robin", "Theta(1)",
+       "least recently probed resource first (sanity baseline)"},
+  };
+  for (const RowSpec& row : rows) {
+    auto policy = MakePolicy(row.name);
+    if (!policy.ok()) continue;
+    table.AddRow({(*policy)->name(), PolicyLevelToString((*policy)->level()),
+                  row.cost, row.description});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int InspectCommand(int argc, const char* const* argv) {
+  FlagSet flags("webmon_cli inspect: print trace statistics");
+  AddCommonTraceFlags(flags);
+  flags.AddString("file", "", "load a saved trace instead of generating");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+  EventTrace trace(0, 1);
+  if (!flags.GetString("file").empty()) {
+    auto loaded = EventTrace::LoadFromFile(flags.GetString("file"));
+    if (!loaded.ok()) {
+      std::cerr << loaded.status() << "\n";
+      return 1;
+    }
+    trace = std::move(*loaded);
+  } else {
+    Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+    const std::string kind = flags.GetString("trace");
+    if (kind == "poisson") {
+      PoissonTraceOptions options;
+      options.num_resources =
+          static_cast<uint32_t>(flags.GetInt("resources"));
+      options.num_chronons = flags.GetInt("chronons");
+      options.lambda = flags.GetDouble("lambda");
+      auto generated = GeneratePoissonTrace(options, rng);
+      if (!generated.ok()) {
+        std::cerr << generated.status() << "\n";
+        return 1;
+      }
+      trace = std::move(*generated);
+    } else if (kind == "auction") {
+      auto generated = GenerateAuctionTrace(AuctionTraceOptions{}, rng);
+      if (!generated.ok()) {
+        std::cerr << generated.status() << "\n";
+        return 1;
+      }
+      trace = std::move(*generated);
+    } else if (kind == "news") {
+      auto generated = GenerateNewsTrace(NewsTraceOptions{}, rng);
+      if (!generated.ok()) {
+        std::cerr << generated.status() << "\n";
+        return 1;
+      }
+      trace = std::move(*generated);
+    } else {
+      std::cerr << "unknown trace kind: " << kind << "\n";
+      return 2;
+    }
+  }
+  std::cout << ComputeTraceStats(trace).ToString();
+  return 0;
+}
+
+int QueryCommand(int argc, const char* const* argv) {
+  FlagSet flags("webmon_cli query: run a continuous-query program");
+  flags.AddString("program", "", "the query program text (required)")
+      .AddInt("horizon", 200, "epoch length")
+      .AddDouble("lambda", 20.0, "updates per feed per epoch")
+      .AddDouble("keyword-prob", 0.4, "probability an item mentions a "
+                                      "keyword")
+      .AddString("keywords", "oil", "comma-separated content keywords")
+      .AddInt("budget", 1, "probes per chronon")
+      .AddString("policy", "mrsf", "scheduling policy")
+      .AddInt("seed", 1, "RNG seed");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+  if (flags.GetString("program").empty()) {
+    std::cerr << "--program is required\n" << flags.Help();
+    return 2;
+  }
+  auto queries = ParseQueries(flags.GetString("program"));
+  if (!queries.ok()) {
+    std::cerr << "parse error: " << queries.status() << "\n";
+    return 1;
+  }
+
+  // Map feed names to resources in order of first appearance.
+  std::map<std::string, ResourceId> feeds;
+  for (const auto& q : *queries) {
+    feeds.emplace(q.feed, static_cast<ResourceId>(feeds.size()));
+  }
+
+  const Chronon horizon = flags.GetInt("horizon");
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  PoissonTraceOptions trace_options;
+  trace_options.num_resources = static_cast<uint32_t>(feeds.size());
+  trace_options.num_chronons = horizon;
+  trace_options.lambda = flags.GetDouble("lambda");
+  auto trace = GeneratePoissonTrace(trace_options, rng);
+  if (!trace.ok()) {
+    std::cerr << trace.status() << "\n";
+    return 1;
+  }
+  FeedWorldOptions world_options;
+  world_options.keyword_prob = flags.GetDouble("keyword-prob");
+  world_options.keywords.clear();
+  for (const std::string& k : Split(flags.GetString("keywords"), ',')) {
+    if (!k.empty()) world_options.keywords.emplace_back(k);
+  }
+  world_options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  auto world = FeedWorld::Create(*trace, world_options);
+  if (!world.ok()) {
+    std::cerr << world.status() << "\n";
+    return 1;
+  }
+  auto policy = MakePolicy(flags.GetString("policy"));
+  if (!policy.ok()) {
+    std::cerr << policy.status() << "\n";
+    return 1;
+  }
+  auto engine = QueryEngine::Create(
+      *queries, feeds, &*world, std::move(*policy), horizon,
+      BudgetVector::Uniform(flags.GetInt("budget")));
+  if (!engine.ok()) {
+    std::cerr << engine.status() << "\n";
+    return 1;
+  }
+  if (Status st = (*engine)->Run(); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+
+  TableWriter table({"query", "feed", "triggers", "items", "needs",
+                     "captured", "expired"});
+  for (const auto& q : *queries) {
+    auto stats = (*engine)->StatsFor(q.alias);
+    if (!stats.ok()) continue;
+    table.AddRow({q.alias, q.feed, TableWriter::Fmt(stats->triggers_fired),
+                  TableWriter::Fmt(stats->items_delivered),
+                  TableWriter::Fmt(stats->needs_submitted),
+                  TableWriter::Fmt(stats->needs_captured),
+                  TableWriter::Fmt(stats->needs_expired)});
+  }
+  table.Print(std::cout);
+  std::cout << "probes issued: " << (*engine)->proxy().stats().probes_issued
+            << ", pushes: " << (*engine)->proxy().stats().pushes_delivered
+            << "\n";
+  return 0;
+}
+
+int GenerateCommand(int argc, const char* const* argv) {
+  FlagSet flags("webmon_cli generate: build a workload instance and save it");
+  AddCommonTraceFlags(flags);
+  flags.AddInt("profiles", 50, "number of client profiles m")
+      .AddInt("rank", 3, "CEI rank k")
+      .AddBool("exact-rank", true, "all CEIs have exactly rank k")
+      .AddDouble("alpha", 0.3, "resource popularity skew")
+      .AddInt("window", 10, "capture window w")
+      .AddInt("budget", 1, "probes per chronon C")
+      .AddString("out", "instance.webmon", "output file");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  PoissonTraceOptions trace_options;
+  trace_options.num_resources =
+      static_cast<uint32_t>(flags.GetInt("resources"));
+  trace_options.num_chronons = flags.GetInt("chronons");
+  trace_options.lambda = flags.GetDouble("lambda");
+  auto trace = GeneratePoissonTrace(trace_options, rng);
+  if (!trace.ok()) {
+    std::cerr << trace.status() << "\n";
+    return 1;
+  }
+  PerfectUpdateModel model(*trace);
+  ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(
+      static_cast<uint32_t>(flags.GetInt("rank")),
+      flags.GetBool("exact-rank"), flags.GetInt("window"));
+  WorkloadOptions options;
+  options.num_profiles = static_cast<uint32_t>(flags.GetInt("profiles"));
+  options.alpha = flags.GetDouble("alpha");
+  options.budget = flags.GetInt("budget");
+  options.sequential_rounds = true;
+  auto workload = GenerateWorkload(tmpl, options, model, *trace, rng);
+  if (!workload.ok()) {
+    std::cerr << workload.status() << "\n";
+    return 1;
+  }
+  if (Status st =
+          SaveProblemToFile(workload->problem, flags.GetString("out"));
+      !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "saved " << workload->problem.Summary() << " to "
+            << flags.GetString("out") << "\n\n"
+            << ComputeInstanceStats(workload->problem).ToString();
+  return 0;
+}
+
+int ReplayCommand(int argc, const char* const* argv) {
+  FlagSet flags("webmon_cli replay: run policies over a saved instance");
+  flags.AddString("instance", "instance.webmon", "saved instance file")
+      .AddString("policies", "mrsf,m-edf,s-edf", "comma-separated policies")
+      .AddBool("offline", false, "also run the offline approximation")
+      .AddInt("seed", 1, "seed for stochastic policies");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+  auto problem = LoadProblemFromFile(flags.GetString("instance"));
+  if (!problem.ok()) {
+    std::cerr << problem.status() << "\n";
+    return 1;
+  }
+  std::cout << ComputeInstanceStats(*problem).ToString() << "\n";
+  TableWriter table({"policy", "completeness", "weighted", "probes"});
+  for (const std::string& token : Split(flags.GetString("policies"), ',')) {
+    std::string name(StripWhitespace(token));
+    if (name.empty()) continue;
+    auto policy =
+        MakePolicy(name, static_cast<uint64_t>(flags.GetInt("seed")));
+    if (!policy.ok()) {
+      std::cerr << policy.status() << "\n";
+      return 1;
+    }
+    auto run = RunOnline(*problem, policy->get());
+    if (!run.ok()) {
+      std::cerr << run.status() << "\n";
+      return 1;
+    }
+    table.AddRow({(*policy)->name(),
+                  TableWriter::Percent(run->completeness),
+                  TableWriter::Percent(
+                      WeightedCompleteness(*problem, run->schedule)),
+                  TableWriter::Fmt(run->stats.probes_issued)});
+  }
+  if (flags.GetBool("offline")) {
+    auto offline = SolveOfflineApprox(*problem);
+    if (!offline.ok()) {
+      std::cerr << offline.status() << "\n";
+      return 1;
+    }
+    table.AddRow({"offline-approx",
+                  TableWriter::Percent(offline->completeness),
+                  TableWriter::Percent(
+                      WeightedCompleteness(*problem, offline->schedule)),
+                  TableWriter::Fmt(offline->schedule.TotalProbes())});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  const std::string usage =
+      "usage: webmon_cli <run|inspect|query|generate|replay|policies> "
+      "[flags]\n"
+      "  run       execute a monitoring experiment\n"
+      "  inspect   print trace statistics\n"
+      "  query     run a continuous-query program\n"
+      "  generate  build a workload instance and save it to a file\n"
+      "  replay    run policies over a saved instance\n"
+      "  policies  list the scheduling policies and their classification\n"
+      "Pass --help after a subcommand for its flags.\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  // Shift argv so subcommand flags parse from position 1.
+  if (command == "run") return RunCommand(argc - 1, argv + 1);
+  if (command == "inspect") return InspectCommand(argc - 1, argv + 1);
+  if (command == "query") return QueryCommand(argc - 1, argv + 1);
+  if (command == "generate") return GenerateCommand(argc - 1, argv + 1);
+  if (command == "replay") return ReplayCommand(argc - 1, argv + 1);
+  if (command == "policies") return PoliciesCommand(argc - 1, argv + 1);
+  if (command == "--help" || command == "help") {
+    std::cout << usage;
+    return 0;
+  }
+  std::cerr << "unknown command: " << command << "\n" << usage;
+  return 2;
+}
+
+}  // namespace
+}  // namespace webmon
+
+int main(int argc, char** argv) { return webmon::Main(argc, argv); }
