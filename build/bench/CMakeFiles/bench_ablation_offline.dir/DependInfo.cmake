@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_offline.cc" "bench/CMakeFiles/bench_ablation_offline.dir/bench_ablation_offline.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_offline.dir/bench_ablation_offline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/webmon_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/webmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/webmon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/webmon_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/webmon_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/webmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/webmon_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/webmon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_offline.dir/bench_ablation_offline.cc.o"
+  "CMakeFiles/bench_ablation_offline.dir/bench_ablation_offline.cc.o.d"
+  "bench_ablation_offline"
+  "bench_ablation_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

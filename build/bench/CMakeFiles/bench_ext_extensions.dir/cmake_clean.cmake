@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_extensions.dir/bench_ext_extensions.cc.o"
+  "CMakeFiles/bench_ext_extensions.dir/bench_ext_extensions.cc.o.d"
+  "bench_ext_extensions"
+  "bench_ext_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_preemption.dir/bench_fig09_preemption.cc.o"
+  "CMakeFiles/bench_fig09_preemption.dir/bench_fig09_preemption.cc.o.d"
+  "bench_fig09_preemption"
+  "bench_fig09_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

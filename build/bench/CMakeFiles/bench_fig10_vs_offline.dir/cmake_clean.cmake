@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vs_offline.dir/bench_fig10_vs_offline.cc.o"
+  "CMakeFiles/bench_fig10_vs_offline.dir/bench_fig10_vs_offline.cc.o.d"
+  "bench_fig10_vs_offline"
+  "bench_fig10_vs_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vs_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_workload.dir/bench_fig12_workload.cc.o"
+  "CMakeFiles/bench_fig12_workload.dir/bench_fig12_workload.cc.o.d"
+  "bench_fig12_workload"
+  "bench_fig12_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_budget.dir/bench_fig13_budget.cc.o"
+  "CMakeFiles/bench_fig13_budget.dir/bench_fig13_budget.cc.o.d"
+  "bench_fig13_budget"
+  "bench_fig13_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_noise.dir/bench_fig15_noise.cc.o"
+  "CMakeFiles/bench_fig15_noise.dir/bench_fig15_noise.cc.o.d"
+  "bench_fig15_noise"
+  "bench_fig15_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_news_noise.dir/bench_news_noise.cc.o"
+  "CMakeFiles/bench_news_noise.dir/bench_news_noise.cc.o.d"
+  "bench_news_noise"
+  "bench_news_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_news_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_engine.dir/bench_query_engine.cc.o"
+  "CMakeFiles/bench_query_engine.dir/bench_query_engine.cc.o.d"
+  "bench_query_engine"
+  "bench_query_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

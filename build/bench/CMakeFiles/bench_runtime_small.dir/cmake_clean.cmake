@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_small.dir/bench_runtime_small.cc.o"
+  "CMakeFiles/bench_runtime_small.dir/bench_runtime_small.cc.o.d"
+  "bench_runtime_small"
+  "bench_runtime_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

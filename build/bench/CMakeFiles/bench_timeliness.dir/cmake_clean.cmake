@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timeliness.dir/bench_timeliness.cc.o"
+  "CMakeFiles/bench_timeliness.dir/bench_timeliness.cc.o.d"
+  "bench_timeliness"
+  "bench_timeliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timeliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

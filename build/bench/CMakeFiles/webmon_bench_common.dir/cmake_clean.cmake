@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/webmon_bench_common.dir/bench_common.cc.o.d"
+  "libwebmon_bench_common.a"
+  "libwebmon_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_mashup.dir/news_mashup.cpp.o"
+  "CMakeFiles/news_mashup.dir/news_mashup.cpp.o.d"
+  "news_mashup"
+  "news_mashup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_mashup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

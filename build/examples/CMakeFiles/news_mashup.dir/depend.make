@@ -1,0 +1,2 @@
+# Empty dependencies file for news_mashup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_mashup.dir/query_mashup.cpp.o"
+  "CMakeFiles/query_mashup.dir/query_mashup.cpp.o.d"
+  "query_mashup"
+  "query_mashup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_mashup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feedsim/content_generator.cc" "src/feedsim/CMakeFiles/webmon_feedsim.dir/content_generator.cc.o" "gcc" "src/feedsim/CMakeFiles/webmon_feedsim.dir/content_generator.cc.o.d"
+  "/root/repo/src/feedsim/feed_server.cc" "src/feedsim/CMakeFiles/webmon_feedsim.dir/feed_server.cc.o" "gcc" "src/feedsim/CMakeFiles/webmon_feedsim.dir/feed_server.cc.o.d"
+  "/root/repo/src/feedsim/feed_world.cc" "src/feedsim/CMakeFiles/webmon_feedsim.dir/feed_world.cc.o" "gcc" "src/feedsim/CMakeFiles/webmon_feedsim.dir/feed_world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/webmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webmon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/webmon_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_feedsim.dir/content_generator.cc.o"
+  "CMakeFiles/webmon_feedsim.dir/content_generator.cc.o.d"
+  "CMakeFiles/webmon_feedsim.dir/feed_server.cc.o"
+  "CMakeFiles/webmon_feedsim.dir/feed_server.cc.o.d"
+  "CMakeFiles/webmon_feedsim.dir/feed_world.cc.o"
+  "CMakeFiles/webmon_feedsim.dir/feed_world.cc.o.d"
+  "libwebmon_feedsim.a"
+  "libwebmon_feedsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_feedsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cei.cc" "src/model/CMakeFiles/webmon_model.dir/cei.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/cei.cc.o.d"
+  "/root/repo/src/model/completeness.cc" "src/model/CMakeFiles/webmon_model.dir/completeness.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/completeness.cc.o.d"
+  "/root/repo/src/model/decompose.cc" "src/model/CMakeFiles/webmon_model.dir/decompose.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/decompose.cc.o.d"
+  "/root/repo/src/model/instance_stats.cc" "src/model/CMakeFiles/webmon_model.dir/instance_stats.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/instance_stats.cc.o.d"
+  "/root/repo/src/model/interval.cc" "src/model/CMakeFiles/webmon_model.dir/interval.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/interval.cc.o.d"
+  "/root/repo/src/model/problem.cc" "src/model/CMakeFiles/webmon_model.dir/problem.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/problem.cc.o.d"
+  "/root/repo/src/model/profile.cc" "src/model/CMakeFiles/webmon_model.dir/profile.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/profile.cc.o.d"
+  "/root/repo/src/model/schedule.cc" "src/model/CMakeFiles/webmon_model.dir/schedule.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/schedule.cc.o.d"
+  "/root/repo/src/model/serialize.cc" "src/model/CMakeFiles/webmon_model.dir/serialize.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/serialize.cc.o.d"
+  "/root/repo/src/model/timeliness.cc" "src/model/CMakeFiles/webmon_model.dir/timeliness.cc.o" "gcc" "src/model/CMakeFiles/webmon_model.dir/timeliness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/webmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

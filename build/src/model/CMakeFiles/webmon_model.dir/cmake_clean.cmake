@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_model.dir/cei.cc.o"
+  "CMakeFiles/webmon_model.dir/cei.cc.o.d"
+  "CMakeFiles/webmon_model.dir/completeness.cc.o"
+  "CMakeFiles/webmon_model.dir/completeness.cc.o.d"
+  "CMakeFiles/webmon_model.dir/decompose.cc.o"
+  "CMakeFiles/webmon_model.dir/decompose.cc.o.d"
+  "CMakeFiles/webmon_model.dir/instance_stats.cc.o"
+  "CMakeFiles/webmon_model.dir/instance_stats.cc.o.d"
+  "CMakeFiles/webmon_model.dir/interval.cc.o"
+  "CMakeFiles/webmon_model.dir/interval.cc.o.d"
+  "CMakeFiles/webmon_model.dir/problem.cc.o"
+  "CMakeFiles/webmon_model.dir/problem.cc.o.d"
+  "CMakeFiles/webmon_model.dir/profile.cc.o"
+  "CMakeFiles/webmon_model.dir/profile.cc.o.d"
+  "CMakeFiles/webmon_model.dir/schedule.cc.o"
+  "CMakeFiles/webmon_model.dir/schedule.cc.o.d"
+  "CMakeFiles/webmon_model.dir/serialize.cc.o"
+  "CMakeFiles/webmon_model.dir/serialize.cc.o.d"
+  "CMakeFiles/webmon_model.dir/timeliness.cc.o"
+  "CMakeFiles/webmon_model.dir/timeliness.cc.o.d"
+  "libwebmon_model.a"
+  "libwebmon_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwebmon_model.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/exact_solver.cc" "src/offline/CMakeFiles/webmon_offline.dir/exact_solver.cc.o" "gcc" "src/offline/CMakeFiles/webmon_offline.dir/exact_solver.cc.o.d"
+  "/root/repo/src/offline/offline_approx.cc" "src/offline/CMakeFiles/webmon_offline.dir/offline_approx.cc.o" "gcc" "src/offline/CMakeFiles/webmon_offline.dir/offline_approx.cc.o.d"
+  "/root/repo/src/offline/p1_transform.cc" "src/offline/CMakeFiles/webmon_offline.dir/p1_transform.cc.o" "gcc" "src/offline/CMakeFiles/webmon_offline.dir/p1_transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/webmon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

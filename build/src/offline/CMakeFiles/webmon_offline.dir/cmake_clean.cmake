@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_offline.dir/exact_solver.cc.o"
+  "CMakeFiles/webmon_offline.dir/exact_solver.cc.o.d"
+  "CMakeFiles/webmon_offline.dir/offline_approx.cc.o"
+  "CMakeFiles/webmon_offline.dir/offline_approx.cc.o.d"
+  "CMakeFiles/webmon_offline.dir/p1_transform.cc.o"
+  "CMakeFiles/webmon_offline.dir/p1_transform.cc.o.d"
+  "libwebmon_offline.a"
+  "libwebmon_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

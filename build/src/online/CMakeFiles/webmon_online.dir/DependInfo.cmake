@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/online/online_scheduler.cc" "src/online/CMakeFiles/webmon_online.dir/online_scheduler.cc.o" "gcc" "src/online/CMakeFiles/webmon_online.dir/online_scheduler.cc.o.d"
+  "/root/repo/src/online/proxy.cc" "src/online/CMakeFiles/webmon_online.dir/proxy.cc.o" "gcc" "src/online/CMakeFiles/webmon_online.dir/proxy.cc.o.d"
+  "/root/repo/src/online/run.cc" "src/online/CMakeFiles/webmon_online.dir/run.cc.o" "gcc" "src/online/CMakeFiles/webmon_online.dir/run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/webmon_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/webmon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

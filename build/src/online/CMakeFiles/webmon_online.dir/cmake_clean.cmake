@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_online.dir/online_scheduler.cc.o"
+  "CMakeFiles/webmon_online.dir/online_scheduler.cc.o.d"
+  "CMakeFiles/webmon_online.dir/proxy.cc.o"
+  "CMakeFiles/webmon_online.dir/proxy.cc.o.d"
+  "CMakeFiles/webmon_online.dir/run.cc.o"
+  "CMakeFiles/webmon_online.dir/run.cc.o.d"
+  "libwebmon_online.a"
+  "libwebmon_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

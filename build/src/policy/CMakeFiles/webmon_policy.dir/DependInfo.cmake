@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/candidate.cc" "src/policy/CMakeFiles/webmon_policy.dir/candidate.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/candidate.cc.o.d"
+  "/root/repo/src/policy/m_edf.cc" "src/policy/CMakeFiles/webmon_policy.dir/m_edf.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/m_edf.cc.o.d"
+  "/root/repo/src/policy/mrsf.cc" "src/policy/CMakeFiles/webmon_policy.dir/mrsf.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/mrsf.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/policy/CMakeFiles/webmon_policy.dir/policy.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/policy.cc.o.d"
+  "/root/repo/src/policy/policy_factory.cc" "src/policy/CMakeFiles/webmon_policy.dir/policy_factory.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/policy_factory.cc.o.d"
+  "/root/repo/src/policy/random_policy.cc" "src/policy/CMakeFiles/webmon_policy.dir/random_policy.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/random_policy.cc.o.d"
+  "/root/repo/src/policy/round_robin.cc" "src/policy/CMakeFiles/webmon_policy.dir/round_robin.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/round_robin.cc.o.d"
+  "/root/repo/src/policy/s_edf.cc" "src/policy/CMakeFiles/webmon_policy.dir/s_edf.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/s_edf.cc.o.d"
+  "/root/repo/src/policy/weighted_mrsf.cc" "src/policy/CMakeFiles/webmon_policy.dir/weighted_mrsf.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/weighted_mrsf.cc.o.d"
+  "/root/repo/src/policy/wic.cc" "src/policy/CMakeFiles/webmon_policy.dir/wic.cc.o" "gcc" "src/policy/CMakeFiles/webmon_policy.dir/wic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/webmon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

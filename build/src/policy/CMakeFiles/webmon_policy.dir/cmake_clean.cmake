@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_policy.dir/candidate.cc.o"
+  "CMakeFiles/webmon_policy.dir/candidate.cc.o.d"
+  "CMakeFiles/webmon_policy.dir/m_edf.cc.o"
+  "CMakeFiles/webmon_policy.dir/m_edf.cc.o.d"
+  "CMakeFiles/webmon_policy.dir/mrsf.cc.o"
+  "CMakeFiles/webmon_policy.dir/mrsf.cc.o.d"
+  "CMakeFiles/webmon_policy.dir/policy.cc.o"
+  "CMakeFiles/webmon_policy.dir/policy.cc.o.d"
+  "CMakeFiles/webmon_policy.dir/policy_factory.cc.o"
+  "CMakeFiles/webmon_policy.dir/policy_factory.cc.o.d"
+  "CMakeFiles/webmon_policy.dir/random_policy.cc.o"
+  "CMakeFiles/webmon_policy.dir/random_policy.cc.o.d"
+  "CMakeFiles/webmon_policy.dir/round_robin.cc.o"
+  "CMakeFiles/webmon_policy.dir/round_robin.cc.o.d"
+  "CMakeFiles/webmon_policy.dir/s_edf.cc.o"
+  "CMakeFiles/webmon_policy.dir/s_edf.cc.o.d"
+  "CMakeFiles/webmon_policy.dir/weighted_mrsf.cc.o"
+  "CMakeFiles/webmon_policy.dir/weighted_mrsf.cc.o.d"
+  "CMakeFiles/webmon_policy.dir/wic.cc.o"
+  "CMakeFiles/webmon_policy.dir/wic.cc.o.d"
+  "libwebmon_policy.a"
+  "libwebmon_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

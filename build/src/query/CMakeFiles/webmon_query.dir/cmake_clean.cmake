@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_query.dir/ast.cc.o"
+  "CMakeFiles/webmon_query.dir/ast.cc.o.d"
+  "CMakeFiles/webmon_query.dir/engine.cc.o"
+  "CMakeFiles/webmon_query.dir/engine.cc.o.d"
+  "CMakeFiles/webmon_query.dir/lexer.cc.o"
+  "CMakeFiles/webmon_query.dir/lexer.cc.o.d"
+  "CMakeFiles/webmon_query.dir/parser.cc.o"
+  "CMakeFiles/webmon_query.dir/parser.cc.o.d"
+  "libwebmon_query.a"
+  "libwebmon_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

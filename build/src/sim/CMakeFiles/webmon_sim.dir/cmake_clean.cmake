@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_sim.dir/experiment.cc.o"
+  "CMakeFiles/webmon_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/webmon_sim.dir/report.cc.o"
+  "CMakeFiles/webmon_sim.dir/report.cc.o.d"
+  "libwebmon_sim.a"
+  "libwebmon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/auction_trace.cc" "src/trace/CMakeFiles/webmon_trace.dir/auction_trace.cc.o" "gcc" "src/trace/CMakeFiles/webmon_trace.dir/auction_trace.cc.o.d"
+  "/root/repo/src/trace/news_trace.cc" "src/trace/CMakeFiles/webmon_trace.dir/news_trace.cc.o" "gcc" "src/trace/CMakeFiles/webmon_trace.dir/news_trace.cc.o.d"
+  "/root/repo/src/trace/poisson_trace.cc" "src/trace/CMakeFiles/webmon_trace.dir/poisson_trace.cc.o" "gcc" "src/trace/CMakeFiles/webmon_trace.dir/poisson_trace.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/webmon_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/webmon_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/trace/CMakeFiles/webmon_trace.dir/trace_stats.cc.o" "gcc" "src/trace/CMakeFiles/webmon_trace.dir/trace_stats.cc.o.d"
+  "/root/repo/src/trace/update_model.cc" "src/trace/CMakeFiles/webmon_trace.dir/update_model.cc.o" "gcc" "src/trace/CMakeFiles/webmon_trace.dir/update_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/webmon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

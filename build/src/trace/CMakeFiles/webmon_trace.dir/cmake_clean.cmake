@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_trace.dir/auction_trace.cc.o"
+  "CMakeFiles/webmon_trace.dir/auction_trace.cc.o.d"
+  "CMakeFiles/webmon_trace.dir/news_trace.cc.o"
+  "CMakeFiles/webmon_trace.dir/news_trace.cc.o.d"
+  "CMakeFiles/webmon_trace.dir/poisson_trace.cc.o"
+  "CMakeFiles/webmon_trace.dir/poisson_trace.cc.o.d"
+  "CMakeFiles/webmon_trace.dir/trace.cc.o"
+  "CMakeFiles/webmon_trace.dir/trace.cc.o.d"
+  "CMakeFiles/webmon_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/webmon_trace.dir/trace_stats.cc.o.d"
+  "CMakeFiles/webmon_trace.dir/update_model.cc.o"
+  "CMakeFiles/webmon_trace.dir/update_model.cc.o.d"
+  "libwebmon_trace.a"
+  "libwebmon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_util.dir/flags.cc.o"
+  "CMakeFiles/webmon_util.dir/flags.cc.o.d"
+  "CMakeFiles/webmon_util.dir/histogram.cc.o"
+  "CMakeFiles/webmon_util.dir/histogram.cc.o.d"
+  "CMakeFiles/webmon_util.dir/logging.cc.o"
+  "CMakeFiles/webmon_util.dir/logging.cc.o.d"
+  "CMakeFiles/webmon_util.dir/poisson.cc.o"
+  "CMakeFiles/webmon_util.dir/poisson.cc.o.d"
+  "CMakeFiles/webmon_util.dir/rng.cc.o"
+  "CMakeFiles/webmon_util.dir/rng.cc.o.d"
+  "CMakeFiles/webmon_util.dir/stats.cc.o"
+  "CMakeFiles/webmon_util.dir/stats.cc.o.d"
+  "CMakeFiles/webmon_util.dir/status.cc.o"
+  "CMakeFiles/webmon_util.dir/status.cc.o.d"
+  "CMakeFiles/webmon_util.dir/string_util.cc.o"
+  "CMakeFiles/webmon_util.dir/string_util.cc.o.d"
+  "CMakeFiles/webmon_util.dir/table_writer.cc.o"
+  "CMakeFiles/webmon_util.dir/table_writer.cc.o.d"
+  "CMakeFiles/webmon_util.dir/zipf.cc.o"
+  "CMakeFiles/webmon_util.dir/zipf.cc.o.d"
+  "libwebmon_util.a"
+  "libwebmon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

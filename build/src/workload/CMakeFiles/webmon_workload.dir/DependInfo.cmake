@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/webmon_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/webmon_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/profile_template.cc" "src/workload/CMakeFiles/webmon_workload.dir/profile_template.cc.o" "gcc" "src/workload/CMakeFiles/webmon_workload.dir/profile_template.cc.o.d"
+  "/root/repo/src/workload/validation.cc" "src/workload/CMakeFiles/webmon_workload.dir/validation.cc.o" "gcc" "src/workload/CMakeFiles/webmon_workload.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/webmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/webmon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_workload.dir/generator.cc.o"
+  "CMakeFiles/webmon_workload.dir/generator.cc.o.d"
+  "CMakeFiles/webmon_workload.dir/profile_template.cc.o"
+  "CMakeFiles/webmon_workload.dir/profile_template.cc.o.d"
+  "CMakeFiles/webmon_workload.dir/validation.cc.o"
+  "CMakeFiles/webmon_workload.dir/validation.cc.o.d"
+  "libwebmon_workload.a"
+  "libwebmon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

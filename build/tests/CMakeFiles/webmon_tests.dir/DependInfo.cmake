@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/webmon_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/feedsim/feed_server_test.cc" "tests/CMakeFiles/webmon_tests.dir/feedsim/feed_server_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/feedsim/feed_server_test.cc.o.d"
+  "/root/repo/tests/feedsim/feed_world_test.cc" "tests/CMakeFiles/webmon_tests.dir/feedsim/feed_world_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/feedsim/feed_world_test.cc.o.d"
+  "/root/repo/tests/golden_test.cc" "tests/CMakeFiles/webmon_tests.dir/golden_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/golden_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/webmon_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/model/cei_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/cei_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/cei_test.cc.o.d"
+  "/root/repo/tests/model/completeness_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/completeness_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/completeness_test.cc.o.d"
+  "/root/repo/tests/model/decompose_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/decompose_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/decompose_test.cc.o.d"
+  "/root/repo/tests/model/instance_stats_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/instance_stats_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/instance_stats_test.cc.o.d"
+  "/root/repo/tests/model/interval_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/interval_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/interval_test.cc.o.d"
+  "/root/repo/tests/model/problem_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/problem_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/problem_test.cc.o.d"
+  "/root/repo/tests/model/profile_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/profile_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/profile_test.cc.o.d"
+  "/root/repo/tests/model/schedule_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/schedule_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/schedule_test.cc.o.d"
+  "/root/repo/tests/model/serialize_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/serialize_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/serialize_test.cc.o.d"
+  "/root/repo/tests/model/timeliness_test.cc" "tests/CMakeFiles/webmon_tests.dir/model/timeliness_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/model/timeliness_test.cc.o.d"
+  "/root/repo/tests/offline/exact_solver_test.cc" "tests/CMakeFiles/webmon_tests.dir/offline/exact_solver_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/offline/exact_solver_test.cc.o.d"
+  "/root/repo/tests/offline/offline_approx_test.cc" "tests/CMakeFiles/webmon_tests.dir/offline/offline_approx_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/offline/offline_approx_test.cc.o.d"
+  "/root/repo/tests/offline/p1_transform_test.cc" "tests/CMakeFiles/webmon_tests.dir/offline/p1_transform_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/offline/p1_transform_test.cc.o.d"
+  "/root/repo/tests/online/proxy_test.cc" "tests/CMakeFiles/webmon_tests.dir/online/proxy_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/online/proxy_test.cc.o.d"
+  "/root/repo/tests/online/reference_scheduler_test.cc" "tests/CMakeFiles/webmon_tests.dir/online/reference_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/online/reference_scheduler_test.cc.o.d"
+  "/root/repo/tests/online/scheduler_property_test.cc" "tests/CMakeFiles/webmon_tests.dir/online/scheduler_property_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/online/scheduler_property_test.cc.o.d"
+  "/root/repo/tests/online/scheduler_test.cc" "tests/CMakeFiles/webmon_tests.dir/online/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/online/scheduler_test.cc.o.d"
+  "/root/repo/tests/online/soak_test.cc" "tests/CMakeFiles/webmon_tests.dir/online/soak_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/online/soak_test.cc.o.d"
+  "/root/repo/tests/paper_figure1_test.cc" "tests/CMakeFiles/webmon_tests.dir/paper_figure1_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/paper_figure1_test.cc.o.d"
+  "/root/repo/tests/policy/policy_examples_test.cc" "tests/CMakeFiles/webmon_tests.dir/policy/policy_examples_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/policy/policy_examples_test.cc.o.d"
+  "/root/repo/tests/policy/policy_factory_test.cc" "tests/CMakeFiles/webmon_tests.dir/policy/policy_factory_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/policy/policy_factory_test.cc.o.d"
+  "/root/repo/tests/policy/policy_values_test.cc" "tests/CMakeFiles/webmon_tests.dir/policy/policy_values_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/policy/policy_values_test.cc.o.d"
+  "/root/repo/tests/query/engine_test.cc" "tests/CMakeFiles/webmon_tests.dir/query/engine_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/query/engine_test.cc.o.d"
+  "/root/repo/tests/query/lexer_test.cc" "tests/CMakeFiles/webmon_tests.dir/query/lexer_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/query/lexer_test.cc.o.d"
+  "/root/repo/tests/query/parser_fuzz_test.cc" "tests/CMakeFiles/webmon_tests.dir/query/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/query/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/query/parser_test.cc" "tests/CMakeFiles/webmon_tests.dir/query/parser_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/query/parser_test.cc.o.d"
+  "/root/repo/tests/sim/experiment_test.cc" "tests/CMakeFiles/webmon_tests.dir/sim/experiment_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/sim/experiment_test.cc.o.d"
+  "/root/repo/tests/sim/report_test.cc" "tests/CMakeFiles/webmon_tests.dir/sim/report_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/sim/report_test.cc.o.d"
+  "/root/repo/tests/trace/generators_test.cc" "tests/CMakeFiles/webmon_tests.dir/trace/generators_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/trace/generators_test.cc.o.d"
+  "/root/repo/tests/trace/trace_stats_test.cc" "tests/CMakeFiles/webmon_tests.dir/trace/trace_stats_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/trace/trace_stats_test.cc.o.d"
+  "/root/repo/tests/trace/trace_test.cc" "tests/CMakeFiles/webmon_tests.dir/trace/trace_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/trace/trace_test.cc.o.d"
+  "/root/repo/tests/trace/update_model_test.cc" "tests/CMakeFiles/webmon_tests.dir/trace/update_model_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/trace/update_model_test.cc.o.d"
+  "/root/repo/tests/util/flags_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/flags_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/flags_test.cc.o.d"
+  "/root/repo/tests/util/histogram_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/histogram_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/poisson_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/poisson_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/poisson_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/table_writer_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/table_writer_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/table_writer_test.cc.o.d"
+  "/root/repo/tests/util/zipf_test.cc" "tests/CMakeFiles/webmon_tests.dir/util/zipf_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/util/zipf_test.cc.o.d"
+  "/root/repo/tests/workload/generator_test.cc" "tests/CMakeFiles/webmon_tests.dir/workload/generator_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/workload/generator_test.cc.o.d"
+  "/root/repo/tests/workload/template_test.cc" "tests/CMakeFiles/webmon_tests.dir/workload/template_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/workload/template_test.cc.o.d"
+  "/root/repo/tests/workload/validation_test.cc" "tests/CMakeFiles/webmon_tests.dir/workload/validation_test.cc.o" "gcc" "tests/CMakeFiles/webmon_tests.dir/workload/validation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/webmon_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedsim/CMakeFiles/webmon_feedsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/webmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/webmon_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/webmon_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/webmon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/webmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/webmon_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/webmon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

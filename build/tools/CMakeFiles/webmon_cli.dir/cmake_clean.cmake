@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmon_cli.dir/webmon_cli.cc.o"
+  "CMakeFiles/webmon_cli.dir/webmon_cli.cc.o.d"
+  "webmon_cli"
+  "webmon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

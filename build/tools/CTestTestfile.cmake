@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(webmon_cli_run "/root/repo/build/tools/webmon_cli" "run" "--trace=poisson" "--resources=50" "--chronons=100" "--profiles=10" "--rank=2" "--reps=2" "--policies=mrsf")
+set_tests_properties(webmon_cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(webmon_cli_inspect "/root/repo/build/tools/webmon_cli" "inspect" "--trace=poisson" "--resources=20" "--chronons=100" "--lambda=5")
+set_tests_properties(webmon_cli_inspect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(webmon_cli_query "/root/repo/build/tools/webmon_cli" "query" "--horizon=100" "--program=SELECT item AS F1 FROM feed(Blog) WHEN EVERY 10 AS T1 WITHIN T1+2; SELECT item AS F2 FROM feed(News) WHEN F1 CONTAINS %oil% WITHIN T1+8")
+set_tests_properties(webmon_cli_query PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(webmon_cli_usage "/root/repo/build/tools/webmon_cli" "help")
+set_tests_properties(webmon_cli_usage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(webmon_cli_generate_replay "sh" "-c" "/root/repo/build/tools/webmon_cli generate --resources=50 --chronons=100 --profiles=10 --rank=2 --out=cli_test_instance.webmon && /root/repo/build/tools/webmon_cli replay --instance=cli_test_instance.webmon --policies=mrsf --offline")
+set_tests_properties(webmon_cli_generate_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(webmon_cli_policies "/root/repo/build/tools/webmon_cli" "policies")
+set_tests_properties(webmon_cli_policies PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
