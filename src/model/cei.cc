@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/check.h"
+
 namespace webmon {
 
 Chronon Cei::EarliestStart() const {
@@ -21,7 +23,12 @@ Chronon Cei::LatestFinish() const {
 
 Chronon Cei::TotalChronons() const {
   Chronon total = 0;
-  for (const auto& ei : eis) total += ei.Length();
+  for (const auto& ei : eis) {
+    // Interval ordering: a well-formed EI has start <= finish, so every
+    // term is positive and the sum cannot wrap.
+    WEBMON_DCHECK_LE(ei.start, ei.finish) << "malformed EI " << ei.ToString();
+    total += ei.Length();
+  }
   return total;
 }
 

@@ -1,6 +1,21 @@
 #include "model/completeness.h"
 
+#include "util/check.h"
+
 namespace webmon {
+
+namespace {
+
+// Capture evaluation only makes sense for a schedule over the same world;
+// a dimension mismatch means the caller paired a schedule with the wrong
+// instance (CEI well-formedness contract).
+void DcheckSameWorld(const ProblemInstance& problem,
+                     const Schedule& schedule) {
+  WEBMON_DCHECK_EQ(problem.num_resources(), schedule.num_resources());
+  WEBMON_DCHECK_EQ(problem.num_chronons(), schedule.num_chronons());
+}
+
+}  // namespace
 
 bool EiCaptured(const ExecutionInterval& ei, const Schedule& schedule) {
   return schedule.ProbedInRange(ei.resource, ei.start, ei.finish);
@@ -23,6 +38,7 @@ bool CeiCaptured(const Cei& cei, const Schedule& schedule) {
 
 int64_t CapturedCeiCount(const ProblemInstance& problem,
                          const Schedule& schedule) {
+  DcheckSameWorld(problem, schedule);
   int64_t captured = 0;
   for (const auto& profile : problem.profiles()) {
     for (const auto& cei : profile.ceis) {
@@ -34,6 +50,7 @@ int64_t CapturedCeiCount(const ProblemInstance& problem,
 
 int64_t CapturedEiCount(const ProblemInstance& problem,
                         const Schedule& schedule) {
+  DcheckSameWorld(problem, schedule);
   int64_t captured = 0;
   for (const auto& profile : problem.profiles()) {
     for (const auto& cei : profile.ceis) {
@@ -63,6 +80,7 @@ double EiCompleteness(const ProblemInstance& problem,
 
 double WeightedCompleteness(const ProblemInstance& problem,
                             const Schedule& schedule) {
+  DcheckSameWorld(problem, schedule);
   double total = 0.0;
   double captured = 0.0;
   for (const auto& profile : problem.profiles()) {

@@ -3,19 +3,23 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/check.h"
+
 namespace webmon {
 
 BudgetVector BudgetVector::Uniform(int64_t c) {
+  WEBMON_CHECK_GE(c, 0) << "budgets C_j are probe capacities";
   BudgetVector b;
-  b.uniform_ = c < 0 ? 0 : c;
+  b.uniform_ = c;
   return b;
 }
 
 BudgetVector BudgetVector::PerChronon(std::vector<int64_t> budgets) {
   BudgetVector b;
   b.per_chronon_ = std::move(budgets);
-  for (auto& v : b.per_chronon_) {
-    if (v < 0) v = 0;
+  for (size_t j = 0; j < b.per_chronon_.size(); ++j) {
+    WEBMON_CHECK_GE(b.per_chronon_[j], 0)
+        << "budgets C_j are probe capacities (entry " << j << ")";
   }
   // Ensure non-empty so is_uniform() is unambiguous.
   if (b.per_chronon_.empty()) b.per_chronon_.push_back(0);

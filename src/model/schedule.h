@@ -17,11 +17,12 @@ namespace webmon {
 /// at most C_j resources. Stored either as a uniform value or per chronon.
 class BudgetVector {
  public:
-  /// Uniform budget `c` at every chronon. c must be >= 0.
+  /// Uniform budget `c` at every chronon. CHECK-fails when c < 0: a
+  /// negative probe capacity is always a programming error.
   static BudgetVector Uniform(int64_t c);
 
   /// Per-chronon budget; entry j applies at chronon j. Chronons beyond the
-  /// vector's length get budget 0.
+  /// vector's length get budget 0. CHECK-fails on negative entries.
   static BudgetVector PerChronon(std::vector<int64_t> budgets);
 
   /// Budget at chronon `t` (>= 0 expected; negative t yields 0).

@@ -1,0 +1,179 @@
+#include "model/schedule_audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "model/completeness.h"
+#include "util/check.h"
+
+namespace webmon {
+
+namespace {
+
+Status AuditFailure(const std::string& invariant, const std::string& detail) {
+  return Status::FailedPrecondition("schedule audit: " + invariant + ": " +
+                                    detail);
+}
+
+// Marks, per resource, the chronons covered by at least one EI window, so
+// the probes-target-live-EIs scan is O(probes * log windows).
+class WindowIndex {
+ public:
+  explicit WindowIndex(const ProblemInstance& problem)
+      : windows_(problem.num_resources()) {
+    for (const Cei* cei : problem.AllCeis()) {
+      for (const ExecutionInterval& ei : cei->eis) {
+        if (ei.resource < windows_.size()) {
+          windows_[ei.resource].emplace_back(ei.start, ei.finish);
+        }
+      }
+    }
+    for (auto& spans : windows_) {
+      std::sort(spans.begin(), spans.end());
+      // Merge overlapping spans so lookup is a single binary search.
+      size_t out = 0;
+      for (const auto& span : spans) {
+        if (out > 0 && span.first <= spans[out - 1].second + 1) {
+          spans[out - 1].second = std::max(spans[out - 1].second, span.second);
+        } else {
+          spans[out++] = span;
+        }
+      }
+      spans.resize(out);
+    }
+  }
+
+  bool Covers(ResourceId resource, Chronon t) const {
+    if (resource >= windows_.size()) return false;
+    const auto& spans = windows_[resource];
+    auto it = std::upper_bound(spans.begin(), spans.end(),
+                               std::make_pair(t, kInvalidChronon),
+                               [](const auto& a, const auto& b) {
+                                 return a.first < b.first;
+                               });
+    if (it == spans.begin()) return false;
+    --it;
+    return t >= it->first && t <= it->second;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<Chronon, Chronon>>> windows_;
+};
+
+}  // namespace
+
+Status AuditSchedule(const ProblemInstance& problem, const Schedule& schedule,
+                     const ScheduleAuditOptions& options,
+                     ScheduleAuditReport* report) {
+  ScheduleAuditReport local;
+  ScheduleAuditReport& out = report != nullptr ? *report : local;
+  out = ScheduleAuditReport{};
+
+  // --- Dimensions: the schedule must describe this instance's world. ---
+  if (schedule.num_resources() != problem.num_resources() ||
+      schedule.num_chronons() != problem.num_chronons()) {
+    std::ostringstream os;
+    os << "schedule is " << schedule.num_resources() << " resources x "
+       << schedule.num_chronons() << " chronons, instance is "
+       << problem.num_resources() << " x " << problem.num_chronons();
+    return AuditFailure("dimension mismatch", os.str());
+  }
+  if (!options.resource_costs.empty() &&
+      options.resource_costs.size() != problem.num_resources()) {
+    return AuditFailure("options", "resource_costs must have one entry per "
+                                   "resource when provided");
+  }
+
+  // --- Budget respected at every chronon (count or cost capacity). ---
+  const BudgetVector& budget = problem.budget();
+  double peak_utilization = -1.0;
+  for (Chronon t = 0; t < problem.num_chronons(); ++t) {
+    const std::vector<ResourceId>& probes = schedule.ProbesAt(t);
+    out.total_probes += static_cast<int64_t>(probes.size());
+    const int64_t allowed = budget.At(t);
+    WEBMON_DCHECK_GE(allowed, 0) << "BudgetVector yielded a negative budget";
+    double used = 0.0;
+    for (ResourceId r : probes) {
+      used += options.resource_costs.empty()
+                  ? 1.0
+                  : options.resource_costs[r];
+    }
+    if (used > static_cast<double>(allowed)) {
+      std::ostringstream os;
+      os << "chronon " << t << " uses " << used << " of budget " << allowed;
+      return AuditFailure("budget exceeded", os.str());
+    }
+    if (!probes.empty() && used > peak_utilization) {
+      peak_utilization = used;
+      out.peak_chronon = t;
+    }
+  }
+
+  // --- Every probe targets a live EI window. ---
+  if (options.require_probes_target_eis) {
+    const WindowIndex index(problem);
+    for (Chronon t = 0; t < problem.num_chronons(); ++t) {
+      for (ResourceId r : schedule.ProbesAt(t)) {
+        if (!index.Covers(r, t)) {
+          std::ostringstream os;
+          os << "probe of resource " << r << " at chronon " << t
+             << " is outside every EI window on that resource";
+          return AuditFailure("probe outside EI windows", os.str());
+        }
+      }
+    }
+  }
+
+  // --- Capture accounting matches completeness.cc. ---
+  out.captured_ceis = CapturedCeiCount(problem, schedule);
+  out.captured_eis = CapturedEiCount(problem, schedule);
+  if (options.expected_captured_ceis >= 0 &&
+      out.captured_ceis != options.expected_captured_ceis) {
+    std::ostringstream os;
+    os << "producer reported " << options.expected_captured_ceis
+       << " captured CEIs, schedule evaluation finds " << out.captured_ceis;
+    return AuditFailure("CEI accounting mismatch", os.str());
+  }
+  if (options.expected_probes >= 0 &&
+      out.total_probes != options.expected_probes) {
+    std::ostringstream os;
+    os << "producer reported " << options.expected_probes
+       << " probes, schedule holds " << out.total_probes;
+    return AuditFailure("probe accounting mismatch", os.str());
+  }
+  if (options.min_captured_eis >= 0 &&
+      out.captured_eis < options.min_captured_eis) {
+    std::ostringstream os;
+    os << "producer reported " << options.min_captured_eis
+       << " captured EIs, schedule evaluation finds only " << out.captured_eis;
+    return AuditFailure("EI accounting mismatch", os.str());
+  }
+  WEBMON_DCHECK_EQ(out.total_probes, schedule.TotalProbes())
+      << "per-chronon probe views disagree with the schedule's own counter";
+  return Status::OK();
+}
+
+Status AuditProbeLog(const ProblemInstance& problem,
+                     const std::vector<ProbeEvent>& probes,
+                     const ScheduleAuditOptions& options,
+                     ScheduleAuditReport* report) {
+  Schedule schedule(problem.num_resources(), problem.num_chronons());
+  for (const ProbeEvent& probe : probes) {
+    const Status added = schedule.AddProbe(probe.resource, probe.chronon);
+    if (added.code() == StatusCode::kAlreadyExists) {
+      std::ostringstream os;
+      os << "resource " << probe.resource << " probed twice at chronon "
+         << probe.chronon;
+      return AuditFailure("duplicate probe", os.str());
+    }
+    if (!added.ok()) {
+      std::ostringstream os;
+      os << "probe of resource " << probe.resource << " at chronon "
+         << probe.chronon << ": " << added.ToString();
+      return AuditFailure("probe out of range", os.str());
+    }
+  }
+  return AuditSchedule(problem, schedule, options, report);
+}
+
+}  // namespace webmon

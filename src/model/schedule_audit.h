@@ -1,0 +1,87 @@
+// Deterministic schedule auditor: validates any policy's emitted schedule
+// against the problem instance it was produced for.
+//
+// The online scheduler, the offline solvers, and every policy are supposed
+// to uphold the same externally observable contract (paper Section III):
+//   * budget respected — at every chronon T_j at most C_j probes (or, under
+//     the varying-cost extension, total cost at most C_j),
+//   * probes target live EIs — every probe (r, t) lands inside the window
+//     [T_s, T_f] of at least one EI on resource r,
+//   * accounting matches — the producer's reported capture/probe counters
+//     agree with re-evaluating the schedule via completeness.cc.
+// The auditor re-derives all of this from the (instance, schedule) pair
+// alone, so a policy refactor that silently breaks an invariant fails the
+// audit even when the completeness numbers still look plausible.
+
+#ifndef WEBMON_MODEL_SCHEDULE_AUDIT_H_
+#define WEBMON_MODEL_SCHEDULE_AUDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/problem.h"
+#include "model/schedule.h"
+#include "model/types.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// One probe emission event, for auditing raw probe streams (e.g. a policy
+/// driver's log) that have not been deduplicated by a Schedule.
+struct ProbeEvent {
+  ResourceId resource = 0;
+  Chronon chronon = 0;
+};
+
+/// What the auditor enforces beyond the unconditional feasibility checks.
+struct ScheduleAuditOptions {
+  /// When >= 0, the schedule must capture exactly this many CEIs per
+  /// completeness.cc (cross-checks a scheduler's ceis_captured counter).
+  int64_t expected_captured_ceis = -1;
+  /// When >= 0, the schedule must hold exactly this many probes
+  /// (cross-checks probes_issued; a double-issued probe shows up as a
+  /// mismatch because Schedule stores each (resource, chronon) once).
+  int64_t expected_probes = -1;
+  /// When >= 0, the schedule-evaluated EI capture count must be at least
+  /// this (a probe may land in the window of an EI whose CEI already died,
+  /// so the producer's counter is a lower bound, never an upper one).
+  int64_t min_captured_eis = -1;
+  /// Require every probe to land inside the window of at least one EI of
+  /// its resource. On for every paper policy; disable only for schedules
+  /// produced outside the candidate machinery.
+  bool require_probes_target_eis = true;
+  /// Varying-cost extension: when non-empty (one entry per resource, each
+  /// > 0), chronon budgets are cost capacities and the audit sums
+  /// resource_costs[r] per probe instead of counting 1.
+  std::vector<double> resource_costs;
+};
+
+/// Counters the audit derived; all fields are schedule-evaluated.
+struct ScheduleAuditReport {
+  int64_t total_probes = 0;
+  int64_t captured_ceis = 0;
+  int64_t captured_eis = 0;
+  /// Chronon with the highest budget utilization (diagnostics);
+  /// kInvalidChronon for an empty schedule.
+  Chronon peak_chronon = kInvalidChronon;
+};
+
+/// Audits `schedule` against `problem`. Returns OK iff every invariant
+/// holds; the error status names the first violated invariant and the
+/// offending coordinates. `report` (optional) receives derived counters
+/// even on failure, as far as the audit got.
+Status AuditSchedule(const ProblemInstance& problem, const Schedule& schedule,
+                     const ScheduleAuditOptions& options = {},
+                     ScheduleAuditReport* report = nullptr);
+
+/// Audits a raw probe stream: rejects out-of-range coordinates and
+/// duplicate (resource, chronon) emissions, then replays the events into a
+/// Schedule and applies AuditSchedule.
+Status AuditProbeLog(const ProblemInstance& problem,
+                     const std::vector<ProbeEvent>& probes,
+                     const ScheduleAuditOptions& options = {},
+                     ScheduleAuditReport* report = nullptr);
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_SCHEDULE_AUDIT_H_

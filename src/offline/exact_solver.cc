@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "model/completeness.h"
+#include "util/check.h"
 
 namespace webmon {
 
@@ -164,6 +165,11 @@ class Search {
       }
       (void)failure;
     }
+    // Bound monotonicity: captures are never undone, so the best final
+    // weight reachable from here is at least the weight already locked in.
+    WEBMON_DCHECK_GE(best, CompletedWeight(captured) - 1e-12)
+        << "DFS bound dropped below the already-captured weight at chronon "
+        << t;
     memo_[key] = best;
     return best;
   }

@@ -1,6 +1,7 @@
 #include "offline/p1_transform.h"
 
 #include "model/completeness.h"
+#include "util/check.h"
 
 namespace webmon {
 
@@ -64,6 +65,12 @@ StatusOr<P1TransformResult> TransformToP1(const ProblemInstance& problem,
   }
 
   WEBMON_ASSIGN_OR_RETURN(ProblemInstance transformed, builder.Build());
+  // Proposition 5 contract: the output is a P^[1] instance (every EI has
+  // width exactly one chronon) with one origin entry per transformed CEI.
+  WEBMON_CHECK(transformed.IsUnitWidth())
+      << "P^[1] transformation emitted a wide EI";
+  WEBMON_CHECK_EQ(static_cast<int64_t>(origin.size()),
+                  transformed.TotalCeis());
   return P1TransformResult{std::move(transformed), std::move(origin)};
 }
 

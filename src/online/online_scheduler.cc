@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/check.h"
+
 namespace webmon {
 
 OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
@@ -203,6 +205,22 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       std::sort(order.begin(), order.end(), better);
     }
 
+#if WEBMON_DCHECK_IS_ON()
+    // Preemption legality: in non-preemptive mode the ranking must serve
+    // every EI of a started CEI (cands+) before any fresh one (cands-).
+    if (split_started) {
+      bool seen_fresh = false;
+      for (uint32_t i : order) {
+        const bool started = active_[i].state->Started();
+        WEBMON_DCHECK(!(started && seen_fresh))
+            << "non-preemptive ranking put a fresh CEI before a started one "
+               "at chronon "
+            << now;
+        seen_fresh = seen_fresh || !started;
+      }
+    }
+#endif
+
     // With uniform costs every probe consumes one budget unit; with the
     // varying-cost extension, probing r consumes resource_costs[r] of the
     // chronon's cost capacity and cheaper candidates further down the
@@ -211,6 +229,11 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     const double capacity = static_cast<double>(budget);
     double cost_used = 0.0;
     for (uint32_t i : order) {
+      // Candidate legality: Activate/Compact must only ever hand the policy
+      // EIs that are probeable right now.
+      WEBMON_DCHECK(active_[i].IsLegalAt(now))
+          << "illegal candidate (CEI " << active_[i].state->cei->id
+          << ", EI index " << active_[i].ei_index << ") at chronon " << now;
       const ResourceId r = active_[i].ei().resource;
       if (probed_now_[r]) continue;  // r already in R_ids: capture is free
       const double cost = uniform_costs ? 1.0 : options_.resource_costs[r];
@@ -227,6 +250,16 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       }
       policy_->NotifyProbed(r, now);
     }
+
+    // probeEIs contract: the chronon's budget C_j is never exceeded,
+    // whether budget counts probes or (varying-cost extension) cost units.
+    if (uniform_costs) {
+      WEBMON_CHECK_LE(static_cast<int64_t>(r_ids.size()), budget)
+          << "probeEIs issued more probes than C_j at chronon " << now;
+    } else {
+      WEBMON_CHECK_LE(cost_used, capacity)
+          << "probeEIs exceeded the cost capacity C_j at chronon " << now;
+    }
   }
 
   // --- Capture every active EI whose resource was probed this chronon. ---
@@ -234,6 +267,9 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     CeiState& s = *cand.state;
     if (s.dead || s.Complete() || s.captured[cand.ei_index]) continue;
     if (!probed_now_[cand.ei().resource]) continue;
+    // A capture is only legal inside the EI's window [T_s, T_f].
+    WEBMON_DCHECK(cand.ei().Contains(now))
+        << "capturing EI " << cand.ei().ToString() << " outside its window";
     s.captured[cand.ei_index] = true;
     ++s.num_captured;
     ++stats_.eis_captured;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "model/cei.h"
+#include "util/check.h"
 
 namespace webmon {
 
@@ -20,7 +21,7 @@ namespace webmon {
 /// only read it.
 struct CeiState {
   explicit CeiState(const Cei* cei_def)
-      : cei(cei_def),
+      : cei((WEBMON_CHECK(cei_def != nullptr), cei_def)),
         captured(cei_def->eis.size(), false),
         failed(cei_def->eis.size(), false) {}
 
@@ -64,8 +65,22 @@ struct CandidateEi {
   CeiState* state = nullptr;
   uint32_t ei_index = 0;
 
-  const ExecutionInterval& ei() const { return state->cei->eis[ei_index]; }
+  const ExecutionInterval& ei() const {
+    WEBMON_DCHECK(state != nullptr);
+    WEBMON_DCHECK_LT(ei_index, state->cei->eis.size());
+    return state->cei->eis[ei_index];
+  }
   bool IsCaptured() const { return state->captured[ei_index]; }
+
+  /// True iff this candidate may legally be probed at chronon `now`: its
+  /// CEI is still live and unsatisfied, the EI itself is uncaptured and
+  /// unfailed, and `now` lies inside the EI's window. The scheduler
+  /// DCHECKs this before every probe (candidate legality contract).
+  bool IsLegalAt(Chronon now) const {
+    return state != nullptr && !state->dead && !state->Complete() &&
+           !state->captured[ei_index] && !state->failed[ei_index] &&
+           ei().Contains(now);
+  }
 };
 
 /// S-EDF deadline value of a single EI at chronon `now`: the number of

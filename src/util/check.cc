@@ -1,0 +1,31 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace webmon {
+namespace internal_check {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const std::string& condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  // fputs + fflush rather than std::cerr: the process is about to die, and
+  // stdio survives more kinds of corruption than iostreams.
+  const std::string message = stream_.str();
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace webmon

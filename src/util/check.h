@@ -1,0 +1,179 @@
+// Runtime contract checks: WEBMON_CHECK / WEBMON_DCHECK and friends.
+//
+// The library's hot invariants (budgets never exceeded, probes only inside
+// EI windows, preemption legality, ...) are programming contracts, not
+// recoverable conditions, so violating them aborts the process with a
+// file:line diagnostic instead of returning a Status. Anything a caller can
+// legitimately get wrong (user input, file contents, late arrivals) keeps
+// using Status; checks are strictly for "this cannot happen unless the code
+// is broken".
+//
+//   WEBMON_CHECK(total >= 0) << "after compaction of " << n << " entries";
+//   WEBMON_CHECK_LE(used, capacity);
+//   WEBMON_DCHECK_EQ(a, b);  // compiled out in NDEBUG builds
+//   WEBMON_CHECK_OK(schedule.AddProbe(r, t));
+//
+// CHECK is always on (all build types); DCHECK vanishes under NDEBUG unless
+// WEBMON_FORCE_DCHECK is defined, but its condition stays syntax-checked.
+// The comparison forms print both operand values on failure.
+
+#ifndef WEBMON_UTIL_CHECK_H_
+#define WEBMON_UTIL_CHECK_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace webmon {
+namespace internal_check {
+
+/// Accumulates the failure diagnostic for one violated check and aborts the
+/// process when the statement ends (i.e. after any streamed-in context).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  CheckFailure(const char* file, int line, const std::string& condition);
+  ~CheckFailure();  // prints to stderr and aborts; never returns normally
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Outcome of a binary comparison check: empty on success, otherwise the
+/// formatted "a op b (va vs vb)" description.
+class CheckOpResult {
+ public:
+  CheckOpResult() = default;  // success
+  explicit CheckOpResult(std::string message)
+      : message_(std::make_unique<std::string>(std::move(message))) {}
+
+  explicit operator bool() const { return message_ != nullptr; }
+  const std::string& message() const { return *message_; }
+
+ private:
+  std::unique_ptr<std::string> message_;
+};
+
+template <typename A, typename B>
+std::string FormatCheckOp(const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << expr << " (" << a << " vs " << b << ")";
+  return os.str();
+}
+
+#define WEBMON_CHECK_DEFINE_OP_(name, op)                        \
+  template <typename A, typename B>                              \
+  CheckOpResult name(const A& a, const B& b, const char* expr) { \
+    if (a op b) return CheckOpResult();                          \
+    return CheckOpResult(FormatCheckOp(expr, a, b));             \
+  }
+
+WEBMON_CHECK_DEFINE_OP_(CheckEqImpl, ==)
+WEBMON_CHECK_DEFINE_OP_(CheckNeImpl, !=)
+WEBMON_CHECK_DEFINE_OP_(CheckLtImpl, <)
+WEBMON_CHECK_DEFINE_OP_(CheckLeImpl, <=)
+WEBMON_CHECK_DEFINE_OP_(CheckGtImpl, >)
+WEBMON_CHECK_DEFINE_OP_(CheckGeImpl, >=)
+
+#undef WEBMON_CHECK_DEFINE_OP_
+
+/// Lets a check expression terminate with void in the success arm of the
+/// ternary below (operator precedence: & binds looser than <<).
+struct CheckVoidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal_check
+}  // namespace webmon
+
+/// Aborts with a file:line diagnostic unless `condition` is true. Streaming
+/// extra context is allowed: WEBMON_CHECK(x) << "details";
+#define WEBMON_CHECK(condition)                              \
+  (condition) ? void(0)                                      \
+              : ::webmon::internal_check::CheckVoidify() &   \
+                    ::webmon::internal_check::CheckFailure(  \
+                        __FILE__, __LINE__, #condition)
+
+// The switch wrapper makes the expansion a single statement immune to the
+// dangling-else ambiguity, while still letting `<< extra` attach to the
+// failure object.
+#define WEBMON_CHECK_OP_(impl, op, a, b)                                   \
+  switch (0)                                                               \
+  case 0:                                                                  \
+  default:                                                                 \
+    if (::webmon::internal_check::CheckOpResult webmon_check_result =      \
+            ::webmon::internal_check::impl((a), (b), #a " " #op " " #b);   \
+        !webmon_check_result) {                                            \
+    } else                                                                 \
+      ::webmon::internal_check::CheckFailure(__FILE__, __LINE__,           \
+                                             webmon_check_result.message())
+
+#define WEBMON_CHECK_EQ(a, b) WEBMON_CHECK_OP_(CheckEqImpl, ==, a, b)
+#define WEBMON_CHECK_NE(a, b) WEBMON_CHECK_OP_(CheckNeImpl, !=, a, b)
+#define WEBMON_CHECK_LT(a, b) WEBMON_CHECK_OP_(CheckLtImpl, <, a, b)
+#define WEBMON_CHECK_LE(a, b) WEBMON_CHECK_OP_(CheckLeImpl, <=, a, b)
+#define WEBMON_CHECK_GT(a, b) WEBMON_CHECK_OP_(CheckGtImpl, >, a, b)
+#define WEBMON_CHECK_GE(a, b) WEBMON_CHECK_OP_(CheckGeImpl, >=, a, b)
+
+/// Aborts (printing the status) unless `expr` evaluates to an OK Status.
+#define WEBMON_CHECK_OK(expr)                                              \
+  switch (0)                                                               \
+  case 0:                                                                  \
+  default:                                                                 \
+    if (::webmon::Status webmon_check_status = (expr);                     \
+        webmon_check_status.ok()) {                                        \
+    } else                                                                 \
+      ::webmon::internal_check::CheckFailure(                              \
+          __FILE__, __LINE__, #expr " is OK")                              \
+          << "status: " << webmon_check_status
+
+#if defined(NDEBUG) && !defined(WEBMON_FORCE_DCHECK)
+// Debug checks vanish from optimized builds; `while (false)` keeps the
+// condition compiled (so it cannot rot) without ever evaluating it.
+#define WEBMON_DCHECK(condition) \
+  while (false) WEBMON_CHECK(condition)
+#define WEBMON_DCHECK_EQ(a, b) \
+  while (false) WEBMON_CHECK_EQ(a, b)
+#define WEBMON_DCHECK_NE(a, b) \
+  while (false) WEBMON_CHECK_NE(a, b)
+#define WEBMON_DCHECK_LT(a, b) \
+  while (false) WEBMON_CHECK_LT(a, b)
+#define WEBMON_DCHECK_LE(a, b) \
+  while (false) WEBMON_CHECK_LE(a, b)
+#define WEBMON_DCHECK_GT(a, b) \
+  while (false) WEBMON_CHECK_GT(a, b)
+#define WEBMON_DCHECK_GE(a, b) \
+  while (false) WEBMON_CHECK_GE(a, b)
+#define WEBMON_DCHECK_OK(expr) \
+  while (false) WEBMON_CHECK_OK(expr)
+#else
+#define WEBMON_DCHECK(condition) WEBMON_CHECK(condition)
+#define WEBMON_DCHECK_EQ(a, b) WEBMON_CHECK_EQ(a, b)
+#define WEBMON_DCHECK_NE(a, b) WEBMON_CHECK_NE(a, b)
+#define WEBMON_DCHECK_LT(a, b) WEBMON_CHECK_LT(a, b)
+#define WEBMON_DCHECK_LE(a, b) WEBMON_CHECK_LE(a, b)
+#define WEBMON_DCHECK_GT(a, b) WEBMON_CHECK_GT(a, b)
+#define WEBMON_DCHECK_GE(a, b) WEBMON_CHECK_GE(a, b)
+#define WEBMON_DCHECK_OK(expr) WEBMON_CHECK_OK(expr)
+#endif
+
+/// True in builds where WEBMON_DCHECK is active (used by tests to skip
+/// death expectations in release builds).
+#if defined(NDEBUG) && !defined(WEBMON_FORCE_DCHECK)
+#define WEBMON_DCHECK_IS_ON() 0
+#else
+#define WEBMON_DCHECK_IS_ON() 1
+#endif
+
+#endif  // WEBMON_UTIL_CHECK_H_

@@ -1,0 +1,185 @@
+#include "model/schedule_audit.h"
+
+#include <gtest/gtest.h>
+
+#include "model/completeness.h"
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblem;
+using testing_util::MakeProblemOneCeiPerProfile;
+
+// A 3-resource instance with overlapping windows: CEI 0 = {r0 [1,3], r1
+// [2,6]}, CEI 1 = {r2 [0,4]}, CEI 2 = {r0 [5,8]}. Budget 1 per chronon.
+ProblemInstance TestProblem() {
+  return MakeProblem(3, 10, 1,
+                     {{{{0, 1, 3}, {1, 2, 6}}, {{2, 0, 4}}},
+                      {{{0, 5, 8}}}});
+}
+
+TEST(ScheduleAuditTest, AcceptsAValidSchedule) {
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(2, 0).ok());  // captures CEI 1
+  ASSERT_TRUE(schedule.AddProbe(0, 1).ok());  // CEI 0 first EI
+  ASSERT_TRUE(schedule.AddProbe(1, 2).ok());  // CEI 0 second EI -> captured
+  ASSERT_TRUE(schedule.AddProbe(0, 5).ok());  // captures CEI 2
+
+  ScheduleAuditReport report;
+  EXPECT_TRUE(AuditSchedule(problem, schedule, {}, &report).ok());
+  EXPECT_EQ(report.total_probes, 4);
+  EXPECT_EQ(report.captured_ceis, 3);
+  EXPECT_EQ(report.captured_eis, 4);
+  EXPECT_EQ(report.captured_ceis, CapturedCeiCount(problem, schedule));
+}
+
+TEST(ScheduleAuditTest, AcceptsTheEmptySchedule) {
+  const auto problem = TestProblem();
+  ScheduleAuditReport report;
+  EXPECT_TRUE(AuditSchedule(problem, Schedule(3, 10), {}, &report).ok());
+  EXPECT_EQ(report.total_probes, 0);
+  EXPECT_EQ(report.captured_ceis, 0);
+  EXPECT_EQ(report.peak_chronon, kInvalidChronon);
+}
+
+TEST(ScheduleAuditTest, RejectsBudgetOverflow) {
+  // Two probes at chronon 2 under budget 1: infeasible even though both
+  // probes individually target live windows.
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(1, 2).ok());
+  ASSERT_TRUE(schedule.AddProbe(2, 2).ok());
+  const Status audit = AuditSchedule(problem, schedule);
+  EXPECT_EQ(audit.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(audit.message().find("budget exceeded"), std::string::npos)
+      << audit;
+}
+
+TEST(ScheduleAuditTest, RejectsOutOfWindowProbes) {
+  // Chronon 9 lies outside every window on resource 2 ([0,4] only).
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(2, 9).ok());
+  const Status audit = AuditSchedule(problem, schedule);
+  EXPECT_EQ(audit.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(audit.message().find("outside every EI window"),
+            std::string::npos)
+      << audit;
+
+  // The same schedule passes when the window requirement is waived.
+  ScheduleAuditOptions waived;
+  waived.require_probes_target_eis = false;
+  EXPECT_TRUE(AuditSchedule(problem, schedule, waived).ok());
+}
+
+TEST(ScheduleAuditTest, RejectsProbesInTheGapBetweenWindows) {
+  // Resource 0 has windows [1,3] and [5,8]; chronon 4 is the gap.
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(0, 4).ok());
+  EXPECT_FALSE(AuditSchedule(problem, schedule).ok());
+}
+
+TEST(ScheduleAuditTest, RejectsAccountingMismatches) {
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(2, 0).ok());  // captures exactly CEI 1
+
+  ScheduleAuditOptions claims_two;
+  claims_two.expected_captured_ceis = 2;
+  const Status cei_audit = AuditSchedule(problem, schedule, claims_two);
+  EXPECT_EQ(cei_audit.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(cei_audit.message().find("CEI accounting"), std::string::npos);
+
+  ScheduleAuditOptions claims_extra_probe;
+  claims_extra_probe.expected_probes = 2;  // a double-issued probe collapsed
+  EXPECT_FALSE(AuditSchedule(problem, schedule, claims_extra_probe).ok());
+
+  ScheduleAuditOptions claims_extra_eis;
+  claims_extra_eis.min_captured_eis = 5;
+  EXPECT_FALSE(AuditSchedule(problem, schedule, claims_extra_eis).ok());
+
+  ScheduleAuditOptions honest;
+  honest.expected_captured_ceis = 1;
+  honest.expected_probes = 1;
+  honest.min_captured_eis = 1;
+  EXPECT_TRUE(AuditSchedule(problem, schedule, honest).ok());
+}
+
+TEST(ScheduleAuditTest, RejectsDimensionMismatch) {
+  const auto problem = TestProblem();
+  const Status audit = AuditSchedule(problem, Schedule(3, 12));
+  EXPECT_EQ(audit.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(audit.message().find("dimension mismatch"), std::string::npos);
+}
+
+TEST(ScheduleAuditTest, ReportsPeakChronon) {
+  const auto problem = MakeProblemOneCeiPerProfile(
+      2, 6, 2, {{{0, 0, 5}}, {{1, 0, 5}}});
+  Schedule schedule(2, 6);
+  ASSERT_TRUE(schedule.AddProbe(0, 1).ok());
+  ASSERT_TRUE(schedule.AddProbe(0, 3).ok());
+  ASSERT_TRUE(schedule.AddProbe(1, 3).ok());
+  ScheduleAuditReport report;
+  ASSERT_TRUE(AuditSchedule(problem, schedule, {}, &report).ok());
+  EXPECT_EQ(report.peak_chronon, 3);  // two probes there vs one at chronon 1
+}
+
+TEST(ScheduleAuditTest, VaryingCostsUseTheCostCapacity)
+{
+  // Budget 2 per chronon; resource 0 costs 1.5, resource 1 costs 1.0.
+  const auto problem = MakeProblemOneCeiPerProfile(
+      2, 4, 2, {{{0, 0, 3}}, {{1, 0, 3}}});
+  ScheduleAuditOptions options;
+  options.resource_costs = {1.5, 1.0};
+
+  Schedule within(2, 4);
+  ASSERT_TRUE(within.AddProbe(0, 0).ok());  // cost 1.5 <= 2
+  ASSERT_TRUE(within.AddProbe(1, 1).ok());  // cost 1.0 <= 2
+  EXPECT_TRUE(AuditSchedule(problem, within, options).ok());
+
+  Schedule over(2, 4);
+  ASSERT_TRUE(over.AddProbe(0, 0).ok());
+  ASSERT_TRUE(over.AddProbe(1, 0).ok());  // 1.5 + 1.0 > 2
+  EXPECT_FALSE(AuditSchedule(problem, over, options).ok());
+
+  // Without costs the same schedule is fine (2 probes <= budget 2).
+  EXPECT_TRUE(AuditSchedule(problem, over).ok());
+
+  ScheduleAuditOptions bad_costs;
+  bad_costs.resource_costs = {1.0};  // wrong arity
+  EXPECT_FALSE(AuditSchedule(problem, within, bad_costs).ok());
+}
+
+TEST(ProbeLogAuditTest, RejectsDoubleProbes) {
+  const auto problem = TestProblem();
+  // The same (resource, chronon) emitted twice: a scheduler that
+  // double-issues a probe burns budget without a schedule trace.
+  const std::vector<ProbeEvent> events = {{2, 0}, {2, 0}};
+  const Status audit = AuditProbeLog(problem, events);
+  EXPECT_EQ(audit.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(audit.message().find("probed twice"), std::string::npos) << audit;
+}
+
+TEST(ProbeLogAuditTest, RejectsOutOfRangeProbes) {
+  const auto problem = TestProblem();
+  EXPECT_FALSE(AuditProbeLog(problem, {{7, 0}}).ok());   // no such resource
+  EXPECT_FALSE(AuditProbeLog(problem, {{0, 99}}).ok());  // beyond the epoch
+}
+
+TEST(ProbeLogAuditTest, AcceptsAValidLogAndReports) {
+  const auto problem = TestProblem();
+  ScheduleAuditReport report;
+  ScheduleAuditOptions options;
+  options.expected_probes = 2;
+  EXPECT_TRUE(
+      AuditProbeLog(problem, {{2, 0}, {0, 1}}, options, &report).ok());
+  EXPECT_EQ(report.total_probes, 2);
+  EXPECT_EQ(report.captured_ceis, 1);  // CEI 1; CEI 0 needs r1 as well
+}
+
+}  // namespace
+}  // namespace webmon

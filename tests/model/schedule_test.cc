@@ -13,8 +13,12 @@ TEST(BudgetVectorTest, UniformEverywhere) {
   EXPECT_TRUE(b.is_uniform());
 }
 
-TEST(BudgetVectorTest, UniformNegativeClampedToZero) {
-  EXPECT_EQ(BudgetVector::Uniform(-5).At(0), 0);
+TEST(BudgetVectorDeathTest, NegativeBudgetsViolateTheContract) {
+  // Probe capacities are non-negative by contract (WEBMON_CHECK, active in
+  // every build type); a negative budget is a programming error, not a
+  // value to clamp.
+  EXPECT_DEATH(BudgetVector::Uniform(-5), "CHECK failed");
+  EXPECT_DEATH(BudgetVector::PerChronon({1, -2, 3}), "CHECK failed");
 }
 
 TEST(BudgetVectorTest, NegativeChrononGetsZero) {

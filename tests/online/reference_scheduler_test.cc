@@ -192,13 +192,13 @@ INSTANTIATE_TEST_SUITE_P(
                                          "w-mrsf"),
                        ::testing::Bool(), ::testing::Bool()),
     [](const ::testing::TestParamInfo<std::tuple<std::string, bool, bool>>&
-           info) {
-      std::string name = std::get<0>(info.param);
+           param) {
+      std::string name = std::get<0>(param.param);
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
-      return name + (std::get<1>(info.param) ? "_P" : "_NP") +
-             (std::get<2>(info.param) ? "_ext" : "_base");
+      return name + (std::get<1>(param.param) ? "_P" : "_NP") +
+             (std::get<2>(param.param) ? "_ext" : "_base");
     });
 
 }  // namespace

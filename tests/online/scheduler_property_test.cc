@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "model/completeness.h"
+#include "model/schedule_audit.h"
 #include "offline/exact_solver.h"
 #include "online/run.h"
 #include "policy/m_edf.h"
@@ -86,11 +87,19 @@ TEST_P(SchedulerInvariants, FeasibleAndSelfConsistent) {
 
     // (1) The schedule never exceeds the budget.
     EXPECT_TRUE(result->schedule.CheckFeasible(problem.budget()).ok());
-    // (2) The scheduler's own capture accounting matches re-evaluating the
-    //     schedule against the instance (Eq. 1). EI counts may differ: a
-    //     probe can land inside the window of an EI whose CEI already died,
-    //     which the schedule-based tally counts but the scheduler (having
-    //     dropped the dead CEI) does not — so only <= holds there.
+    // (2) The full schedule audit: budget at every chronon, every probe
+    //     inside a live EI window, and the scheduler's capture/probe
+    //     accounting matching re-evaluation via completeness.cc (Eq. 1).
+    //     EI counts may differ upward: a probe can land inside the window
+    //     of an EI whose CEI already died, which the schedule-based tally
+    //     counts but the scheduler (having dropped the dead CEI) does not.
+    ScheduleAuditOptions audit;
+    audit.expected_captured_ceis = result->stats.ceis_captured;
+    audit.expected_probes = result->stats.probes_issued;
+    audit.min_captured_eis = result->stats.eis_captured;
+    EXPECT_TRUE(AuditSchedule(problem, result->schedule, audit).ok())
+        << AuditSchedule(problem, result->schedule, audit) << " for "
+        << policy_name << (preemptive ? " (P)" : " (NP)");
     EXPECT_EQ(result->stats.ceis_captured,
               CapturedCeiCount(problem, result->schedule));
     EXPECT_LE(result->stats.eis_captured,
@@ -109,12 +118,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("s-edf", "mrsf", "m-edf", "wic",
                                          "random", "round-robin"),
                        ::testing::Bool()),
-    [](const ::testing::TestParamInfo<std::tuple<std::string, bool>>& info) {
-      std::string name = std::get<0>(info.param);
+    [](const ::testing::TestParamInfo<std::tuple<std::string, bool>>& param) {
+      std::string name = std::get<0>(param.param);
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
-      return name + (std::get<1>(info.param) ? "_P" : "_NP");
+      return name + (std::get<1>(param.param) ? "_P" : "_NP");
     });
 
 // ---------------------------------------------------------------------------
@@ -131,6 +140,11 @@ TEST(SchedulerVsExact, OnlineNeverExceedsOptimal) {
     if (problem.TotalEis() > 12) continue;
     auto exact = SolveExact(problem);
     ASSERT_TRUE(exact.ok()) << exact.status();
+    // The offline optimum obeys the same contract as every online policy.
+    ScheduleAuditOptions exact_audit;
+    exact_audit.expected_captured_ceis = exact->captured_ceis;
+    EXPECT_TRUE(AuditSchedule(problem, exact->schedule, exact_audit).ok())
+        << AuditSchedule(problem, exact->schedule, exact_audit);
     for (const char* name : {"s-edf", "mrsf", "m-edf"}) {
       auto policy = MakePolicy(name);
       ASSERT_TRUE(policy.ok());

@@ -5,6 +5,7 @@
 #include "model/completeness.h"
 #include "online/run.h"
 #include "policy/mrsf.h"
+#include "policy/policy_factory.h"
 #include "policy/s_edf.h"
 
 #include "../test_util.h"
@@ -12,6 +13,7 @@
 namespace webmon {
 namespace {
 
+using testing_util::AuditRun;
 using testing_util::MakeProblem;
 using testing_util::MakeProblemOneCeiPerProfile;
 
@@ -82,6 +84,33 @@ TEST(OnlineSchedulerTest, SchedulerCountMatchesScheduleEvaluation) {
             CapturedCeiCount(problem, result->schedule));
   EXPECT_EQ(result->stats.eis_captured,
             CapturedEiCount(problem, result->schedule));
+  EXPECT_TRUE(AuditRun(problem, result->schedule, result->stats).ok());
+}
+
+TEST(OnlineSchedulerTest, EveryPolicyPassesScheduleAudit) {
+  // A mixed instance: overlapping windows, shared resources, an
+  // oversubscribed chronon, and a CEI that cannot be captured — every
+  // registered policy, preemptive and non-preemptive, must emit a schedule
+  // the deterministic auditor accepts.
+  const auto problem = MakeProblem(
+      4, 14, 1,
+      {{{{0, 0, 3}, {1, 2, 6}}, {{2, 1, 4}}},
+       {{{3, 5, 9}, {0, 7, 11}}, {{1, 0, 0}, {2, 0, 0}}},
+       {{{3, 3, 3}}, {{0, 2, 10}, {2, 6, 12}}}});
+  for (const char* name :
+       {"s-edf", "mrsf", "m-edf", "wic", "random", "round-robin", "w-mrsf"}) {
+    for (const bool preemptive : {true, false}) {
+      auto policy = MakePolicy(name, /*seed=*/7);
+      ASSERT_TRUE(policy.ok()) << policy.status();
+      SchedulerOptions options;
+      options.preemptive = preemptive;
+      auto result = RunOnline(problem, policy->get(), options);
+      ASSERT_TRUE(result.ok()) << result.status();
+      const Status audit = AuditRun(problem, result->schedule, result->stats);
+      EXPECT_TRUE(audit.ok())
+          << audit << " for " << name << (preemptive ? " (P)" : " (NP)");
+    }
+  }
 }
 
 TEST(OnlineSchedulerTest, ArrivalAfterStepRejected) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "model/schedule_audit.h"
 #include "online/online_scheduler.h"
 #include "policy/policy_factory.h"
 #include "util/rng.h"
@@ -78,6 +79,29 @@ TEST(SoakTest, LongStreamingRunStaysHealthy) {
   EXPECT_LT(max_live_ceis, 1000u);
   EXPECT_LT(max_active_eis, 2000u);
   EXPECT_GT(submitted, 25000);
+
+  // Full deterministic audit: rebuild the streamed workload as a problem
+  // instance (one profile per submitted CEI) and validate the emitted
+  // schedule against it — budget at every chronon, every probe inside a
+  // live EI window, capture/probe accounting matching completeness.cc.
+  ProblemBuilder builder(kResources, kHorizon, BudgetVector::Uniform(2));
+  for (const Cei& cei : storage) {
+    builder.BeginProfile();
+    std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+    eis.reserve(cei.eis.size());
+    for (const ExecutionInterval& ei : cei.eis) {
+      eis.emplace_back(ei.resource, ei.start, ei.finish);
+    }
+    ASSERT_TRUE(builder.AddCei(eis, cei.arrival).ok());
+  }
+  auto mirror = builder.Build();
+  ASSERT_TRUE(mirror.ok()) << mirror.status();
+  ScheduleAuditOptions audit_options;
+  audit_options.expected_captured_ceis = stats.ceis_captured;
+  audit_options.expected_probes = stats.probes_issued;
+  audit_options.min_captured_eis = stats.eis_captured;
+  const Status audit = AuditSchedule(*mirror, schedule, audit_options);
+  EXPECT_TRUE(audit.ok()) << audit;
 }
 
 }  // namespace

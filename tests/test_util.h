@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include "model/problem.h"
+#include "model/schedule_audit.h"
+#include "online/online_scheduler.h"
 
 namespace webmon {
 namespace testing_util {
@@ -46,6 +48,21 @@ inline ProblemInstance MakeProblemOneCeiPerProfile(
   profiles.reserve(ceis.size());
   for (const auto& cei : ceis) profiles.push_back({cei});
   return MakeProblem(num_resources, num_chronons, budget, profiles);
+}
+
+/// Audits a scheduler run's emitted schedule against the instance it ran
+/// on, cross-checking the scheduler's own counters: budget respected at
+/// every chronon, every probe inside a live EI window, CEI/probe accounting
+/// matching completeness.cc. Returns the audit status so callers can
+/// EXPECT_TRUE(...ok()) with a useful message.
+inline Status AuditRun(const ProblemInstance& problem,
+                       const Schedule& schedule,
+                       const SchedulerStats& stats) {
+  ScheduleAuditOptions options;
+  options.expected_captured_ceis = stats.ceis_captured;
+  options.expected_probes = stats.probes_issued;
+  options.min_captured_eis = stats.eis_captured;
+  return AuditSchedule(problem, schedule, options);
 }
 
 }  // namespace testing_util

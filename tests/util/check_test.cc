@@ -1,0 +1,94 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  WEBMON_CHECK(true);
+  WEBMON_CHECK(1 + 1 == 2) << "arithmetic still works";
+  WEBMON_CHECK_EQ(2, 2);
+  WEBMON_CHECK_NE(2, 3);
+  WEBMON_CHECK_LT(2, 3);
+  WEBMON_CHECK_LE(2, 2);
+  WEBMON_CHECK_GT(3, 2);
+  WEBMON_CHECK_GE(3, 3);
+  WEBMON_CHECK_OK(Status::OK());
+}
+
+TEST(CheckTest, ChecksEvaluateOperandsExactlyOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  WEBMON_CHECK_GE(next(), 1);
+  EXPECT_EQ(calls, 1);
+  WEBMON_CHECK(next() == 2);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CheckTest, ChecksAreUsableInUnbracedBranches) {
+  // The expansions must be single statements: an unbraced if/else around a
+  // check must parse with the else bound to the OUTER if.
+  const bool flag = true;
+  if (flag)
+    WEBMON_CHECK_EQ(1, 1);
+  else
+    FAIL() << "dangling else bound to the wrong if";
+  if (!flag)
+    WEBMON_CHECK(false) << "never evaluated";
+  else
+    SUCCEED();
+}
+
+TEST(CheckDeathTest, FailedCheckAbortsWithFileLineAndCondition) {
+  EXPECT_DEATH(WEBMON_CHECK(2 + 2 == 5), "CHECK failed at .*check_test.cc");
+  EXPECT_DEATH(WEBMON_CHECK(false), "false");
+}
+
+TEST(CheckDeathTest, StreamedContextAppearsInTheMessage) {
+  const int budget = 3;
+  EXPECT_DEATH(WEBMON_CHECK(budget > 10) << "budget was " << budget,
+               "budget was 3");
+}
+
+TEST(CheckDeathTest, ComparisonChecksPrintBothOperands) {
+  const int used = 7;
+  const int allowed = 5;
+  EXPECT_DEATH(WEBMON_CHECK_LE(used, allowed), "used <= allowed \\(7 vs 5\\)");
+  EXPECT_DEATH(WEBMON_CHECK_EQ(used, allowed), "7 vs 5");
+  EXPECT_DEATH(WEBMON_CHECK_GT(allowed, used), "5 vs 7");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsTheStatus) {
+  EXPECT_DEATH(WEBMON_CHECK_OK(Status::InvalidArgument("bad instance")),
+               "InvalidArgument: bad instance");
+}
+
+TEST(DcheckTest, ActiveExactlyWhenDcheckIsOn) {
+#if WEBMON_DCHECK_IS_ON()
+  EXPECT_DEATH(WEBMON_DCHECK(false), "CHECK failed");
+  EXPECT_DEATH(WEBMON_DCHECK_EQ(1, 2), "1 vs 2");
+#else
+  // Compiled out: the condition must not be evaluated at all.
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  WEBMON_DCHECK(next() > 0);
+  WEBMON_DCHECK_EQ(next(), 123);
+  WEBMON_DCHECK_OK(Status::Internal("never constructed"));
+  EXPECT_EQ(calls, 0);
+#endif
+}
+
+TEST(DcheckTest, PassingDchecksAreSilentInEveryBuild) {
+  WEBMON_DCHECK(true);
+  WEBMON_DCHECK_EQ(4, 4);
+  WEBMON_DCHECK_NE(4, 5);
+  WEBMON_DCHECK_LT(4, 5);
+  WEBMON_DCHECK_LE(4, 4);
+  WEBMON_DCHECK_GT(5, 4);
+  WEBMON_DCHECK_GE(5, 5);
+  WEBMON_DCHECK_OK(Status::OK());
+}
+
+}  // namespace
+}  // namespace webmon

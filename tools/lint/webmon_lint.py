@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for webmon, run as a CTest (`ctest -R webmon_lint`).
+
+Rules:
+  guard      Include guards must be WEBMON_<PATH>_H_ derived from the file's
+             repo-relative path (src/ stripped), e.g. src/model/cei.h ->
+             WEBMON_MODEL_CEI_H_, tests/test_util.h -> WEBMON_TESTS_TEST_UTIL_H_.
+  rng        No rand()/srand()/random()/time(nullptr) seeding outside
+             src/util/rng.*: all randomness flows through util/rng so runs
+             stay reproducible.
+  usingns    No `using namespace` at any scope in headers (it leaks into
+             every includer).
+
+Exit status is the number of files with violations (0 = clean). Violations
+are printed as file:line: rule: message, one per line.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directories scanned for C++ sources, relative to the repo root.
+SOURCE_DIRS = ("src", "tests", "tools", "bench", "examples")
+HEADER_EXTS = (".h", ".hpp")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+SKIP_DIR_NAMES = {"build", "CMakeFiles", "__pycache__", ".git"}
+
+# Files allowed to use the raw C PRNG / wall clock (the RNG wrapper itself).
+RNG_EXEMPT = re.compile(r"^src/util/rng\.(h|cc)$")
+
+BANNED_RANDOMNESS = [
+    (re.compile(r"(?<![\w:.])s?rand\s*\("), "call to rand()/srand()"),
+    (re.compile(r"(?<![\w:.])random\s*\("), "call to random()"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0)\s*\)"),
+     "wall-clock seeding via time()"),
+]
+
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def repo_files(root):
+    for top in SOURCE_DIRS:
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_path):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIR_NAMES]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    path = os.path.join(dirpath, name)
+                    yield os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def expected_guard(rel_path):
+    # src/ is the include root, so it is stripped; other top-level dirs
+    # (tests, bench, ...) keep their prefix to stay collision-free.
+    trimmed = rel_path[len("src/"):] if rel_path.startswith("src/") else rel_path
+    return "WEBMON_" + re.sub(r"[^A-Za-z0-9]", "_", trimmed).upper() + "_"
+
+
+def strip_comment(line):
+    return LINE_COMMENT.sub("", line)
+
+
+def check_guard(rel_path, lines):
+    guard = expected_guard(rel_path)
+    ifndef_at = None
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped.startswith("#ifndef"):
+            ifndef_at = i
+            parts = stripped.split()
+            if len(parts) < 2 or parts[1] != guard:
+                got = parts[1] if len(parts) > 1 else "<missing>"
+                yield i + 1, f"include guard {got} should be {guard}"
+                return
+            break
+        if stripped.startswith("#pragma once"):
+            yield i + 1, f"use the include guard {guard}, not #pragma once"
+            return
+    if ifndef_at is None:
+        yield 1, f"missing include guard {guard}"
+        return
+    define = lines[ifndef_at + 1].strip() if ifndef_at + 1 < len(lines) else ""
+    if define.split()[:2] != ["#define", guard]:
+        yield ifndef_at + 2, f"#ifndef {guard} must be followed by #define {guard}"
+
+
+def check_rng(rel_path, lines):
+    if RNG_EXEMPT.match(rel_path):
+        return
+    for i, line in enumerate(lines):
+        code = strip_comment(line)
+        for pattern, message in BANNED_RANDOMNESS:
+            if pattern.search(code):
+                yield i + 1, f"{message}; use util/rng (seeded, reproducible)"
+
+
+def check_using_namespace(lines):
+    for i, line in enumerate(lines):
+        if USING_NAMESPACE.match(strip_comment(line)):
+            yield i + 1, "`using namespace` in a header leaks into every includer"
+
+
+def lint_file(root, rel_path):
+    with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    violations = []
+    is_header = rel_path.endswith(HEADER_EXTS)
+    if is_header:
+        violations += [(line, "guard", msg)
+                       for line, msg in check_guard(rel_path, lines)]
+        violations += [(line, "usingns", msg)
+                       for line, msg in check_using_namespace(lines)]
+    violations += [(line, "rng", msg) for line, msg in check_rng(rel_path, lines)]
+    return violations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to lint (default: whole tree)")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    targets = args.paths or sorted(repo_files(root))
+    bad_files = 0
+    checked = 0
+    for rel_path in targets:
+        checked += 1
+        violations = lint_file(root, rel_path)
+        if violations:
+            bad_files += 1
+            for line, rule, msg in violations:
+                print(f"{rel_path}:{line}: {rule}: {msg}")
+    if bad_files:
+        print(f"webmon_lint: {bad_files} of {checked} files have violations",
+              file=sys.stderr)
+    else:
+        print(f"webmon_lint: {checked} files clean")
+    return 1 if bad_files else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
