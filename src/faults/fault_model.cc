@@ -1,0 +1,283 @@
+#include "faults/fault_model.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace webmon {
+
+namespace {
+
+bool IsProb(double p) { return p >= 0.0 && p <= 1.0; }
+
+Status ValidateProfile(const ResourceFaultProfile& p, const std::string& who) {
+  if (!IsProb(p.transient_error_prob) || !IsProb(p.timeout_prob) ||
+      !IsProb(p.outage_enter_prob) || !IsProb(p.outage_exit_prob) ||
+      !IsProb(p.outage_fail_prob)) {
+    return Status::InvalidArgument(who +
+                                   ": probabilities must lie in [0, 1]");
+  }
+  if (p.rate_limit_window < 0) {
+    return Status::InvalidArgument(who + ": rate_limit_window must be >= 0");
+  }
+  if (p.rate_limit_window > 0 && p.rate_limit_max < 0) {
+    return Status::InvalidArgument(who + ": rate_limit_max must be >= 0");
+  }
+  if (p.outage_enter_prob > 0.0 && p.outage_exit_prob == 0.0) {
+    return Status::InvalidArgument(
+        who + ": an outage that can be entered must be exitable "
+              "(outage_exit_prob > 0)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool ResourceFaultProfile::IsIdeal() const {
+  return transient_error_prob == 0.0 && timeout_prob == 0.0 &&
+         (outage_enter_prob == 0.0 || outage_fail_prob == 0.0) &&
+         rate_limit_window == 0;
+}
+
+Status ResourceFaultProfile::Validate() const {
+  return ValidateProfile(*this, "fault profile");
+}
+
+bool operator==(const ResourceFaultProfile& a, const ResourceFaultProfile& b) {
+  return a.transient_error_prob == b.transient_error_prob &&
+         a.timeout_prob == b.timeout_prob &&
+         a.outage_enter_prob == b.outage_enter_prob &&
+         a.outage_exit_prob == b.outage_exit_prob &&
+         a.outage_fail_prob == b.outage_fail_prob &&
+         a.rate_limit_window == b.rate_limit_window &&
+         a.rate_limit_max == b.rate_limit_max;
+}
+
+const ResourceFaultProfile& FaultSpec::For(ResourceId resource) const {
+  auto it = overrides.find(resource);
+  return it == overrides.end() ? defaults : it->second;
+}
+
+bool FaultSpec::IsIdeal() const {
+  if (!defaults.IsIdeal()) return false;
+  for (const auto& [resource, profile] : overrides) {
+    (void)resource;
+    if (!profile.IsIdeal()) return false;
+  }
+  return true;
+}
+
+Status FaultSpec::Validate() const {
+  WEBMON_RETURN_IF_ERROR(ValidateProfile(defaults, "default profile"));
+  for (const auto& [resource, profile] : overrides) {
+    std::ostringstream who;
+    who << "resource " << resource;
+    WEBMON_RETURN_IF_ERROR(ValidateProfile(profile, who.str()));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void AppendProfile(std::ostream& os, const ResourceFaultProfile& p) {
+  os << "transient " << p.transient_error_prob << " timeout " << p.timeout_prob
+     << " outage " << p.outage_enter_prob << " " << p.outage_exit_prob << " "
+     << p.outage_fail_prob << " ratelimit " << p.rate_limit_window << " "
+     << p.rate_limit_max;
+}
+
+Status ParseProfile(std::istringstream& in, ResourceFaultProfile& p,
+                    int line_no) {
+  std::string key;
+  auto fail = [line_no](const std::string& what) {
+    std::ostringstream os;
+    os << "fault spec line " << line_no << ": " << what;
+    return Status::InvalidArgument(os.str());
+  };
+  while (in >> key) {
+    if (key == "transient") {
+      if (!(in >> p.transient_error_prob)) return fail("bad transient value");
+    } else if (key == "timeout") {
+      if (!(in >> p.timeout_prob)) return fail("bad timeout value");
+    } else if (key == "outage") {
+      if (!(in >> p.outage_enter_prob >> p.outage_exit_prob >>
+            p.outage_fail_prob)) {
+        return fail("outage needs <enter> <exit> <fail>");
+      }
+    } else if (key == "ratelimit") {
+      if (!(in >> p.rate_limit_window >> p.rate_limit_max)) {
+        return fail("ratelimit needs <window> <max>");
+      }
+    } else {
+      return fail("unknown field '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string FaultSpecToText(const FaultSpec& spec) {
+  std::ostringstream os;
+  os << "webmon-faults 1\n";
+  os << "default ";
+  AppendProfile(os, spec.defaults);
+  os << "\n";
+  for (const auto& [resource, profile] : spec.overrides) {
+    os << "resource " << resource << " ";
+    AppendProfile(os, profile);
+    os << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<FaultSpec> FaultSpecFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("fault spec is empty");
+  }
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version) || magic != "webmon-faults" ||
+        version != 1) {
+      return Status::InvalidArgument(
+          "fault spec must start with 'webmon-faults 1'");
+    }
+  }
+  FaultSpec spec;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind) || kind.empty() || kind[0] == '#') continue;
+    if (kind == "default") {
+      WEBMON_RETURN_IF_ERROR(ParseProfile(fields, spec.defaults, line_no));
+    } else if (kind == "resource") {
+      ResourceId resource = 0;
+      if (!(fields >> resource)) {
+        std::ostringstream os;
+        os << "fault spec line " << line_no << ": resource needs an id";
+        return Status::InvalidArgument(os.str());
+      }
+      ResourceFaultProfile profile = spec.defaults;
+      WEBMON_RETURN_IF_ERROR(ParseProfile(fields, profile, line_no));
+      spec.overrides[resource] = profile;
+    } else {
+      std::ostringstream os;
+      os << "fault spec line " << line_no << ": unknown record '" << kind
+         << "'";
+      return Status::InvalidArgument(os.str());
+    }
+  }
+  WEBMON_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+Status SaveFaultSpecToFile(const FaultSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << FaultSpecToText(spec);
+  out.flush();
+  if (!out) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+StatusOr<FaultSpec> LoadFaultSpecFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FaultSpecFromText(buffer.str());
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, uint32_t num_resources,
+                             uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed), states_(num_resources) {
+  WEBMON_CHECK(spec_.Validate().ok())
+      << "FaultInjector built from an invalid spec: "
+      << spec_.Validate().ToString();
+  for (uint32_t r = 0; r < num_resources; ++r) {
+    // Independent streams per resource: mixing the resource id through
+    // SplitMix64 decorrelates neighbours, and separate probe/chain streams
+    // keep the outage pattern independent of how often a resource is
+    // probed.
+    uint64_t stream = seed ^ (0x9E3779B97F4A7C15ULL * (r + 1));
+    states_[r].probe_rng = Rng(SplitMix64Next(stream));
+    states_[r].chain_rng = Rng(SplitMix64Next(stream));
+  }
+}
+
+void FaultInjector::AdvanceChain(ResourceState& state,
+                                 const ResourceFaultProfile& profile,
+                                 Chronon t) {
+  if (profile.outage_enter_prob == 0.0 && !state.in_bad_state) {
+    // The chain can never leave the good state: skip the draws entirely
+    // (and keep chain_advanced_to moving so a later override can't warp).
+    state.chain_advanced_to = t;
+    return;
+  }
+  while (state.chain_advanced_to < t) {
+    ++state.chain_advanced_to;
+    if (state.in_bad_state) {
+      if (state.chain_rng.Bernoulli(profile.outage_exit_prob)) {
+        state.in_bad_state = false;
+      }
+    } else if (state.chain_rng.Bernoulli(profile.outage_enter_prob)) {
+      state.in_bad_state = true;
+    }
+  }
+}
+
+bool FaultInjector::InOutage(ResourceId resource, Chronon t) {
+  WEBMON_CHECK_LT(resource, states_.size())
+      << "fault injector asked about an unknown resource";
+  ResourceState& state = states_[resource];
+  AdvanceChain(state, spec_.For(resource), t);
+  return state.in_bad_state;
+}
+
+ProbeOutcome FaultInjector::OnProbe(ResourceId resource, Chronon t) {
+  WEBMON_CHECK_LT(resource, states_.size())
+      << "fault injector probed for an unknown resource";
+  const ResourceFaultProfile& profile = spec_.For(resource);
+  ResourceState& state = states_[resource];
+  if (profile.IsIdeal()) {
+    // Fast path: an ideal resource never consumes randomness, so attaching
+    // an all-zero injector is pay-for-use.
+    return ProbeOutcome::kSuccess;
+  }
+  // Draw order is part of the determinism contract: rate limit (no RNG),
+  // then timeout, then the outage/transient error draw.
+  if (profile.rate_limit_window > 0) {
+    const Chronon window = t / profile.rate_limit_window;
+    if (window != state.rate_window_index) {
+      state.rate_window_index = window;
+      state.rate_window_attempts = 0;
+    }
+    ++state.rate_window_attempts;
+    if (state.rate_window_attempts > profile.rate_limit_max) {
+      return ProbeOutcome::kRateLimited;
+    }
+  }
+  if (profile.timeout_prob > 0.0 &&
+      state.probe_rng.Bernoulli(profile.timeout_prob)) {
+    return ProbeOutcome::kTimeout;
+  }
+  AdvanceChain(state, profile, t);
+  if (state.in_bad_state) {
+    if (state.probe_rng.Bernoulli(profile.outage_fail_prob)) {
+      return ProbeOutcome::kOutage;
+    }
+  } else if (profile.transient_error_prob > 0.0 &&
+             state.probe_rng.Bernoulli(profile.transient_error_prob)) {
+    return ProbeOutcome::kTransientError;
+  }
+  return ProbeOutcome::kSuccess;
+}
+
+}  // namespace webmon

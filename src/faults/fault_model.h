@@ -1,0 +1,129 @@
+// Deterministic, seed-driven per-resource failure model for probes.
+//
+// Four failure mechanisms, each configurable per resource (netdata treats
+// collection failures as first-class state; we model the causes):
+//   * transient errors — independent Bernoulli failure per attempt,
+//   * burst outages — a Gilbert-Elliott two-state chain per resource whose
+//     bad state fails probes with high probability; the chain advances once
+//     per chronon regardless of probing, so the outage pattern of a run is
+//     a function of (spec, seed) alone,
+//   * rate limiting — a fixed window of W chronons aligned to the epoch
+//     start admits at most M attempts; the rest are rejected,
+//   * timeouts — the probe's latency exceeds the chronon, so the reply
+//     cannot count (the chronon is the indivisible scheduling unit).
+// All randomness is derived from one 64-bit seed with independent streams
+// per resource, and FaultSpec serializes to a line-oriented text format, so
+// every fault-injected experiment is exactly reproducible.
+
+#ifndef WEBMON_FAULTS_FAULT_MODEL_H_
+#define WEBMON_FAULTS_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/probe_outcome.h"
+#include "model/types.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Failure behavior of one resource. The default-constructed profile is the
+/// ideal network: every probe succeeds.
+struct ResourceFaultProfile {
+  /// Bernoulli failure probability per attempt while the resource is in the
+  /// good state of its outage chain.
+  double transient_error_prob = 0.0;
+  /// Probability an attempt's latency exceeds the chronon (drawn before the
+  /// error draws: a timed-out probe never reports an error).
+  double timeout_prob = 0.0;
+  /// Gilbert-Elliott chain: per-chronon probability of entering the bad
+  /// state from good, and of leaving it again.
+  double outage_enter_prob = 0.0;
+  double outage_exit_prob = 1.0;
+  /// Failure probability per attempt while in the bad state.
+  double outage_fail_prob = 1.0;
+  /// Fixed-window rate limiter: at most rate_limit_max attempts per window
+  /// of rate_limit_window chronons (windows aligned to chronon 0).
+  /// rate_limit_window == 0 disables the limiter.
+  Chronon rate_limit_window = 0;
+  int64_t rate_limit_max = 0;
+
+  /// True iff this profile can never fail a probe.
+  bool IsIdeal() const;
+  Status Validate() const;
+
+  friend bool operator==(const ResourceFaultProfile& a,
+                         const ResourceFaultProfile& b);
+};
+
+/// Failure model of a whole resource fleet: a default profile plus
+/// per-resource overrides.
+struct FaultSpec {
+  ResourceFaultProfile defaults;
+  std::map<ResourceId, ResourceFaultProfile> overrides;
+
+  /// The profile governing `resource`.
+  const ResourceFaultProfile& For(ResourceId resource) const;
+  /// True iff no resource can ever fail.
+  bool IsIdeal() const;
+  Status Validate() const;
+};
+
+/// Serializes `spec` to the versioned line-oriented text format:
+///   webmon-faults 1
+///   default transient <p> timeout <p> outage <enter> <exit> <fail>
+///           ratelimit <window> <max>
+///   resource <id> transient <p> ... (same fields)
+std::string FaultSpecToText(const FaultSpec& spec);
+/// Parses the text format; the result is validated.
+StatusOr<FaultSpec> FaultSpecFromText(const std::string& text);
+Status SaveFaultSpecToFile(const FaultSpec& spec, const std::string& path);
+StatusOr<FaultSpec> LoadFaultSpecFromFile(const std::string& path);
+
+/// The stateful injector: one per experiment run. Decides the outcome of
+/// every probe attempt. Deterministic: two runs with the same (spec, seed,
+/// attempt sequence) produce the same outcomes, and the outage chain of a
+/// resource depends only on the chronon, never on how often it was probed.
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, uint32_t num_resources, uint64_t seed);
+
+  /// Outcome of probing `resource` at chronon `t`. Chronons must be
+  /// non-decreasing per resource (the scheduler's chronon loop guarantees
+  /// this). CHECK-fails on an out-of-range resource.
+  ProbeOutcome OnProbe(ResourceId resource, Chronon t);
+
+  /// True iff `resource` is in the bad (outage) state at chronon `t`;
+  /// advances its chain to `t`. Diagnostics and tests.
+  bool InOutage(ResourceId resource, Chronon t);
+
+  const FaultSpec& spec() const { return spec_; }
+  uint64_t seed() const { return seed_; }
+  uint32_t num_resources() const {
+    return static_cast<uint32_t>(states_.size());
+  }
+
+ private:
+  struct ResourceState {
+    Rng probe_rng;
+    Rng chain_rng;
+    bool in_bad_state = false;
+    Chronon chain_advanced_to = -1;
+    Chronon rate_window_index = -1;
+    int64_t rate_window_attempts = 0;
+  };
+
+  void AdvanceChain(ResourceState& state, const ResourceFaultProfile& profile,
+                    Chronon t);
+
+  FaultSpec spec_;
+  uint64_t seed_;
+  std::vector<ResourceState> states_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_FAULTS_FAULT_MODEL_H_

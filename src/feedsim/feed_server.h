@@ -43,10 +43,17 @@ class FeedServer {
   /// Snapshot of the currently retained items, oldest first.
   std::vector<FeedItem> Fetch() const;
 
+  /// Records a fetch attempt that failed before reaching the buffer
+  /// (timeout, outage, rate limit); the caller decides the failure, the
+  /// server only keeps the tally for diagnostics.
+  void RecordFailedFetch() { ++total_failed_fetches_; }
+
   /// Items ever published / evicted (an evicted item that was never
   /// fetched is unobservable — the client's data loss).
   int64_t total_published() const { return total_published_; }
   int64_t total_evicted() const { return total_evicted_; }
+  /// Fetch attempts that failed to return content.
+  int64_t total_failed_fetches() const { return total_failed_fetches_; }
 
   ResourceId resource() const { return resource_; }
   size_t capacity() const { return capacity_; }
@@ -58,6 +65,7 @@ class FeedServer {
   std::deque<FeedItem> buffer_;
   int64_t total_published_ = 0;
   int64_t total_evicted_ = 0;
+  int64_t total_failed_fetches_ = 0;
 };
 
 }  // namespace webmon

@@ -14,7 +14,12 @@ StatusOr<FeedWorld> FeedWorld::Create(const EventTrace& trace,
   if (options.buffer_capacity == 0) {
     return Status::InvalidArgument("feed buffers need capacity >= 1");
   }
+  WEBMON_RETURN_IF_ERROR(options.fault_spec.Validate());
   FeedWorld world(options);
+  if (!options.fault_spec.IsIdeal()) {
+    world.fault_injector_ = std::make_unique<FaultInjector>(
+        options.fault_spec, trace.num_resources(), options.fault_seed);
+  }
   world.servers_.reserve(trace.num_resources());
   for (ResourceId r = 0; r < trace.num_resources(); ++r) {
     world.servers_.emplace_back(r, options.buffer_capacity);
@@ -55,7 +60,25 @@ StatusOr<std::vector<FeedItem>> FeedWorld::Probe(ResourceId feed,
   if (now < now_) {
     return Status::FailedPrecondition("cannot probe the past");
   }
+  // The world advances even when the fetch fails: the feeds published
+  // regardless — it is the probe that got lost on the wire.
   AdvanceTo(now);
+  if (fault_injector_ != nullptr) {
+    const ProbeOutcome outcome = fault_injector_->OnProbe(feed, now);
+    if (!ProbeSucceeded(outcome)) {
+      servers_[feed].RecordFailedFetch();
+      const std::string detail = std::string("probe of feed failed: ") +
+                                 ProbeOutcomeToString(outcome);
+      switch (outcome) {
+        case ProbeOutcome::kRateLimited:
+          return Status::ResourceExhausted(detail);
+        case ProbeOutcome::kTimeout:
+          return Status::DeadlineExceeded(detail);
+        default:
+          return Status::Unavailable(detail);
+      }
+    }
+  }
   return servers_[feed].Fetch();
 }
 

@@ -10,9 +10,11 @@
 #define WEBMON_FEEDSIM_FEED_WORLD_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "faults/fault_model.h"
 #include "feedsim/content_generator.h"
 #include "feedsim/feed_server.h"
 #include "trace/trace.h"
@@ -32,6 +34,13 @@ struct FeedWorldOptions {
   double keyword_prob = 0.3;
   /// RNG seed for content generation.
   uint64_t seed = 1;
+  /// Failure model of the fleet's network: when not ideal, Probe() can fail
+  /// (Unavailable for transient errors and outages, ResourceExhausted for
+  /// rate limits, DeadlineExceeded for timeouts). The ideal default keeps
+  /// Probe() infallible, byte-for-byte as before.
+  FaultSpec fault_spec;
+  /// Seed of the fault injector's RNG streams (independent of `seed`).
+  uint64_t fault_seed = 1;
 };
 
 /// The simulated server fleet.
@@ -47,8 +56,15 @@ class FeedWorld {
   void AdvanceTo(Chronon now);
 
   /// A proxy probe of `feed` at chronon `now`: advances the world to `now`
-  /// and returns the feed's current buffer snapshot.
+  /// and returns the feed's current buffer snapshot. With a non-ideal
+  /// fault_spec the fetch can fail; the world still advances (the feed
+  /// published regardless — the PROBE failed, not the server), the failure
+  /// is tallied on the server, and the status code maps the ProbeOutcome
+  /// (Unavailable / ResourceExhausted / DeadlineExceeded).
   StatusOr<std::vector<FeedItem>> Probe(ResourceId feed, Chronon now);
+
+  /// The world's fault injector; null under the ideal default spec.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
 
   /// Subscribes to pushes from `feed`: `callback(item)` fires for every
   /// item the feed publishes from then on (the "proprietary push
@@ -81,6 +97,8 @@ class FeedWorld {
   FeedWorldOptions options_;
   ContentGenerator content_;
   Rng rng_;
+  // Pay-for-use: allocated only for a non-ideal fault_spec.
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::vector<FeedServer> servers_;
   std::vector<PlannedEvent> plan_;  // sorted by chronon
   size_t next_event_ = 0;

@@ -1,0 +1,112 @@
+// Probe outcome taxonomy and the proxy's failure-handling contract.
+//
+// The paper's model assumes every probe the proxy issues succeeds; the feed
+// study it builds on (Section II: volatile, bounded-buffer feeds) describes
+// exactly the environment where real HTTP probes time out, get rate-limited,
+// or hit transient outages. This header is the shared vocabulary between the
+// three layers that deal with that reality:
+//   * the fault injector (src/faults) decides what happens to an attempt,
+//   * the online scheduler reacts (retry/backoff, circuit breaker),
+//   * the schedule auditor re-derives and verifies the reaction.
+// It lives in model/ because the failure-handling parameters are part of the
+// externally observable scheduling contract, just like budgets and windows.
+
+#ifndef WEBMON_MODEL_PROBE_OUTCOME_H_
+#define WEBMON_MODEL_PROBE_OUTCOME_H_
+
+#include <cstdint>
+
+#include "model/types.h"
+
+namespace webmon {
+
+/// What happened to one issued probe. Everything except kSuccess spends the
+/// probe's budget without delivering content (the capture guarantee of a CEI
+/// holds only for successful probes).
+enum class ProbeOutcome : uint8_t {
+  kSuccess = 0,
+  /// Independent per-attempt failure (connection reset, 5xx, ...).
+  kTransientError = 1,
+  /// Failure while the resource is in the bad state of its Gilbert-Elliott
+  /// chain (a burst outage).
+  kOutage = 2,
+  /// The resource's fixed-window rate limiter rejected the attempt (429).
+  kRateLimited = 3,
+  /// Probe latency exceeded the chronon; the reply arrives too late to
+  /// count (the chronon is the indivisible scheduling unit).
+  kTimeout = 4,
+};
+
+/// Canonical spelling of `outcome` (e.g. "success", "rate-limited").
+inline const char* ProbeOutcomeToString(ProbeOutcome outcome) {
+  switch (outcome) {
+    case ProbeOutcome::kSuccess:
+      return "success";
+    case ProbeOutcome::kTransientError:
+      return "transient-error";
+    case ProbeOutcome::kOutage:
+      return "outage";
+    case ProbeOutcome::kRateLimited:
+      return "rate-limited";
+    case ProbeOutcome::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+inline bool ProbeSucceeded(ProbeOutcome outcome) {
+  return outcome == ProbeOutcome::kSuccess;
+}
+
+/// One issued probe attempt with its outcome. The scheduler logs these when
+/// a fault injector is attached; the auditor replays the log to verify the
+/// failure-handling invariants.
+struct ProbeAttempt {
+  ResourceId resource = 0;
+  Chronon chronon = 0;
+  ProbeOutcome outcome = ProbeOutcome::kSuccess;
+
+  friend bool operator==(const ProbeAttempt& a, const ProbeAttempt& b) {
+    return a.resource == b.resource && a.chronon == b.chronon &&
+           a.outcome == b.outcome;
+  }
+};
+
+/// Parameters of the scheduler's reaction to probe failures. The auditor
+/// receives the same struct and enforces the derived invariants:
+///   * after the k-th consecutive failure of a resource, the next attempt
+///     waits at least min(backoff_base * 2^(k-1), backoff_cap) chronons
+///     (jitter only ever adds delay, so the pure bound is auditable);
+///   * after breaker_failure_threshold consecutive failures the breaker
+///     opens and no attempt may be issued until the cooldown elapsed; the
+///     first attempt after that is the half-open trial, and a failed trial
+///     re-opens with the cooldown doubled up to breaker_max_cooldown.
+struct FaultHandlingOptions {
+  /// Backoff after the first failure, in chronons (>= 1).
+  Chronon backoff_base = 1;
+  /// Cap of the pure exponential backoff, in chronons.
+  Chronon backoff_cap = 8;
+  /// Add a deterministic jitter in [0, backoff/2] derived from
+  /// (jitter_seed, resource, streak, chronon); avoids synchronized retry
+  /// herds across resources while keeping runs reproducible.
+  bool backoff_jitter = true;
+  uint64_t jitter_seed = 0x5EEDFA11;
+  /// Consecutive failures that trip the per-resource circuit breaker;
+  /// <= 0 disables the breaker.
+  int32_t breaker_failure_threshold = 4;
+  /// First open period after a trip, in chronons (>= 1).
+  Chronon breaker_cooldown = 8;
+  /// Cooldown doubles on every failed half-open trial, up to this cap.
+  Chronon breaker_max_cooldown = 64;
+  /// Degradation-aware urgency: deadlines of EIs on flaky resources are
+  /// shrunk by up to this many chronons (expected extra attempts per
+  /// success, f/(1-f) under the observed failure rate f), so deadline-based
+  /// policies treat them as more urgent. 0 disables the adjustment.
+  Chronon deadline_shrink_cap = 8;
+  /// Smoothing factor of the per-resource failure-rate estimate.
+  double failure_ewma_alpha = 0.2;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_MODEL_PROBE_OUTCOME_H_

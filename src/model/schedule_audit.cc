@@ -1,6 +1,7 @@
 #include "model/schedule_audit.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "model/completeness.h"
@@ -151,6 +152,260 @@ Status AuditSchedule(const ProblemInstance& problem, const Schedule& schedule,
   WEBMON_DCHECK_EQ(out.total_probes, schedule.TotalProbes())
       << "per-chronon probe views disagree with the schedule's own counter";
   return Status::OK();
+}
+
+Status AuditScheduleWithPushes(const ProblemInstance& problem,
+                               const Schedule& schedule,
+                               const std::vector<PushEvent>& pushes,
+                               const ScheduleAuditOptions& options,
+                               ScheduleAuditReport* report,
+                               Schedule* augmented) {
+  // Feasibility (budget, window targeting) concerns the probes the proxy
+  // actually paid for — never the pushes — so run the base audit with the
+  // capture expectations stripped.
+  ScheduleAuditOptions feasibility = options;
+  feasibility.expected_captured_ceis = -1;
+  feasibility.min_captured_eis = -1;
+  WEBMON_RETURN_IF_ERROR(
+      AuditSchedule(problem, schedule, feasibility, report));
+
+  // Capture accounting is evaluated on probes + pushes, exactly how the
+  // online scheduler counts: pushed content captures active EIs for free.
+  Schedule local(problem.num_resources(), problem.num_chronons());
+  Schedule& combined = augmented != nullptr ? *augmented : local;
+  combined = schedule;
+  for (const PushEvent& push : pushes) {
+    const Status added = combined.AddProbe(push.resource, push.chronon);
+    if (!added.ok() && added.code() != StatusCode::kAlreadyExists) {
+      // A push colliding with a probe (AlreadyExists) is harmless; anything
+      // else means the push coordinates are outside the instance.
+      std::ostringstream os;
+      os << "push of resource " << push.resource << " at chronon "
+         << push.chronon << ": " << added.ToString();
+      return AuditFailure("push out of range", os.str());
+    }
+  }
+  const int64_t captured_ceis = CapturedCeiCount(problem, combined);
+  const int64_t captured_eis = CapturedEiCount(problem, combined);
+  if (report != nullptr) {
+    report->captured_ceis = captured_ceis;
+    report->captured_eis = captured_eis;
+  }
+  if (options.expected_captured_ceis >= 0 &&
+      captured_ceis != options.expected_captured_ceis) {
+    std::ostringstream os;
+    os << "producer reported " << options.expected_captured_ceis
+       << " captured CEIs, probes+pushes evaluation finds " << captured_ceis;
+    return AuditFailure("CEI accounting mismatch (with pushes)", os.str());
+  }
+  if (options.min_captured_eis >= 0 &&
+      captured_eis < options.min_captured_eis) {
+    std::ostringstream os;
+    os << "producer reported " << options.min_captured_eis
+       << " captured EIs, probes+pushes evaluation finds only "
+       << captured_eis;
+    return AuditFailure("EI accounting mismatch (with pushes)", os.str());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status CheckStatMatch(const char* what, const RunningStats& reported,
+                      const RunningStats& recomputed, double tolerance) {
+  if (reported.count() != recomputed.count()) {
+    std::ostringstream os;
+    os << what << ": reported " << reported.count()
+       << " observations, recomputation finds " << recomputed.count();
+    return AuditFailure("timeliness accounting mismatch", os.str());
+  }
+  if (recomputed.count() == 0) return Status::OK();
+  const bool mean_ok =
+      std::abs(reported.mean() - recomputed.mean()) <= tolerance;
+  const bool min_ok = reported.min() == recomputed.min();
+  const bool max_ok = reported.max() == recomputed.max();
+  if (!mean_ok || !min_ok || !max_ok) {
+    std::ostringstream os;
+    os << what << ": reported " << reported.ToString()
+       << ", recomputation finds " << recomputed.ToString();
+    return AuditFailure("timeliness accounting mismatch", os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AuditTimeliness(const ProblemInstance& problem,
+                       const Schedule& schedule,
+                       const TimelinessReport& reported, double tolerance) {
+  const TimelinessReport recomputed = ComputeTimeliness(problem, schedule);
+  WEBMON_RETURN_IF_ERROR(CheckStatMatch("EI capture delay",
+                                        reported.ei_capture_delay,
+                                        recomputed.ei_capture_delay,
+                                        tolerance));
+  WEBMON_RETURN_IF_ERROR(CheckStatMatch("CEI completion delay",
+                                        reported.cei_completion_delay,
+                                        recomputed.cei_completion_delay,
+                                        tolerance));
+  if (std::abs(reported.immediate_fraction - recomputed.immediate_fraction) >
+      tolerance) {
+    std::ostringstream os;
+    os << "reported immediate fraction " << reported.immediate_fraction
+       << ", recomputation finds " << recomputed.immediate_fraction;
+    return AuditFailure("timeliness accounting mismatch", os.str());
+  }
+  return Status::OK();
+}
+
+Status AuditFaultRun(const ProblemInstance& problem, const Schedule& schedule,
+                     const std::vector<ProbeAttempt>& attempts,
+                     const FaultHandlingOptions& fault,
+                     const ScheduleAuditOptions& schedule_options,
+                     FaultAuditReport* report) {
+  FaultAuditReport local;
+  FaultAuditReport& out = report != nullptr ? *report : local;
+  out = FaultAuditReport{};
+
+  // Per-resource replica of the scheduler's failure-handling state machine,
+  // rebuilt purely from the attempt log.
+  struct ResourceSim {
+    bool open = false;
+    Chronon open_until = 0;
+    Chronon cooldown = 0;
+    Chronon retry_not_before = 0;
+    int32_t consecutive_failures = 0;
+  };
+  std::vector<ResourceSim> sims(problem.num_resources());
+  // Successful attempts, replayed; must reproduce `schedule` exactly.
+  Schedule replay(problem.num_resources(), problem.num_chronons());
+  const std::vector<double>& costs = schedule_options.resource_costs;
+  if (!costs.empty() && costs.size() != problem.num_resources()) {
+    return AuditFailure("options", "resource_costs must have one entry per "
+                                   "resource when provided");
+  }
+
+  Chronon current = kInvalidChronon;
+  double cost_used = 0.0;
+  std::vector<uint8_t> attempted_now(problem.num_resources(), 0);
+  std::vector<ResourceId> attempted_list;
+  for (size_t i = 0; i < attempts.size(); ++i) {
+    const ProbeAttempt& a = attempts[i];
+    if (a.resource >= problem.num_resources() || a.chronon < 0 ||
+        a.chronon >= problem.num_chronons()) {
+      std::ostringstream os;
+      os << "attempt " << i << " targets resource " << a.resource
+         << " at chronon " << a.chronon << ", outside the instance";
+      return AuditFailure("attempt out of range", os.str());
+    }
+    if (current != kInvalidChronon && a.chronon < current) {
+      std::ostringstream os;
+      os << "attempt " << i << " at chronon " << a.chronon
+         << " after an attempt at chronon " << current;
+      return AuditFailure("attempt log not chronological", os.str());
+    }
+    if (a.chronon != current) {
+      current = a.chronon;
+      cost_used = 0.0;
+      for (ResourceId r : attempted_list) attempted_now[r] = 0;
+      attempted_list.clear();
+    }
+    if (attempted_now[a.resource]) {
+      std::ostringstream os;
+      os << "resource " << a.resource << " attempted twice at chronon "
+         << a.chronon;
+      return AuditFailure("duplicate attempt", os.str());
+    }
+    attempted_now[a.resource] = 1;
+    attempted_list.push_back(a.resource);
+
+    // Budget: failed attempts spend exactly like successful ones.
+    cost_used += costs.empty() ? 1.0 : costs[a.resource];
+    const int64_t allowed = problem.budget().At(a.chronon);
+    if (cost_used > static_cast<double>(allowed)) {
+      std::ostringstream os;
+      os << "chronon " << a.chronon << " spends " << cost_used
+         << " budget units on attempts, budget is " << allowed;
+      return AuditFailure("attempt budget exceeded", os.str());
+    }
+
+    ResourceSim& sim = sims[a.resource];
+    const bool trial = sim.open;
+    if (sim.open) {
+      if (a.chronon < sim.open_until) {
+        std::ostringstream os;
+        os << "resource " << a.resource << " attempted at chronon "
+           << a.chronon << " while its breaker is open until chronon "
+           << sim.open_until;
+        return AuditFailure("probe issued to an open breaker", os.str());
+      }
+      // Cooldown elapsed: this attempt is the half-open trial.
+      sim.open = false;
+    } else if (a.chronon < sim.retry_not_before) {
+      std::ostringstream os;
+      os << "resource " << a.resource << " retried at chronon " << a.chronon
+         << " before its backoff gate at chronon " << sim.retry_not_before;
+      return AuditFailure("retry before backoff elapsed", os.str());
+    }
+
+    ++out.attempts;
+    if (sim.consecutive_failures > 0) ++out.retries;
+    if (ProbeSucceeded(a.outcome)) {
+      ++out.successes;
+      sim.consecutive_failures = 0;
+      sim.retry_not_before = 0;
+      sim.cooldown = 0;
+      const Status added = replay.AddProbe(a.resource, a.chronon);
+      WEBMON_DCHECK(added.ok())  // duplicate-attempt check already fired
+          << "replaying a successful attempt failed: " << added.ToString();
+      continue;
+    }
+    ++out.failures;
+    ++sim.consecutive_failures;
+    if (trial) {
+      // Failed half-open trial: re-open with the cooldown doubled (capped).
+      sim.cooldown = std::min(sim.cooldown * 2, fault.breaker_max_cooldown);
+      sim.open_until = a.chronon + sim.cooldown;
+      sim.open = true;
+      ++out.breaker_trips;
+    } else if (fault.breaker_failure_threshold > 0 &&
+               sim.consecutive_failures >= fault.breaker_failure_threshold) {
+      sim.cooldown = fault.breaker_cooldown;
+      sim.open_until = a.chronon + sim.cooldown;
+      sim.open = true;
+      ++out.breaker_trips;
+    } else {
+      // Pure exponential lower bound; the scheduler's jitter only ever adds
+      // delay on top of this.
+      const int32_t streak = std::min(sim.consecutive_failures, 30);
+      Chronon backoff =
+          std::min(fault.backoff_base << (streak - 1), fault.backoff_cap);
+      if (backoff < 1) backoff = 1;
+      sim.retry_not_before = a.chronon + backoff;
+    }
+  }
+
+  // The schedule must be exactly the successful attempts: a failed attempt
+  // sneaking into the schedule (phantom capture) or a successful one
+  // missing from it (lost capture) both surface here.
+  if (replay.TotalProbes() != schedule.TotalProbes()) {
+    std::ostringstream os;
+    os << "attempt log holds " << replay.TotalProbes()
+       << " successful attempts, schedule holds " << schedule.TotalProbes()
+       << " probes";
+    return AuditFailure("schedule/attempt-log mismatch", os.str());
+  }
+  for (Chronon t = 0; t < problem.num_chronons(); ++t) {
+    for (ResourceId r : schedule.ProbesAt(t)) {
+      if (!replay.Probed(r, t)) {
+        std::ostringstream os;
+        os << "schedule probes resource " << r << " at chronon " << t
+           << " but the attempt log has no successful attempt there";
+        return AuditFailure("schedule/attempt-log mismatch", os.str());
+      }
+    }
+  }
+
+  return AuditSchedule(problem, schedule, schedule_options, nullptr);
 }
 
 Status AuditProbeLog(const ProblemInstance& problem,

@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "model/probe_outcome.h"
 #include "model/problem.h"
 #include "model/schedule.h"
+#include "model/timeliness.h"
 #include "model/types.h"
 #include "util/status.h"
 
@@ -29,6 +31,14 @@ namespace webmon {
 /// One probe emission event, for auditing raw probe streams (e.g. a policy
 /// driver's log) that have not been deduplicated by a Schedule.
 struct ProbeEvent {
+  ResourceId resource = 0;
+  Chronon chronon = 0;
+};
+
+/// One server-push delivery event (paper Section III: "occasionally a server
+/// may push an update"). Pushes capture active EIs for free and never appear
+/// in the probe Schedule.
+struct PushEvent {
   ResourceId resource = 0;
   Chronon chronon = 0;
 };
@@ -81,6 +91,66 @@ Status AuditProbeLog(const ProblemInstance& problem,
                      const std::vector<ProbeEvent>& probes,
                      const ScheduleAuditOptions& options = {},
                      ScheduleAuditReport* report = nullptr);
+
+/// Audits a run that also received server pushes. The probe Schedule alone
+/// must satisfy the budget (pushes are free), while the capture accounting
+/// (expected_captured_ceis / min_captured_eis) is checked against the
+/// schedule augmented with the push events — exactly how the online
+/// scheduler counts. Push coordinates must be in range; pushes are not
+/// required to land in an EI window (a server pushes when it pleases), and
+/// a push colliding with a probe of the same (resource, chronon) is
+/// harmless. `augmented` (optional) receives the probes+pushes schedule the
+/// capture accounting was evaluated on.
+Status AuditScheduleWithPushes(const ProblemInstance& problem,
+                               const Schedule& schedule,
+                               const std::vector<PushEvent>& pushes,
+                               const ScheduleAuditOptions& options = {},
+                               ScheduleAuditReport* report = nullptr,
+                               Schedule* augmented = nullptr);
+
+/// Audits a producer's timeliness accounting: recomputes ComputeTimeliness
+/// from (problem, schedule) and requires the reported counts to match
+/// exactly and the reported means / immediate fraction to agree within
+/// `tolerance` (floating-point accumulation order may differ).
+Status AuditTimeliness(const ProblemInstance& problem,
+                       const Schedule& schedule,
+                       const TimelinessReport& reported,
+                       double tolerance = 1e-9);
+
+/// Derived counters of a fault-run audit; all fields are attempt-log
+/// evaluated.
+struct FaultAuditReport {
+  int64_t attempts = 0;
+  int64_t failures = 0;
+  int64_t successes = 0;
+  /// Breaker open transitions implied by the attempt log.
+  int64_t breaker_trips = 0;
+  /// Attempts issued while their resource had a live failure streak.
+  int64_t retries = 0;
+};
+
+/// Audits a fault-injected run: the probe `schedule` (successful probes
+/// only) plus the full `attempts` log (every issued probe with its outcome)
+/// against the failure-handling contract in `fault`:
+///   * the successful attempts reproduce `schedule` exactly (failed probes
+///     never capture; successful ones always enter the schedule),
+///   * per-chronon attempt count (or cost) respects the budget — failed
+///     attempts spend budget like successful ones,
+///   * after the k-th consecutive failure of a resource, the next attempt
+///     waits at least min(backoff_base * 2^(k-1), backoff_cap) chronons
+///     (jitter only adds delay, so this pure bound must hold),
+///   * no attempt is issued to a resource whose breaker is open: after
+///     breaker_failure_threshold consecutive failures, the earliest next
+///     attempt is `cooldown` chronons later (the half-open trial); a failed
+///     trial doubles the cooldown up to breaker_max_cooldown.
+/// Also applies AuditSchedule(problem, schedule, schedule_options) for the
+/// schedule-level invariants. `report` (optional) receives derived counters
+/// to cross-check SchedulerStats.
+Status AuditFaultRun(const ProblemInstance& problem, const Schedule& schedule,
+                     const std::vector<ProbeAttempt>& attempts,
+                     const FaultHandlingOptions& fault,
+                     const ScheduleAuditOptions& schedule_options = {},
+                     FaultAuditReport* report = nullptr);
 
 }  // namespace webmon
 

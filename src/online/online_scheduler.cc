@@ -1,9 +1,12 @@
 #include "online/online_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
+#include "faults/fault_model.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace webmon {
 
@@ -19,7 +22,109 @@ OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
           static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
       pushes_by_chronon_(
           static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
-      probed_now_(num_resources, 0) {}
+      probed_now_(num_resources, 0),
+      attempted_now_(num_resources, 0) {
+  // Fault bookkeeping is pay-for-use: without an injector no health state
+  // exists and the fault branches below are dead.
+  if (options_.fault_injector != nullptr) {
+    health_.resize(num_resources);
+  }
+}
+
+ResourceHealth OnlineScheduler::health(ResourceId resource) const {
+  if (resource < health_.size()) return health_[resource];
+  return ResourceHealth{};
+}
+
+bool OnlineScheduler::ResourceAvailable(ResourceId resource,
+                                        Chronon now) const {
+  if (health_.empty()) return true;
+  const ResourceHealth& h = health_[resource];
+  if (h.breaker == ResourceHealth::Breaker::kOpen) {
+    // Open until the cooldown elapsed; then the half-open trial may go out.
+    return now >= h.open_until;
+  }
+  return now >= h.retry_not_before;
+}
+
+Chronon OnlineScheduler::ShrinkFor(ResourceId resource) const {
+  if (health_.empty() || options_.fault_handling.deadline_shrink_cap <= 0) {
+    return 0;
+  }
+  const double f = std::min(health_[resource].ewma_failure, 0.95);
+  if (f <= 0.0) return 0;
+  // Expected extra attempts per successful probe under failure rate f is
+  // f/(1-f); each costs at least one chronon of the EI's window.
+  const auto extra = static_cast<Chronon>(std::ceil(f / (1.0 - f)));
+  return std::min(extra, options_.fault_handling.deadline_shrink_cap);
+}
+
+Chronon OnlineScheduler::EffectiveNow(const CandidateEi& cand,
+                                      Chronon now) const {
+  const Chronon shrink = ShrinkFor(cand.ei().resource);
+  if (shrink == 0) return now;
+  // Valuing the candidate at a later virtual chronon shrinks its remaining
+  // window in the eyes of deadline-based policies (S-EDF, M-EDF); clamping
+  // to the finish keeps the minimum-urgency value well-defined.
+  return std::min(now + shrink, cand.ei().finish);
+}
+
+void OnlineScheduler::RecordOutcome(ResourceId resource, Chronon now,
+                                    bool success, double cost) {
+  const FaultHandlingOptions& fh = options_.fault_handling;
+  ResourceHealth& h = health_[resource];
+  if (h.consecutive_failures > 0) ++stats_.probes_retried;
+  h.ewma_failure = (1.0 - fh.failure_ewma_alpha) * h.ewma_failure +
+                   fh.failure_ewma_alpha * (success ? 0.0 : 1.0);
+  if (success) {
+    ++h.successes;
+    h.consecutive_failures = 0;
+    h.retry_not_before = 0;
+    if (h.breaker == ResourceHealth::Breaker::kHalfOpen) {
+      h.breaker = ResourceHealth::Breaker::kClosed;
+      h.cooldown = 0;
+    }
+    return;
+  }
+  ++stats_.probes_failed;
+  stats_.budget_lost_to_failures += cost;
+  ++h.failures;
+  ++h.consecutive_failures;
+  if (h.breaker == ResourceHealth::Breaker::kHalfOpen) {
+    // Failed trial: re-open with the cooldown doubled (capped).
+    h.cooldown = std::min(h.cooldown * 2, fh.breaker_max_cooldown);
+    h.open_until = now + h.cooldown;
+    h.breaker = ResourceHealth::Breaker::kOpen;
+    ++stats_.breaker_trips;
+    return;
+  }
+  if (fh.breaker_failure_threshold > 0 &&
+      h.consecutive_failures >= fh.breaker_failure_threshold) {
+    h.cooldown = fh.breaker_cooldown;
+    h.open_until = now + h.cooldown;
+    h.breaker = ResourceHealth::Breaker::kOpen;
+    ++stats_.breaker_trips;
+    return;
+  }
+  // Capped exponential backoff; the shift is bounded so it cannot overflow.
+  const int32_t streak = std::min(h.consecutive_failures, 30);
+  Chronon backoff = std::min(fh.backoff_base << (streak - 1), fh.backoff_cap);
+  if (backoff < 1) backoff = 1;
+  if (fh.backoff_jitter) {
+    // Deterministic jitter in [0, backoff/2]: a pure function of the seed,
+    // resource, streak, and chronon, so runs replay exactly while retry
+    // herds across resources stay desynchronized. Only ever adds delay, so
+    // the auditor's pure-backoff lower bound remains valid.
+    uint64_t state = fh.jitter_seed ^
+                     (0x9E3779B97F4A7C15ULL * (resource + 1)) ^
+                     (static_cast<uint64_t>(now) << 20) ^
+                     static_cast<uint64_t>(h.consecutive_failures);
+    const uint64_t draw = SplitMix64Next(state);
+    backoff += static_cast<Chronon>(
+        draw % static_cast<uint64_t>(backoff / 2 + 1));
+  }
+  h.retry_not_before = now + backoff;
+}
 
 Status OnlineScheduler::AddPush(ResourceId resource, Chronon t) {
   if (resource >= num_resources_) {
@@ -150,6 +255,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   for (ResourceId r : pushes_by_chronon_[static_cast<size_t>(now)]) {
     if (probed_now_[r]) continue;
     probed_now_[r] = 1;
+    attempted_now_[r] = 1;  // a pushed resource needs no probe this chronon
     pushed_now.push_back(r);
     ++stats_.pushes_delivered;
   }
@@ -163,7 +269,13 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   if (budget > 0 && !active_.empty()) {
     const size_t n = active_.size();
     std::vector<double> value(n);
-    for (size_t i = 0; i < n; ++i) value[i] = policy_->Value(active_[i], now);
+    // Degradation-aware ranking: EIs on flaky resources are valued at a
+    // later virtual chronon (EffectiveNow), shrinking their deadlines so
+    // the expected retries are budgeted for. On healthy resources (and
+    // always without an injector) EffectiveNow == now.
+    for (size_t i = 0; i < n; ++i) {
+      value[i] = policy_->Value(active_[i], EffectiveNow(active_[i], now));
+    }
 
     const bool split_started = !options_.preemptive;
     auto better = [&](uint32_t a, uint32_t b) {
@@ -195,7 +307,8 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       constexpr uint32_t kNone = ~uint32_t{0};
       uint32_t best = kNone;
       for (uint32_t i = 0; i < n; ++i) {
-        if (probed_now_[active_[i].ei().resource]) continue;
+        const ResourceId r = active_[i].ei().resource;
+        if (attempted_now_[r] || !ResourceAvailable(r, now)) continue;
         if (best == kNone || better(i, best)) best = i;
       }
       if (best != kNone) order.push_back(best);
@@ -228,6 +341,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     const bool uniform_costs = options_.resource_costs.empty();
     const double capacity = static_cast<double>(budget);
     double cost_used = 0.0;
+    int64_t attempts = 0;
     for (uint32_t i : order) {
       // Candidate legality: Activate/Compact must only ever hand the policy
       // EIs that are probeable right now.
@@ -235,26 +349,51 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
           << "illegal candidate (CEI " << active_[i].state->cei->id
           << ", EI index " << active_[i].ei_index << ") at chronon " << now;
       const ResourceId r = active_[i].ei().resource;
-      if (probed_now_[r]) continue;  // r already in R_ids: capture is free
+      if (attempted_now_[r]) continue;  // r already contacted this chronon
+      // Backoff gate / open breaker: skip the resource entirely, so the
+      // budget flows to capturable candidates instead (graceful
+      // degradation). The candidate stays active and may be retried within
+      // its window once the gate lifts.
+      if (!ResourceAvailable(r, now)) continue;
       const double cost = uniform_costs ? 1.0 : options_.resource_costs[r];
       if (cost_used + cost > capacity) {
         if (uniform_costs) break;
         continue;
       }
       cost_used += cost;
+      attempted_now_[r] = 1;
+      ++attempts;
+      ++stats_.probes_issued;
+      policy_->NotifyProbed(r, now);
+
+      bool success = true;
+      if (options_.fault_injector != nullptr) {
+        ResourceHealth& h = health_[r];
+        if (h.breaker == ResourceHealth::Breaker::kOpen) {
+          // The cooldown elapsed (ResourceAvailable); this attempt is the
+          // half-open trial.
+          h.breaker = ResourceHealth::Breaker::kHalfOpen;
+        }
+        const ProbeOutcome outcome =
+            options_.fault_injector->OnProbe(r, now);
+        attempt_log_.push_back({r, now, outcome});
+        success = ProbeSucceeded(outcome);
+        RecordOutcome(r, now, success, cost);
+      }
+      if (!success) continue;  // budget spent, nothing captured
+
       probed_now_[r] = 1;
       r_ids.push_back(r);
-      ++stats_.probes_issued;
       if (schedule != nullptr) {
         WEBMON_RETURN_IF_ERROR(schedule->AddProbe(r, now));
       }
-      policy_->NotifyProbed(r, now);
     }
 
     // probeEIs contract: the chronon's budget C_j is never exceeded,
-    // whether budget counts probes or (varying-cost extension) cost units.
+    // whether budget counts probes or (varying-cost extension) cost units —
+    // and failed attempts count against it exactly like successful ones.
     if (uniform_costs) {
-      WEBMON_CHECK_LE(static_cast<int64_t>(r_ids.size()), budget)
+      WEBMON_CHECK_LE(attempts, budget)
           << "probeEIs issued more probes than C_j at chronon " << now;
     } else {
       WEBMON_CHECK_LE(cost_used, capacity)
@@ -290,6 +429,13 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   if (probed) *probed = r_ids;
   for (ResourceId r : r_ids) probed_now_[r] = 0;
   for (ResourceId r : pushed_now) probed_now_[r] = 0;
+  if (options_.fault_injector != nullptr) {
+    // Failed attempts marked attempted_now_ without entering r_ids.
+    std::fill(attempted_now_.begin(), attempted_now_.end(), 0);
+  } else {
+    for (ResourceId r : r_ids) attempted_now_[r] = 0;
+    for (ResourceId r : pushed_now) attempted_now_[r] = 0;
+  }
   return Status::OK();
 }
 

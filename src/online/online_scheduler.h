@@ -12,6 +12,17 @@
 //   5. kills CEIs for which an EI expired uncaptured at T_j — they can never
 //      be completed, so their remaining EIs stop consuming budget.
 
+// When a FaultInjector is attached (SchedulerOptions::fault_injector) probes
+// can fail: a failed probe still spends budget but captures nothing. The
+// scheduler then reacts per FaultHandlingOptions — capped exponential
+// backoff with deterministic jitter between retries, a per-resource circuit
+// breaker (closed -> open -> half-open) that stops wasting budget on a dead
+// resource, and a deadline shrink that makes urgency ranking account for the
+// expected retries on flaky resources. With no injector (or an injector
+// whose failure probabilities are all zero) the schedule is byte-identical
+// to the fault-free algorithm (pay-for-use, enforced by the fault property
+// tests).
+
 #ifndef WEBMON_ONLINE_ONLINE_SCHEDULER_H_
 #define WEBMON_ONLINE_ONLINE_SCHEDULER_H_
 
@@ -21,12 +32,15 @@
 #include <vector>
 
 #include "model/cei.h"
+#include "model/probe_outcome.h"
 #include "model/schedule.h"
 #include "model/types.h"
 #include "policy/policy.h"
 #include "util/status.h"
 
 namespace webmon {
+
+class FaultInjector;
 
 /// Execution options for the online algorithm.
 struct SchedulerOptions {
@@ -39,6 +53,12 @@ struct SchedulerOptions {
   /// per-chronon budget C_j is a cost capacity and probing resource r
   /// consumes resource_costs[r] of it, instead of every probe costing 1.
   std::vector<double> resource_costs;
+  /// Failure model for issued probes (non-owning; must outlive the
+  /// scheduler). Null means the ideal network: every probe succeeds and no
+  /// fault bookkeeping is allocated.
+  FaultInjector* fault_injector = nullptr;
+  /// Reaction to probe failures; only consulted when fault_injector is set.
+  FaultHandlingOptions fault_handling;
 };
 
 /// Counters accumulated over a run.
@@ -48,9 +68,36 @@ struct SchedulerStats {
   int64_t ceis_expired = 0;
   int64_t eis_seen = 0;
   int64_t eis_captured = 0;
+  /// Probe attempts issued (each spends budget whether or not it succeeds).
   int64_t probes_issued = 0;
   /// Server pushes delivered (captures they caused count in eis_captured).
   int64_t pushes_delivered = 0;
+  /// Attempts that failed (transient error, outage, rate limit, timeout).
+  int64_t probes_failed = 0;
+  /// Attempts issued to a resource with a live failure streak (retries).
+  int64_t probes_retried = 0;
+  /// Transitions of any resource's circuit breaker to the open state.
+  int64_t breaker_trips = 0;
+  /// Budget units spent on attempts that captured nothing.
+  double budget_lost_to_failures = 0.0;
+};
+
+/// Observable per-resource failure-handling state (diagnostics, tests).
+struct ResourceHealth {
+  enum class Breaker : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+  Breaker breaker = Breaker::kClosed;
+  /// First chronon at which an attempt may be issued again after a failure
+  /// (backoff gate; 0 = no gate).
+  Chronon retry_not_before = 0;
+  /// While the breaker is open: first chronon of the half-open trial.
+  Chronon open_until = 0;
+  /// Current open-period length; doubles on failed half-open trials.
+  Chronon cooldown = 0;
+  int32_t consecutive_failures = 0;
+  int64_t failures = 0;
+  int64_t successes = 0;
+  /// EWMA failure-rate estimate driving the deadline shrink.
+  double ewma_failure = 0.0;
 };
 
 /// The online proxy scheduling engine. Not thread-safe; drive it from a
@@ -95,6 +142,17 @@ class OnlineScheduler {
 
   const SchedulerStats& stats() const { return stats_; }
 
+  /// Every probe attempt with its outcome, in issue order. Only populated
+  /// when a fault injector is attached (empty otherwise); feed it to
+  /// AuditFaultRun to verify the failure-handling invariants.
+  const std::vector<ProbeAttempt>& attempt_log() const {
+    return attempt_log_;
+  }
+
+  /// Failure-handling state of `resource`. Only meaningful when a fault
+  /// injector is attached; returns a default (healthy) state otherwise.
+  ResourceHealth health(ResourceId resource) const;
+
   /// Number of currently live candidate CEIs (diagnostics).
   size_t NumCandidateCeis() const;
   /// Number of currently active candidate EIs (diagnostics).
@@ -109,6 +167,21 @@ class OnlineScheduler {
   void MarkFailed(const CandidateEi& cand);
   // Removes captured/failed/dead/expired entries from active_.
   void Compact(Chronon now);
+
+  // --- Failure handling (active only when a fault injector is attached) ---
+  // True iff `resource` may be probed at `now`: its breaker is not open
+  // (or its cooldown elapsed, allowing the half-open trial) and no backoff
+  // gate is pending.
+  bool ResourceAvailable(ResourceId resource, Chronon now) const;
+  // Folds one attempt outcome into the resource's health: streaks, EWMA,
+  // backoff gate, breaker transitions, and the fault counters.
+  void RecordOutcome(ResourceId resource, Chronon now, bool success,
+                     double cost);
+  // Deadline shrink for EIs on `resource` (0 on healthy resources).
+  Chronon ShrinkFor(ResourceId resource) const;
+  // The chronon at which the policy should value `cand`: `now`, moved
+  // later by the resource's deadline shrink (clamped into the EI window).
+  Chronon EffectiveNow(const CandidateEi& cand, Chronon now) const;
 
   uint32_t num_resources_;
   Chronon num_chronons_;
@@ -125,8 +198,17 @@ class OnlineScheduler {
   std::vector<std::vector<CandidateEi>> pending_by_start_;
   // pushes_by_chronon_[t] = resources whose servers push at chronon t.
   std::vector<std::vector<ResourceId>> pushes_by_chronon_;
-  // Scratch: marks resources probed or pushed in the current step (R_ids).
+  // Scratch: marks resources whose content is available this step (R_ids:
+  // successful probes and pushes) — these capture their active EIs.
   std::vector<uint8_t> probed_now_;
+  // Scratch: marks resources contacted this step (attempts and pushes),
+  // successful or not; dedups the greedy walk. Equal to probed_now_ when no
+  // injector is attached.
+  std::vector<uint8_t> attempted_now_;
+
+  // Per-resource failure-handling state; empty when no injector is set.
+  std::vector<ResourceHealth> health_;
+  std::vector<ProbeAttempt> attempt_log_;
 
   Chronon last_step_ = -1;
   SchedulerStats stats_;

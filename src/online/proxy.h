@@ -59,6 +59,16 @@ class Proxy {
   /// Full probe history so far.
   const Schedule& schedule() const { return schedule_; }
   const SchedulerStats& stats() const { return scheduler_.stats(); }
+  /// Probe attempts with outcomes (only populated when the proxy runs with
+  /// a fault injector; empty otherwise).
+  const std::vector<ProbeAttempt>& attempt_log() const {
+    return scheduler_.attempt_log();
+  }
+  /// Failure-handling state of `resource` (healthy default without an
+  /// injector).
+  ResourceHealth health(ResourceId resource) const {
+    return scheduler_.health(resource);
+  }
 
   /// Fraction of submitted CEIs captured so far.
   double CompletenessSoFar() const;

@@ -22,8 +22,8 @@ StatusOr<OnlineRunResult> RunOnline(const ProblemInstance& problem,
     arrivals[static_cast<size_t>(cei->arrival)].push_back(cei);
   }
 
-  OnlineRunResult result{
-      Schedule(problem.num_resources(), k), SchedulerStats{}, 0.0, 0.0, 0.0};
+  OnlineRunResult result{Schedule(problem.num_resources(), k),
+                         SchedulerStats{}, 0.0, 0.0, 0.0, {}};
   OnlineScheduler scheduler(problem.num_resources(), k, problem.budget(),
                             policy, options);
 
@@ -37,6 +37,7 @@ StatusOr<OnlineRunResult> RunOnline(const ProblemInstance& problem,
   result.wall_seconds = watch.ElapsedSeconds();
 
   result.stats = scheduler.stats();
+  result.attempts = scheduler.attempt_log();
   result.completeness = GainedCompleteness(problem, result.schedule);
   result.ei_completeness = EiCompleteness(problem, result.schedule);
   return result;

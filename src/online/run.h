@@ -22,6 +22,9 @@ struct OnlineRunResult {
   /// Wall time spent inside the chronon loop, in seconds (Section V-D
   /// runtime metric, to be normalized per EI by the caller).
   double wall_seconds = 0.0;
+  /// Probe attempts with outcomes, in issue order. Only populated when the
+  /// run used a fault injector (empty otherwise).
+  std::vector<ProbeAttempt> attempts;
 };
 
 /// Reveals each CEI at its arrival chronon and steps the scheduler through

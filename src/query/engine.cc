@@ -184,8 +184,20 @@ Status QueryEngine::DeliverNotifies(Chronon now) {
 }
 
 Status QueryEngine::DeliverItems(ResourceId resource, Chronon now) {
-  WEBMON_ASSIGN_OR_RETURN(std::vector<FeedItem> items,
-                          world_->Probe(resource, now));
+  auto probed = world_->Probe(resource, now);
+  if (!probed.ok()) {
+    // A failed fetch (fault-injected world: outage, rate limit, timeout)
+    // delivers nothing — the probe's budget is already spent and the items
+    // may still be caught by a later probe. Anything else is a real bug.
+    const StatusCode code = probed.status().code();
+    if (code == StatusCode::kUnavailable ||
+        code == StatusCode::kResourceExhausted ||
+        code == StatusCode::kDeadlineExceeded) {
+      return Status::OK();
+    }
+    return probed.status();
+  }
+  std::vector<FeedItem> items = std::move(probed).value();
   for (size_t i = 0; i < queries_.size(); ++i) {
     QueryState& state = queries_[i];
     if (state.resource != resource) continue;

@@ -49,6 +49,7 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config,
   if (config.repetitions == 0) {
     return Status::InvalidArgument("need at least one repetition");
   }
+  WEBMON_RETURN_IF_ERROR(config.fault_spec.Validate());
   ExperimentResult result;
   result.policies.resize(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) result.policies[i].spec = specs[i];
@@ -90,6 +91,14 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config,
                               MakePolicy(specs[i].name, config.seed + rep));
       SchedulerOptions options;
       options.preemptive = specs[i].preemptive;
+      options.fault_handling = config.fault_handling;
+      std::unique_ptr<FaultInjector> injector;
+      if (!config.fault_spec.IsIdeal()) {
+        injector = std::make_unique<FaultInjector>(
+            config.fault_spec, problem.num_resources(),
+            config.fault_seed + rep);
+        options.fault_injector = injector.get();
+      }
       WEBMON_ASSIGN_OR_RETURN(OnlineRunResult run,
                               RunOnline(problem, policy.get(), options));
       PolicyResult& agg = result.policies[i];
@@ -101,6 +110,9 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config,
       agg.probes.Add(static_cast<double>(run.stats.probes_issued));
       agg.mean_capture_delay.Add(
           ComputeTimeliness(problem, run.schedule).ei_capture_delay.mean());
+      agg.probes_failed.Add(static_cast<double>(run.stats.probes_failed));
+      agg.probes_retried.Add(static_cast<double>(run.stats.probes_retried));
+      agg.breaker_trips.Add(static_cast<double>(run.stats.breaker_trips));
     }
 
     if (include_offline) {

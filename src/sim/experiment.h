@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_model.h"
 #include "trace/auction_trace.h"
 #include "trace/news_trace.h"
 #include "trace/poisson_trace.h"
@@ -52,6 +53,14 @@ struct ExperimentConfig {
   ProfileTemplate profile_template;
   WorkloadOptions workload;
 
+  /// Failure model injected into every policy run (ideal default = the
+  /// historical infallible-probe behavior, bit for bit). Each policy gets a
+  /// FRESH injector seeded from fault_seed + rep so all policies face the
+  /// same fault streams.
+  FaultSpec fault_spec;
+  uint64_t fault_seed = 1;
+  FaultHandlingOptions fault_handling;
+
   /// Repetitions with distinct derived seeds (the paper uses 10).
   uint32_t repetitions = 10;
   uint64_t seed = 1;
@@ -75,6 +84,9 @@ struct PolicyResult {
   RunningStats usec_per_ei;             // runtime cost metric (Section V-D)
   RunningStats probes;                  // budget actually spent
   RunningStats mean_capture_delay;      // timeliness: avg EI capture delay
+  RunningStats probes_failed;           // attempts lost to injected faults
+  RunningStats probes_retried;          // re-attempts after a failure
+  RunningStats breaker_trips;           // closed -> open transitions
 };
 
 /// Aggregated offline-approximation metrics.

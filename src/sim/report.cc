@@ -12,6 +12,11 @@ TableWriter BuildPolicyTable(const ExperimentResult& result,
   if (options.runtime) headers.push_back("us/EI");
   if (options.timeliness) headers.push_back("capture delay");
   if (options.probes) headers.push_back("probes");
+  if (options.faults) {
+    headers.push_back("failed");
+    headers.push_back("retried");
+    headers.push_back("trips");
+  }
   TableWriter table(std::move(headers));
 
   for (const auto& p : result.policies) {
@@ -31,6 +36,11 @@ TableWriter BuildPolicyTable(const ExperimentResult& result,
     }
     if (options.probes) {
       row.push_back(TableWriter::Fmt(p.probes.mean(), 0));
+    }
+    if (options.faults) {
+      row.push_back(TableWriter::Fmt(p.probes_failed.mean(), 0));
+      row.push_back(TableWriter::Fmt(p.probes_retried.mean(), 0));
+      row.push_back(TableWriter::Fmt(p.breaker_trips.mean(), 0));
     }
     table.AddRow(std::move(row));
   }
@@ -52,6 +62,12 @@ TableWriter BuildPolicyTable(const ExperimentResult& result,
     }
     if (options.timeliness) row.push_back("-");
     if (options.probes) row.push_back("-");
+    if (options.faults) {
+      // The offline approximation plans against an ideal network.
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+    }
     table.AddRow(std::move(row));
   }
   return table;

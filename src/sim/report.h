@@ -20,6 +20,7 @@ struct ReportOptions {
   bool timeliness = false;  // mean capture delay column
   bool probes = true;       // probes issued column
   bool ci = false;          // 95% CI half-width next to completeness
+  bool faults = false;      // failed / retried / breaker-trip columns
 };
 
 /// Builds the per-policy table (plus the offline row when present).

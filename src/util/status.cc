@@ -31,6 +31,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -66,6 +70,12 @@ Status Status::AlreadyExists(std::string msg) {
 }
 Status Status::IOError(std::string msg) {
   return Status(StatusCode::kIOError, std::move(msg));
+}
+Status Status::Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 const std::string& Status::message() const {

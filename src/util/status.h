@@ -30,6 +30,8 @@ enum class StatusCode : int {
   kResourceExhausted = 7,
   kAlreadyExists = 8,
   kIOError = 9,
+  kUnavailable = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Returns the canonical spelling of `code` (e.g. "InvalidArgument").
@@ -63,6 +65,8 @@ class Status {
   static Status ResourceExhausted(std::string msg);
   static Status AlreadyExists(std::string msg);
   static Status IOError(std::string msg);
+  static Status Unavailable(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   /// True iff this status represents success.
   bool ok() const { return rep_ == nullptr; }

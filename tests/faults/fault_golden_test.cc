@@ -1,0 +1,92 @@
+// Golden fault run: a fixed instance, fault spec, and seed must reproduce
+// the exact probe/failure/retry/breaker event sequence. Any change to the
+// injector's draw order, the RNG streams, the backoff/breaker arithmetic,
+// or the scheduler's greedy walk shows up here as a diff — bump the
+// golden ONLY for an intentional, documented behavior change.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "faults/fault_model.h"
+#include "model/schedule_audit.h"
+#include "online/run.h"
+#include "policy/m_edf.h"
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+using testing_util::MakeProblemOneCeiPerProfile;
+
+TEST(FaultGoldenTest, FixedSeedReproducesExactEventLog) {
+  const auto problem = MakeProblemOneCeiPerProfile(
+      3, 24, 1,
+      {
+          {{0, 0, 5}},
+          {{1, 2, 8}, {2, 4, 10}},
+          {{0, 6, 12}},
+          {{2, 8, 16}},
+          {{1, 12, 20}, {0, 14, 22}},
+          {{2, 18, 23}},
+      });
+
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 0.3;
+  spec.defaults.timeout_prob = 0.1;
+  spec.defaults.outage_enter_prob = 0.1;
+  spec.defaults.outage_exit_prob = 0.5;
+  FaultInjector injector(spec, problem.num_resources(), /*seed=*/42);
+
+  MEdfPolicy policy;
+  SchedulerOptions options;
+  options.fault_injector = &injector;
+  auto run = RunOnline(problem, &policy, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  std::ostringstream log;
+  for (const ProbeAttempt& a : run->attempts) {
+    log << "t=" << a.chronon << " r=" << a.resource << " "
+        << ProbeOutcomeToString(a.outcome) << "\n";
+  }
+  const std::string kExpectedLog =
+      "t=0 r=0 success\n"
+      "t=2 r=1 transient-error\n"
+      "t=3 r=1 success\n"
+      "t=4 r=2 success\n"
+      "t=6 r=0 outage\n"
+      "t=7 r=0 success\n"
+      "t=8 r=2 success\n"
+      "t=12 r=1 success\n"
+      "t=14 r=0 success\n"
+      "t=18 r=2 success\n";
+  EXPECT_EQ(log.str(), kExpectedLog);
+
+  EXPECT_EQ(run->stats.probes_issued, 10);
+  EXPECT_EQ(run->stats.probes_failed, 2);
+  EXPECT_EQ(run->stats.probes_retried, 2);
+  EXPECT_EQ(run->stats.breaker_trips, 0);
+  EXPECT_EQ(run->stats.budget_lost_to_failures, 2.0);
+  EXPECT_EQ(run->stats.ceis_captured, 6);
+  EXPECT_EQ(run->schedule.TotalProbes(), 8);
+
+  // The golden run also satisfies the full fault audit.
+  const Status audit =
+      AuditFaultRun(problem, run->schedule, run->attempts,
+                    options.fault_handling, {}, nullptr);
+  EXPECT_TRUE(audit.ok()) << audit;
+
+  // Replaying with a fresh injector reproduces the identical log.
+  FaultInjector replay_injector(spec, problem.num_resources(), /*seed=*/42);
+  MEdfPolicy replay_policy;
+  SchedulerOptions replay_options;
+  replay_options.fault_injector = &replay_injector;
+  auto replay = RunOnline(problem, &replay_policy, replay_options);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->attempts == run->attempts);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -1,0 +1,229 @@
+// Unit tests of the deterministic fault model (spec, serialization,
+// injector).
+
+#include "faults/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace webmon {
+namespace {
+
+TEST(FaultSpecTest, DefaultIsIdeal) {
+  FaultSpec spec;
+  EXPECT_TRUE(spec.IsIdeal());
+  EXPECT_TRUE(spec.defaults.IsIdeal());
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(FaultSpecTest, OverridesBreakIdeality) {
+  FaultSpec spec;
+  spec.overrides[3].transient_error_prob = 0.25;
+  EXPECT_FALSE(spec.IsIdeal());
+  EXPECT_EQ(spec.For(3).transient_error_prob, 0.25);
+  EXPECT_EQ(spec.For(0).transient_error_prob, 0.0);
+}
+
+TEST(FaultSpecTest, OutageWithoutFailureIsStillIdeal) {
+  // A chain that enters the bad state but never fails probes there cannot
+  // fail anything.
+  ResourceFaultProfile p;
+  p.outage_enter_prob = 0.5;
+  p.outage_exit_prob = 0.5;
+  p.outage_fail_prob = 0.0;
+  EXPECT_TRUE(p.IsIdeal());
+}
+
+TEST(FaultSpecTest, ValidationRejectsBadProbabilities) {
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  FaultSpec trapped;
+  trapped.defaults.outage_enter_prob = 0.1;
+  trapped.defaults.outage_exit_prob = 0.0;
+  EXPECT_FALSE(trapped.Validate().ok());  // enterable but not exitable
+
+  FaultSpec negative_window;
+  negative_window.overrides[0].rate_limit_window = -1;
+  EXPECT_FALSE(negative_window.Validate().ok());
+}
+
+TEST(FaultSpecTest, TextRoundTrip) {
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 0.125;
+  spec.defaults.timeout_prob = 0.0625;
+  spec.overrides[2].outage_enter_prob = 0.25;
+  spec.overrides[2].outage_exit_prob = 0.5;
+  spec.overrides[2].outage_fail_prob = 0.875;
+  spec.overrides[5].rate_limit_window = 4;
+  spec.overrides[5].rate_limit_max = 2;
+
+  const std::string text = FaultSpecToText(spec);
+  auto parsed = FaultSpecFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->defaults == spec.defaults);
+  ASSERT_EQ(parsed->overrides.size(), 2u);
+  EXPECT_TRUE(parsed->For(2) == spec.For(2));
+  EXPECT_TRUE(parsed->For(5) == spec.For(5));
+}
+
+TEST(FaultSpecTest, ResourceLinesInheritDefaults) {
+  // A hand-written resource line only overrides the fields it names; the
+  // rest come from the default profile parsed above it.
+  auto parsed = FaultSpecFromText(
+      "webmon-faults 1\n"
+      "default transient 0.125 timeout 0.0625\n"
+      "resource 2 outage 0.25 0.5 0.875\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->For(2).transient_error_prob, 0.125);
+  EXPECT_EQ(parsed->For(2).timeout_prob, 0.0625);
+  EXPECT_EQ(parsed->For(2).outage_enter_prob, 0.25);
+}
+
+TEST(FaultSpecTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(FaultSpecFromText("").ok());
+  EXPECT_FALSE(FaultSpecFromText("webmon-faults 2\n").ok());
+  EXPECT_FALSE(FaultSpecFromText("webmon-faults 1\nbogus record\n").ok());
+  EXPECT_FALSE(
+      FaultSpecFromText("webmon-faults 1\ndefault transient nope\n").ok());
+  EXPECT_FALSE(FaultSpecFromText("webmon-faults 1\nresource\n").ok());
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(
+      FaultSpecFromText("webmon-faults 1\n# a comment\n\n").ok());
+}
+
+TEST(FaultInjectorTest, IdealSpecAlwaysSucceeds) {
+  FaultInjector injector(FaultSpec{}, 4, /*seed=*/7);
+  for (Chronon t = 0; t < 50; ++t) {
+    for (ResourceId r = 0; r < 4; ++r) {
+      EXPECT_EQ(injector.OnProbe(r, t), ProbeOutcome::kSuccess);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossRuns) {
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 0.3;
+  spec.defaults.timeout_prob = 0.1;
+  spec.defaults.outage_enter_prob = 0.05;
+  spec.defaults.outage_exit_prob = 0.4;
+
+  FaultInjector a(spec, 3, /*seed=*/99);
+  FaultInjector b(spec, 3, /*seed=*/99);
+  for (Chronon t = 0; t < 200; ++t) {
+    for (ResourceId r = 0; r < 3; ++r) {
+      EXPECT_EQ(a.OnProbe(r, t), b.OnProbe(r, t))
+          << "resource " << r << " chronon " << t;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, SeedsChangeOutcomes) {
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 0.5;
+  FaultInjector a(spec, 1, /*seed=*/1);
+  FaultInjector b(spec, 1, /*seed=*/2);
+  bool differ = false;
+  for (Chronon t = 0; t < 64 && !differ; ++t) {
+    differ = a.OnProbe(0, t) != b.OnProbe(0, t);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultInjectorTest, OutageChainIndependentOfProbeCount) {
+  // The Gilbert-Elliott chain must advance per chronon, not per probe:
+  // probing a resource more often must not change WHEN it is in outage.
+  FaultSpec spec;
+  spec.defaults.outage_enter_prob = 0.2;
+  spec.defaults.outage_exit_prob = 0.3;
+
+  FaultInjector sparse(spec, 1, /*seed=*/42);
+  FaultInjector dense(spec, 1, /*seed=*/42);
+  for (Chronon t = 0; t < 300; ++t) {
+    // `dense` probes every chronon; `sparse` only asks every 7th.
+    (void)dense.InOutage(0, t);
+    if (t % 7 == 0) {
+      EXPECT_EQ(sparse.InOutage(0, t), dense.InOutage(0, t))
+          << "chronon " << t;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, OutageFailsProbesWhileBad) {
+  FaultSpec spec;
+  spec.defaults.outage_enter_prob = 0.3;
+  spec.defaults.outage_exit_prob = 0.3;
+  // outage_fail_prob defaults to 1.0: every probe in the bad state fails.
+  FaultInjector injector(spec, 1, /*seed=*/5);
+  int outages = 0;
+  for (Chronon t = 0; t < 400; ++t) {
+    const bool bad = injector.InOutage(0, t);
+    const ProbeOutcome outcome = injector.OnProbe(0, t);
+    if (bad) {
+      EXPECT_EQ(outcome, ProbeOutcome::kOutage) << "chronon " << t;
+      ++outages;
+    } else {
+      EXPECT_EQ(outcome, ProbeOutcome::kSuccess) << "chronon " << t;
+    }
+  }
+  EXPECT_GT(outages, 0);  // the chain did visit the bad state
+}
+
+TEST(FaultInjectorTest, RateLimiterCountsPerWindow) {
+  FaultSpec spec;
+  spec.defaults.rate_limit_window = 5;
+  spec.defaults.rate_limit_max = 1;
+  FaultInjector injector(spec, 1, /*seed=*/3);
+  // One attempt per window succeeds; the second in the same window is
+  // rejected; a new window resets the counter.
+  EXPECT_EQ(injector.OnProbe(0, 0), ProbeOutcome::kSuccess);
+  EXPECT_EQ(injector.OnProbe(0, 3), ProbeOutcome::kRateLimited);
+  EXPECT_EQ(injector.OnProbe(0, 5), ProbeOutcome::kSuccess);
+  EXPECT_EQ(injector.OnProbe(0, 6), ProbeOutcome::kRateLimited);
+  EXPECT_EQ(injector.OnProbe(0, 10), ProbeOutcome::kSuccess);
+}
+
+TEST(FaultInjectorTest, TimeoutPrecedesOtherDraws) {
+  FaultSpec spec;
+  spec.defaults.timeout_prob = 1.0;
+  spec.defaults.transient_error_prob = 1.0;
+  FaultInjector injector(spec, 1, /*seed=*/1);
+  for (Chronon t = 0; t < 20; ++t) {
+    EXPECT_EQ(injector.OnProbe(0, t), ProbeOutcome::kTimeout);
+  }
+}
+
+TEST(FaultInjectorTest, PerResourceStreamsAreIndependent) {
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 0.5;
+  FaultInjector injector(spec, 2, /*seed=*/11);
+  // Interleaving probes of resource 1 must not perturb resource 0's
+  // sequence.
+  FaultInjector reference(spec, 2, /*seed=*/11);
+  std::vector<ProbeOutcome> expected;
+  for (Chronon t = 0; t < 100; ++t) {
+    expected.push_back(reference.OnProbe(0, t));
+  }
+  for (Chronon t = 0; t < 100; ++t) {
+    (void)injector.OnProbe(1, t);
+    EXPECT_EQ(injector.OnProbe(0, t), expected[static_cast<size_t>(t)])
+        << "chronon " << t;
+  }
+}
+
+TEST(ProbeOutcomeTest, Strings) {
+  EXPECT_STREQ(ProbeOutcomeToString(ProbeOutcome::kSuccess), "success");
+  EXPECT_STREQ(ProbeOutcomeToString(ProbeOutcome::kTransientError),
+               "transient-error");
+  EXPECT_STREQ(ProbeOutcomeToString(ProbeOutcome::kOutage), "outage");
+  EXPECT_STREQ(ProbeOutcomeToString(ProbeOutcome::kRateLimited),
+               "rate-limited");
+  EXPECT_STREQ(ProbeOutcomeToString(ProbeOutcome::kTimeout), "timeout");
+  EXPECT_TRUE(ProbeSucceeded(ProbeOutcome::kSuccess));
+  EXPECT_FALSE(ProbeSucceeded(ProbeOutcome::kOutage));
+}
+
+}  // namespace
+}  // namespace webmon

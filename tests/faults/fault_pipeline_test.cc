@@ -1,0 +1,115 @@
+// Property: the fault machinery is pay-for-use. Attaching an injector whose
+// failure probabilities are all zero must leave every policy's schedule
+// byte-identical to the seed (injector-free) pipeline, in both preemption
+// modes — the fault branches may not perturb ranking, tie-breaking, or
+// budget accounting in any way.
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_model.h"
+#include "online/run.h"
+#include "policy/policy_factory.h"
+#include "util/rng.h"
+
+#include "../test_util.h"
+
+namespace webmon {
+namespace {
+
+ProblemInstance RandomInstance(Rng& rng, uint32_t n, Chronon k,
+                               int64_t budget, uint32_t num_ceis) {
+  ProblemBuilder builder(n, k, BudgetVector::Uniform(budget));
+  for (uint32_t c = 0; c < num_ceis; ++c) {
+    builder.BeginProfile();
+    const uint32_t rank = 1 + static_cast<uint32_t>(rng.UniformU64(3));
+    std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+    for (uint32_t e = 0; e < rank; ++e) {
+      const ResourceId r = static_cast<ResourceId>(rng.UniformU64(n));
+      const Chronon s =
+          static_cast<Chronon>(rng.UniformU64(static_cast<uint64_t>(k)));
+      const Chronon f =
+          std::min<Chronon>(s + 1 + static_cast<Chronon>(rng.UniformU64(3)),
+                            k - 1);
+      eis.emplace_back(r, s, std::max(s, f));
+    }
+    EXPECT_TRUE(builder.AddCei(eis).ok());
+  }
+  auto built = builder.Build();
+  EXPECT_TRUE(built.ok()) << built.status();
+  return std::move(built).value();
+}
+
+class ZeroFaultIdentity
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>> {};
+
+TEST_P(ZeroFaultIdentity, SchedulesIdenticalToSeedPipeline) {
+  const auto& [policy_name, preemptive] = GetParam();
+  Rng rng(0xFA017 + (preemptive ? 1 : 0));
+  for (int trial = 0; trial < 15; ++trial) {
+    const uint32_t n = 2 + static_cast<uint32_t>(rng.UniformU64(3));
+    const Chronon k = 8 + static_cast<Chronon>(rng.UniformU64(8));
+    const int64_t c = 1 + static_cast<int64_t>(rng.UniformU64(2));
+    const auto problem = RandomInstance(
+        rng, n, k, c, 4 + static_cast<uint32_t>(rng.UniformU64(5)));
+
+    // Seed pipeline: no injector at all.
+    auto base_policy = MakePolicy(policy_name, 17);
+    ASSERT_TRUE(base_policy.ok());
+    SchedulerOptions base_options;
+    base_options.preemptive = preemptive;
+    auto base = RunOnline(problem, base_policy->get(), base_options);
+    ASSERT_TRUE(base.ok()) << base.status();
+
+    // Same run with an all-zero injector attached. The ideal spec also
+    // exercises the injector's no-RNG fast path.
+    FaultInjector injector(FaultSpec{}, problem.num_resources(), 123);
+    auto fault_policy = MakePolicy(policy_name, 17);
+    ASSERT_TRUE(fault_policy.ok());
+    SchedulerOptions fault_options;
+    fault_options.preemptive = preemptive;
+    fault_options.fault_injector = &injector;
+    auto run = RunOnline(problem, fault_policy->get(), fault_options);
+    ASSERT_TRUE(run.ok()) << run.status();
+
+    // Byte-identical schedules (same probes, same chronons, same order).
+    ASSERT_EQ(base->schedule.TotalProbes(), run->schedule.TotalProbes())
+        << policy_name << " trial " << trial;
+    for (Chronon t = 0; t < k; ++t) {
+      EXPECT_EQ(base->schedule.ProbesAt(t), run->schedule.ProbesAt(t))
+          << policy_name << (preemptive ? " (P)" : " (NP)") << " trial "
+          << trial << " chronon " << t;
+    }
+    // Identical accounting, zero fault activity.
+    EXPECT_EQ(base->stats.probes_issued, run->stats.probes_issued);
+    EXPECT_EQ(base->stats.ceis_captured, run->stats.ceis_captured);
+    EXPECT_EQ(base->stats.eis_captured, run->stats.eis_captured);
+    EXPECT_EQ(run->stats.probes_failed, 0);
+    EXPECT_EQ(run->stats.probes_retried, 0);
+    EXPECT_EQ(run->stats.breaker_trips, 0);
+    EXPECT_EQ(run->stats.budget_lost_to_failures, 0.0);
+    // The attempt log exists (injector attached) and is all-success.
+    EXPECT_EQ(static_cast<int64_t>(run->attempts.size()),
+              run->stats.probes_issued);
+    for (const ProbeAttempt& a : run->attempts) {
+      EXPECT_EQ(a.outcome, ProbeOutcome::kSuccess);
+    }
+    // The base run has no attempt log at all (pay-for-use).
+    EXPECT_TRUE(base->attempts.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ZeroFaultIdentity,
+    ::testing::Combine(::testing::Values("s-edf", "mrsf", "m-edf", "w-mrsf",
+                                         "wic", "random", "round-robin"),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, bool>>& param) {
+      std::string name = std::get<0>(param.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + (std::get<1>(param.param) ? "_P" : "_NP");
+    });
+
+}  // namespace
+}  // namespace webmon

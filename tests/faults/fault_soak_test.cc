@@ -1,0 +1,138 @@
+// Fault soak test: a long streaming run against a flaky resource fleet must
+// stay healthy — bounded state, closed accounting, and the full fault audit
+// (backoff spacing, breaker gating, budget on attempts) passing at the end.
+// CI runs this suite under ASan (-R FaultSoak).
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_model.h"
+#include "model/schedule_audit.h"
+#include "online/online_scheduler.h"
+#include "policy/policy_factory.h"
+#include "util/rng.h"
+
+#include <deque>
+
+namespace webmon {
+namespace {
+
+TEST(FaultSoakTest, LongFlakyStreamingRunStaysHealthy) {
+  constexpr Chronon kHorizon = 20000;
+  constexpr uint32_t kResources = 50;
+  constexpr int64_t kBudget = 2;
+
+  // A heterogeneous fleet: everything a bit flaky, a few resources in
+  // bursty outages, one rate-limited, one near-dead.
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 0.1;
+  spec.defaults.timeout_prob = 0.02;
+  spec.overrides[3].outage_enter_prob = 0.01;
+  spec.overrides[3].outage_exit_prob = 0.2;
+  spec.overrides[7].rate_limit_window = 10;
+  spec.overrides[7].rate_limit_max = 3;
+  spec.overrides[11].transient_error_prob = 0.9;
+  ASSERT_TRUE(spec.Validate().ok());
+  FaultInjector injector(spec, kResources, /*seed=*/0xFA50AC);
+
+  auto policy = MakePolicy("mrsf");
+  ASSERT_TRUE(policy.ok());
+  SchedulerOptions options;
+  options.fault_injector = &injector;
+  OnlineScheduler scheduler(kResources, kHorizon,
+                            BudgetVector::Uniform(kBudget), policy->get(),
+                            options);
+
+  Rng rng(0x50AD);
+  std::deque<Cei> storage;  // stable addresses for the scheduler
+  CeiId next_cei = 0;
+  EiId next_ei = 0;
+  int64_t submitted = 0;
+
+  Schedule schedule(kResources, kHorizon);
+  size_t max_active_eis = 0;
+
+  for (Chronon t = 0; t < kHorizon; ++t) {
+    const int arrivals = static_cast<int>(rng.UniformU64(4));
+    for (int a = 0; a < arrivals; ++a) {
+      Cei cei;
+      cei.id = next_cei++;
+      cei.arrival = t;
+      const uint32_t rank = 1 + static_cast<uint32_t>(rng.UniformU64(4));
+      for (uint32_t e = 0; e < rank; ++e) {
+        ExecutionInterval ei;
+        ei.id = next_ei++;
+        ei.resource = static_cast<ResourceId>(rng.UniformU64(kResources));
+        ei.start = t + static_cast<Chronon>(rng.UniformU64(10));
+        ei.finish = std::min<Chronon>(
+            ei.start + 1 + static_cast<Chronon>(rng.UniformU64(20)),
+            kHorizon - 1);
+        if (ei.start >= kHorizon) ei.start = kHorizon - 1;
+        if (ei.finish < ei.start) ei.finish = ei.start;
+        cei.eis.push_back(ei);
+      }
+      storage.push_back(std::move(cei));
+      ASSERT_TRUE(scheduler.AddArrival(&storage.back(), t).ok());
+      ++submitted;
+    }
+    ASSERT_TRUE(scheduler.Step(t, &schedule).ok());
+    max_active_eis = std::max(max_active_eis, scheduler.NumActiveEis());
+  }
+
+  const SchedulerStats& stats = scheduler.stats();
+  // Accounting closes under failures: the schedule holds exactly the
+  // successful attempts, and every counter stays consistent.
+  EXPECT_EQ(stats.ceis_seen, submitted);
+  EXPECT_LE(stats.ceis_captured + stats.ceis_expired, stats.ceis_seen);
+  EXPECT_GT(stats.ceis_captured, 0);
+  EXPECT_GT(stats.probes_failed, 0);
+  EXPECT_GT(stats.probes_retried, 0);
+  EXPECT_GT(stats.breaker_trips, 0);  // resource 11 is near-dead
+  EXPECT_EQ(schedule.TotalProbes(),
+            stats.probes_issued - stats.probes_failed);
+  EXPECT_EQ(stats.budget_lost_to_failures,
+            static_cast<double>(stats.probes_failed));
+  EXPECT_EQ(static_cast<int64_t>(scheduler.attempt_log().size()),
+            stats.probes_issued);
+  EXPECT_TRUE(schedule.CheckFeasible(BudgetVector::Uniform(kBudget)).ok());
+  EXPECT_LE(stats.probes_issued, kBudget * kHorizon);
+  EXPECT_LT(max_active_eis, 2000u);
+
+  // The near-dead resource must end up with a high failure estimate and a
+  // tripped breaker history; the healthy bulk must not.
+  EXPECT_GT(scheduler.health(11).ewma_failure, 0.3);
+  EXPECT_GT(scheduler.health(11).failures, 0);
+  EXPECT_LT(scheduler.health(0).ewma_failure, 0.5);
+
+  // Full fault audit against the rebuilt workload: schedule == successful
+  // attempts, per-chronon attempt budget, backoff spacing, breaker gating.
+  ProblemBuilder builder(kResources, kHorizon, BudgetVector::Uniform(kBudget));
+  for (const Cei& cei : storage) {
+    builder.BeginProfile();
+    std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+    eis.reserve(cei.eis.size());
+    for (const ExecutionInterval& ei : cei.eis) {
+      eis.emplace_back(ei.resource, ei.start, ei.finish);
+    }
+    ASSERT_TRUE(builder.AddCei(eis, cei.arrival).ok());
+  }
+  auto mirror = builder.Build();
+  ASSERT_TRUE(mirror.ok()) << mirror.status();
+
+  ScheduleAuditOptions schedule_options;
+  schedule_options.expected_captured_ceis = stats.ceis_captured;
+  schedule_options.expected_probes =
+      stats.probes_issued - stats.probes_failed;
+  schedule_options.min_captured_eis = stats.eis_captured;
+  FaultAuditReport report;
+  const Status audit =
+      AuditFaultRun(*mirror, schedule, scheduler.attempt_log(),
+                    options.fault_handling, schedule_options, &report);
+  EXPECT_TRUE(audit.ok()) << audit;
+  EXPECT_EQ(report.attempts, stats.probes_issued);
+  EXPECT_EQ(report.failures, stats.probes_failed);
+  EXPECT_EQ(report.retries, stats.probes_retried);
+  EXPECT_EQ(report.breaker_trips, stats.breaker_trips);
+}
+
+}  // namespace
+}  // namespace webmon

@@ -117,6 +117,63 @@ TEST(FeedWorldTest, DeterministicContent) {
   }
 }
 
+TEST(FeedWorldTest, IdealSpecAllocatesNoInjector) {
+  const EventTrace trace = SmallTrace();
+  auto world = FeedWorld::Create(trace);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->fault_injector(), nullptr);
+}
+
+TEST(FeedWorldTest, FaultyProbeFailsButWorldStillAdvances) {
+  const EventTrace trace = SmallTrace();
+  FeedWorldOptions options;
+  options.fault_spec.defaults.transient_error_prob = 1.0;
+  auto world = FeedWorld::Create(trace, options);
+  ASSERT_TRUE(world.ok());
+  ASSERT_NE(world->fault_injector(), nullptr);
+
+  auto items = world->Probe(0, 6);
+  EXPECT_EQ(items.status().code(), StatusCode::kUnavailable);
+  // The feed published regardless: the PROBE failed, not the server.
+  EXPECT_EQ(world->now(), 6);
+  EXPECT_EQ(world->total_published(), 3);  // events at 1, 3, 5
+
+  auto server = world->Server(0);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ((*server)->total_failed_fetches(), 1);
+}
+
+TEST(FeedWorldTest, RateLimitMapsToResourceExhausted) {
+  const EventTrace trace = SmallTrace();
+  FeedWorldOptions options;
+  options.fault_spec.defaults.rate_limit_window = 10;
+  options.fault_spec.defaults.rate_limit_max = 1;
+  auto world = FeedWorld::Create(trace, options);
+  ASSERT_TRUE(world.ok());
+  ASSERT_TRUE(world->Probe(0, 2).ok());
+  EXPECT_EQ(world->Probe(0, 4).status().code(),
+            StatusCode::kResourceExhausted);
+  // A fresh window admits the probe again.
+  EXPECT_TRUE(world->Probe(0, 12).ok());
+}
+
+TEST(FeedWorldTest, TimeoutMapsToDeadlineExceeded) {
+  const EventTrace trace = SmallTrace();
+  FeedWorldOptions options;
+  options.fault_spec.defaults.timeout_prob = 1.0;
+  auto world = FeedWorld::Create(trace, options);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->Probe(1, 4).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(FeedWorldTest, InvalidFaultSpecRejected) {
+  const EventTrace trace = SmallTrace();
+  FeedWorldOptions options;
+  options.fault_spec.defaults.transient_error_prob = 2.0;
+  EXPECT_FALSE(FeedWorld::Create(trace, options).ok());
+}
+
 TEST(FeedWorldTest, ZeroCapacityRejected) {
   const EventTrace trace = SmallTrace();
   FeedWorldOptions options;

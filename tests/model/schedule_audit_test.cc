@@ -181,5 +181,103 @@ TEST(ProbeLogAuditTest, AcceptsAValidLogAndReports) {
   EXPECT_EQ(report.captured_ceis, 1);  // CEI 1; CEI 0 needs r1 as well
 }
 
+// ---------------------------------------------------------------------------
+// Push-aware auditing.
+// ---------------------------------------------------------------------------
+
+TEST(PushAuditTest, PushesCountForCapturesButNotBudget) {
+  const auto problem = TestProblem();
+  // Probes capture CEI 1 and half of CEI 0; a push of r1 at chronon 2
+  // finishes CEI 0 for free — note chronon 2 already holds a probe, so a
+  // push there would break the plain budget audit if it were charged.
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(2, 0).ok());
+  ASSERT_TRUE(schedule.AddProbe(0, 1).ok());
+  ASSERT_TRUE(schedule.AddProbe(2, 2).ok());  // burn chronon 2's budget
+
+  ScheduleAuditOptions options;
+  options.expected_captured_ceis = 2;  // CEI 0 (with the push) and CEI 1
+  ScheduleAuditReport report;
+  Schedule augmented(3, 10);
+  EXPECT_TRUE(AuditScheduleWithPushes(problem, schedule, {{1, 2}}, options,
+                                      &report, &augmented)
+                  .ok());
+  EXPECT_EQ(report.captured_ceis, 2);
+  EXPECT_TRUE(augmented.Probed(1, 2));
+  // Without the push the same expectation must fail: the probes alone
+  // capture only CEI 1.
+  EXPECT_FALSE(
+      AuditScheduleWithPushes(problem, schedule, {}, options).ok());
+}
+
+TEST(PushAuditTest, PushCollidingWithProbeIsHarmless) {
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(2, 0).ok());
+  EXPECT_TRUE(
+      AuditScheduleWithPushes(problem, schedule, {{2, 0}}, {}).ok());
+}
+
+TEST(PushAuditTest, RejectsOutOfRangePush) {
+  const auto problem = TestProblem();
+  const Status audit =
+      AuditScheduleWithPushes(problem, Schedule(3, 10), {{7, 0}}, {});
+  EXPECT_FALSE(audit.ok());
+  EXPECT_NE(audit.message().find("push out of range"), std::string::npos)
+      << audit;
+}
+
+TEST(PushAuditTest, StillRejectsBadProbeSchedules) {
+  // The probe schedule keeps its own invariants: pushes cannot excuse a
+  // budget violation in the paid probes.
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(1, 2).ok());
+  ASSERT_TRUE(schedule.AddProbe(2, 2).ok());
+  EXPECT_FALSE(AuditScheduleWithPushes(problem, schedule, {}, {}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Timeliness accounting audit.
+// ---------------------------------------------------------------------------
+
+TEST(TimelinessAuditTest, AcceptsTheProducersOwnReport) {
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(2, 0).ok());
+  ASSERT_TRUE(schedule.AddProbe(0, 1).ok());
+  ASSERT_TRUE(schedule.AddProbe(1, 4).ok());
+  const TimelinessReport honest = ComputeTimeliness(problem, schedule);
+  EXPECT_TRUE(AuditTimeliness(problem, schedule, honest).ok());
+}
+
+TEST(TimelinessAuditTest, RejectsDoctoredDelays) {
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(2, 0).ok());
+  ASSERT_TRUE(schedule.AddProbe(0, 1).ok());
+  ASSERT_TRUE(schedule.AddProbe(1, 4).ok());
+
+  TimelinessReport doctored = ComputeTimeliness(problem, schedule);
+  doctored.ei_capture_delay.Add(0.0);  // one phantom observation
+  const Status count = AuditTimeliness(problem, schedule, doctored);
+  EXPECT_FALSE(count.ok());
+  EXPECT_NE(count.message().find("timeliness"), std::string::npos) << count;
+
+  TimelinessReport shifted = ComputeTimeliness(problem, schedule);
+  shifted.immediate_fraction += 0.25;
+  EXPECT_FALSE(AuditTimeliness(problem, schedule, shifted).ok());
+}
+
+TEST(TimelinessAuditTest, ToleranceAbsorbsFloatNoise) {
+  const auto problem = TestProblem();
+  Schedule schedule(3, 10);
+  ASSERT_TRUE(schedule.AddProbe(2, 0).ok());
+  TimelinessReport noisy = ComputeTimeliness(problem, schedule);
+  noisy.immediate_fraction += 1e-12;
+  EXPECT_TRUE(AuditTimeliness(problem, schedule, noisy).ok());
+  EXPECT_FALSE(AuditTimeliness(problem, schedule, noisy, 1e-15).ok());
+}
+
 }  // namespace
 }  // namespace webmon

@@ -36,6 +36,16 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, TransientCodesRenderDistinctly) {
+  EXPECT_EQ(Status::Unavailable("feed down").ToString(),
+            "Unavailable: feed down");
+  EXPECT_EQ(Status::DeadlineExceeded("slow fetch").ToString(),
+            "DeadlineExceeded: slow fetch");
 }
 
 TEST(StatusTest, CopyPreservesError) {

@@ -10,6 +10,10 @@ Rules:
              stay reproducible.
   usingns    No `using namespace` at any scope in headers (it leaks into
              every includer).
+  sleep      No real-time sleeping/blocking (sleep_for, sleep_until, sleep,
+             usleep, nanosleep): the simulation is driven purely by the
+             chronon clock, and wall-clock waits make runs timing-dependent
+             and fault injection non-reproducible.
 
 Exit status is the number of files with violations (0 = clean). Violations
 are printed as file:line: rule: message, one per line.
@@ -34,6 +38,13 @@ BANNED_RANDOMNESS = [
     (re.compile(r"(?<![\w:.])random\s*\("), "call to random()"),
     (re.compile(r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0)\s*\)"),
      "wall-clock seeding via time()"),
+]
+
+BANNED_SLEEP = [
+    (re.compile(r"\bsleep_(for|until)\s*\("),
+     "std::this_thread::sleep_for/sleep_until"),
+    (re.compile(r"(?<![\w:.])u?sleep\s*\("), "call to sleep()/usleep()"),
+    (re.compile(r"(?<![\w:.])nanosleep\s*\("), "call to nanosleep()"),
 ]
 
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
@@ -99,6 +110,15 @@ def check_rng(rel_path, lines):
                 yield i + 1, f"{message}; use util/rng (seeded, reproducible)"
 
 
+def check_sleep(lines):
+    for i, line in enumerate(lines):
+        code = strip_comment(line)
+        for pattern, message in BANNED_SLEEP:
+            if pattern.search(code):
+                yield i + 1, (f"{message}; simulated time advances only "
+                              "through the chronon clock")
+
+
 def check_using_namespace(lines):
     for i, line in enumerate(lines):
         if USING_NAMESPACE.match(strip_comment(line)):
@@ -116,6 +136,7 @@ def lint_file(root, rel_path):
         violations += [(line, "usingns", msg)
                        for line, msg in check_using_namespace(lines)]
     violations += [(line, "rng", msg) for line, msg in check_rng(rel_path, lines)]
+    violations += [(line, "sleep", msg) for line, msg in check_sleep(lines)]
     return violations
 
 

@@ -18,8 +18,11 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 
+#include "faults/fault_model.h"
+#include "model/schedule_audit.h"
 #include "policy/policy_factory.h"
 #include "query/engine.h"
 #include "query/parser.h"
@@ -46,6 +49,34 @@ void AddCommonTraceFlags(FlagSet& flags) {
       .AddInt("chronons", 1000, "epoch length K")
       .AddDouble("lambda", 20.0, "updates per resource per epoch (poisson)")
       .AddInt("seed", 1, "RNG seed");
+}
+
+void AddFaultFlags(FlagSet& flags) {
+  flags.AddString("fault-spec", "",
+                  "fault spec file (webmon-faults text format); overrides "
+                  "the inline --fault-* flags")
+      .AddDouble("fault-transient", 0.0, "per-probe transient error prob")
+      .AddDouble("fault-timeout", 0.0, "per-probe timeout prob")
+      .AddDouble("fault-outage-enter", 0.0,
+                 "Gilbert-Elliott good->bad transition prob per chronon")
+      .AddDouble("fault-outage-exit", 0.5,
+                 "Gilbert-Elliott bad->good transition prob per chronon")
+      .AddInt("fault-seed", 1, "fault injector RNG seed");
+}
+
+StatusOr<FaultSpec> FaultSpecFromFlags(const FlagSet& flags) {
+  if (!flags.GetString("fault-spec").empty()) {
+    return LoadFaultSpecFromFile(flags.GetString("fault-spec"));
+  }
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = flags.GetDouble("fault-transient");
+  spec.defaults.timeout_prob = flags.GetDouble("fault-timeout");
+  spec.defaults.outage_enter_prob = flags.GetDouble("fault-outage-enter");
+  if (spec.defaults.outage_enter_prob > 0.0) {
+    spec.defaults.outage_exit_prob = flags.GetDouble("fault-outage-exit");
+  }
+  WEBMON_RETURN_IF_ERROR(spec.Validate());
+  return spec;
 }
 
 StatusOr<ExperimentConfig> ConfigFromFlags(const FlagSet& flags) {
@@ -88,6 +119,7 @@ int RunCommand(int argc, const char* const* argv) {
                  "non-preemptive)")
       .AddBool("offline", false, "also run the offline approximation")
       .AddInt("reps", 5, "repetitions");
+  AddFaultFlags(flags);
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st << "\n" << flags.Help();
     return 2;
@@ -110,6 +142,13 @@ int RunCommand(int argc, const char* const* argv) {
   config->workload.sequential_rounds = flags.GetBool("sequential-rounds");
   config->z_noise = flags.GetDouble("noise");
   config->repetitions = static_cast<uint32_t>(flags.GetInt("reps"));
+  auto fault_spec = FaultSpecFromFlags(flags);
+  if (!fault_spec.ok()) {
+    std::cerr << fault_spec.status() << "\n";
+    return 2;
+  }
+  config->fault_spec = *std::move(fault_spec);
+  config->fault_seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
 
   std::vector<PolicySpec> specs;
   for (const std::string& token : Split(flags.GetString("policies"), ',')) {
@@ -141,6 +180,7 @@ int RunCommand(int argc, const char* const* argv) {
   ReportOptions report;
   report.runtime = true;
   report.timeliness = true;
+  report.faults = !config->fault_spec.IsIdeal();
   BuildPolicyTable(*result, report).Print(std::cout);
   return 0;
 }
@@ -381,6 +421,7 @@ int ReplayCommand(int argc, const char* const* argv) {
       .AddString("policies", "mrsf,m-edf,s-edf", "comma-separated policies")
       .AddBool("offline", false, "also run the offline approximation")
       .AddInt("seed", 1, "seed for stochastic policies");
+  AddFaultFlags(flags);
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st << "\n" << flags.Help();
     return 2;
@@ -390,8 +431,19 @@ int ReplayCommand(int argc, const char* const* argv) {
     std::cerr << problem.status() << "\n";
     return 1;
   }
+  auto fault_spec = FaultSpecFromFlags(flags);
+  if (!fault_spec.ok()) {
+    std::cerr << fault_spec.status() << "\n";
+    return 2;
+  }
+  const bool faulty = !fault_spec->IsIdeal();
   std::cout << ComputeInstanceStats(*problem).ToString() << "\n";
-  TableWriter table({"policy", "completeness", "weighted", "probes"});
+  std::vector<std::string> headers{"policy", "completeness", "weighted",
+                                   "probes"};
+  if (faulty) {
+    headers.insert(headers.end(), {"failed", "retried", "trips"});
+  }
+  TableWriter table(std::move(headers));
   for (const std::string& token : Split(flags.GetString("policies"), ',')) {
     std::string name(StripWhitespace(token));
     if (name.empty()) continue;
@@ -401,16 +453,40 @@ int ReplayCommand(int argc, const char* const* argv) {
       std::cerr << policy.status() << "\n";
       return 1;
     }
-    auto run = RunOnline(*problem, policy->get());
+    // Every policy faces the same fault streams: fresh injector per run.
+    SchedulerOptions options;
+    std::unique_ptr<FaultInjector> injector;
+    if (faulty) {
+      injector = std::make_unique<FaultInjector>(
+          *fault_spec, problem->num_resources(),
+          static_cast<uint64_t>(flags.GetInt("fault-seed")));
+      options.fault_injector = injector.get();
+    }
+    auto run = RunOnline(*problem, policy->get(), options);
     if (!run.ok()) {
       std::cerr << run.status() << "\n";
       return 1;
     }
-    table.AddRow({(*policy)->name(),
-                  TableWriter::Percent(run->completeness),
-                  TableWriter::Percent(
-                      WeightedCompleteness(*problem, run->schedule)),
-                  TableWriter::Fmt(run->stats.probes_issued)});
+    std::vector<std::string> row{(*policy)->name(),
+                                 TableWriter::Percent(run->completeness),
+                                 TableWriter::Percent(WeightedCompleteness(
+                                     *problem, run->schedule)),
+                                 TableWriter::Fmt(run->stats.probes_issued)};
+    if (faulty) {
+      row.push_back(TableWriter::Fmt(run->stats.probes_failed));
+      row.push_back(TableWriter::Fmt(run->stats.probes_retried));
+      row.push_back(TableWriter::Fmt(run->stats.breaker_trips));
+      // Self-check: the run must satisfy every fault invariant (backoff
+      // lower bounds, breaker gating, budget accounting).
+      if (Status audit = AuditFaultRun(*problem, run->schedule,
+                                       run->attempts, options.fault_handling);
+          !audit.ok()) {
+        std::cerr << "fault audit FAILED for " << name << ": " << audit
+                  << "\n";
+        return 1;
+      }
+    }
+    table.AddRow(std::move(row));
   }
   if (flags.GetBool("offline")) {
     auto offline = SolveOfflineApprox(*problem);
