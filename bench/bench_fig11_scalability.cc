@@ -7,48 +7,157 @@
 // flat / linear as the workload grows (linear total runtime), with
 // M-EDF a constant factor above MRSF above S-EDF; the offline approximation
 // is far slower and is omitted from the sweep, as in the paper.
+//
+// Beyond the paper, this bench also sweeps the scheduler's ranking thread
+// count (--threads=1,8): schedules are byte-identical at every thread
+// count, so the sweep isolates the wall-clock effect of sharded ranking.
+// Pass --json <path> to emit the measurements as a JSON document (the CI
+// perf artifact, BENCH_scalability.json).
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "util/flags.h"
+#include "util/string_util.h"
 
 namespace webmon::bench {
 namespace {
 
-int Run() {
+struct PolicyCell {
+  std::string name;
+  double us_per_ei = 0.0;
+};
+
+struct SweepRow {
+  uint32_t profiles = 0;
+  double ceis = 0.0;
+  double eis = 0.0;
+  std::vector<PolicyCell> policies;
+};
+
+struct ThreadSweep {
+  int threads = 1;
+  std::vector<SweepRow> rows;
+};
+
+// Emits the collected measurements as a small hand-rolled JSON document —
+// one object per thread count, one row per workload size.
+void WriteJson(const std::string& path,
+               const std::vector<ThreadSweep>& sweeps) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"fig11_scalability\",\n  \"metric\": "
+         "\"us_per_ei\",\n  \"sweeps\": [\n";
+  for (size_t s = 0; s < sweeps.size(); ++s) {
+    const ThreadSweep& sweep = sweeps[s];
+    out << "    {\n      \"threads\": " << sweep.threads
+        << ",\n      \"rows\": [\n";
+    for (size_t r = 0; r < sweep.rows.size(); ++r) {
+      const SweepRow& row = sweep.rows[r];
+      out << "        {\"profiles\": " << row.profiles
+          << ", \"ceis\": " << row.ceis << ", \"eis\": " << row.eis
+          << ", \"us_per_ei\": {";
+      for (size_t p = 0; p < row.policies.size(); ++p) {
+        out << "\"" << row.policies[p].name
+            << "\": " << row.policies[p].us_per_ei;
+        if (p + 1 < row.policies.size()) out << ", ";
+      }
+      out << "}}" << (r + 1 < sweep.rows.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }" << (s + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+int Run(int argc, const char* const* argv) {
+  FlagSet flags("bench_fig11_scalability: online runtime scalability sweep");
+  flags.AddString("json", "", "write measurements to this JSON file")
+      .AddString("threads", "1",
+                 "comma-separated scheduler thread counts to sweep")
+      .AddInt("reps", 3, "repetitions per cell")
+      .AddInt("max-profiles", 2500,
+              "largest profile count in the sweep (steps of 500)");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+
+  std::vector<int> thread_counts;
+  for (const std::string& token : Split(flags.GetString("threads"), ',')) {
+    const std::string t(StripWhitespace(token));
+    if (!t.empty()) thread_counts.push_back(std::stoi(t));
+  }
+  if (thread_counts.empty()) thread_counts.push_back(1);
+
+  std::vector<uint32_t> sizes;
+  for (uint32_t m = 500;
+       m <= static_cast<uint32_t>(flags.GetInt("max-profiles")); m += 500) {
+    sizes.push_back(m);
+  }
+
   PrintBanner("Figure 11", "Online policy runtime scalability (us per EI)",
               "linear trend; S-EDF <= MRSF << M-EDF; offline omitted "
               "(not scalable)");
 
-  TableWriter table({"profiles", "CEIs", "EIs", "S-EDF us/EI", "MRSF us/EI",
-                     "M-EDF us/EI"});
-  for (uint32_t m : {500u, 1000u, 1500u, 2000u, 2500u}) {
-    ExperimentConfig config = PaperBaseline(/*seed=*/43);
-    config.poisson.lambda = 50.0;  // 2.5x the baseline intensity
-    config.profile_template = ProfileTemplate::AuctionWatch(
-        5, /*exact_rank=*/true, /*window=*/10);
-    config.profile_template.random_window = true;
-    config.workload.num_profiles = m;
-    config.repetitions = 3;
-    auto result = RunExperiment(
-        config, {{"s-edf", true}, {"mrsf", true}, {"m-edf", true}});
-    if (!result.ok()) {
-      std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
-      return 1;
+  const std::vector<PolicySpec> specs{
+      {"s-edf", true}, {"mrsf", true}, {"m-edf", true}};
+  std::vector<ThreadSweep> sweeps;
+  for (const int threads : thread_counts) {
+    ThreadSweep sweep;
+    sweep.threads = threads;
+    std::cout << "-- threads=" << threads << "\n";
+    TableWriter table({"profiles", "CEIs", "EIs", "S-EDF us/EI",
+                       "MRSF us/EI", "M-EDF us/EI"});
+    for (const uint32_t m : sizes) {
+      ExperimentConfig config = PaperBaseline(/*seed=*/43);
+      config.poisson.lambda = 50.0;  // 2.5x the baseline intensity
+      config.profile_template = ProfileTemplate::AuctionWatch(
+          5, /*exact_rank=*/true, /*window=*/10);
+      config.profile_template.random_window = true;
+      config.workload.num_profiles = m;
+      config.repetitions = static_cast<uint32_t>(flags.GetInt("reps"));
+      config.num_threads = threads;
+      auto result = RunExperiment(config, specs);
+      if (!result.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      SweepRow row;
+      row.profiles = m;
+      row.ceis = result->total_ceis.mean();
+      row.eis = result->total_eis.mean();
+      for (size_t i = 0; i < specs.size(); ++i) {
+        row.policies.push_back(
+            {specs[i].name, result->policies[i].usec_per_ei.mean()});
+      }
+      sweep.rows.push_back(row);
+      table.AddRow(
+          {TableWriter::Fmt(static_cast<int64_t>(m)),
+           TableWriter::Fmt(row.ceis, 0), TableWriter::Fmt(row.eis, 0),
+           TableWriter::Fmt(row.policies[0].us_per_ei, 3),
+           TableWriter::Fmt(row.policies[1].us_per_ei, 3),
+           TableWriter::Fmt(row.policies[2].us_per_ei, 3)});
     }
-    table.AddRow({TableWriter::Fmt(static_cast<int64_t>(m)),
-                  TableWriter::Fmt(result->total_ceis.mean(), 0),
-                  TableWriter::Fmt(result->total_eis.mean(), 0),
-                  TableWriter::Fmt(result->policies[0].usec_per_ei.mean(), 3),
-                  TableWriter::Fmt(result->policies[1].usec_per_ei.mean(), 3),
-                  TableWriter::Fmt(result->policies[2].usec_per_ei.mean(), 3)});
+    PrintTable(table);
+    sweeps.push_back(std::move(sweep));
   }
-  PrintTable(table);
+
+  if (!flags.GetString("json").empty()) {
+    WriteJson(flags.GetString("json"), sweeps);
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace webmon::bench
 
-int main() { return webmon::bench::Run(); }
+int main(int argc, char** argv) { return webmon::bench::Run(argc, argv); }

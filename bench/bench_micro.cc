@@ -1,6 +1,14 @@
 // Micro-benchmarks (google-benchmark): per-operation costs underlying the
 // Section V-D runtime analysis — policy value computation (Theta(1) for
 // S-EDF/MRSF, O(k) for M-EDF) and the per-chronon scheduler step.
+//
+// `--json <path>` is shorthand for google-benchmark's
+// `--benchmark_out=<path> --benchmark_out_format=json` (matches the
+// bench_fig11_scalability flag, so CI emits both artifacts the same way).
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -100,4 +108,31 @@ BENCHMARK(BM_OnlineRun)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace webmon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Rewrite --json[=]<path> into the native benchmark output flags before
+  // benchmark::Initialize consumes argv.
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string path;
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      path = arg + 7;
+    } else {
+      args.emplace_back(arg);
+      continue;
+    }
+    args.push_back("--benchmark_out=" + path);
+    args.emplace_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "faults/fault_model.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace webmon {
 
@@ -18,6 +18,11 @@ OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
       budget_(std::move(budget)),
       policy_(policy),
       options_(options),
+      expiring_by_finish_(
+          static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
+      track_active_mirror_(policy != nullptr && policy->ObservesActiveSet()),
+      value_stable_(policy != nullptr &&
+                    policy->ValueStableBetweenCaptures()),
       pending_by_start_(
           static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
       pushes_by_chronon_(
@@ -25,10 +30,26 @@ OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
       probed_now_(num_resources, 0),
       attempted_now_(num_resources, 0) {
   // Fault bookkeeping is pay-for-use: without an injector no health state
-  // exists and the fault branches below are dead.
+  // exists, the fault branches below are dead, and the per-chronon gate
+  // caches are never allocated.
   if (options_.fault_injector != nullptr) {
     health_.resize(num_resources);
+    avail_now_.assign(num_resources, 1);
+    shrink_now_.assign(num_resources, 0);
   }
+  num_shards_ = std::max(options_.num_threads, 1);
+  if (num_shards_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_shards_);
+  }
+  const size_t shards = static_cast<size_t>(num_shards_);
+  shard_best_.resize(shards * num_resources);
+  shard_best_epoch_.assign(shards * num_resources, 0);
+  shard_touched_.resize(shards);
+  shard_one_.resize(shards);
+  shard_one_set_.assign(shards, 0);
+  shard_live_end_.assign(shards, 0);
+  best_of_r_.resize(num_resources);
+  best_epoch_.assign(num_resources, 0);
 }
 
 ResourceHealth OnlineScheduler::health(ResourceId resource) const {
@@ -57,16 +78,6 @@ Chronon OnlineScheduler::ShrinkFor(ResourceId resource) const {
   // f/(1-f); each costs at least one chronon of the EI's window.
   const auto extra = static_cast<Chronon>(std::ceil(f / (1.0 - f)));
   return std::min(extra, options_.fault_handling.deadline_shrink_cap);
-}
-
-Chronon OnlineScheduler::EffectiveNow(const CandidateEi& cand,
-                                      Chronon now) const {
-  const Chronon shrink = ShrinkFor(cand.ei().resource);
-  if (shrink == 0) return now;
-  // Valuing the candidate at a later virtual chronon shrinks its remaining
-  // window in the eyes of deadline-based policies (S-EDF, M-EDF); clamping
-  // to the finish keeps the minimum-urgency value well-defined.
-  return std::min(now + shrink, cand.ei().finish);
 }
 
 void OnlineScheduler::RecordOutcome(ResourceId resource, Chronon now,
@@ -179,7 +190,7 @@ Status OnlineScheduler::AddArrival(const Cei* cei, Chronon now) {
     if (state->failed[i]) continue;
     CandidateEi cand{state, i};
     if (ei.start <= now) {
-      active_.push_back(cand);
+      AdmitActive(cand);
     } else if (ei.start < num_chronons_) {
       pending_by_start_[static_cast<size_t>(ei.start)].push_back(cand);
     }
@@ -189,11 +200,26 @@ Status OnlineScheduler::AddArrival(const Cei* cei, Chronon now) {
   return Status::OK();
 }
 
+void OnlineScheduler::AdmitActive(const CandidateEi& cand) {
+  const uint64_t seq = next_seq_++;
+  const ExecutionInterval& ei = cand.ei();
+  slots_.push_back(Slot{cand, 0.0, kNoCachedValue});
+  if (ei.finish < num_chronons_) {
+    expiring_by_finish_[static_cast<size_t>(ei.finish)].push_back(
+        SeqCand{seq, cand});
+  }
+  // EIs closing at or beyond the epoch end never hit an expiry bucket; they
+  // leave the list only through capture, CEI death, or the ranking pass's
+  // stale-entry pruning — exactly when the legacy compaction would have
+  // dropped them.
+  if (track_active_mirror_) active_mirror_.push_back(cand);
+}
+
 void OnlineScheduler::Activate(Chronon now) {
   auto& bucket = pending_by_start_[static_cast<size_t>(now)];
   for (const CandidateEi& cand : bucket) {
     if (cand.state->dead || cand.state->Complete()) continue;
-    active_.push_back(cand);
+    AdmitActive(cand);
   }
   bucket.clear();
   bucket.shrink_to_fit();
@@ -211,24 +237,157 @@ void OnlineScheduler::MarkFailed(const CandidateEi& cand) {
   }
 }
 
-void OnlineScheduler::Compact(Chronon now) {
+void OnlineScheduler::ProcessExpiries(Chronon from, Chronon to) {
+  if (from < 0) from = 0;
+  if (to >= num_chronons_) to = num_chronons_ - 1;
+  if (from > to) return;
+  expiry_scratch_.clear();
+  for (Chronon t = from; t <= to; ++t) {
+    auto& bucket = expiring_by_finish_[static_cast<size_t>(t)];
+    expiry_scratch_.insert(expiry_scratch_.end(), bucket.begin(),
+                           bucket.end());
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  expiry_cursor_ = std::max(expiry_cursor_, to);
+  if (expiry_scratch_.empty()) return;
+  // Multi-chronon catch-up (callers stepping with chronon gaps): the legacy
+  // sweep marked these failures in flat-list order — activation order, not
+  // finish order — and CEI-death callbacks must replay identically.
+  if (from < to) {
+    std::sort(
+        expiry_scratch_.begin(), expiry_scratch_.end(),
+        [](const SeqCand& a, const SeqCand& b) { return a.seq < b.seq; });
+  }
+  for (const SeqCand& sc : expiry_scratch_) {
+    const CeiState& s = *sc.cand.state;
+    if (s.dead || s.Complete() || s.captured[sc.cand.ei_index]) continue;
+    MarkFailed(sc.cand);
+  }
+}
+
+void OnlineScheduler::CompactMirror(Chronon now) {
+  // Byte-for-byte the legacy Compact() filter: the mirror must present
+  // observing policies exactly the flat active_ vector they used to see.
   auto keep = [now](const CandidateEi& cand) {
     const CeiState& s = *cand.state;
     return !s.dead && !s.Complete() && !s.captured[cand.ei_index] &&
            !s.failed[cand.ei_index] && cand.ei().finish >= now;
   };
-  // Account failures for EIs whose windows passed without capture while
-  // their CEI was still live (normally the end-of-step expiry sweep handles
-  // this at finish == now; this path covers chronon gaps).
-  for (const CandidateEi& cand : active_) {
-    const CeiState& s = *cand.state;
-    if (s.dead || s.Complete() || s.captured[cand.ei_index]) continue;
-    if (cand.ei().finish < now) MarkFailed(cand);
-  }
-  active_.erase(
-      std::remove_if(active_.begin(), active_.end(),
+  active_mirror_.erase(
+      std::remove_if(active_mirror_.begin(), active_mirror_.end(),
                      [&](const CandidateEi& c) { return !keep(c); }),
-      active_.end());
+      active_mirror_.end());
+}
+
+bool OnlineScheduler::RankedBefore(const Ranked& a, const Ranked& b,
+                                   bool split_started) {
+  if (split_started && a.started != b.started) {
+    // Non-preemptive: EIs of previously probed CEIs (cands+) strictly
+    // before fresh ones (cands-).
+    return a.started;
+  }
+  if (a.value != b.value) return a.value < b.value;
+  const Chronon da = a.cand.ei().finish;
+  const Chronon db = b.cand.ei().finish;
+  if (da != db) return da < db;  // earlier deadline first
+  if (a.cand.state->cei->id != b.cand.state->cei->id) {
+    return a.cand.state->cei->id < b.cand.state->cei->id;
+  }
+  return a.cand.ei_index < b.cand.ei_index;
+}
+
+void OnlineScheduler::RankShard(int shard, Chronon now, bool compute_values,
+                                bool single_best) {
+  const size_t n = slots_.size();
+  const size_t begin = std::min(static_cast<size_t>(shard) * chunk_size_, n);
+  const size_t end = std::min(begin + chunk_size_, n);
+  const bool split_started = !options_.preemptive;
+  const bool faulty = !health_.empty();
+
+  // Computes the candidate's policy value (reusing the memoized value when
+  // the policy declared it stable between captures) at the fault-shrunk
+  // effective chronon. On healthy resources (and always without an
+  // injector) the shrink is 0.
+  auto value_of = [&](Slot& slot, ResourceId r) {
+    const Chronon shrink = faulty ? shrink_now_[r] : 0;
+    const Chronon eff =
+        shrink == 0 ? now : std::min(now + shrink, slot.cand.ei().finish);
+    if (!value_stable_) return policy_->Value(slot.cand, eff);
+    const size_t version = slot.cand.state->num_captured;
+    if (slot.cached_version != version) {
+      slot.cached_value = policy_->Value(slot.cand, eff);
+      slot.cached_version = version;
+    }
+    return slot.cached_value;
+  };
+
+  if (compute_values && single_best) {
+    // C = 1 with uniform costs (the paper's canonical setting): the greedy
+    // walk probes exactly the minimum-ranked eligible candidate, so a
+    // running best per shard replaces the per-resource tables.
+    Ranked best_one{};
+    bool has_one = false;
+    size_t w = begin;
+    for (size_t i = begin; i < end; ++i) {
+      Slot& slot = slots_[i];
+      if (!LiveCandidate(slot.cand)) continue;  // lazy stale-entry removal
+      const ResourceId r = slot.cand.ei().resource;
+      if (!attempted_now_[r] && (!faulty || avail_now_[r])) {
+        const Ranked cur{slot.cand, value_of(slot, r),
+                         split_started && slot.cand.state->Started()};
+        if (!has_one || RankedBefore(cur, best_one, split_started)) {
+          best_one = cur;
+          has_one = true;
+        }
+      }
+      if (w != i) slots_[w] = slot;
+      ++w;
+    }
+    shard_one_[static_cast<size_t>(shard)] = best_one;
+    shard_one_set_[static_cast<size_t>(shard)] = has_one ? 1 : 0;
+    shard_live_end_[static_cast<size_t>(shard)] = w;
+    return;
+  }
+
+  const uint64_t epoch = rank_epoch_;
+  Ranked* best = shard_best_.data() +
+                 static_cast<size_t>(shard) * num_resources_;
+  uint64_t* stamp = shard_best_epoch_.data() +
+                    static_cast<size_t>(shard) * num_resources_;
+  std::vector<ResourceId>& touched = shard_touched_[static_cast<size_t>(shard)];
+  touched.clear();
+  size_t w = begin;
+  for (size_t i = begin; i < end; ++i) {
+    Slot& slot = slots_[i];
+    if (!LiveCandidate(slot.cand)) continue;  // lazy stale-entry removal
+    if (compute_values) {
+      const ResourceId r = slot.cand.ei().resource;
+      // Skip resources already served by a push and resources gated by
+      // backoff or an open breaker: the legacy greedy walk skipped their
+      // candidates one by one, so dropping them pre-selection issues the
+      // identical probes. Availability is stable within the chronon (each
+      // resource records at most one outcome, after ranking); with an
+      // injector both gates are hoisted into per-resource caches at the
+      // start of the rank phase.
+      if (!attempted_now_[r] && (!faulty || avail_now_[r])) {
+        const Ranked cur{slot.cand, value_of(slot, r),
+                         split_started && slot.cand.state->Started()};
+        if (stamp[r] != epoch) {
+          stamp[r] = epoch;
+          best[r] = cur;
+          touched.push_back(r);
+        } else if (RankedBefore(cur, best[r], split_started)) {
+          best[r] = cur;
+        }
+      }
+    }
+    // Compact in place, writing only across gaps left by pruned slots —
+    // the common all-live tick touches no memory beyond the reads.
+    if (w != i) slots_[w] = slot;
+    ++w;
+  }
+  shard_live_end_[static_cast<size_t>(shard)] = w;
 }
 
 Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
@@ -247,8 +406,13 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   last_step_ = now;
   if (probed) probed->clear();
 
+  Stopwatch phase;
+  // --- Index maintenance: O(events), not O(active). Close the windows the
+  // cursor has passed (covers chronon gaps; the legacy full-list Compact),
+  // then admit this chronon's activations.
+  ProcessExpiries(expiry_cursor_ + 1, now - 1);
   Activate(now);
-  Compact(now);
+  if (track_active_mirror_) CompactMirror(now);
 
   // --- Server pushes: free captures, no budget consumed. ---
   std::vector<ResourceId> pushed_now;
@@ -260,76 +424,144 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     ++stats_.pushes_delivered;
   }
   pushes_by_chronon_[static_cast<size_t>(now)].clear();
+  stats_.activate_seconds += phase.ElapsedSeconds();
 
-  policy_->BeginChronon(active_, now);
+  phase.Reset();
+  // Observing policies get the exact legacy active vector; everyone else an
+  // empty one (they declared they never read it).
+  policy_->BeginChronon(track_active_mirror_ ? active_mirror_ : empty_active_,
+                        now);
 
-  // --- probeEIs: greedy selection of resources within the budget. ---
+  // --- probeEIs: greedy selection of resources within the budget. One
+  // fused pass compacts the flat candidate list and computes each
+  // available resource's best candidate (resource dedup); the bounded
+  // top-C selection and merge restore the documented global order, so the
+  // serial walk below issues byte-identical probes to the legacy full sort
+  // over all candidates. On budget-0 chronons the pass still runs for its
+  // compaction (the legacy per-tick Compact), but calls no policy Value —
+  // stochastic policies must not see extra draws.
   const int64_t budget = budget_.At(now);
+  const bool uniform_costs = options_.resource_costs.empty();
+  const bool split_started = !options_.preemptive;
   std::vector<ResourceId> r_ids;  // resources probed this chronon
-  if (budget > 0 && !active_.empty()) {
-    const size_t n = active_.size();
-    std::vector<double> value(n);
-    // Degradation-aware ranking: EIs on flaky resources are valued at a
-    // later virtual chronon (EffectiveNow), shrinking their deadlines so
-    // the expected retries are budgeted for. On healthy resources (and
-    // always without an injector) EffectiveNow == now.
-    for (size_t i = 0; i < n; ++i) {
-      value[i] = policy_->Value(active_[i], EffectiveNow(active_[i], now));
+  merged_.clear();
+  const size_t n = slots_.size();
+  if (n > 0) {
+    const bool compute_values = budget > 0;
+    const bool single_best = uniform_costs && budget == 1;
+    ++rank_epoch_;
+    if (compute_values && !health_.empty()) {
+      // Hoist the fault gates out of the scan: availability and deadline
+      // shrink are pure per (resource, chronon) while ranking runs.
+      for (ResourceId r = 0; r < num_resources_; ++r) {
+        avail_now_[r] = ResourceAvailable(r, now) ? 1 : 0;
+        shrink_now_[r] = ShrinkFor(r);
+      }
     }
-
-    const bool split_started = !options_.preemptive;
-    auto better = [&](uint32_t a, uint32_t b) {
-      const CandidateEi& ca = active_[a];
-      const CandidateEi& cb = active_[b];
-      if (split_started) {
-        // Non-preemptive: EIs of previously probed CEIs (cands+) strictly
-        // before fresh ones (cands-).
-        const bool sa = ca.state->Started();
-        const bool sb = cb.state->Started();
-        if (sa != sb) return sa;
-      }
-      if (value[a] != value[b]) return value[a] < value[b];
-      const Chronon da = ca.ei().finish;
-      const Chronon db = cb.ei().finish;
-      if (da != db) return da < db;  // earlier deadline first
-      if (ca.state->cei->id != cb.state->cei->id) {
-        return ca.state->cei->id < cb.state->cei->id;
-      }
-      return ca.ei_index < cb.ei_index;
-    };
-
-    std::vector<uint32_t> order;
-    if (budget == 1 && options_.resource_costs.empty()) {
-      // The paper's canonical C = 1 setting: only the single best
-      // candidate on a not-yet-covered resource matters — an O(n) scan
-      // instead of an O(n log n) sort. Resources already served by a push
-      // are skipped exactly as the greedy walk below would.
-      constexpr uint32_t kNone = ~uint32_t{0};
-      uint32_t best = kNone;
-      for (uint32_t i = 0; i < n; ++i) {
-        const ResourceId r = active_[i].ei().resource;
-        if (attempted_now_[r] || !ResourceAvailable(r, now)) continue;
-        if (best == kNone || better(i, best)) best = i;
-      }
-      if (best != kNone) order.push_back(best);
+    const size_t shards = static_cast<size_t>(num_shards_);
+    chunk_size_ = (n + shards - 1) / shards;
+    if (pool_ != nullptr) {
+      // Shards write only their own contiguous slot range and their own
+      // partial-best tables; candidate states, policy values, health, and
+      // the attempted mask are read-only here. The pool joins before the
+      // stitch and merge, so nothing below observes concurrency and the
+      // thread count cannot alter the schedule.
+      pool_->ParallelFor(
+          num_shards_, [this, now, compute_values, single_best](int shard) {
+            RankShard(shard, now, compute_values, single_best);
+          });
     } else {
-      order.resize(n);
-      std::iota(order.begin(), order.end(), 0u);
-      std::sort(order.begin(), order.end(), better);
+      RankShard(0, now, compute_values, single_best);
     }
+    // Stitch the per-chunk compactions back into one contiguous list
+    // (stable: chunk order is activation order). No pruned slots -> no
+    // writes.
+    size_t w = shard_live_end_[0];
+    for (size_t s = 1; s < shards; ++s) {
+      const size_t b = std::min(s * chunk_size_, n);
+      const size_t e = shard_live_end_[s];
+      if (b == w) {
+        w = e;
+        continue;
+      }
+      for (size_t i = b; i < e; ++i) slots_[w++] = slots_[i];
+    }
+    slots_.resize(w);
 
+    if (compute_values) {
+      if (single_best) {
+        // Min over the shards' running minima = the global minimum: the
+        // comparator is a position-independent strict total order.
+        bool has = false;
+        Ranked best{};
+        for (size_t s = 0; s < shards; ++s) {
+          if (!shard_one_set_[s]) continue;
+          if (!has || RankedBefore(shard_one_[s], best, split_started)) {
+            best = shard_one_[s];
+            has = true;
+          }
+        }
+        if (has) merged_.push_back(best);
+      } else if (num_shards_ == 1) {
+        for (ResourceId r : shard_touched_[0]) {
+          merged_.push_back(shard_best_[r]);
+        }
+      } else {
+        // Per-resource combine across shards, in shard order: RankedBefore
+        // is a position-independent strict total order, so the min over
+        // partial mins equals the min over the whole list regardless of
+        // how the chunks split it.
+        touched_.clear();
+        for (size_t s = 0; s < shards; ++s) {
+          const Ranked* best = shard_best_.data() + s * num_resources_;
+          for (ResourceId r : shard_touched_[s]) {
+            if (best_epoch_[r] != rank_epoch_) {
+              best_epoch_[r] = rank_epoch_;
+              best_of_r_[r] = best[r];
+              touched_.push_back(r);
+            } else if (RankedBefore(best[r], best_of_r_[r], split_started)) {
+              best_of_r_[r] = best[r];
+            }
+          }
+        }
+        for (ResourceId r : touched_) merged_.push_back(best_of_r_[r]);
+      }
+      // Bounded top-C selection: under uniform costs at most C distinct
+      // resources are probed and merged_ holds one candidate per resource,
+      // so only the C best matter. (With varying costs a cheap candidate
+      // beyond the C-th may still fit, so every resource's best is kept.)
+      const size_t top_c = static_cast<size_t>(std::min<int64_t>(
+          budget, static_cast<int64_t>(num_resources_) + 1));
+      if (uniform_costs && merged_.size() > top_c) {
+        std::nth_element(merged_.begin(),
+                         merged_.begin() + static_cast<std::ptrdiff_t>(top_c),
+                         merged_.end(),
+                         [split_started](const Ranked& a, const Ranked& b) {
+                           return RankedBefore(a, b, split_started);
+                         });
+        merged_.resize(top_c);
+      }
+      std::sort(merged_.begin(), merged_.end(),
+                [split_started](const Ranked& a, const Ranked& b) {
+                  return RankedBefore(a, b, split_started);
+                });
+    }
+  }
+  stats_.rank_seconds += phase.ElapsedSeconds();
+
+  phase.Reset();
+  if (!merged_.empty()) {
 #if WEBMON_DCHECK_IS_ON()
     // Preemption legality: in non-preemptive mode the ranking must serve
     // every EI of a started CEI (cands+) before any fresh one (cands-).
     if (split_started) {
       bool seen_fresh = false;
-      for (uint32_t i : order) {
-        const bool started = active_[i].state->Started();
-        WEBMON_DCHECK(!(started && seen_fresh))
+      for (const Ranked& sel : merged_) {
+        WEBMON_DCHECK(!(sel.started && seen_fresh))
             << "non-preemptive ranking put a fresh CEI before a started one "
                "at chronon "
             << now;
-        seen_fresh = seen_fresh || !started;
+        seen_fresh = seen_fresh || !sel.started;
       }
     }
 #endif
@@ -338,23 +570,20 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     // varying-cost extension, probing r consumes resource_costs[r] of the
     // chronon's cost capacity and cheaper candidates further down the
     // ranking may still fit after an expensive one does not.
-    const bool uniform_costs = options_.resource_costs.empty();
     const double capacity = static_cast<double>(budget);
     double cost_used = 0.0;
     int64_t attempts = 0;
-    for (uint32_t i : order) {
-      // Candidate legality: Activate/Compact must only ever hand the policy
-      // EIs that are probeable right now.
-      WEBMON_DCHECK(active_[i].IsLegalAt(now))
-          << "illegal candidate (CEI " << active_[i].state->cei->id
-          << ", EI index " << active_[i].ei_index << ") at chronon " << now;
-      const ResourceId r = active_[i].ei().resource;
-      if (attempted_now_[r]) continue;  // r already contacted this chronon
-      // Backoff gate / open breaker: skip the resource entirely, so the
-      // budget flows to capturable candidates instead (graceful
-      // degradation). The candidate stays active and may be retried within
-      // its window once the gate lifts.
-      if (!ResourceAvailable(r, now)) continue;
+    for (const Ranked& sel : merged_) {
+      // Candidate legality: the index must only ever hand the policy EIs
+      // that are probeable right now.
+      WEBMON_DCHECK(sel.cand.IsLegalAt(now))
+          << "illegal candidate (CEI " << sel.cand.state->cei->id
+          << ", EI index " << sel.cand.ei_index << ") at chronon " << now;
+      const ResourceId r = sel.cand.ei().resource;
+      // Ranking already excluded contacted and unavailable resources, and
+      // merged_ holds one candidate per resource.
+      WEBMON_DCHECK(!attempted_now_[r]);
+      WEBMON_DCHECK(ResourceAvailable(r, now));
       const double cost = uniform_costs ? 1.0 : options_.resource_costs[r];
       if (cost_used + cost > capacity) {
         if (uniform_costs) break;
@@ -400,31 +629,40 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
           << "probeEIs exceeded the cost capacity C_j at chronon " << now;
     }
   }
+  stats_.probe_seconds += phase.ElapsedSeconds();
 
-  // --- Capture every active EI whose resource was probed this chronon. ---
-  for (const CandidateEi& cand : active_) {
-    CeiState& s = *cand.state;
-    if (s.dead || s.Complete() || s.captured[cand.ei_index]) continue;
-    if (!probed_now_[cand.ei().resource]) continue;
-    // A capture is only legal inside the EI's window [T_s, T_f].
-    WEBMON_DCHECK(cand.ei().Contains(now))
-        << "capturing EI " << cand.ei().ToString() << " outside its window";
-    s.captured[cand.ei_index] = true;
-    ++s.num_captured;
-    ++stats_.eis_captured;
-    if (s.Complete()) {
-      ++stats_.ceis_captured;
-      if (on_cei_captured_) on_cei_captured_(*s.cei);
+  phase.Reset();
+  // --- Capture every active EI whose resource was probed or pushed this
+  // chronon. The flat list is activation-ordered, so one in-order sweep
+  // keeps sibling-capture interactions (a CEI completing mid-sweep stops
+  // capturing) and completion callbacks byte-identical to the legacy flat
+  // sweep. Entries with closed windows were marked failed by the expiry
+  // sweep and pruned by the rank pass above, so `failed` screens them.
+  if (!pushed_now.empty() || !r_ids.empty()) {
+    for (const Slot& slot : slots_) {
+      const CandidateEi& cand = slot.cand;
+      if (!probed_now_[cand.ei().resource]) continue;
+      CeiState& s = *cand.state;
+      if (s.dead || s.Complete() || s.captured[cand.ei_index] ||
+          s.failed[cand.ei_index]) {
+        continue;
+      }
+      // A capture is only legal inside the EI's window [T_s, T_f].
+      WEBMON_DCHECK(cand.ei().Contains(now))
+          << "capturing EI " << cand.ei().ToString() << " outside its window";
+      s.captured[cand.ei_index] = true;
+      ++s.num_captured;
+      ++stats_.eis_captured;
+      if (s.Complete()) {
+        ++stats_.ceis_captured;
+        if (on_cei_captured_) on_cei_captured_(*s.cei);
+      }
     }
   }
 
   // --- Expire: an EI closing uncaptured at `now` fails; the CEI dies once
   // too many EIs have failed for its semantics (with AND semantics, one).
-  for (const CandidateEi& cand : active_) {
-    CeiState& s = *cand.state;
-    if (s.dead || s.Complete() || s.captured[cand.ei_index]) continue;
-    if (cand.ei().finish == now) MarkFailed(cand);
-  }
+  ProcessExpiries(now, now);
 
   if (probed) *probed = r_ids;
   for (ResourceId r : r_ids) probed_now_[r] = 0;
@@ -436,6 +674,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     for (ResourceId r : r_ids) attempted_now_[r] = 0;
     for (ResourceId r : pushed_now) attempted_now_[r] = 0;
   }
+  stats_.capture_seconds += phase.ElapsedSeconds();
   return Status::OK();
 }
 
@@ -443,6 +682,14 @@ size_t OnlineScheduler::NumCandidateCeis() const {
   size_t live = 0;
   for (const auto& s : states_) {
     if (!s->dead && !s->Complete()) ++live;
+  }
+  return live;
+}
+
+size_t OnlineScheduler::NumActiveEis() const {
+  size_t live = 0;
+  for (const Slot& slot : slots_) {
+    if (LiveCandidate(slot.cand)) ++live;
   }
   return live;
 }

@@ -11,6 +11,21 @@
 //      (exploiting intra-resource overlap, the R_ids set of Algorithm 1),
 //   5. kills CEIs for which an EI expired uncaptured at T_j — they can never
 //      be completed, so their remaining EIs stop consuming budget.
+//
+// Implementation (docs/PERFORMANCE.md): activations and expiries flow
+// through per-chronon buckets (pending_by_start_, expiring_by_finish_), so
+// window open/close/kill processing costs O(events) instead of a full-list
+// death scan per chronon. The active candidates themselves live in one flat
+// activation-ordered vector (cache-friendly, like the legacy active_ list)
+// that the ranking pass compacts in place as it reads. Ranking computes one
+// best candidate per resource (resource dedup) into an epoch-stamped
+// per-resource table and then runs a bounded top-C selection instead of
+// sorting every active EI; with SchedulerOptions::num_threads > 1 the flat
+// scan is chunk-sharded across a fixed worker pool and the per-shard
+// partial bests are merged deterministically. The schedule is
+// byte-identical for every thread count — the documented value/deadline/
+// EI-id tie-break defines a position-independent total order, and probe
+// issuance stays serial.
 
 // When a FaultInjector is attached (SchedulerOptions::fault_injector) probes
 // can fail: a failed probe still spends budget but captures nothing. The
@@ -37,6 +52,7 @@
 #include "model/types.h"
 #include "policy/policy.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace webmon {
 
@@ -59,6 +75,11 @@ struct SchedulerOptions {
   FaultInjector* fault_injector = nullptr;
   /// Reaction to probe failures; only consulted when fault_injector is set.
   FaultHandlingOptions fault_handling;
+  /// Worker threads for the ranking phase. 1 (the default) keeps the fully
+  /// serial path; values > 1 shard the per-resource candidate scan across a
+  /// fixed pool. The emitted schedule is byte-identical for every value
+  /// (determinism contract, docs/PERFORMANCE.md); values < 1 mean 1.
+  int num_threads = 1;
 };
 
 /// Counters accumulated over a run.
@@ -80,6 +101,15 @@ struct SchedulerStats {
   int64_t breaker_trips = 0;
   /// Budget units spent on attempts that captured nothing.
   double budget_lost_to_failures = 0.0;
+  /// Cumulative wall seconds spent per Step phase (reported under the
+  /// --timing flag): index maintenance (activation, expiry catch-up,
+  /// pushes), candidate ranking (BeginChronon + values + top-C selection —
+  /// the phase num_threads parallelizes), probe issuance (greedy walk +
+  /// fault handling), and capture/expiry sweeps.
+  double activate_seconds = 0.0;
+  double rank_seconds = 0.0;
+  double probe_seconds = 0.0;
+  double capture_seconds = 0.0;
 };
 
 /// Observable per-resource failure-handling state (diagnostics, tests).
@@ -100,8 +130,10 @@ struct ResourceHealth {
   double ewma_failure = 0.0;
 };
 
-/// The online proxy scheduling engine. Not thread-safe; drive it from a
-/// single chronon loop.
+/// The online proxy scheduling engine. Drive it from a single chronon loop:
+/// the public API is not thread-safe. Internally the ranking phase fans out
+/// across SchedulerOptions::num_threads workers and joins before any state
+/// is mutated, so callers never observe concurrency.
 class OnlineScheduler {
  public:
   /// `policy` must outlive the scheduler. `num_chronons` bounds the epoch.
@@ -155,18 +187,87 @@ class OnlineScheduler {
 
   /// Number of currently live candidate CEIs (diagnostics).
   size_t NumCandidateCeis() const;
-  /// Number of currently active candidate EIs (diagnostics).
-  size_t NumActiveEis() const { return active_.size(); }
+  /// Number of currently live active candidate EIs (diagnostics; counts the
+  /// index's live entries, excluding captured/failed stragglers awaiting
+  /// lazy pruning).
+  size_t NumActiveEis() const;
 
  private:
-  // Activates EIs whose start chronon is `now`, plus (for fresh arrivals)
-  // EIs already in their window.
+  // One active candidate in the flat activation-ordered list. Compaction is
+  // stable, so the list's order always equals the global activation
+  // sequence — the order the legacy flat active_ vector processed events
+  // in, which is what keeps capture/expiry callbacks and sibling-capture
+  // interactions byte-identical to the pre-index scheduler.
+  struct Slot {
+    CandidateEi cand;
+    // Policy value memoized for ValueStableBetweenCaptures() policies;
+    // valid while the parent CEI's num_captured equals cached_version.
+    double cached_value = 0.0;
+    size_t cached_version = kNoCachedValue;
+  };
+  // A candidate tagged with its activation sequence (expiry buckets, which
+  // drain out of activation order on chronon gaps and must restore it).
+  struct SeqCand {
+    uint64_t seq = 0;
+    CandidateEi cand;
+  };
+  // A resource's best candidate surviving per-resource dedup, with its
+  // policy value and (non-preemptive mode) started flag.
+  struct Ranked {
+    CandidateEi cand;
+    double value = 0.0;
+    bool started = false;
+  };
+  static constexpr size_t kNoCachedValue = ~size_t{0};
+
+  // The documented candidate total order: (non-preemptive: started CEIs
+  // first), then ascending value, earlier deadline, CEI id, EI index.
+  // Position-independent, which is what legalizes per-resource dedup and
+  // bounded top-C selection: any subset ranks exactly as it did inside the
+  // legacy full sort.
+  static bool RankedBefore(const Ranked& a, const Ranked& b,
+                           bool split_started);
+
+  // True iff the candidate may still be probed some chronon (its CEI is
+  // live and unsatisfied, the EI uncaptured and unfailed). Expiry
+  // processing marks out-of-window EIs failed, so liveness needs no window
+  // check here.
+  static bool LiveCandidate(const CandidateEi& cand) {
+    const CeiState& s = *cand.state;
+    return !s.dead && !s.Complete() && !s.captured[cand.ei_index] &&
+           !s.failed[cand.ei_index];
+  }
+
+  // Indexes `cand` as active: assigns its activation seq, appends it to the
+  // flat slot list and its finish chronon's expiry bucket (and the active
+  // mirror when the policy observes the active set).
+  void AdmitActive(const CandidateEi& cand);
+  // Activates EIs whose start chronon is `now`.
   void Activate(Chronon now);
   // Records that `cand`'s window expired uncaptured; kills the CEI when its
   // semantics can no longer be satisfied.
   void MarkFailed(const CandidateEi& cand);
-  // Removes captured/failed/dead/expired entries from active_.
-  void Compact(Chronon now);
+  // Marks every still-live candidate whose window closed in [from, to]
+  // failed, in activation order (draining the expiry buckets). Called with
+  // [cursor+1, now-1] at step start (chronon-gap coverage) and [now, now]
+  // after the capture sweep (the legacy end-of-step expiry).
+  void ProcessExpiries(Chronon from, Chronon to);
+  // Removes entries the legacy Compact would drop from the active mirror
+  // (only maintained for ObservesActiveSet policies).
+  void CompactMirror(Chronon now);
+  // One chunk of the fused compact-and-rank pass: scans the shard's
+  // contiguous range of slots_, compacts live entries in place (stable,
+  // writing only across gaps), and — when `compute_values` — computes
+  // policy values (reusing cached ones where legal) and tracks each
+  // resource's best candidate in the shard's epoch-stamped partial-best
+  // table. When `single_best` (the paper's canonical C = 1 with uniform
+  // costs) only the global minimum can ever be probed, so the shard keeps
+  // one running best and skips the tables entirely — the legacy O(n)
+  // fast path, sharded. Runs concurrently with other shards: writes only
+  // the shard's own slot range and tables; everything else it touches is
+  // read-only during the phase.
+  void RankShard(int shard, Chronon now, bool compute_values,
+                 bool single_best);
 
   // --- Failure handling (active only when a fault injector is attached) ---
   // True iff `resource` may be probed at `now`: its breaker is not open
@@ -179,9 +280,6 @@ class OnlineScheduler {
                      double cost);
   // Deadline shrink for EIs on `resource` (0 on healthy resources).
   Chronon ShrinkFor(ResourceId resource) const;
-  // The chronon at which the policy should value `cand`: `now`, moved
-  // later by the resource's deadline shrink (clamped into the EI window).
-  Chronon EffectiveNow(const CandidateEi& cand, Chronon now) const;
 
   uint32_t num_resources_;
   Chronon num_chronons_;
@@ -192,8 +290,29 @@ class OnlineScheduler {
   // Owned CEI scheduling states; pointers into this deque-like storage are
   // stable because we never erase.
   std::vector<std::unique_ptr<CeiState>> states_;
-  // Currently active candidate EIs (window contains the current chronon).
-  std::vector<CandidateEi> active_;
+  // The active candidate list, in activation order, compacted stably in
+  // place by every ranking pass (so between Steps it holds at most one
+  // tick's worth of stale entries).
+  std::vector<Slot> slots_;
+  // expiring_by_finish_[t] = activated EIs whose window closes at t;
+  // drained exactly once when the expiry cursor passes t.
+  std::vector<std::vector<SeqCand>> expiring_by_finish_;
+  // All expiries at chronons <= expiry_cursor_ have been processed.
+  Chronon expiry_cursor_ = -1;
+  // Next activation sequence number (see SeqCand::seq).
+  uint64_t next_seq_ = 0;
+
+  // Exact replica of the legacy flat active_ vector (content and order),
+  // maintained only when the policy observes the active set in
+  // BeginChronon (WIC's utility aggregation, Random's ordered draws);
+  // other policies receive empty_active_ and pay nothing.
+  bool track_active_mirror_ = false;
+  std::vector<CandidateEi> active_mirror_;
+  const std::vector<CandidateEi> empty_active_;
+
+  // True when the policy declares ValueStableBetweenCaptures().
+  bool value_stable_ = false;
+
   // pending_by_start_[t] = EIs becoming active at chronon t.
   std::vector<std::vector<CandidateEi>> pending_by_start_;
   // pushes_by_chronon_[t] = resources whose servers push at chronon t.
@@ -205,6 +324,41 @@ class OnlineScheduler {
   // successful or not; dedups the greedy walk. Equal to probed_now_ when no
   // injector is attached.
   std::vector<uint8_t> attempted_now_;
+
+  // Ranking scratch, reused across chronons to avoid per-step allocation.
+  // Each shard scans a contiguous chunk of slots_ and keeps its partial
+  // per-resource bests in shard_best_ (rows of num_resources_ entries),
+  // valid when the matching shard_best_epoch_ entry equals rank_epoch_ —
+  // stamping makes per-tick resets O(touched), not O(resources).
+  std::vector<Ranked> shard_best_;
+  std::vector<uint64_t> shard_best_epoch_;
+  // Resources each shard touched this tick, in first-touch order.
+  std::vector<std::vector<ResourceId>> shard_touched_;
+  // Single-best mode (C = 1, uniform costs): each shard's running minimum,
+  // valid when the matching shard_one_set_ flag is non-zero.
+  std::vector<Ranked> shard_one_;
+  std::vector<uint8_t> shard_one_set_;
+  // Post-compaction end of each shard's chunk (gaps are stitched serially
+  // after the pool joins).
+  std::vector<size_t> shard_live_end_;
+  size_t chunk_size_ = 0;  // slots per shard this tick
+  // Serial merge of the shards' partial bests (same stamping scheme).
+  std::vector<Ranked> best_of_r_;
+  std::vector<uint64_t> best_epoch_;
+  std::vector<ResourceId> touched_;
+  uint64_t rank_epoch_ = 0;
+  // The merged, globally sorted selection handed to the greedy walk.
+  std::vector<Ranked> merged_;
+  std::vector<SeqCand> expiry_scratch_;
+  // Per-resource fault gates hoisted once per chronon (sized only when an
+  // injector is attached): avail_now_[r] / shrink_now_[r] cache
+  // ResourceAvailable / ShrinkFor so the ranking scan never recomputes them
+  // per candidate.
+  std::vector<uint8_t> avail_now_;
+  std::vector<Chronon> shrink_now_;
+  // Worker pool for the ranking phase; null when num_threads <= 1.
+  std::unique_ptr<ThreadPool> pool_;
+  int num_shards_ = 1;
 
   // Per-resource failure-handling state; empty when no injector is set.
   std::vector<ResourceHealth> health_;

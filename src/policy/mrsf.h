@@ -25,6 +25,9 @@ class MrsfPolicy final : public Policy {
   std::string name() const override { return "MRSF"; }
   Level level() const override { return Level::kRank; }
   double Value(const CandidateEi& cand, Chronon now) const override;
+  /// The residual ignores `now` entirely; it moves only on captures, so the
+  /// scheduler reuses cached values between capture events.
+  bool ValueStableBetweenCaptures() const override { return true; }
 };
 
 }  // namespace webmon

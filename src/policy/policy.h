@@ -44,13 +44,39 @@ class Policy {
   /// Called once per chronon before any Value() calls, with the full set of
   /// active candidate EIs. Stateful policies (e.g. WIC's per-resource
   /// aggregation) precompute here; the default does nothing.
+  ///
+  /// The scheduler materializes `active` (in activation order, the order the
+  /// legacy flat candidate list used) only for policies that declare
+  /// ObservesActiveSet(); everyone else receives an empty vector, which
+  /// keeps the indexed scheduler free of an O(active) copy per chronon.
   virtual void BeginChronon(const std::vector<CandidateEi>& active,
                             Chronon now);
+
+  /// True iff BeginChronon reads the `active` vector (content or order).
+  /// WIC aggregates per-resource utility over it and Random draws one RNG
+  /// value per candidate in iteration order, so both depend on the exact
+  /// legacy activation ordering; the scheduler maintains that ordering only
+  /// when this returns true. The default (false) means BeginChronon may be
+  /// handed an empty vector.
+  virtual bool ObservesActiveSet() const { return false; }
 
   /// Cost of probing `cand` at chronon `now`; the scheduler picks candidates
   /// in ascending Value order. Ties are broken by earlier deadline, then by
   /// EI id, to keep runs deterministic.
+  ///
+  /// Thread-safety contract: between BeginChronon and the end of the
+  /// chronon's selection, Value must be safe to call concurrently from the
+  /// scheduler's ranking shards — i.e. it must not mutate policy state
+  /// (enforced by const) and must not depend on call order. NotifyProbed is
+  /// always invoked serially, after ranking.
   virtual double Value(const CandidateEi& cand, Chronon now) const = 0;
+
+  /// True iff Value(cand, now) is independent of `now` and changes only
+  /// when cand.state's capture progress changes (e.g. MRSF's residual
+  /// rank). The scheduler then caches the value per candidate, keyed on
+  /// CeiState::num_captured, instead of revaluing every chronon. The
+  /// default (false) revalues each chronon.
+  virtual bool ValueStableBetweenCaptures() const { return false; }
 
   /// Called by the scheduler after it decides to probe `resource` at `now`.
   /// Lets history-sensitive policies (round-robin) advance their state; the

@@ -23,6 +23,12 @@ class RandomPolicy final : public Policy {
 
   void BeginChronon(const std::vector<CandidateEi>& active,
                     Chronon now) override;
+
+  /// One RNG draw per candidate in active-set iteration order: the draw
+  /// sequence (hence the whole run) depends on the exact legacy activation
+  /// ordering, so the scheduler must materialize it.
+  bool ObservesActiveSet() const override { return true; }
+
   double Value(const CandidateEi& cand, Chronon now) const override;
 
  private:

@@ -20,6 +20,9 @@ class WeightedMrsfPolicy final : public Policy {
   std::string name() const override { return "W-MRSF"; }
   Level level() const override { return Level::kRank; }
   double Value(const CandidateEi& cand, Chronon now) const override;
+  /// Residual / utility is `now`-independent like MRSF's residual, so
+  /// cached values stay valid between capture events.
+  bool ValueStableBetweenCaptures() const override { return true; }
 };
 
 }  // namespace webmon

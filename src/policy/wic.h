@@ -30,6 +30,10 @@ class WicPolicy final : public Policy {
   void BeginChronon(const std::vector<CandidateEi>& active,
                     Chronon now) override;
 
+  /// The utility aggregation sums over the active set, so the scheduler
+  /// must materialize it.
+  bool ObservesActiveSet() const override { return true; }
+
   /// Cost = -utility(resource): the scheduler's ascending pick becomes
   /// WIC's max-utility pick. Fractional deadline tiebreak keeps choices
   /// deterministic without affecting the utility ordering.

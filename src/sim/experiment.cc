@@ -92,6 +92,7 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config,
       SchedulerOptions options;
       options.preemptive = specs[i].preemptive;
       options.fault_handling = config.fault_handling;
+      options.num_threads = config.num_threads;
       std::unique_ptr<FaultInjector> injector;
       if (!config.fault_spec.IsIdeal()) {
         injector = std::make_unique<FaultInjector>(
@@ -113,6 +114,10 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config,
       agg.probes_failed.Add(static_cast<double>(run.stats.probes_failed));
       agg.probes_retried.Add(static_cast<double>(run.stats.probes_retried));
       agg.breaker_trips.Add(static_cast<double>(run.stats.breaker_trips));
+      agg.activate_seconds.Add(run.stats.activate_seconds);
+      agg.rank_seconds.Add(run.stats.rank_seconds);
+      agg.probe_seconds.Add(run.stats.probe_seconds);
+      agg.capture_seconds.Add(run.stats.capture_seconds);
     }
 
     if (include_offline) {

@@ -64,6 +64,11 @@ struct ExperimentConfig {
   /// Repetitions with distinct derived seeds (the paper uses 10).
   uint32_t repetitions = 10;
   uint64_t seed = 1;
+
+  /// Ranking threads per scheduler (SchedulerOptions::num_threads).
+  /// Schedules are byte-identical across thread counts; this only
+  /// changes wall-clock cost.
+  int num_threads = 1;
 };
 
 /// A policy to run: name resolved via MakePolicy, plus the preemption mode.
@@ -87,6 +92,11 @@ struct PolicyResult {
   RunningStats probes_failed;           // attempts lost to injected faults
   RunningStats probes_retried;          // re-attempts after a failure
   RunningStats breaker_trips;           // closed -> open transitions
+  // Per-phase scheduler time (seconds per run; see SchedulerStats).
+  RunningStats activate_seconds;
+  RunningStats rank_seconds;
+  RunningStats probe_seconds;
+  RunningStats capture_seconds;
 };
 
 /// Aggregated offline-approximation metrics.

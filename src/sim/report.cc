@@ -17,6 +17,12 @@ TableWriter BuildPolicyTable(const ExperimentResult& result,
     headers.push_back("retried");
     headers.push_back("trips");
   }
+  if (options.timing) {
+    headers.push_back("act ms");
+    headers.push_back("rank ms");
+    headers.push_back("probe ms");
+    headers.push_back("capt ms");
+  }
   TableWriter table(std::move(headers));
 
   for (const auto& p : result.policies) {
@@ -41,6 +47,12 @@ TableWriter BuildPolicyTable(const ExperimentResult& result,
       row.push_back(TableWriter::Fmt(p.probes_failed.mean(), 0));
       row.push_back(TableWriter::Fmt(p.probes_retried.mean(), 0));
       row.push_back(TableWriter::Fmt(p.breaker_trips.mean(), 0));
+    }
+    if (options.timing) {
+      row.push_back(TableWriter::Fmt(p.activate_seconds.mean() * 1e3, 2));
+      row.push_back(TableWriter::Fmt(p.rank_seconds.mean() * 1e3, 2));
+      row.push_back(TableWriter::Fmt(p.probe_seconds.mean() * 1e3, 2));
+      row.push_back(TableWriter::Fmt(p.capture_seconds.mean() * 1e3, 2));
     }
     table.AddRow(std::move(row));
   }
@@ -67,6 +79,10 @@ TableWriter BuildPolicyTable(const ExperimentResult& result,
       row.push_back("-");
       row.push_back("-");
       row.push_back("-");
+    }
+    if (options.timing) {
+      // The offline solver has no per-phase scheduler breakdown.
+      for (int i = 0; i < 4; ++i) row.push_back("-");
     }
     table.AddRow(std::move(row));
   }

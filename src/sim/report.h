@@ -21,6 +21,7 @@ struct ReportOptions {
   bool probes = true;       // probes issued column
   bool ci = false;          // 95% CI half-width next to completeness
   bool faults = false;      // failed / retried / breaker-trip columns
+  bool timing = false;      // per-phase scheduler time columns (ms)
 };
 
 /// Builds the per-policy table (plus the offline row when present).

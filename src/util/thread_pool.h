@@ -1,0 +1,79 @@
+// Fixed-size worker pool for deterministic fork-join parallelism.
+//
+// The scheduler's sharded ranking phase (docs/PERFORMANCE.md) is the primary
+// client: ParallelFor(n, fn) runs fn(0) .. fn(n-1) across the workers plus
+// the calling thread and returns once every task has finished. Determinism
+// is the caller's side of the contract: tasks must write only their own
+// output slots, so the combined result is independent of which worker ran
+// which task and of interleaving. The pool adds no ordering of its own.
+//
+// This is the only file in the repository allowed to spawn raw std::thread
+// (webmon_lint rule `thread`); everything concurrent goes through here so
+// sizing, shutdown, and TSan coverage stay centralized.
+
+#ifndef WEBMON_UTIL_THREAD_POOL_H_
+#define WEBMON_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace webmon {
+
+/// A fixed pool of worker threads executing fork-join parallel loops.
+/// Construction spawns the workers once; ParallelFor reuses them, so the
+/// per-call overhead is one wakeup, not thread creation.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; the thread calling ParallelFor is the
+  /// remaining lane, so `num_threads` tasks make progress concurrently.
+  /// Values below 1 are treated as 1 (no workers; ParallelFor runs inline).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency: workers + the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(0) .. fn(num_tasks - 1), each exactly once, distributed over
+  /// the workers and the calling thread; returns after the last task
+  /// completes. All writes made by the tasks happen-before the return.
+  /// Not reentrant: fn must not call ParallelFor on the same pool, and only
+  /// one thread may drive the pool at a time (the scheduler's single
+  /// chronon loop satisfies both).
+  void ParallelFor(int num_tasks, const std::function<void(int)>& fn);
+
+  /// Hardware concurrency clamped to at least 1 (the conventional default
+  /// for a `--threads 0` style "use all cores" knob).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signaled when a job is published
+  std::condition_variable done_cv_;  // signaled when a worker leaves a job
+  // Current job, published under mu_ with a bumped epoch; workers adopt the
+  // newest job exactly once per wakeup, so a worker can never mix one job's
+  // task counter with another job's function.
+  const std::function<void(int)>* job_ = nullptr;
+  int job_tasks_ = 0;
+  uint64_t job_epoch_ = 0;
+  int workers_in_job_ = 0;
+  bool shutdown_ = false;
+  // Next unclaimed task index of the current job; tasks are claimed with
+  // fetch_add so each index runs exactly once.
+  std::atomic<int> next_task_{0};
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_THREAD_POOL_H_

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Install clang-tidy locally so the `tidy` preset works outside CI.
+#
+# CI installs clang-tidy on every run (.github/workflows/ci.yml); dev
+# containers historically shipped without clang, which made the preset
+# CI-only. Run this once inside the container (needs network + root or
+# sudo), then:
+#
+#   cmake --preset tidy && cmake --build --preset tidy -j
+#
+# or, for the analysis-only sweep over src/:
+#
+#   run-clang-tidy -p build-tidy -quiet "$(pwd)/src/.*"
+set -eu
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy already installed: $(clang-tidy --version | head -n 1)"
+  exit 0
+fi
+
+SUDO=""
+if [ "$(id -u)" -ne 0 ]; then
+  if command -v sudo >/dev/null 2>&1; then
+    SUDO=sudo
+  else
+    echo "error: need root (or sudo) to install packages" >&2
+    exit 1
+  fi
+fi
+
+if command -v apt-get >/dev/null 2>&1; then
+  $SUDO apt-get update
+  $SUDO apt-get install -y clang clang-tidy clang-tools
+elif command -v dnf >/dev/null 2>&1; then
+  $SUDO dnf install -y clang clang-tools-extra
+elif command -v apk >/dev/null 2>&1; then
+  $SUDO apk add clang clang-extra-tools
+else
+  echo "error: no supported package manager found (apt-get/dnf/apk)" >&2
+  exit 1
+fi
+
+clang-tidy --version | head -n 1
+echo "ok: configure with 'cmake --preset tidy' to lint every TU"

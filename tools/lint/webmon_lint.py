@@ -14,6 +14,11 @@ Rules:
              usleep, nanosleep): the simulation is driven purely by the
              chronon clock, and wall-clock waits make runs timing-dependent
              and fault injection non-reproducible.
+  thread     No raw std::thread/std::jthread outside src/util/thread_pool.*:
+             all parallelism goes through ThreadPool so the determinism
+             contract (schedules byte-identical at any thread count) has a
+             single enforcement point. Tests may spawn threads to exercise
+             concurrency primitives directly.
 
 Exit status is the number of files with violations (0 = clean). Violations
 are printed as file:line: rule: message, one per line.
@@ -32,6 +37,15 @@ SKIP_DIR_NAMES = {"build", "CMakeFiles", "__pycache__", ".git"}
 
 # Files allowed to use the raw C PRNG / wall clock (the RNG wrapper itself).
 RNG_EXEMPT = re.compile(r"^src/util/rng\.(h|cc)$")
+
+# Files allowed to spawn raw threads: the pool itself, plus tests (which
+# exercise concurrency primitives directly).
+THREAD_EXEMPT = re.compile(r"^(src/util/thread_pool\.(h|cc)|tests/.*)$")
+
+# `std::thread` / `std::jthread` in any position (construction, members,
+# hardware_concurrency). std::this_thread does not match: after "std::"
+# the pattern requires "thread" or "jthread" immediately.
+RAW_THREAD = re.compile(r"\bstd\s*::\s*j?thread\b")
 
 BANNED_RANDOMNESS = [
     (re.compile(r"(?<![\w:.])s?rand\s*\("), "call to rand()/srand()"),
@@ -119,6 +133,16 @@ def check_sleep(lines):
                               "through the chronon clock")
 
 
+def check_thread(rel_path, lines):
+    if THREAD_EXEMPT.match(rel_path):
+        return
+    for i, line in enumerate(lines):
+        if RAW_THREAD.search(strip_comment(line)):
+            yield i + 1, ("raw std::thread outside util/thread_pool; use "
+                          "ThreadPool (keeps schedules deterministic at any "
+                          "thread count)")
+
+
 def check_using_namespace(lines):
     for i, line in enumerate(lines):
         if USING_NAMESPACE.match(strip_comment(line)):
@@ -137,6 +161,8 @@ def lint_file(root, rel_path):
                        for line, msg in check_using_namespace(lines)]
     violations += [(line, "rng", msg) for line, msg in check_rng(rel_path, lines)]
     violations += [(line, "sleep", msg) for line, msg in check_sleep(lines)]
+    violations += [(line, "thread", msg)
+                   for line, msg in check_thread(rel_path, lines)]
     return violations
 
 

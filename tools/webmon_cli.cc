@@ -39,6 +39,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
+#include "util/thread_pool.h"
 
 namespace webmon {
 namespace {
@@ -118,7 +119,11 @@ int RunCommand(int argc, const char* const* argv) {
                  "comma-separated policies (suffix ':np' for "
                  "non-preemptive)")
       .AddBool("offline", false, "also run the offline approximation")
-      .AddInt("reps", 5, "repetitions");
+      .AddInt("reps", 5, "repetitions")
+      .AddInt("threads", 1,
+              "ranking threads per scheduler (0 = hardware concurrency); "
+              "schedules are identical at any thread count")
+      .AddBool("timing", false, "print per-phase scheduler time columns");
   AddFaultFlags(flags);
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st << "\n" << flags.Help();
@@ -149,6 +154,8 @@ int RunCommand(int argc, const char* const* argv) {
   }
   config->fault_spec = *std::move(fault_spec);
   config->fault_seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+  const int threads = static_cast<int>(flags.GetInt("threads"));
+  config->num_threads = threads == 0 ? ThreadPool::DefaultThreads() : threads;
 
   std::vector<PolicySpec> specs;
   for (const std::string& token : Split(flags.GetString("policies"), ',')) {
@@ -181,6 +188,7 @@ int RunCommand(int argc, const char* const* argv) {
   report.runtime = true;
   report.timeliness = true;
   report.faults = !config->fault_spec.IsIdeal();
+  report.timing = flags.GetBool("timing");
   BuildPolicyTable(*result, report).Print(std::cout);
   return 0;
 }
@@ -420,7 +428,10 @@ int ReplayCommand(int argc, const char* const* argv) {
   flags.AddString("instance", "instance.webmon", "saved instance file")
       .AddString("policies", "mrsf,m-edf,s-edf", "comma-separated policies")
       .AddBool("offline", false, "also run the offline approximation")
-      .AddInt("seed", 1, "seed for stochastic policies");
+      .AddInt("seed", 1, "seed for stochastic policies")
+      .AddInt("threads", 1,
+              "ranking threads per scheduler (0 = hardware concurrency)")
+      .AddBool("timing", false, "print per-phase scheduler time columns");
   AddFaultFlags(flags);
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st << "\n" << flags.Help();
@@ -437,11 +448,19 @@ int ReplayCommand(int argc, const char* const* argv) {
     return 2;
   }
   const bool faulty = !fault_spec->IsIdeal();
+  const bool timing = flags.GetBool("timing");
+  const int threads_flag = static_cast<int>(flags.GetInt("threads"));
+  const int num_threads =
+      threads_flag == 0 ? ThreadPool::DefaultThreads() : threads_flag;
   std::cout << ComputeInstanceStats(*problem).ToString() << "\n";
   std::vector<std::string> headers{"policy", "completeness", "weighted",
                                    "probes"};
   if (faulty) {
     headers.insert(headers.end(), {"failed", "retried", "trips"});
+  }
+  if (timing) {
+    headers.insert(headers.end(),
+                   {"act ms", "rank ms", "probe ms", "capt ms"});
   }
   TableWriter table(std::move(headers));
   for (const std::string& token : Split(flags.GetString("policies"), ',')) {
@@ -455,6 +474,7 @@ int ReplayCommand(int argc, const char* const* argv) {
     }
     // Every policy faces the same fault streams: fresh injector per run.
     SchedulerOptions options;
+    options.num_threads = num_threads;
     std::unique_ptr<FaultInjector> injector;
     if (faulty) {
       injector = std::make_unique<FaultInjector>(
@@ -485,6 +505,12 @@ int ReplayCommand(int argc, const char* const* argv) {
                   << "\n";
         return 1;
       }
+    }
+    if (timing) {
+      row.push_back(TableWriter::Fmt(run->stats.activate_seconds * 1e3, 2));
+      row.push_back(TableWriter::Fmt(run->stats.rank_seconds * 1e3, 2));
+      row.push_back(TableWriter::Fmt(run->stats.probe_seconds * 1e3, 2));
+      row.push_back(TableWriter::Fmt(run->stats.capture_seconds * 1e3, 2));
     }
     table.AddRow(std::move(row));
   }
