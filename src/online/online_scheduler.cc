@@ -200,6 +200,17 @@ Status OnlineScheduler::AddArrival(const Cei* cei, Chronon now) {
   return Status::OK();
 }
 
+Status OnlineScheduler::AddArrivalBatch(const std::vector<const Cei*>& batch,
+                                        Chronon now) {
+  if (batch.empty()) return Status::OK();
+  for (const Cei* cei : batch) {
+    WEBMON_RETURN_IF_ERROR(AddArrival(cei, now));
+  }
+  ++stats_.drain_batches;
+  stats_.drained_arrivals += static_cast<int64_t>(batch.size());
+  return Status::OK();
+}
+
 void OnlineScheduler::AdmitActive(const CandidateEi& cand) {
   const uint64_t seq = next_seq_++;
   const ExecutionInterval& ei = cand.ei();

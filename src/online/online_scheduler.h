@@ -93,6 +93,11 @@ struct SchedulerStats {
   int64_t probes_issued = 0;
   /// Server pushes delivered (captures they caused count in eis_captured).
   int64_t pushes_delivered = 0;
+  /// Non-empty ingestion batches folded in via AddArrivalBatch, and the
+  /// total CEIs they carried (the Proxy's mailbox-drain path; zero when the
+  /// scheduler is fed arrival by arrival).
+  int64_t drain_batches = 0;
+  int64_t drained_arrivals = 0;
   /// Attempts that failed (transient error, outage, rate limit, timeout).
   int64_t probes_failed = 0;
   /// Attempts issued to a resource with a live failure streak (retries).
@@ -148,6 +153,12 @@ class OnlineScheduler {
   /// Step(now); `cei` pointers must stay valid for the scheduler's lifetime.
   /// Rejects CEIs that are empty or whose capture window already passed.
   Status AddArrival(const Cei* cei, Chronon now);
+
+  /// Registers a whole drained ingestion batch arriving at chronon `now`,
+  /// in batch order (the Proxy mailbox's sequence order). Equivalent to
+  /// calling AddArrival for each element, plus the drain counters in
+  /// SchedulerStats. Stops at the first invalid CEI.
+  Status AddArrivalBatch(const std::vector<const Cei*>& batch, Chronon now);
 
   /// Registers a server push of `resource` delivered at chronon `t`
   /// (paper Section III: "occasionally a server may push an update").

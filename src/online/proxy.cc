@@ -1,12 +1,18 @@
 #include "online/proxy.h"
 
 #include <algorithm>
+#include <optional>
+#include <string>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace webmon {
 
 Proxy::Proxy(uint32_t num_resources, Chronon horizon, BudgetVector budget,
              std::unique_ptr<Policy> policy, SchedulerOptions options)
-    : horizon_(horizon),
+    : num_resources_(num_resources),
+      horizon_(horizon),
       policy_(std::move(policy)),
       schedule_(num_resources, horizon),
       scheduler_(num_resources, horizon, std::move(budget), policy_.get(),
@@ -15,63 +21,152 @@ Proxy::Proxy(uint32_t num_resources, Chronon horizon, BudgetVector budget,
 StatusOr<CeiId> Proxy::Submit(
     const std::vector<std::tuple<ResourceId, Chronon, Chronon>>& eis,
     double weight, uint32_t required) {
-  if (Done()) {
-    return Status::OutOfRange("proxy epoch already finished");
-  }
-  if (eis.empty()) {
-    return Status::InvalidArgument("a complex need requires at least one EI");
-  }
-  if (weight <= 0.0) {
-    return Status::InvalidArgument("need weight must be positive");
-  }
-  if (required > eis.size()) {
-    return Status::InvalidArgument(
-        "cannot require more captures than the need has EIs");
-  }
-  Cei cei;
-  cei.id = next_cei_id_++;
-  cei.profile = 0;  // the streaming API tracks needs, not profiles
-  cei.arrival = now_;
-  cei.weight = weight;
-  cei.required = required;
-  for (const auto& [resource, start, finish] : eis) {
-    ExecutionInterval ei;
-    ei.id = next_ei_id_++;
-    ei.resource = resource;
-    // Clamp the window into the remaining epoch; a need expressed for the
-    // past cannot be monitored.
-    ei.start = std::max(start, now_);
-    ei.finish = std::min(finish, horizon_ - 1);
-    if (ei.start > ei.finish) {
-      return Status::InvalidArgument(
-          "EI window lies entirely in the past or beyond the horizon");
+  // All validation runs inside the mailbox closure: the stamped chronon is
+  // only known under the lock, and acceptance must be atomic with stamping
+  // so a serial replay of the log reproduces every id assignment exactly.
+  Status status = Status::OK();
+  CeiId id = 0;
+  mailbox_.Push([&](uint64_t /*seq*/,
+                    int64_t epoch) -> std::optional<PendingEvent> {
+    auto reject = [&](Status s) {
+      status = std::move(s);
+      ++ingestion_.submits_rejected;
+      return std::nullopt;
+    };
+    if (epoch >= horizon_) {
+      return reject(Status::OutOfRange("proxy epoch already finished"));
     }
-    cei.eis.push_back(ei);
-  }
-  ceis_.push_back(std::move(cei));
-  const Cei* stored = &ceis_.back();
-  Status st = scheduler_.AddArrival(stored, now_);
-  if (!st.ok()) {
-    ceis_.pop_back();
-    return st;
-  }
-  return stored->id;
+    if (eis.empty()) {
+      return reject(Status::InvalidArgument(
+          "a complex need requires at least one EI"));
+    }
+    if (weight <= 0.0) {
+      return reject(Status::InvalidArgument("need weight must be positive"));
+    }
+    if (required > eis.size()) {
+      return reject(Status::InvalidArgument(
+          "cannot require more captures than the need has EIs"));
+    }
+    Cei cei;
+    cei.profile = 0;  // the streaming API tracks needs, not profiles
+    cei.arrival = epoch;
+    cei.weight = weight;
+    cei.required = required;
+    for (const auto& [resource, start, finish] : eis) {
+      if (resource >= num_resources_) {
+        return reject(Status::InvalidArgument(
+            "EI names unknown resource " + std::to_string(resource)));
+      }
+      if (start > finish) {
+        return reject(
+            Status::InvalidArgument("EI start exceeds its finish"));
+      }
+      ExecutionInterval ei;
+      ei.resource = resource;
+      // Clamp the window into the remaining epoch; a need expressed for the
+      // past cannot be monitored.
+      ei.start = std::max(start, epoch);
+      ei.finish = std::min(finish, horizon_ - 1);
+      if (ei.start > ei.finish) {
+        return reject(Status::InvalidArgument(
+            "EI window lies entirely in the past or beyond the horizon"));
+      }
+      cei.eis.push_back(ei);
+    }
+    // Commit: ids are assigned only to accepted needs, so id allocation is
+    // a pure function of the accepted-arrival order and a serial replay
+    // re-assigns identical CeiIds and EiIds.
+    cei.id = next_cei_id_++;
+    for (ExecutionInterval& ei : cei.eis) ei.id = next_ei_id_++;
+    ceis_.push_back(std::move(cei));
+    const Cei* stored = &ceis_.back();
+    id = stored->id;
+    ++ingestion_.submits_accepted;
+    PendingEvent event;
+    event.cei = stored;
+    event.log.is_push = false;
+    event.log.eis = eis;
+    event.log.weight = weight;
+    event.log.required = required;
+    event.log.assigned_id = id;
+    return event;
+  });
+  if (!status.ok()) return status;
+  return id;
 }
 
 Status Proxy::Push(ResourceId resource) {
-  if (Done()) {
-    return Status::OutOfRange("proxy epoch already finished");
-  }
-  return scheduler_.AddPush(resource, now_);
+  Status status = Status::OK();
+  mailbox_.Push([&](uint64_t /*seq*/,
+                    int64_t epoch) -> std::optional<PendingEvent> {
+    if (epoch >= horizon_) {
+      status = Status::OutOfRange("proxy epoch already finished");
+      ++ingestion_.pushes_rejected;
+      return std::nullopt;
+    }
+    if (resource >= num_resources_) {
+      status = Status::OutOfRange("pushed resource out of range");
+      ++ingestion_.pushes_rejected;
+      return std::nullopt;
+    }
+    ++ingestion_.pushes_accepted;
+    PendingEvent event;
+    event.log.is_push = true;
+    event.log.resource = resource;
+    return event;
+  });
+  return status;
 }
 
 StatusOr<std::vector<ResourceId>> Proxy::Tick() {
-  if (Done()) {
+  const Chronon now = now_.load(std::memory_order_relaxed);
+  if (now >= horizon_) {
     return Status::OutOfRange("proxy epoch already finished");
   }
+  if (in_tick_.exchange(true, std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "Proxy::Tick is single-consumer and not reentrant: it must not be "
+        "called from a CEI callback or from a second thread while a tick is "
+        "in flight");
+  }
+  struct TickGuard {
+    std::atomic<bool>& flag;
+    ~TickGuard() { flag.store(false, std::memory_order_release); }
+  } guard{in_tick_};
+
+  // Drain the mailbox: advance the stamping epoch to now + 1 first (still
+  // under the mailbox lock), so arrivals racing with this tick — including
+  // ones made from CEI callbacks below — are stamped for the next chronon.
+  // Every drained event was stamped exactly `now`, and applying the batch
+  // in sequence order makes the tick a pure function of the arrival log.
+  Stopwatch drain_watch;
+  auto batch = mailbox_.DrainAndAdvance(now + 1);
+  if (!batch.empty()) {
+    drain_ceis_.clear();
+    for (auto& entry : batch) {
+      WEBMON_DCHECK(entry.epoch == now)
+          << "mailbox entry stamped " << entry.epoch << " drained at " << now;
+      entry.item.log.seq = entry.seq;
+      entry.item.log.effective = entry.epoch;
+      if (entry.item.cei != nullptr) drain_ceis_.push_back(entry.item.cei);
+    }
+    WEBMON_RETURN_IF_ERROR(scheduler_.AddArrivalBatch(drain_ceis_, now));
+    for (auto& entry : batch) {
+      if (entry.item.cei == nullptr) {
+        WEBMON_RETURN_IF_ERROR(
+            scheduler_.AddPush(entry.item.log.resource, now));
+      }
+      arrival_log_.push_back(std::move(entry.item.log));
+    }
+    ++ingestion_.drain_batches;
+    ingestion_.max_batch =
+        std::max(ingestion_.max_batch, static_cast<int64_t>(batch.size()));
+  }
+  ingestion_.drain_seconds += drain_watch.ElapsedSeconds();
+
   std::vector<ResourceId> probed;
-  WEBMON_RETURN_IF_ERROR(scheduler_.Step(now_, &schedule_, &probed));
-  ++now_;
+  WEBMON_RETURN_IF_ERROR(scheduler_.Step(now, &schedule_, &probed));
+  now_.store(now + 1, std::memory_order_release);
   return probed;
 }
 
@@ -90,6 +185,69 @@ void Proxy::set_on_cei_captured(std::function<void(CeiId)> cb) {
 void Proxy::set_on_cei_expired(std::function<void(CeiId)> cb) {
   scheduler_.set_on_cei_expired(
       [cb = std::move(cb)](const Cei& cei) { cb(cei.id); });
+}
+
+StatusOr<ProxyReplayResult> ReplayArrivalLog(
+    const ArrivalLog& log, uint32_t num_resources, Chronon horizon,
+    BudgetVector budget, std::unique_ptr<Policy> policy,
+    SchedulerOptions options) {
+  if (policy == nullptr) {
+    return Status::InvalidArgument("ReplayArrivalLog: policy must not be "
+                                   "null");
+  }
+  for (size_t i = 0; i < log.size(); ++i) {
+    const ArrivalEvent& event = log[i];
+    if (event.effective < 0 || event.effective >= horizon) {
+      return Status::OutOfRange("arrival log event outside the epoch");
+    }
+    if (i > 0 && (event.seq <= log[i - 1].seq ||
+                  event.effective < log[i - 1].effective)) {
+      return Status::InvalidArgument("arrival log is not in drain order");
+    }
+  }
+
+  Proxy proxy(num_resources, horizon, std::move(budget), std::move(policy),
+              options);
+  std::vector<std::pair<Chronon, CeiId>> captured;
+  std::vector<std::pair<Chronon, CeiId>> expired;
+  proxy.set_on_cei_captured(
+      [&](CeiId id) { captured.emplace_back(proxy.now(), id); });
+  proxy.set_on_cei_expired(
+      [&](CeiId id) { expired.emplace_back(proxy.now(), id); });
+
+  size_t next = 0;
+  while (!proxy.Done()) {
+    const Chronon t = proxy.now();
+    for (; next < log.size() && log[next].effective == t; ++next) {
+      const ArrivalEvent& event = log[next];
+      if (event.is_push) {
+        WEBMON_RETURN_IF_ERROR(proxy.Push(event.resource));
+      } else {
+        auto id = proxy.Submit(event.eis, event.weight, event.required);
+        WEBMON_RETURN_IF_ERROR(id.status());
+        if (*id != event.assigned_id) {
+          return Status::Internal(
+              "replayed Submit assigned CEI id " + std::to_string(*id) +
+              " where the log recorded " +
+              std::to_string(event.assigned_id));
+        }
+      }
+    }
+    WEBMON_RETURN_IF_ERROR(proxy.Tick().status());
+  }
+  if (next != log.size()) {
+    return Status::OutOfRange(
+        "arrival log extends beyond the replayed epoch");
+  }
+
+  return ProxyReplayResult{proxy.schedule(),
+                           proxy.stats(),
+                           proxy.ingestion_stats(),
+                           proxy.arrival_log(),
+                           proxy.attempt_log(),
+                           std::move(captured),
+                           std::move(expired),
+                           proxy.CompletenessSoFar()};
 }
 
 }  // namespace webmon

@@ -6,22 +6,87 @@
 // streams), and the proxy Tick()s once per chronon, deciding which resources
 // to probe under its budget. This is the interface the example applications
 // exercise; batch experiments use RunOnline instead.
+//
+// Threading model (docs/CONCURRENCY.md). Submit() and Push() are safe to
+// call from any number of producer threads concurrently with Tick():
+// arrivals land in a mutex-guarded ingestion mailbox where each accepted
+// event is stamped with a monotonically increasing sequence number and the
+// chronon it will take effect at. Tick() drains the mailbox at the top of
+// the chronon in sequence order, so the emitted schedule is a deterministic
+// function of the recorded arrival log, independent of how producer threads
+// interleaved — record the log of a concurrent run, replay it serially with
+// ReplayArrivalLog(), and every probe, stat, and capture event reproduces
+// byte for byte. Tick() itself is single-consumer: exactly one thread may
+// drive it, and calling it from a CEI callback (or from a second thread
+// while a tick is in flight) fails with FailedPrecondition instead of
+// deadlocking. now() and Done() are safe from any thread; every other
+// accessor (schedule(), stats(), arrival_log(), ...) must only be read by
+// the ticking thread or after producers have quiesced.
+//
+// CEI callbacks run on the ticking thread, inside Tick(). A callback may
+// call Submit() or Push() — the event lands in the mailbox and takes effect
+// at the next chronon — but must not call Tick() (see above).
 
 #ifndef WEBMON_ONLINE_PROXY_H_
 #define WEBMON_ONLINE_PROXY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "model/schedule.h"
 #include "online/online_scheduler.h"
 #include "policy/policy.h"
+#include "util/mailbox.h"
 #include "util/status.h"
 
 namespace webmon {
+
+/// One accepted ingestion event as recorded in the proxy's arrival log: the
+/// raw (pre-clamp) payload of a Submit() or Push(), stamped with its mailbox
+/// sequence number and the chronon it took effect at. The log is a complete
+/// replayable record of the run's inputs — feeding it to ReplayArrivalLog()
+/// serially reproduces a concurrent run byte for byte.
+struct ArrivalEvent {
+  /// Position in the mailbox's total arrival order.
+  uint64_t seq = 0;
+  /// The chronon the event took effect at (the Tick() that drained it).
+  Chronon effective = 0;
+  bool is_push = false;
+  /// Submit payload: the windows exactly as the producer passed them.
+  /// Replaying clamps them at `effective` again, rebuilding the stored CEI
+  /// exactly.
+  std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+  double weight = 1.0;
+  uint32_t required = 0;
+  /// The id Submit() returned; a serial replay must re-assign the same.
+  CeiId assigned_id = 0;
+  /// Push payload.
+  ResourceId resource = 0;
+};
+using ArrivalLog = std::vector<ArrivalEvent>;
+
+/// Ingestion-side counters. The accept/reject counters are guarded by the
+/// mailbox lock (producers mutate them inside Submit/Push); the drain fields
+/// are written only by the ticking thread. Read the struct only from the
+/// ticking thread or after producers have quiesced.
+struct IngestionStats {
+  int64_t submits_accepted = 0;
+  int64_t submits_rejected = 0;
+  int64_t pushes_accepted = 0;
+  int64_t pushes_rejected = 0;
+  /// Ticks that drained at least one event.
+  int64_t drain_batches = 0;
+  /// Largest single drained batch.
+  int64_t max_batch = 0;
+  /// Wall seconds spent draining the mailbox into the scheduler index.
+  double drain_seconds = 0.0;
+};
 
 /// A pull-based monitoring proxy over `num_resources` resources for an epoch
 /// of `horizon` chronons.
@@ -33,32 +98,49 @@ class Proxy {
   Proxy(const Proxy&) = delete;
   Proxy& operator=(const Proxy&) = delete;
 
-  /// Registers a complex need arriving at the current chronon. Each element
-  /// of `eis` is (resource, start, finish). `weight` is the client utility
-  /// of satisfying the need; `required` = 0 demands ALL EIs be captured
-  /// (AND semantics), otherwise any `required` of them suffice. Returns the
-  /// assigned CEI id.
+  /// Registers a complex need. Each element of `eis` is (resource, start,
+  /// finish). `weight` is the client utility of satisfying the need;
+  /// `required` = 0 demands ALL EIs be captured (AND semantics), otherwise
+  /// any `required` of them suffice. Returns the assigned CEI id.
+  ///
+  /// Thread-safe: callable from any producer thread (and from CEI
+  /// callbacks) concurrently with Tick(). The need takes effect at the
+  /// chronon it is stamped with — the next Tick() if none is in flight, the
+  /// one after when racing with (or called from inside) a tick. Validation
+  /// (empty EI list, non-positive weight, `required` > |eis|, unknown
+  /// resource, start > finish, window entirely in the past) happens against
+  /// the stamped chronon; rejected needs consume no CEI id and are not
+  /// logged.
   StatusOr<CeiId> Submit(
       const std::vector<std::tuple<ResourceId, Chronon, Chronon>>& eis,
       double weight = 1.0, uint32_t required = 0);
 
-  /// Delivers a server push of `resource` at the current chronon: every
-  /// pending need with an active EI on the resource is captured for free
-  /// when the next Tick() executes (the paper's Example 3 "WHEN ON PUSH").
+  /// Delivers a server push of `resource`: every pending need with an
+  /// active EI on the resource is captured for free when the stamped
+  /// chronon's Tick() executes (the paper's Example 3 "WHEN ON PUSH").
+  /// Thread-safe, same stamping rules as Submit().
   Status Push(ResourceId resource);
 
-  /// Executes the current chronon and advances time. Returns the resources
-  /// the proxy probed. Fails with OutOfRange once the horizon is reached.
+  /// Executes the current chronon and advances time: drains the ingestion
+  /// mailbox in sequence order, steps the scheduler, fires CEI callbacks.
+  /// Returns the resources the proxy probed. Fails with OutOfRange once the
+  /// horizon is reached. Single consumer: one thread at a time, and not
+  /// reentrant from callbacks (FailedPrecondition, never a deadlock).
   StatusOr<std::vector<ResourceId>> Tick();
 
-  /// The chronon the next Tick() will execute.
-  Chronon now() const { return now_; }
-  /// True once the whole epoch has been executed.
-  bool Done() const { return now_ >= horizon_; }
+  /// The chronon the next Tick() will execute. Safe from any thread.
+  Chronon now() const { return now_.load(std::memory_order_acquire); }
+  /// True once the whole epoch has been executed. Safe from any thread.
+  bool Done() const { return now() >= horizon_; }
 
-  /// Full probe history so far.
+  /// Full probe history so far. Ticking thread / quiesced only.
   const Schedule& schedule() const { return schedule_; }
   const SchedulerStats& stats() const { return scheduler_.stats(); }
+  /// Every accepted ingestion event in drain order (the replay record).
+  /// Ticking thread / quiesced only.
+  const ArrivalLog& arrival_log() const { return arrival_log_; }
+  /// Mailbox accept/reject/drain counters. Ticking thread / quiesced only.
+  const IngestionStats& ingestion_stats() const { return ingestion_; }
   /// Probe attempts with outcomes (only populated when the proxy runs with
   /// a fault injector; empty otherwise).
   const std::vector<ProbeAttempt>& attempt_log() const {
@@ -73,22 +155,73 @@ class Proxy {
   /// Fraction of submitted CEIs captured so far.
   double CompletenessSoFar() const;
 
-  /// Invoked when a submitted CEI completes / dies.
+  /// Invoked when a submitted CEI completes / dies. Callbacks run on the
+  /// ticking thread, in the deterministic activation order documented in
+  /// docs/CONCURRENCY.md; they may Submit()/Push() but not Tick(). Set
+  /// before the first Tick() and do not change mid-run.
   void set_on_cei_captured(std::function<void(CeiId)> cb);
   void set_on_cei_expired(std::function<void(CeiId)> cb);
 
  private:
+  // One mailbox entry: the materialized CEI (null for pushes) plus the raw
+  // payload destined for the arrival log (seq/effective stamped at drain).
+  struct PendingEvent {
+    const Cei* cei = nullptr;
+    ArrivalEvent log;
+  };
+
+  uint32_t num_resources_;
   Chronon horizon_;
-  Chronon now_ = 0;
+  // The ticking clock; written only by Tick(), read from any thread.
+  std::atomic<Chronon> now_{0};
+  // Reentrancy / concurrent-consumer guard for Tick().
+  std::atomic<bool> in_tick_{false};
   std::unique_ptr<Policy> policy_;
+  // The ingestion mailbox. Its lock also guards ceis_, next_cei_id_,
+  // next_ei_id_, and the accept/reject counters of ingestion_ (all mutated
+  // only inside Submit/Push closures).
+  SeqMailbox<PendingEvent> mailbox_;
   // Owns submitted CEI definitions; deque keeps pointers stable for the
-  // scheduler.
+  // scheduler. CEIs are immutable once the mailbox lock is released.
   std::deque<Cei> ceis_;
   CeiId next_cei_id_ = 0;
   EiId next_ei_id_ = 0;
+  IngestionStats ingestion_;
+  // Drain-order record of every accepted event. Ticking thread only.
+  ArrivalLog arrival_log_;
+  // Drain scratch, reused across ticks.
+  std::vector<const Cei*> drain_ceis_;
   Schedule schedule_;
   OnlineScheduler scheduler_;
 };
+
+/// Snapshot of a run replayed from an arrival log.
+struct ProxyReplayResult {
+  Schedule schedule;
+  SchedulerStats stats;
+  IngestionStats ingestion;
+  /// The replaying proxy's own recorded log (equal to the input log for a
+  /// well-formed replay).
+  ArrivalLog log;
+  std::vector<ProbeAttempt> attempts;
+  /// Capture / expiry callback streams, in firing order.
+  std::vector<std::pair<Chronon, CeiId>> captured;
+  std::vector<std::pair<Chronon, CeiId>> expired;
+  double completeness = 0.0;
+};
+
+/// Replays `log` serially: a fresh proxy re-Submit()s / re-Push()es every
+/// event at its recorded effective chronon in sequence order and ticks
+/// through the whole epoch. The determinism contract (docs/CONCURRENCY.md)
+/// guarantees the result is byte-identical to the run that recorded the log
+/// — same schedule, stats, attempt log, and capture/expiry event streams —
+/// provided `policy` and `options` (including any fault injector seed)
+/// match the original run. Fails if the log is not in drain order, lies
+/// outside the epoch, or re-assigns different CEI ids.
+StatusOr<ProxyReplayResult> ReplayArrivalLog(
+    const ArrivalLog& log, uint32_t num_resources, Chronon horizon,
+    BudgetVector budget, std::unique_ptr<Policy> policy,
+    SchedulerOptions options = {});
 
 }  // namespace webmon
 

@@ -29,9 +29,8 @@ StatusOr<OnlineRunResult> RunOnline(const ProblemInstance& problem,
 
   Stopwatch watch;
   for (Chronon t = 0; t < k; ++t) {
-    for (const Cei* cei : arrivals[static_cast<size_t>(t)]) {
-      WEBMON_RETURN_IF_ERROR(scheduler.AddArrival(cei, t));
-    }
+    WEBMON_RETURN_IF_ERROR(
+        scheduler.AddArrivalBatch(arrivals[static_cast<size_t>(t)], t));
     WEBMON_RETURN_IF_ERROR(scheduler.Step(t, &result.schedule));
   }
   result.wall_seconds = watch.ElapsedSeconds();

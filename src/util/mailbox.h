@@ -1,0 +1,101 @@
+// SeqMailbox: a mutex-guarded multi-producer mailbox with deterministic
+// drain order.
+//
+// Producers Push() items from any thread; every accepted item is stamped
+// with a monotonically increasing sequence number and the mailbox's current
+// epoch (for the proxy, the chronon the item will take effect at). The
+// single consumer calls DrainAndAdvance(next_epoch), which atomically
+// advances the epoch and removes every pending item in sequence order.
+// Because stamping and appending happen under one lock, the drained batch is
+// a total order of arrivals: any computation that consumes batches purely as
+// a function of their (seq, epoch, item) content is deterministic given the
+// arrival log, no matter how producer threads interleaved
+// (docs/CONCURRENCY.md).
+//
+// The lock is held only for the duration of the producer's `make` closure
+// (validation + stamping) or the drain's vector swap, so producers never
+// block on the consumer's processing of a drained batch.
+
+#ifndef WEBMON_UTIL_MAILBOX_H_
+#define WEBMON_UTIL_MAILBOX_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace webmon {
+
+/// A thread-safe multi-producer / single-consumer mailbox whose entries are
+/// stamped with (sequence number, epoch) under one lock, making the drain
+/// order a deterministic function of the arrival log.
+template <typename T>
+class SeqMailbox {
+ public:
+  /// One accepted item with its stamps.
+  struct Entry {
+    /// Position in the mailbox's total arrival order (0, 1, 2, ...).
+    uint64_t seq = 0;
+    /// The epoch the item was accepted in — the consumer's
+    /// DrainAndAdvance(e + 1) call is the one that delivers it.
+    int64_t epoch = 0;
+    T item;
+  };
+
+  explicit SeqMailbox(int64_t initial_epoch = 0) : epoch_(initial_epoch) {}
+
+  SeqMailbox(const SeqMailbox&) = delete;
+  SeqMailbox& operator=(const SeqMailbox&) = delete;
+
+  /// Producer side, callable from any thread. Runs `make(seq, epoch)` under
+  /// the mailbox lock, where `seq` is the sequence number the item would be
+  /// stamped with and `epoch` the epoch it would take effect in. If `make`
+  /// returns an engaged optional the item is appended with those stamps and
+  /// Push returns true; a disengaged optional rejects the item, consumes no
+  /// sequence number, and returns false. `make` must be cheap (it runs under
+  /// the producers' shared lock) and must not touch the mailbox.
+  template <typename F>
+  bool Push(F&& make) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::optional<T> item = make(next_seq_, epoch_);
+    if (!item.has_value()) return false;
+    pending_.push_back(Entry{next_seq_, epoch_, *std::move(item)});
+    ++next_seq_;
+    return true;
+  }
+
+  /// Consumer side (single consumer). Atomically advances the epoch to
+  /// `next_epoch` and removes every pending entry, in sequence order.
+  /// Producers that acquire the lock after this call stamp `next_epoch`;
+  /// every returned entry was stamped with an earlier epoch.
+  std::vector<Entry> DrainAndAdvance(int64_t next_epoch) {
+    std::vector<Entry> batch;
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_ = next_epoch;
+    batch.swap(pending_);
+    return batch;
+  }
+
+  /// The epoch new items are currently stamped with.
+  int64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_;
+  }
+
+  /// Number of accepted items awaiting the next drain.
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;
+  int64_t epoch_ = 0;
+  std::vector<Entry> pending_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_MAILBOX_H_

@@ -1,5 +1,8 @@
 #include "online/proxy.h"
 
+#include <tuple>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "policy/policy_factory.h"
@@ -94,6 +97,175 @@ TEST(ProxyTest, CapturedCallbackReportsId) {
   while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
   ASSERT_EQ(captured.size(), 1u);
   EXPECT_EQ(captured[0], *id);
+}
+
+// --- Submit validation (negative paths) ------------------------------------
+
+TEST(ProxyValidationTest, ReversedWindowRejected) {
+  Proxy proxy(2, 10, BudgetVector::Uniform(1), Mrsf());
+  // Raw start > finish is caller error, rejected before any clamping.
+  EXPECT_EQ(proxy.Submit({{0, 7, 3}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProxyValidationTest, UnknownResourceRejected) {
+  Proxy proxy(2, 10, BudgetVector::Uniform(1), Mrsf());
+  EXPECT_EQ(proxy.Submit({{2, 0, 5}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(proxy.Submit({{0, 0, 5}, {99, 0, 5}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProxyValidationTest, RequiredLargerThanRankRejected) {
+  Proxy proxy(2, 10, BudgetVector::Uniform(1), Mrsf());
+  EXPECT_EQ(proxy.Submit({{0, 0, 5}, {1, 0, 5}}, 1.0, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  // required == |eis| is the AND boundary and stays valid.
+  EXPECT_TRUE(proxy.Submit({{0, 0, 5}, {1, 0, 5}}, 1.0, 2).ok());
+}
+
+TEST(ProxyValidationTest, NonPositiveWeightRejected) {
+  Proxy proxy(1, 10, BudgetVector::Uniform(1), Mrsf());
+  EXPECT_EQ(proxy.Submit({{0, 0, 5}}, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(proxy.Submit({{0, 0, 5}}, -2.5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProxyValidationTest, WindowBeyondHorizonRejected) {
+  Proxy proxy(1, 10, BudgetVector::Uniform(1), Mrsf());
+  // Start past the last chronon: the clamped window is empty.
+  EXPECT_EQ(proxy.Submit({{0, 10, 20}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProxyValidationTest, RejectionsConsumeNoIdsAndAreNotLogged) {
+  Proxy proxy(2, 10, BudgetVector::Uniform(1), Mrsf());
+  EXPECT_FALSE(proxy.Submit({}).ok());
+  EXPECT_FALSE(proxy.Submit({{0, 7, 3}}).ok());
+  EXPECT_FALSE(proxy.Submit({{5, 0, 5}}).ok());
+  auto id = proxy.Submit({{0, 0, 5}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u) << "rejected submissions must not burn CEI ids";
+  while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
+  EXPECT_EQ(proxy.ingestion_stats().submits_rejected, 3);
+  EXPECT_EQ(proxy.ingestion_stats().submits_accepted, 1);
+  ASSERT_EQ(proxy.arrival_log().size(), 1u);
+  EXPECT_EQ(proxy.arrival_log()[0].assigned_id, 0u);
+}
+
+TEST(ProxyValidationTest, PushValidation) {
+  Proxy proxy(2, 3, BudgetVector::Uniform(1), Mrsf());
+  EXPECT_EQ(proxy.Push(2).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(proxy.Push(1).ok());
+  while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
+  EXPECT_EQ(proxy.Push(0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(proxy.ingestion_stats().pushes_accepted, 1);
+  EXPECT_EQ(proxy.ingestion_stats().pushes_rejected, 2);
+}
+
+// --- Arrival log & ingestion stats -----------------------------------------
+
+TEST(ProxyTest, ArrivalLogRecordsEffectiveChronons) {
+  Proxy proxy(2, 10, BudgetVector::Uniform(1), Mrsf());
+  ASSERT_TRUE(proxy.Submit({{0, 0, 9}}).ok());
+  ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_TRUE(proxy.Push(1).ok());
+  ASSERT_TRUE(proxy.Submit({{1, 2, 9}}).ok());
+  while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
+
+  const ArrivalLog& log = proxy.arrival_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].effective, 0);
+  EXPECT_FALSE(log[0].is_push);
+  EXPECT_EQ(log[1].effective, 2);
+  EXPECT_TRUE(log[1].is_push);
+  EXPECT_EQ(log[1].resource, 1u);
+  EXPECT_EQ(log[2].effective, 2);
+  EXPECT_EQ(log[2].seq, 2u);
+  // The raw payload is logged pre-clamp.
+  EXPECT_EQ(log[2].eis,
+            (std::vector<std::tuple<ResourceId, Chronon, Chronon>>{
+                {1, 2, 9}}));
+  EXPECT_EQ(proxy.ingestion_stats().drain_batches, 2);
+  EXPECT_EQ(proxy.ingestion_stats().max_batch, 2);
+  EXPECT_EQ(proxy.stats().drain_batches, 2);
+  EXPECT_EQ(proxy.stats().drained_arrivals, 2);
+}
+
+// --- Callback ordering & reentrancy ----------------------------------------
+
+TEST(ProxyCallbackTest, CapturesFireInActivationOrder) {
+  Proxy proxy(1, 5, BudgetVector::Uniform(1), Mrsf());
+  std::vector<CeiId> captured;
+  proxy.set_on_cei_captured([&](CeiId id) { captured.push_back(id); });
+  auto a = proxy.Submit({{0, 0, 4}});
+  auto b = proxy.Submit({{0, 0, 4}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // One probe of resource 0 captures both needs; the callbacks fire in
+  // submission (= activation) order within the chronon.
+  ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_EQ(captured, (std::vector<CeiId>{*a, *b}));
+}
+
+TEST(ProxyCallbackTest, CallbackMaySubmitWithoutDeadlock) {
+  Proxy proxy(1, 10, BudgetVector::Uniform(1), Mrsf());
+  std::vector<CeiId> captured;
+  proxy.set_on_cei_captured([&](CeiId id) {
+    captured.push_back(id);
+    if (captured.size() == 1) {
+      // Reentrant ingestion from inside Tick(): lands in the mailbox and
+      // takes effect at the NEXT chronon.
+      const Chronon base = proxy.now() + 1;
+      EXPECT_TRUE(proxy.Submit({{0, base, base + 3}}).ok());
+    }
+  });
+  ASSERT_TRUE(proxy.Submit({{0, 0, 3}}).ok());
+  while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_EQ(captured.size(), 2u);
+  ASSERT_EQ(proxy.arrival_log().size(), 2u);
+  EXPECT_EQ(proxy.arrival_log()[1].effective,
+            proxy.arrival_log()[0].effective + 1)
+      << "a callback submission takes effect the chronon after the capture";
+}
+
+TEST(ProxyCallbackTest, CallbackTickFailsInsteadOfDeadlocking) {
+  Proxy proxy(1, 10, BudgetVector::Uniform(1), Mrsf());
+  Status reentrant = Status::OK();
+  bool fired = false;
+  proxy.set_on_cei_captured([&](CeiId) {
+    fired = true;
+    reentrant = proxy.Tick().status();
+  });
+  ASSERT_TRUE(proxy.Submit({{0, 0, 3}}).ok());
+  while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(reentrant.code(), StatusCode::kFailedPrecondition)
+      << "Tick() from a callback must fail, never deadlock";
+}
+
+TEST(ProxyCallbackTest, ExpiryCallbackMaySubmitReplacement) {
+  Proxy proxy(2, 10, BudgetVector::Uniform(1), Mrsf());
+  std::vector<CeiId> expired;
+  std::vector<CeiId> captured;
+  proxy.set_on_cei_captured([&](CeiId id) { captured.push_back(id); });
+  proxy.set_on_cei_expired([&](CeiId id) {
+    expired.push_back(id);
+    if (expired.size() == 1) {
+      const Chronon base = proxy.now() + 1;
+      EXPECT_TRUE(proxy.Submit({{0, base, base + 5}}).ok());
+    }
+  });
+  // Two needs, both on chronon 0, budget 1: one captures, one expires.
+  ASSERT_TRUE(proxy.Submit({{0, 0, 0}}).ok());
+  ASSERT_TRUE(proxy.Submit({{1, 0, 0}}).ok());
+  while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(captured.size(), 2u)
+      << "the replacement submitted from the expiry callback must be "
+         "scheduled and captured";
 }
 
 TEST(ProxyTest, ScheduleAccessible) {

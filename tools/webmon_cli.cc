@@ -30,6 +30,7 @@
 #include "model/instance_stats.h"
 #include "model/serialize.h"
 #include "offline/offline_approx.h"
+#include "online/ingestion_driver.h"
 #include "online/run.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
@@ -530,15 +531,144 @@ int ReplayCommand(int argc, const char* const* argv) {
   return 0;
 }
 
+int IngestCommand(int argc, const char* const* argv) {
+  FlagSet flags(
+      "webmon_cli ingest: stream needs from producer threads into a ticking "
+      "proxy, then prove the run replays deterministically");
+  flags.AddInt("resources", 64, "number of resources n")
+      .AddInt("chronons", 2000, "epoch length K")
+      .AddInt("budget", 2, "probes per chronon")
+      .AddString("policy", "s-edf", "scheduling policy")
+      .AddInt("producer-threads", 4, "concurrent producer threads")
+      .AddInt("submits-per-producer", 2000,
+              "events (submits + pushes) per producer")
+      .AddDouble("push-prob", 0.1, "fraction of events that are pushes")
+      .AddInt("seed", 1, "payload RNG seed")
+      .AddInt("threads", 1,
+              "ranking threads inside the scheduler (0 = hardware "
+              "concurrency)")
+      .AddBool("verify-replay", true,
+               "replay the arrival log serially and diff every observable");
+  AddFaultFlags(flags);
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+  auto fault_spec = FaultSpecFromFlags(flags);
+  if (!fault_spec.ok()) {
+    std::cerr << fault_spec.status() << "\n";
+    return 2;
+  }
+  IngestionDriverOptions options;
+  options.num_resources = static_cast<uint32_t>(flags.GetInt("resources"));
+  options.horizon = flags.GetInt("chronons");
+  options.budget = flags.GetInt("budget");
+  options.producer_threads =
+      static_cast<int>(flags.GetInt("producer-threads"));
+  options.events_per_producer = flags.GetInt("submits-per-producer");
+  options.push_prob = flags.GetDouble("push-prob");
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const int threads_flag = static_cast<int>(flags.GetInt("threads"));
+  options.scheduler.num_threads =
+      threads_flag == 0 ? ThreadPool::DefaultThreads() : threads_flag;
+  const bool faulty = !fault_spec->IsIdeal();
+  std::unique_ptr<FaultInjector> injector;
+  if (faulty) {
+    injector = std::make_unique<FaultInjector>(
+        *fault_spec, options.num_resources,
+        static_cast<uint64_t>(flags.GetInt("fault-seed")));
+    options.scheduler.fault_injector = injector.get();
+  }
+  auto policy = MakePolicy(flags.GetString("policy"),
+                           static_cast<uint64_t>(flags.GetInt("seed")));
+  if (!policy.ok()) {
+    std::cerr << policy.status() << "\n";
+    return 1;
+  }
+  auto run = RunConcurrentIngestion(std::move(*policy), options);
+  if (!run.ok()) {
+    std::cerr << run.status() << "\n";
+    return 1;
+  }
+  const int64_t accepted =
+      run->ingestion.submits_accepted + run->ingestion.pushes_accepted;
+  TableWriter table({"metric", "value"});
+  table.AddRow({"producer threads",
+                TableWriter::Fmt(
+                    static_cast<int64_t>(options.producer_threads))});
+  table.AddRow({"submits accepted",
+                TableWriter::Fmt(run->ingestion.submits_accepted)});
+  table.AddRow({"submits rejected",
+                TableWriter::Fmt(run->ingestion.submits_rejected)});
+  table.AddRow({"pushes accepted",
+                TableWriter::Fmt(run->ingestion.pushes_accepted)});
+  table.AddRow({"pushes rejected",
+                TableWriter::Fmt(run->ingestion.pushes_rejected)});
+  table.AddRow({"drain batches",
+                TableWriter::Fmt(run->ingestion.drain_batches)});
+  table.AddRow({"largest batch", TableWriter::Fmt(run->ingestion.max_batch)});
+  table.AddRow({"probes issued", TableWriter::Fmt(run->stats.probes_issued)});
+  if (faulty) {
+    table.AddRow({"probes failed",
+                  TableWriter::Fmt(run->stats.probes_failed)});
+    table.AddRow({"breaker trips",
+                  TableWriter::Fmt(run->stats.breaker_trips)});
+  }
+  table.AddRow({"completeness", TableWriter::Percent(run->completeness)});
+  table.AddRow(
+      {"ingest throughput (events/s)",
+       TableWriter::Fmt(static_cast<double>(accepted) /
+                            (run->wall_seconds > 0 ? run->wall_seconds : 1.0),
+                        0)});
+  table.AddRow({"mean tick (us)",
+                TableWriter::Fmt(run->tick_seconds /
+                                     static_cast<double>(options.horizon) *
+                                     1e6,
+                                 2)});
+  table.AddRow({"max tick (us)",
+                TableWriter::Fmt(run->max_tick_seconds * 1e6, 2)});
+  table.AddRow({"drain time (ms)",
+                TableWriter::Fmt(run->ingestion.drain_seconds * 1e3, 3)});
+  table.AddRow({"wall time (ms)",
+                TableWriter::Fmt(run->wall_seconds * 1e3, 1)});
+  table.Print(std::cout);
+  if (flags.GetBool("verify-replay")) {
+    auto replay_policy = MakePolicy(flags.GetString("policy"),
+                                    static_cast<uint64_t>(flags.GetInt("seed")));
+    if (!replay_policy.ok()) {
+      std::cerr << replay_policy.status() << "\n";
+      return 1;
+    }
+    std::unique_ptr<FaultInjector> replay_injector;
+    IngestionDriverOptions replay_options = options;
+    if (faulty) {
+      replay_injector = std::make_unique<FaultInjector>(
+          *fault_spec, options.num_resources,
+          static_cast<uint64_t>(flags.GetInt("fault-seed")));
+      replay_options.scheduler.fault_injector = replay_injector.get();
+    }
+    if (Status st = VerifyReplayIdentity(*run, std::move(*replay_policy),
+                                         replay_options);
+        !st.ok()) {
+      std::cerr << "replay verification FAILED: " << st << "\n";
+      return 1;
+    }
+    std::cout << "replay verification: OK ("
+              << run->log.size() << " logged arrivals reproduce the run)\n";
+  }
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
   const std::string usage =
-      "usage: webmon_cli <run|inspect|query|generate|replay|policies> "
+      "usage: webmon_cli <run|inspect|query|generate|replay|ingest|policies> "
       "[flags]\n"
       "  run       execute a monitoring experiment\n"
       "  inspect   print trace statistics\n"
       "  query     run a continuous-query program\n"
       "  generate  build a workload instance and save it to a file\n"
       "  replay    run policies over a saved instance\n"
+      "  ingest    stress concurrent Submit/Push ingestion and verify replay\n"
       "  policies  list the scheduling policies and their classification\n"
       "Pass --help after a subcommand for its flags.\n";
   if (argc < 2) {
@@ -552,6 +682,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "query") return QueryCommand(argc - 1, argv + 1);
   if (command == "generate") return GenerateCommand(argc - 1, argv + 1);
   if (command == "replay") return ReplayCommand(argc - 1, argv + 1);
+  if (command == "ingest") return IngestCommand(argc - 1, argv + 1);
   if (command == "policies") return PoliciesCommand(argc - 1, argv + 1);
   if (command == "--help" || command == "help") {
     std::cout << usage;
