@@ -29,7 +29,10 @@ struct FlatCei {
 class Search {
  public:
   Search(const ProblemInstance& problem, const ExactSolverOptions& options)
-      : problem_(problem), options_(options), k_(problem.num_chronons()) {
+      : problem_(problem),
+        options_(options),
+        k_(problem.num_chronons()),
+        memo_(static_cast<size_t>(std::max<Chronon>(k_, 0))) {
     for (const auto& profile : problem.profiles()) {
       for (const auto& cei : profile.ceis) {
         const uint32_t ci = static_cast<uint32_t>(ceis_.size());
@@ -119,9 +122,13 @@ class Search {
   // Best final captured weight reachable from (t, captured).
   StatusOr<double> Dfs(Chronon t, uint64_t captured) {
     if (t >= k_) return CompletedWeight(captured);
-    const uint64_t key =
-        captured * static_cast<uint64_t>(k_ + 1) + static_cast<uint64_t>(t);
-    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    // One memo table per chronon, keyed on the raw captured mask. The
+    // previous single-table key `captured * (k_ + 1) + t` silently wraps
+    // around 2^64 once high EI bits are set, aliasing distinct (t, captured)
+    // states and corrupting memo hits (see the MemoKeyCollision regression
+    // test for a concrete pair).
+    auto& memo = memo_[static_cast<size_t>(t)];
+    if (auto it = memo.find(captured); it != memo.end()) return it->second;
     if (options_.max_states > 0 && ++states_ > options_.max_states) {
       return Status::ResourceExhausted("exact search state budget exceeded");
     }
@@ -170,7 +177,7 @@ class Search {
     WEBMON_DCHECK_GE(best, CompletedWeight(captured) - 1e-12)
         << "DFS bound dropped below the already-captured weight at chronon "
         << t;
-    memo_[key] = best;
+    memo[captured] = best;
     return best;
   }
 
@@ -234,7 +241,7 @@ class Search {
   Chronon k_;
   std::vector<FlatEi> eis_;
   std::vector<FlatCei> ceis_;
-  std::unordered_map<uint64_t, double> memo_;
+  std::vector<std::unordered_map<uint64_t, double>> memo_;  // one per chronon
   int64_t states_ = 0;
 };
 

@@ -92,6 +92,46 @@ TEST(ExactSolverTest, RejectsOversizedInstance) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ExactSolverTest, MemoKeyCollisionRegression) {
+  // Regression for the packed memo key `captured * (k + 1) + t`, which
+  // wraps around 2^64 once high EI bits are set. With k = 3 chronons the
+  // multiplier is 4, so the states (t = 2, captured = {bit0}) and
+  // (t = 2, captured = {bit0, bit62}) packed to the same key:
+  EXPECT_EQ(((uint64_t{1} << 62) | 1) * 4 + 2, uint64_t{1} * 4 + 2);
+  //
+  // Instance engineered so that aliasing costs real weight. EI indices
+  // follow profile/CEI insertion order:
+  //   Y = EI 0:      r0 [0,1], weight 1
+  //   F = EIs 1..61: 61 copies of r2 [2,2] in one AND-CEI, weight 1
+  //   X = EI 62:     r1 [0,0], weight 0.25
+  // Budget 1/chronon. Optimum probes r1@0 (X), r0@1 (Y), r2@2 (F) = 2.25.
+  // The buggy solver first explores r0@0, memoizing Dfs(2, {Y}) = 2.0;
+  // the r1@0, r0@1 branch then looks up Dfs(2, {Y, X}) — aliased to the
+  // same key — and reports 2.0, discarding X.
+  ProblemBuilder builder(3, 3, BudgetVector::Uniform(1));
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{0, 0, 1}}).ok());
+  builder.BeginProfile();
+  std::vector<std::tuple<ResourceId, Chronon, Chronon>> filler(
+      61, std::make_tuple(ResourceId{2}, Chronon{2}, Chronon{2}));
+  ASSERT_TRUE(builder.AddCei(filler).ok());
+  builder.BeginProfile();
+  ASSERT_TRUE(builder.AddCei({{1, 0, 0}}, /*arrival=*/-1, /*weight=*/0.25)
+                  .ok());
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+
+  ExactSolverOptions options;
+  options.max_eis = 64;
+  auto result = SolveExact(*problem, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->captured_weight, 2.25);
+  EXPECT_EQ(result->captured_ceis, 3);
+  EXPECT_TRUE(result->schedule.Probed(1, 0));
+  EXPECT_TRUE(result->schedule.Probed(0, 1));
+  EXPECT_TRUE(result->schedule.Probed(2, 2));
+}
+
 TEST(ExactSolverTest, ScheduleIsFeasible) {
   Rng rng(0xE1);
   for (int trial = 0; trial < 10; ++trial) {
