@@ -1,0 +1,459 @@
+#include "offline/reference_solvers.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "model/completeness.h"
+#include "offline/p1_transform.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace webmon {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference exact solver: memoized DFS, no bounding, 64-bit capture mask.
+// ---------------------------------------------------------------------------
+
+struct RefFlatEi {
+  ResourceId resource;
+  Chronon start;
+  Chronon finish;
+  uint32_t cei;  // index into RefFlatCei vector
+};
+
+struct RefFlatCei {
+  uint64_t mask = 0;      // bit per flattened EI index
+  uint32_t size = 0;      // number of EIs
+  uint32_t required = 0;  // captures needed to satisfy the CEI
+  double weight = 1.0;    // client utility of capturing the CEI
+};
+
+class ReferenceSearch {
+ public:
+  ReferenceSearch(const ProblemInstance& problem,
+                  const ExactSolverOptions& options)
+      : problem_(problem),
+        options_(options),
+        k_(problem.num_chronons()),
+        memo_(static_cast<size_t>(std::max<Chronon>(k_, 0))) {
+    for (const auto& profile : problem.profiles()) {
+      for (const auto& cei : profile.ceis) {
+        const uint32_t ci = static_cast<uint32_t>(ceis_.size());
+        ceis_.push_back({});
+        ceis_[ci].size = static_cast<uint32_t>(cei.eis.size());
+        ceis_[ci].required = static_cast<uint32_t>(cei.RequiredCaptures());
+        ceis_[ci].weight = cei.weight;
+        for (const auto& ei : cei.eis) {
+          const uint32_t e = static_cast<uint32_t>(eis_.size());
+          eis_.push_back({ei.resource, ei.start, ei.finish, ci});
+          ceis_[ci].mask |= (uint64_t{1} << (e & 63));
+        }
+      }
+    }
+  }
+
+  StatusOr<ExactResult> Run() {
+    // The uint64_t capture mask caps this solver at 64 EIs no matter what
+    // options.max_eis says.
+    const int64_t cap = std::min<int64_t>(options_.max_eis, 64);
+    if (static_cast<int64_t>(eis_.size()) > cap) {
+      return Status::InvalidArgument(
+          "instance too large for reference exact search: " +
+          std::to_string(eis_.size()) + " EIs > max " + std::to_string(cap));
+    }
+    states_ = 0;
+    WEBMON_ASSIGN_OR_RETURN(const double best, Dfs(0, 0));
+
+    ExactResult result{Schedule(problem_.num_resources(), k_)};
+    result.captured_weight = best;
+    result.states_expanded = states_;
+    WEBMON_RETURN_IF_ERROR(Reconstruct(&result.schedule));
+    result.captured_ceis = CapturedCeiCount(problem_, result.schedule);
+    result.completeness = GainedCompleteness(problem_, result.schedule);
+    result.weighted_completeness =
+        WeightedCompleteness(problem_, result.schedule);
+    return result;
+  }
+
+ private:
+  bool Completed(uint32_t ci, uint64_t captured) const {
+    return static_cast<uint32_t>(
+               __builtin_popcountll(captured & ceis_[ci].mask)) >=
+           ceis_[ci].required;
+  }
+
+  bool Alive(uint32_t ci, Chronon t, uint64_t captured) const {
+    uint32_t failed = 0;
+    uint64_t mask = ceis_[ci].mask;
+    while (mask != 0) {
+      const int e = __builtin_ctzll(mask);
+      mask &= mask - 1;
+      if ((captured >> e) & 1) continue;
+      if (eis_[static_cast<size_t>(e)].finish < t) ++failed;
+    }
+    return ceis_[ci].size - failed >= ceis_[ci].required;
+  }
+
+  double CompletedWeight(uint64_t captured) const {
+    double done = 0.0;
+    for (uint32_t ci = 0; ci < ceis_.size(); ++ci) {
+      if (Completed(ci, captured)) done += ceis_[ci].weight;
+    }
+    return done;
+  }
+
+  std::vector<std::pair<ResourceId, uint64_t>> Candidates(
+      Chronon t, uint64_t captured) const {
+    std::unordered_map<ResourceId, uint64_t> gain;
+    for (uint32_t e = 0; e < eis_.size(); ++e) {
+      if ((captured >> e) & 1) continue;
+      const RefFlatEi& ei = eis_[e];
+      if (ei.start > t || ei.finish < t) continue;
+      if (Completed(ei.cei, captured)) continue;
+      if (!Alive(ei.cei, t, captured)) continue;
+      gain[ei.resource] |= (uint64_t{1} << e);
+    }
+    std::vector<std::pair<ResourceId, uint64_t>> out(gain.begin(), gain.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  StatusOr<double> Dfs(Chronon t, uint64_t captured) {
+    if (t >= k_) return CompletedWeight(captured);
+    auto& memo = memo_[static_cast<size_t>(t)];
+    if (auto it = memo.find(captured); it != memo.end()) return it->second;
+    if (options_.max_states > 0 && ++states_ > options_.max_states) {
+      return Status::ResourceExhausted(
+          "reference exact search state budget exceeded");
+    }
+
+    const auto candidates = Candidates(t, captured);
+    const int64_t budget = problem_.budget().At(t);
+    const size_t pick =
+        std::min<size_t>(candidates.size(), static_cast<size_t>(
+                                                std::max<int64_t>(budget, 0)));
+    double best = 0;
+    if (pick == 0) {
+      WEBMON_ASSIGN_OR_RETURN(best, Dfs(t + 1, captured));
+    } else {
+      std::vector<size_t> idx(pick);
+      for (size_t i = 0; i < pick; ++i) idx[i] = i;
+      while (true) {
+        uint64_t next_captured = captured;
+        for (size_t i = 0; i < pick; ++i) {
+          next_captured |= candidates[idx[i]].second;
+        }
+        auto sub = Dfs(t + 1, next_captured);
+        if (!sub.ok()) return sub.status();
+        best = std::max(best, *sub);
+        size_t i = pick;
+        while (i > 0) {
+          --i;
+          if (idx[i] != i + candidates.size() - pick) break;
+          if (i == 0) {
+            i = pick;  // signal done
+            break;
+          }
+        }
+        if (i == pick) break;
+        ++idx[i];
+        for (size_t j = i + 1; j < pick; ++j) idx[j] = idx[j - 1] + 1;
+      }
+    }
+    memo[captured] = best;
+    return best;
+  }
+
+  Status Reconstruct(Schedule* schedule) {
+    constexpr double kEps = 1e-9;
+    Chronon t = 0;
+    uint64_t captured = 0;
+    while (t < k_) {
+      WEBMON_ASSIGN_OR_RETURN(const double target, Dfs(t, captured));
+      const auto candidates = Candidates(t, captured);
+      const int64_t budget = problem_.budget().At(t);
+      const size_t pick = std::min<size_t>(
+          candidates.size(),
+          static_cast<size_t>(std::max<int64_t>(budget, 0)));
+      bool advanced = false;
+      if (pick == 0) {
+        t += 1;
+        advanced = true;
+      } else {
+        std::vector<size_t> idx(pick);
+        for (size_t i = 0; i < pick; ++i) idx[i] = i;
+        while (!advanced) {
+          uint64_t next_captured = captured;
+          for (size_t i = 0; i < pick; ++i) {
+            next_captured |= candidates[idx[i]].second;
+          }
+          WEBMON_ASSIGN_OR_RETURN(const double sub, Dfs(t + 1, next_captured));
+          if (sub >= target - kEps) {
+            for (size_t i = 0; i < pick; ++i) {
+              WEBMON_RETURN_IF_ERROR(
+                  schedule->AddProbe(candidates[idx[i]].first, t));
+            }
+            captured = next_captured;
+            t += 1;
+            advanced = true;
+            break;
+          }
+          size_t i = pick;
+          while (i > 0) {
+            --i;
+            if (idx[i] != i + candidates.size() - pick) break;
+            if (i == 0) {
+              i = pick;
+              break;
+            }
+          }
+          if (i == pick) {
+            return Status::Internal(
+                "reference exact reconstruction diverged from memo");
+          }
+          ++idx[i];
+          for (size_t j = i + 1; j < pick; ++j) idx[j] = idx[j - 1] + 1;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const ProblemInstance& problem_;
+  ExactSolverOptions options_;
+  Chronon k_;
+  std::vector<RefFlatEi> eis_;
+  std::vector<RefFlatCei> ceis_;
+  std::vector<std::unordered_map<uint64_t, double>> memo_;  // one per chronon
+  int64_t states_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Reference local-ratio solver: O(V^2) zeroing sweep.
+// ---------------------------------------------------------------------------
+
+bool SegmentsOverlap(const Cei& a, const Cei& b) {
+  for (const auto& ea : a.eis) {
+    for (const auto& eb : b.eis) {
+      if (ea.start <= eb.finish && eb.start <= ea.finish) return true;
+    }
+  }
+  return false;
+}
+
+OfflineApproxResult SolveLocalRatioReference(const ProblemInstance& problem) {
+  Stopwatch watch;
+  const Chronon k = problem.num_chronons();
+
+  std::vector<const Cei*> ceis = problem.AllCeis();
+  std::sort(ceis.begin(), ceis.end(), [](const Cei* a, const Cei* b) {
+    const Chronon fa = a->LatestFinish();
+    const Chronon fb = b->LatestFinish();
+    if (fa != fb) return fa < fb;
+    const Chronon ca = a->TotalChronons();
+    const Chronon cb = b->TotalChronons();
+    if (ca != cb) return ca < cb;
+    return a->id < b->id;
+  });
+
+  std::vector<double> weight(ceis.size(), 1.0);
+  std::vector<int64_t> coverage(static_cast<size_t>(k), 0);
+
+  Schedule schedule(problem.num_resources(), k);
+  int64_t committed = 0;
+
+  for (size_t vi = 0; vi < ceis.size(); ++vi) {
+    if (weight[vi] <= 0.0) continue;
+    const Cei& v = *ceis[vi];
+
+    std::vector<std::pair<Chronon, int64_t>> demand;  // chronon -> segments
+    for (const auto& ei : v.eis) {
+      for (Chronon t = ei.start; t <= ei.finish; ++t) {
+        auto it = std::find_if(demand.begin(), demand.end(),
+                               [t](const auto& d) { return d.first == t; });
+        if (it == demand.end()) {
+          demand.emplace_back(t, 1);
+        } else {
+          ++it->second;
+        }
+      }
+    }
+    bool feasible = true;
+    for (const auto& [t, units] : demand) {
+      if (coverage[static_cast<size_t>(t)] + units > problem.budget().At(t)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) {
+      weight[vi] = 0.0;
+      continue;
+    }
+
+    for (const auto& ei : v.eis) {
+      for (Chronon t = ei.start; t <= ei.finish; ++t) {
+        ++coverage[static_cast<size_t>(t)];
+      }
+    }
+    ++committed;
+    for (const auto& ei : v.eis) {
+      Status st = schedule.AddProbe(ei.resource, ei.start);
+      (void)st;  // AlreadyExists: the physical probe is shared.
+    }
+
+    for (size_t ui = 0; ui < ceis.size(); ++ui) {
+      if (ui == vi || weight[ui] <= 0.0) continue;
+      const Cei& u = *ceis[ui];
+      if (!SegmentsOverlap(v, u)) continue;
+      bool blocked = false;
+      for (const auto& ei : u.eis) {
+        for (Chronon t = ei.start; t <= ei.finish && !blocked; ++t) {
+          if (coverage[static_cast<size_t>(t)] >= problem.budget().At(t)) {
+            blocked = true;
+          }
+        }
+        if (blocked) break;
+      }
+      if (blocked) weight[ui] = 0.0;
+    }
+  }
+
+  OfflineApproxResult result{std::move(schedule)};
+  result.committed_ceis = committed;
+  result.completeness = GainedCompleteness(problem, result.schedule);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Reference greedy slot assigner: linear booked scans.
+// ---------------------------------------------------------------------------
+
+class ReferenceSlotAssigner {
+ public:
+  ReferenceSlotAssigner(Schedule* schedule, std::vector<int64_t>* remaining,
+                        bool allow_shared_probes)
+      : schedule_(schedule),
+        remaining_(remaining),
+        allow_shared_probes_(allow_shared_probes) {}
+
+  bool TryCommit(const Cei& cei) {
+    std::vector<const ExecutionInterval*> order;
+    order.reserve(cei.eis.size());
+    for (const auto& ei : cei.eis) order.push_back(&ei);
+    std::sort(order.begin(), order.end(),
+              [](const ExecutionInterval* a, const ExecutionInterval* b) {
+                if (a->Length() != b->Length()) {
+                  return a->Length() < b->Length();
+                }
+                return a->id < b->id;
+              });
+
+    std::vector<std::pair<ResourceId, Chronon>> booked;
+    for (const ExecutionInterval* ei : order) {
+      if (allow_shared_probes_) {
+        bool satisfied =
+            schedule_->ProbedInRange(ei->resource, ei->start, ei->finish);
+        if (!satisfied) {
+          for (const auto& [r, t] : booked) {
+            if (r == ei->resource && ei->Contains(t)) {
+              satisfied = true;
+              break;
+            }
+          }
+        }
+        if (satisfied) continue;
+      }
+
+      Chronon chosen = kInvalidChronon;
+      for (Chronon t = ei->start; t <= ei->finish; ++t) {
+        int64_t tentative = 0;
+        for (const auto& [r, t2] : booked) {
+          if (t2 == t) ++tentative;
+        }
+        if ((*remaining_)[static_cast<size_t>(t)] - tentative > 0) {
+          chosen = t;
+          break;
+        }
+      }
+      if (chosen == kInvalidChronon) return false;
+      booked.emplace_back(ei->resource, chosen);
+    }
+
+    for (const auto& [r, t] : booked) {
+      --(*remaining_)[static_cast<size_t>(t)];
+      Status st = schedule_->AddProbe(r, t);
+      (void)st;  // AlreadyExists: the probe is shared physically.
+    }
+    return true;
+  }
+
+ private:
+  Schedule* schedule_;
+  std::vector<int64_t>* remaining_;
+  bool allow_shared_probes_;
+};
+
+}  // namespace
+
+StatusOr<ExactResult> SolveExactReference(const ProblemInstance& problem,
+                                          const ExactSolverOptions& options) {
+  ReferenceSearch search(problem, options);
+  return search.Run();
+}
+
+StatusOr<OfflineApproxResult> SolveOfflineApproxReference(
+    const ProblemInstance& problem, const OfflineApproxOptions& options) {
+  if (!options.transform_to_p1) {
+    return SolveLocalRatioReference(problem);
+  }
+  Stopwatch watch;
+  WEBMON_ASSIGN_OR_RETURN(
+      P1TransformResult transformed,
+      TransformToP1(problem, options.max_transform_ceis));
+  OfflineApproxResult result = SolveLocalRatioReference(transformed.problem);
+  result.completeness = GainedCompleteness(problem, result.schedule);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<OfflineApproxResult> SolveOfflineGreedyReference(
+    const ProblemInstance& problem, const OfflineGreedyOptions& options) {
+  Stopwatch watch;
+  const Chronon k = problem.num_chronons();
+  Schedule schedule(problem.num_resources(), k);
+  std::vector<int64_t> remaining(static_cast<size_t>(k));
+  for (Chronon t = 0; t < k; ++t) {
+    remaining[static_cast<size_t>(t)] = problem.budget().At(t);
+  }
+
+  std::vector<const Cei*> order = problem.AllCeis();
+  std::sort(order.begin(), order.end(), [](const Cei* a, const Cei* b) {
+    const Chronon fa = a->LatestFinish();
+    const Chronon fb = b->LatestFinish();
+    if (fa != fb) return fa < fb;
+    const Chronon ca = a->TotalChronons();
+    const Chronon cb = b->TotalChronons();
+    if (ca != cb) return ca < cb;
+    return a->id < b->id;
+  });
+
+  ReferenceSlotAssigner assigner(&schedule, &remaining,
+                                 options.allow_shared_probes);
+  int64_t committed = 0;
+  for (const Cei* cei : order) {
+    if (assigner.TryCommit(*cei)) ++committed;
+  }
+
+  OfflineApproxResult result{std::move(schedule)};
+  result.committed_ceis = committed;
+  result.completeness = GainedCompleteness(problem, result.schedule);
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace webmon
