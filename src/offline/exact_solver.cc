@@ -1,11 +1,18 @@
 #include "offline/exact_solver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "model/completeness.h"
+#include "util/bitset256.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace webmon {
 
@@ -20,11 +27,55 @@ struct FlatEi {
 };
 
 struct FlatCei {
-  uint64_t mask = 0;      // bit per flattened EI index
-  uint32_t size = 0;      // number of EIs
-  uint32_t required = 0;  // captures needed to satisfy the CEI
-  double weight = 1.0;    // client utility of capturing the CEI
+  Bitset256 mask;                // bit per flattened EI index
+  std::vector<uint32_t> ei_idx;  // the same bits, as indices
+  uint32_t required = 0;         // captures needed to satisfy the CEI
+  double weight = 1.0;           // client utility of capturing the CEI
 };
+
+// A probe-able resource at some chronon together with the EI bits the probe
+// would capture.
+struct Candidate {
+  ResourceId resource;
+  Bitset256 gain;
+};
+
+// Advances `idx` to the next lexicographic `idx.size()`-combination of
+// {0, ..., n - 1}; returns false when `idx` was already the last one.
+bool NextCombination(std::vector<size_t>& idx, size_t n) {
+  for (size_t i = idx.size(); i > 0;) {
+    --i;
+    if (idx[i] != i + n - idx.size()) {
+      ++idx[i];
+      for (size_t j = i + 1; j < idx.size(); ++j) idx[j] = idx[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Per-thread diagnostics, merged into ExactResult after the run.
+struct SearchCounters {
+  int64_t states = 0;
+  int64_t pruned = 0;
+  int64_t dominated = 0;
+  int64_t memo_hits = 0;
+
+  void MergeFrom(const SearchCounters& o) {
+    states += o.states;
+    pruned += o.pruned;
+    dominated += o.dominated;
+    memo_hits += o.memo_hits;
+  }
+};
+
+// Lock-free running maximum for the shared incumbent.
+void AtomicMax(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < value && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
 
 class Search {
  public:
@@ -37,31 +88,54 @@ class Search {
       for (const auto& cei : profile.ceis) {
         const uint32_t ci = static_cast<uint32_t>(ceis_.size());
         ceis_.push_back({});
-        ceis_[ci].size = static_cast<uint32_t>(cei.eis.size());
         ceis_[ci].required = static_cast<uint32_t>(cei.RequiredCaptures());
         ceis_[ci].weight = cei.weight;
         for (const auto& ei : cei.eis) {
           const uint32_t e = static_cast<uint32_t>(eis_.size());
           eis_.push_back({ei.resource, ei.start, ei.finish, ci});
-          ceis_[ci].mask |= (uint64_t{1} << e);
+          if (e < static_cast<uint32_t>(Bitset256::kBits)) {
+            ceis_[ci].mask.Set(static_cast<int>(e));
+            ceis_[ci].ei_idx.push_back(e);
+          }
         }
       }
     }
   }
 
   StatusOr<ExactResult> Run() {
-    if (static_cast<int64_t>(eis_.size()) > options_.max_eis) {
+    const int64_t cap =
+        std::min<int64_t>(options_.max_eis, Bitset256::kBits);
+    if (static_cast<int64_t>(eis_.size()) > cap) {
       return Status::InvalidArgument(
           "instance too large for exact search: " +
-          std::to_string(eis_.size()) + " EIs > max " +
-          std::to_string(options_.max_eis));
+          std::to_string(eis_.size()) + " EIs > max " + std::to_string(cap));
     }
-    states_ = 0;
-    WEBMON_ASSIGN_OR_RETURN(const double best, Dfs(0, 0));
 
-    ExactResult result{Schedule(problem_.num_resources(), k_), 0, best, 0.0,
-                       0.0, states_};
-    WEBMON_RETURN_IF_ERROR(Reconstruct(&result.schedule));
+    ExactResult result{Schedule(problem_.num_resources(), k_)};
+
+    // Phase 1 — establish the optimal value. The parallel variant only
+    // races an order-independent max (the incumbent ends exactly at OPT no
+    // matter how subtrees interleave), so the value — and everything
+    // reconstructed from it — is identical at any thread count.
+    Stopwatch search_watch;
+    double opt = 0.0;
+    if (options_.num_threads > 1 && k_ > 0) {
+      WEBMON_ASSIGN_OR_RETURN(opt, SearchParallel());
+    } else {
+      WEBMON_ASSIGN_OR_RETURN(opt, Value(0, Bitset256()));
+    }
+    result.search_seconds = search_watch.ElapsedSeconds();
+    result.captured_weight = opt;
+
+    // Phase 2 — serial canonical reconstruction against exact values.
+    Stopwatch reconstruct_watch;
+    WEBMON_RETURN_IF_ERROR(Reconstruct(opt, &result.schedule));
+    result.reconstruct_seconds = reconstruct_watch.ElapsedSeconds();
+
+    result.states_expanded = counters_.states;
+    result.subtrees_pruned = counters_.pruned;
+    result.dominated_skipped = counters_.dominated;
+    result.memo_hits = counters_.memo_hits;
     result.captured_ceis = CapturedCeiCount(problem_, result.schedule);
     result.completeness = GainedCompleteness(problem_, result.schedule);
     result.weighted_completeness =
@@ -70,29 +144,37 @@ class Search {
   }
 
  private:
+  using VisitedSet = std::unordered_set<Bitset256, Bitset256::Hash>;
+
+  struct ThreadState {
+    std::vector<VisitedSet> visited;  // one per chronon
+    SearchCounters counters;
+    Status status = Status::OK();
+  };
+
   // True iff CEI ci is already satisfied under its capture semantics.
-  bool Completed(uint32_t ci, uint64_t captured) const {
-    return static_cast<uint32_t>(
-               __builtin_popcountll(captured & ceis_[ci].mask)) >=
+  bool Completed(uint32_t ci, const Bitset256& captured) const {
+    return static_cast<uint32_t>(captured.CountAnd(ceis_[ci].mask)) >=
            ceis_[ci].required;
   }
 
   // True iff CEI ci can still be completed: the EIs whose windows have not
   // fully passed by chronon t, plus those already captured, suffice.
-  bool Alive(uint32_t ci, Chronon t, uint64_t captured) const {
+  bool Alive(uint32_t ci, Chronon t, const Bitset256& captured) const {
     uint32_t failed = 0;
-    uint64_t mask = ceis_[ci].mask;
-    while (mask != 0) {
-      const int e = __builtin_ctzll(mask);
-      mask &= mask - 1;
-      if ((captured >> e) & 1) continue;
-      if (eis_[static_cast<size_t>(e)].finish < t) ++failed;
+    for (const uint32_t e : ceis_[ci].ei_idx) {
+      if (captured.Test(static_cast<int>(e))) continue;
+      if (eis_[e].finish < t) ++failed;
     }
-    return ceis_[ci].size - failed >= ceis_[ci].required;
+    return static_cast<uint32_t>(ceis_[ci].ei_idx.size()) - failed >=
+           ceis_[ci].required;
   }
 
-  // Total weight of CEIs satisfied by `captured`.
-  double CompletedWeight(uint64_t captured) const {
+  // Total weight of CEIs satisfied by `captured`, summed in ascending CEI
+  // order. Every weight sum in the search uses this order, so a superset of
+  // completed CEIs never float-sums below a subset (monotone rounding) —
+  // the property the admissible bound and the reconstruction rely on.
+  double CompletedWeight(const Bitset256& captured) const {
     double done = 0.0;
     for (uint32_t ci = 0; ci < ceis_.size(); ++ci) {
       if (Completed(ci, captured)) done += ceis_[ci].weight;
@@ -100,80 +182,113 @@ class Search {
     return done;
   }
 
+  // Admissible upper bound on the final captured weight from (t, captured):
+  // weight already locked in plus the weight of every CEI that is still
+  // alive. A CEI neither completed nor alive can never contribute, and the
+  // ascending-order float sum dominates any reachable CompletedWeight.
+  double Bound(Chronon t, const Bitset256& captured) const {
+    double ub = 0.0;
+    for (uint32_t ci = 0; ci < ceis_.size(); ++ci) {
+      if (Completed(ci, captured) || Alive(ci, t, captured)) {
+        ub += ceis_[ci].weight;
+      }
+    }
+    return ub;
+  }
+
   // Candidate resources at chronon t: those with an active uncaptured EI
-  // whose parent CEI is still alive. Returns (resource, captures-mask).
-  std::vector<std::pair<ResourceId, uint64_t>> Candidates(
-      Chronon t, uint64_t captured) const {
-    // capture mask per resource if probed at t.
-    std::unordered_map<ResourceId, uint64_t> gain;
+  // whose parent CEI is still alive and incomplete, in ascending resource
+  // order — the reference solver's enumeration order, which reconstruction
+  // must reproduce exactly.
+  std::vector<Candidate> Candidates(Chronon t,
+                                    const Bitset256& captured) const {
+    std::unordered_map<ResourceId, Bitset256> gain;
     for (uint32_t e = 0; e < eis_.size(); ++e) {
-      if ((captured >> e) & 1) continue;
+      if (captured.Test(static_cast<int>(e))) continue;
       const FlatEi& ei = eis_[e];
       if (ei.start > t || ei.finish < t) continue;
       if (Completed(ei.cei, captured)) continue;  // nothing to gain
       if (!Alive(ei.cei, t, captured)) continue;
-      gain[ei.resource] |= (uint64_t{1} << e);
+      gain[ei.resource].Set(static_cast<int>(e));
     }
-    std::vector<std::pair<ResourceId, uint64_t>> out(gain.begin(), gain.end());
-    std::sort(out.begin(), out.end());
+    std::vector<Candidate> out;
+    out.reserve(gain.size());
+    for (const auto& [resource, mask] : gain) out.push_back({resource, mask});
+    std::sort(out.begin(), out.end(), [](const Candidate& a,
+                                         const Candidate& b) {
+      return a.resource < b.resource;
+    });
     return out;
   }
 
-  // Best final captured weight reachable from (t, captured).
-  StatusOr<double> Dfs(Chronon t, uint64_t captured) {
+  // Dominance filter: drop a candidate whose gain is a subset of another's
+  // (ties keep the smaller resource id). Probing the dominator captures a
+  // superset of EIs at the same unit cost, and captured-set supersets never
+  // lower the reachable weight, so the optimal VALUE is unaffected —
+  // reconstruction still enumerates the full list.
+  std::vector<Candidate> FilterDominated(const std::vector<Candidate>& full,
+                                         SearchCounters& counters) const {
+    if (full.size() <= 1) return full;
+    std::vector<Candidate> out;
+    out.reserve(full.size());
+    for (size_t i = 0; i < full.size(); ++i) {
+      bool dominated = false;
+      for (size_t j = 0; j < full.size() && !dominated; ++j) {
+        if (i == j) continue;
+        if (!full[i].gain.IsSubsetOf(full[j].gain)) continue;
+        dominated = (full[i].gain != full[j].gain) || j < i;
+      }
+      if (dominated) {
+        ++counters.dominated;
+      } else {
+        out.push_back(full[i]);
+      }
+    }
+    return out;
+  }
+
+  // Exact best final captured weight reachable from (t, captured), as a
+  // branch-and-bound with an internal incumbent: a child is skipped when
+  // its bound cannot strictly beat the best sibling value so far, and the
+  // node exits early once `best` meets its own bound. Both cuts preserve
+  // the exact maximum (and the exact double: some surviving leaf always
+  // attains it), so memoized values equal the reference solver's.
+  StatusOr<double> Value(Chronon t, const Bitset256& captured) {
     if (t >= k_) return CompletedWeight(captured);
-    // One memo table per chronon, keyed on the raw captured mask. The
-    // previous single-table key `captured * (k_ + 1) + t` silently wraps
-    // around 2^64 once high EI bits are set, aliasing distinct (t, captured)
-    // states and corrupting memo hits (see the MemoKeyCollision regression
-    // test for a concrete pair).
     auto& memo = memo_[static_cast<size_t>(t)];
-    if (auto it = memo.find(captured); it != memo.end()) return it->second;
-    if (options_.max_states > 0 && ++states_ > options_.max_states) {
+    if (auto it = memo.find(captured); it != memo.end()) {
+      ++counters_.memo_hits;
+      return it->second;
+    }
+    if (options_.max_states > 0 && ++counters_.states > options_.max_states) {
       return Status::ResourceExhausted("exact search state budget exceeded");
     }
 
-    const auto candidates = Candidates(t, captured);
+    const auto cands = FilterDominated(Candidates(t, captured), counters_);
     const int64_t budget = problem_.budget().At(t);
     const size_t pick =
-        std::min<size_t>(candidates.size(), static_cast<size_t>(
-                                                std::max<int64_t>(budget, 0)));
-    double best = 0;
+        std::min<size_t>(cands.size(),
+                         static_cast<size_t>(std::max<int64_t>(budget, 0)));
+    double best = 0.0;
     if (pick == 0) {
-      WEBMON_ASSIGN_OR_RETURN(best, Dfs(t + 1, captured));
+      WEBMON_ASSIGN_OR_RETURN(best, Value(t + 1, captured));
     } else {
-      // Probing more resources never hurts, so enumerate subsets of size
-      // exactly `pick`.
+      const double ub = Bound(t, captured);
       std::vector<size_t> idx(pick);
-      Status failure = Status::OK();
-      // Iterative combination enumeration.
-      for (size_t i = 0; i < pick; ++i) idx[i] = i;
+      std::iota(idx.begin(), idx.end(), size_t{0});
       while (true) {
-        uint64_t next_captured = captured;
-        for (size_t i = 0; i < pick; ++i) {
-          next_captured |= candidates[idx[i]].second;
+        Bitset256 next = captured;
+        for (const size_t i : idx) next |= cands[i].gain;
+        if (Bound(t + 1, next) <= best) {
+          ++counters_.pruned;
+        } else {
+          WEBMON_ASSIGN_OR_RETURN(const double sub, Value(t + 1, next));
+          best = std::max(best, sub);
+          if (best >= ub) break;  // nothing left to gain at this node
         }
-        auto sub = Dfs(t + 1, next_captured);
-        if (!sub.ok()) return sub.status();
-        best = std::max(best, *sub);
-        // Advance combination.
-        size_t i = pick;
-        while (i > 0) {
-          --i;
-          if (idx[i] != i + candidates.size() - pick) break;
-          if (i == 0) {
-            i = pick;  // signal done
-            break;
-          }
-        }
-        if (i == pick) break;
-        ++idx[i];
-        for (size_t j = i + 1; j < pick; ++j) idx[j] = idx[j - 1] + 1;
+        if (!NextCombination(idx, cands.size())) break;
       }
-      (void)failure;
     }
-    // Bound monotonicity: captures are never undone, so the best final
-    // weight reachable from here is at least the weight already locked in.
     WEBMON_DCHECK_GE(best, CompletedWeight(captured) - 1e-12)
         << "DFS bound dropped below the already-captured weight at chronon "
         << t;
@@ -181,55 +296,153 @@ class Search {
     return best;
   }
 
-  // Replays an optimal path, writing probes into `schedule`.
-  Status Reconstruct(Schedule* schedule) {
+  // Phase-1 worker: prove `incumbent` >= best-from(t, captured), sharing
+  // the incumbent across threads and keeping visited sets thread-local.
+  // The prune check runs before the visited insert, so a revisit is safe:
+  // the first visit already raised the incumbent to at least this state's
+  // best, and the incumbent only grows.
+  void Explore(Chronon t, const Bitset256& captured, ThreadState& ts) {
+    if (!ts.status.ok()) return;
+    if (t >= k_) {
+      AtomicMax(*incumbent_, CompletedWeight(captured));
+      return;
+    }
+    if (Bound(t, captured) <= incumbent_->load(std::memory_order_relaxed)) {
+      ++ts.counters.pruned;
+      return;
+    }
+    if (!ts.visited[static_cast<size_t>(t)].insert(captured).second) {
+      ++ts.counters.memo_hits;
+      return;
+    }
+    if (options_.max_states > 0 &&
+        shared_states_->fetch_add(1, std::memory_order_relaxed) + 1 >
+            options_.max_states) {
+      ts.status = Status::ResourceExhausted("exact search state budget "
+                                            "exceeded");
+      return;
+    }
+    ++ts.counters.states;
+
+    const auto cands = FilterDominated(Candidates(t, captured), ts.counters);
+    const int64_t budget = problem_.budget().At(t);
+    const size_t pick =
+        std::min<size_t>(cands.size(),
+                         static_cast<size_t>(std::max<int64_t>(budget, 0)));
+    if (pick == 0) {
+      Explore(t + 1, captured, ts);
+      return;
+    }
+    std::vector<size_t> idx(pick);
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    do {
+      Bitset256 next = captured;
+      for (const size_t i : idx) next |= cands[i].gain;
+      Explore(t + 1, next, ts);
+      if (!ts.status.ok()) return;
+    } while (NextCombination(idx, cands.size()));
+  }
+
+  StatusOr<double> SearchParallel() {
+    // Enumerate the root chronon's combinations serially, then fan the
+    // subtrees across the pool with a shared incumbent.
+    const Bitset256 empty;
+    const auto cands = FilterDominated(Candidates(0, empty), counters_);
+    const int64_t budget = problem_.budget().At(0);
+    const size_t pick =
+        std::min<size_t>(cands.size(),
+                         static_cast<size_t>(std::max<int64_t>(budget, 0)));
+    std::vector<Bitset256> roots;
+    if (pick == 0) {
+      roots.push_back(empty);
+    } else {
+      std::vector<size_t> idx(pick);
+      std::iota(idx.begin(), idx.end(), size_t{0});
+      do {
+        Bitset256 next;
+        for (const size_t i : idx) next |= cands[i].gain;
+        roots.push_back(next);
+      } while (NextCombination(idx, cands.size()));
+    }
+
+    std::atomic<double> incumbent{0.0};
+    std::atomic<int64_t> states{0};
+    incumbent_ = &incumbent;
+    shared_states_ = &states;
+
+    ThreadPool pool(options_.num_threads);
+    const int lanes = pool.num_threads();
+    std::vector<ThreadState> thread_states(static_cast<size_t>(lanes));
+    for (auto& ts : thread_states) {
+      ts.visited.resize(static_cast<size_t>(k_));
+    }
+    pool.ParallelFor(lanes, [&](int lane) {
+      ThreadState& ts = thread_states[static_cast<size_t>(lane)];
+      for (size_t r = static_cast<size_t>(lane); r < roots.size();
+           r += static_cast<size_t>(lanes)) {
+        Explore(1, roots[r], ts);
+        if (!ts.status.ok()) return;
+      }
+    });
+    incumbent_ = nullptr;
+    shared_states_ = nullptr;
+
+    counters_.states += states.load();
+    for (const auto& ts : thread_states) {
+      if (!ts.status.ok()) return ts.status;
+      counters_.pruned += ts.counters.pruned;
+      counters_.dominated += ts.counters.dominated;
+      counters_.memo_hits += ts.counters.memo_hits;
+    }
+    return incumbent.load();
+  }
+
+  // Replays an optimal path against exact values, writing probes into
+  // `schedule`. Enumerates the FULL candidate list in reference order and
+  // accepts the first combination whose subtree value meets the target, so
+  // the schedule is byte-identical to the reference solver's. A bound
+  // check fast-rejects combinations whose subtree could not reach the
+  // target (bound >= value, so every skipped combination is one the
+  // reference also rejects).
+  Status Reconstruct(double opt, Schedule* schedule) {
     constexpr double kEps = 1e-9;
     Chronon t = 0;
-    uint64_t captured = 0;
+    Bitset256 captured;
+    double target = opt;
     while (t < k_) {
-      WEBMON_ASSIGN_OR_RETURN(const double target, Dfs(t, captured));
       const auto candidates = Candidates(t, captured);
       const int64_t budget = problem_.budget().At(t);
       const size_t pick = std::min<size_t>(
           candidates.size(),
           static_cast<size_t>(std::max<int64_t>(budget, 0)));
-      bool advanced = false;
       if (pick == 0) {
+        // No probes possible: the value carries over unchanged.
         t += 1;
-        advanced = true;
-      } else {
-        std::vector<size_t> idx(pick);
-        for (size_t i = 0; i < pick; ++i) idx[i] = i;
-        while (!advanced) {
-          uint64_t next_captured = captured;
-          for (size_t i = 0; i < pick; ++i) {
-            next_captured |= candidates[idx[i]].second;
+        continue;
+      }
+      std::vector<size_t> idx(pick);
+      std::iota(idx.begin(), idx.end(), size_t{0});
+      bool advanced = false;
+      while (!advanced) {
+        Bitset256 next = captured;
+        for (const size_t i : idx) next |= candidates[i].gain;
+        bool accept = false;
+        double sub = 0.0;
+        if (Bound(t + 1, next) >= target - kEps) {
+          WEBMON_ASSIGN_OR_RETURN(sub, Value(t + 1, next));
+          accept = sub >= target - kEps;
+        }
+        if (accept) {
+          for (const size_t i : idx) {
+            WEBMON_RETURN_IF_ERROR(
+                schedule->AddProbe(candidates[i].resource, t));
           }
-          WEBMON_ASSIGN_OR_RETURN(const double sub, Dfs(t + 1, next_captured));
-          if (sub >= target - kEps) {
-            for (size_t i = 0; i < pick; ++i) {
-              WEBMON_RETURN_IF_ERROR(
-                  schedule->AddProbe(candidates[idx[i]].first, t));
-            }
-            captured = next_captured;
-            t += 1;
-            advanced = true;
-            break;
-          }
-          size_t i = pick;
-          while (i > 0) {
-            --i;
-            if (idx[i] != i + candidates.size() - pick) break;
-            if (i == 0) {
-              i = pick;
-              break;
-            }
-          }
-          if (i == pick) {
-            return Status::Internal("exact reconstruction diverged from memo");
-          }
-          ++idx[i];
-          for (size_t j = i + 1; j < pick; ++j) idx[j] = idx[j - 1] + 1;
+          captured = next;
+          target = sub;
+          t += 1;
+          advanced = true;
+        } else if (!NextCombination(idx, candidates.size())) {
+          return Status::Internal("exact reconstruction diverged from search");
         }
       }
     }
@@ -241,8 +454,12 @@ class Search {
   Chronon k_;
   std::vector<FlatEi> eis_;
   std::vector<FlatCei> ceis_;
-  std::vector<std::unordered_map<uint64_t, double>> memo_;  // one per chronon
-  int64_t states_ = 0;
+  // Exact-value memo for phase 2, one table per chronon.
+  std::vector<std::unordered_map<Bitset256, double, Bitset256::Hash>> memo_;
+  SearchCounters counters_;
+  // Shared state of the parallel phase; null outside SearchParallel.
+  std::atomic<double>* incumbent_ = nullptr;
+  std::atomic<int64_t>* shared_states_ = nullptr;
 };
 
 }  // namespace

@@ -1,12 +1,24 @@
-// Exact offline solver for Problem 1 by schedule search.
+// Exact offline solver for Problem 1 by branch-and-bound schedule search.
 //
-// Proposition 4 shows full enumeration costs O(K n^{K C_max + 1}); this
-// solver explores the same space with memoization on (chronon, captured-EI
-// set) and an optimistic-bound prune, which makes tiny instances (up to
-// ~24 EIs) tractable. It exists as the ground-truth oracle for tests: the
+// Proposition 4 shows full enumeration costs O(K n^{K C_max + 1}). This
+// solver explores that space depth-first with:
+//  * an admissible upper bound — weight already locked in plus the total
+//    weight of still-`Alive` CEIs — pruned against a running incumbent;
+//  * per-chronon memo/visited tables keyed on the captured-EI set
+//    (util/bitset256, lifting the old 64-EI mask ceiling);
+//  * candidate dominance — a resource whose capture gain is a subset of
+//    another's at equal cost is never enumerated;
+//  * an optional parallel phase splitting the root chronon's combinations
+//    across util/thread_pool with a shared atomic incumbent.
+// The returned schedule is byte-identical to the pre-optimization reference
+// (offline/reference_solvers.h) at any thread count: the search phase only
+// establishes the optimal value (an order-independent max), and a serial
+// reconstruction phase re-derives the canonical schedule. See
+// docs/PERFORMANCE.md ("Offline solvers") for the bound derivation and the
+// determinism argument. It exists as the ground-truth oracle for tests: the
 // optimality of S-EDF under Proposition 1's conditions, the feasibility and
-// quality of the offline approximation, and the online policies' completeness
-// are all checked against it.
+// quality of the offline approximation, and the online policies'
+// completeness are all checked against it.
 
 #ifndef WEBMON_OFFLINE_EXACT_SOLVER_H_
 #define WEBMON_OFFLINE_EXACT_SOLVER_H_
@@ -33,16 +45,32 @@ struct ExactResult {
   double completeness = 0.0;
   /// Weighted completeness of the returned schedule (optimal).
   double weighted_completeness = 0.0;
-  /// Number of DFS states expanded (diagnostics).
+  /// Number of DFS states expanded across both phases (diagnostics).
   int64_t states_expanded = 0;
+  /// Subtrees cut by the upper-bound-vs-incumbent prune (diagnostics; with
+  /// num_threads > 1 the split across counters varies with scheduling, the
+  /// schedule and values never do).
+  int64_t subtrees_pruned = 0;
+  /// Candidate resources dropped by dominance (gain-subset) filtering.
+  int64_t dominated_skipped = 0;
+  /// Memo/visited table hits (diagnostics).
+  int64_t memo_hits = 0;
+  /// Wall time of the value-search phase, seconds.
+  double search_seconds = 0.0;
+  /// Wall time of the schedule-reconstruction phase, seconds.
+  double reconstruct_seconds = 0.0;
 };
 
 /// Options bounding the search.
 struct ExactSolverOptions {
-  /// Refuse instances with more EIs than this (the state space is 2^EIs).
-  int64_t max_eis = 24;
+  /// Refuse instances with more EIs than this (the state space is 2^EIs;
+  /// hard-capped at 256 by the capture mask width).
+  int64_t max_eis = 100;
   /// Abort after this many expanded states (0 = unlimited).
   int64_t max_states = 50'000'000;
+  /// Workers for the root-split search phase (<= 1 = serial). The schedule
+  /// and all values are byte-identical at any setting.
+  int num_threads = 1;
 };
 
 /// Computes an optimal schedule. Fails with InvalidArgument when the

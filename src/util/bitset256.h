@@ -1,0 +1,132 @@
+// Fixed-width 256-bit set with value semantics.
+//
+// Built for dense bit-mask state keys — the exact offline solver keys its
+// memo and visited tables on the captured-EI set, which outgrew a single
+// uint64_t once instances above 64 EIs became tractable. Compared to
+// std::bitset this adds the operations the search actually needs (subset
+// tests, masked popcount, ascending set-bit iteration, hashing) and stays
+// trivially copyable.
+
+#ifndef WEBMON_UTIL_BITSET256_H_
+#define WEBMON_UTIL_BITSET256_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace webmon {
+
+class Bitset256 {
+ public:
+  static constexpr int kBits = 256;
+  static constexpr int kWords = 4;
+
+  constexpr Bitset256() = default;
+
+  void Set(int i) {
+    WEBMON_DCHECK(i >= 0 && i < kBits) << "bit index out of range";
+    w_[WordOf(i)] |= BitOf(i);
+  }
+  void Reset(int i) {
+    WEBMON_DCHECK(i >= 0 && i < kBits) << "bit index out of range";
+    w_[WordOf(i)] &= ~BitOf(i);
+  }
+  bool Test(int i) const {
+    WEBMON_DCHECK(i >= 0 && i < kBits) << "bit index out of range";
+    return (w_[WordOf(i)] & BitOf(i)) != 0;
+  }
+
+  bool None() const { return (w_[0] | w_[1] | w_[2] | w_[3]) == 0; }
+  bool Any() const { return !None(); }
+
+  int Count() const {
+    int n = 0;
+    for (uint64_t w : w_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+  /// popcount(*this & mask) without materializing the intersection.
+  int CountAnd(const Bitset256& mask) const {
+    int n = 0;
+    for (int i = 0; i < kWords; ++i) {
+      n += __builtin_popcountll(w_[i] & mask.w_[i]);
+    }
+    return n;
+  }
+
+  /// True iff every set bit of *this is also set in `other`.
+  bool IsSubsetOf(const Bitset256& other) const {
+    for (int i = 0; i < kWords; ++i) {
+      if ((w_[i] & ~other.w_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Calls fn(i) for every set bit, in ascending bit order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (int wi = 0; wi < kWords; ++wi) {
+      uint64_t m = w_[wi];
+      while (m != 0) {
+        const int b = __builtin_ctzll(m);
+        m &= m - 1;
+        fn(wi * 64 + b);
+      }
+    }
+  }
+
+  Bitset256& operator|=(const Bitset256& o) {
+    for (int i = 0; i < kWords; ++i) w_[i] |= o.w_[i];
+    return *this;
+  }
+  Bitset256& operator&=(const Bitset256& o) {
+    for (int i = 0; i < kWords; ++i) w_[i] &= o.w_[i];
+    return *this;
+  }
+
+  friend Bitset256 operator|(Bitset256 a, const Bitset256& b) {
+    a |= b;
+    return a;
+  }
+  friend Bitset256 operator&(Bitset256 a, const Bitset256& b) {
+    a &= b;
+    return a;
+  }
+  friend bool operator==(const Bitset256& a, const Bitset256& b) {
+    return a.w_[0] == b.w_[0] && a.w_[1] == b.w_[1] && a.w_[2] == b.w_[2] &&
+           a.w_[3] == b.w_[3];
+  }
+  friend bool operator!=(const Bitset256& a, const Bitset256& b) {
+    return !(a == b);
+  }
+
+  /// Hasher for unordered containers (SplitMix64-style finalizer per word,
+  /// folded with distinct odd multipliers so word position matters).
+  struct Hash {
+    size_t operator()(const Bitset256& s) const {
+      uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (int i = 0; i < kWords; ++i) {
+        uint64_t x = s.w_[i] + 0x9e3779b97f4a7c15ULL *
+                                   static_cast<uint64_t>(i + 1);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        h = (h * 0x100000001b3ULL) ^ x;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+ private:
+  static constexpr int WordOf(int i) { return i >> 6; }
+  static constexpr uint64_t BitOf(int i) { return uint64_t{1} << (i & 63); }
+
+  uint64_t w_[kWords] = {0, 0, 0, 0};
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_BITSET256_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "model/completeness.h"
+#include "offline/offline_approx.h"
 #include "util/rng.h"
 
 #include "../test_util.h"
@@ -81,6 +82,19 @@ TEST(ExactSolverTest, SharedProbeExploitsIntraResourceOverlap) {
 }
 
 TEST(ExactSolverTest, RejectsOversizedInstance) {
+  // Default max_eis is 100; 101 single-EI CEIs must be refused.
+  ProblemBuilder builder(2, 30, BudgetVector::Uniform(1));
+  builder.BeginProfile();
+  for (int i = 0; i < 101; ++i) {
+    ASSERT_TRUE(builder.AddCei({{0, i % 30, i % 30}}).ok());
+  }
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+  EXPECT_EQ(SolveExact(*problem).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExactSolverTest, RespectsTightenedMaxEis) {
   ProblemBuilder builder(2, 30, BudgetVector::Uniform(1));
   builder.BeginProfile();
   for (int i = 0; i < 30; ++i) {
@@ -88,8 +102,47 @@ TEST(ExactSolverTest, RejectsOversizedInstance) {
   }
   auto problem = builder.Build();
   ASSERT_TRUE(problem.ok());
-  EXPECT_EQ(SolveExact(*problem).status().code(),
+  ExactSolverOptions options;
+  options.max_eis = 24;
+  EXPECT_EQ(SolveExact(*problem, options).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(ExactSolverTest, SolvesFortyPlusEiInstance) {
+  // The pre-branch-and-bound solver could not touch this class at all
+  // (64-EI mask ceiling aside, the unpruned state space is intractable);
+  // the bounded search must finish it within the default state budget.
+  Rng rng(0xB16);
+  ProblemBuilder builder(6, 24, BudgetVector::Uniform(1));
+  int eis_total = 0;
+  for (int c = 0; c < 20; ++c) {
+    builder.BeginProfile();
+    std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+    const int rank = 2 + static_cast<int>(rng.UniformU64(2));
+    for (int e = 0; e < rank; ++e) {
+      const auto r = static_cast<ResourceId>(rng.UniformU64(6));
+      const auto s = static_cast<Chronon>(rng.UniformU64(20));
+      const auto f = std::min<Chronon>(
+          s + 2 + static_cast<Chronon>(rng.UniformU64(4)), 23);
+      eis.emplace_back(r, s, f);
+    }
+    eis_total += rank;
+    ASSERT_TRUE(builder.AddCei(eis).ok());
+  }
+  ASSERT_GE(eis_total, 40);
+  auto problem = builder.Build();
+  ASSERT_TRUE(problem.ok());
+
+  auto result = SolveExact(*problem);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->schedule.CheckFeasible(problem->budget()).ok());
+  EXPECT_EQ(CapturedCeiCount(*problem, result->schedule),
+            result->captured_ceis);
+  // Optimality sanity: the greedy baseline cannot beat the exact optimum.
+  auto greedy = SolveOfflineGreedy(*problem);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_GE(result->captured_ceis,
+            CapturedCeiCount(*problem, greedy->schedule));
 }
 
 TEST(ExactSolverTest, MemoKeyCollisionRegression) {

@@ -1,0 +1,106 @@
+#include "util/bitset256.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webmon {
+namespace {
+
+TEST(Bitset256Test, StartsEmpty) {
+  Bitset256 s;
+  EXPECT_TRUE(s.None());
+  EXPECT_FALSE(s.Any());
+  EXPECT_EQ(s.Count(), 0);
+  for (int i = 0; i < Bitset256::kBits; i += 17) EXPECT_FALSE(s.Test(i));
+}
+
+TEST(Bitset256Test, SetTestResetAcrossWords) {
+  Bitset256 s;
+  // One bit in each 64-bit word, including both word boundaries.
+  const std::vector<int> bits = {0, 63, 64, 127, 128, 191, 192, 255};
+  for (int b : bits) s.Set(b);
+  EXPECT_EQ(s.Count(), static_cast<int>(bits.size()));
+  for (int b : bits) EXPECT_TRUE(s.Test(b));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_FALSE(s.Test(62));
+  EXPECT_FALSE(s.Test(129));
+  s.Reset(64);
+  EXPECT_FALSE(s.Test(64));
+  EXPECT_EQ(s.Count(), static_cast<int>(bits.size()) - 1);
+}
+
+TEST(Bitset256Test, OrAndEquality) {
+  Bitset256 a;
+  Bitset256 b;
+  a.Set(3);
+  a.Set(100);
+  b.Set(100);
+  b.Set(200);
+  const Bitset256 u = a | b;
+  EXPECT_TRUE(u.Test(3));
+  EXPECT_TRUE(u.Test(100));
+  EXPECT_TRUE(u.Test(200));
+  EXPECT_EQ(u.Count(), 3);
+  const Bitset256 n = a & b;
+  EXPECT_EQ(n.Count(), 1);
+  EXPECT_TRUE(n.Test(100));
+  EXPECT_NE(a, b);
+  Bitset256 a2;
+  a2.Set(100);
+  a2.Set(3);
+  EXPECT_EQ(a, a2);
+}
+
+TEST(Bitset256Test, CountAndMatchesMaterializedIntersection) {
+  Bitset256 a;
+  Bitset256 b;
+  for (int i = 0; i < 256; i += 3) a.Set(i);
+  for (int i = 0; i < 256; i += 5) b.Set(i);
+  EXPECT_EQ(a.CountAnd(b), (a & b).Count());
+  EXPECT_EQ(a.CountAnd(Bitset256()), 0);
+}
+
+TEST(Bitset256Test, SubsetTest) {
+  Bitset256 small;
+  Bitset256 big;
+  small.Set(10);
+  small.Set(70);
+  big.Set(10);
+  big.Set(70);
+  big.Set(250);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(Bitset256().IsSubsetOf(small));
+  small.Set(130);
+  EXPECT_FALSE(small.IsSubsetOf(big));
+}
+
+TEST(Bitset256Test, ForEachSetBitAscending) {
+  Bitset256 s;
+  const std::vector<int> bits = {5, 63, 64, 130, 255};
+  for (int b : bits) s.Set(b);
+  std::vector<int> seen;
+  s.ForEachSetBit([&](int b) { seen.push_back(b); });
+  EXPECT_EQ(seen, bits);
+}
+
+TEST(Bitset256Test, UsableAsHashKey) {
+  std::unordered_set<Bitset256, Bitset256::Hash> set;
+  // High-bit-only patterns collide if the hash ignores upper words.
+  for (int b = 0; b < 256; ++b) {
+    Bitset256 s;
+    s.Set(b);
+    set.insert(s);
+  }
+  set.insert(Bitset256());
+  EXPECT_EQ(set.size(), 257u);
+  Bitset256 probe;
+  probe.Set(200);
+  EXPECT_EQ(set.count(probe), 1u);
+}
+
+}  // namespace
+}  // namespace webmon
