@@ -1,6 +1,7 @@
 #include "offline/offline_approx.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "model/completeness.h"
@@ -14,118 +15,151 @@ namespace {
 // ---------------------------------------------------------------------------
 // Local-ratio solver (the paper's baseline).
 // ---------------------------------------------------------------------------
-
-// True iff the CEI pair cannot both be selected in the machine model:
-// selecting both would push some chronon's segment coverage above the
-// budget. `coverage` is the current per-chronon committed segment count;
-// the test is evaluated for v against u assuming u is already selected, so
-// it reduces to a pairwise segment-overlap test used during neighborhood
-// zeroing.
-bool SegmentsOverlap(const Cei& a, const Cei& b) {
-  for (const auto& ea : a.eis) {
-    for (const auto& eb : b.eis) {
-      if (ea.start <= eb.finish && eb.start <= ea.finish) return true;
-    }
-  }
-  return false;
-}
+//
+// Selection semantics are frozen by the differential suite
+// (tests/offline/offline_differential_test.cc): this must produce schedules
+// byte-identical to SolveOfflineApproxReference. The optimizations below are
+// all selection-neutral:
+//  * the earliest-completion sort is decorate-sorted on memoized
+//    (LatestFinish, TotalChronons) keys — same total order;
+//  * per-CEI demand uses an epoch-stamped flat per-chronon array instead of
+//    a find_if list — same feasibility verdicts;
+//  * the O(V^2) pairwise zeroing sweep becomes a per-chronon bucket index
+//    touched only for chronons the selection exhausts. Zeroing never
+//    changes the selected set in the first place: a CEI spanning an
+//    exhausted chronon t fails its own feasibility check when its turn
+//    comes (coverage[t] >= budget[t] implies coverage[t] + units >
+//    budget[t], and coverage never decreases), so which superset of those
+//    CEIs gets pre-zeroed only affects how much work is skipped, not what
+//    is selected.
 
 OfflineApproxResult SolveLocalRatio(const ProblemInstance& problem) {
   Stopwatch watch;
   const Chronon k = problem.num_chronons();
+  const size_t num_slots = static_cast<size_t>(std::max<Chronon>(k, 0));
 
-  std::vector<const Cei*> ceis = problem.AllCeis();
   // Earliest-completion order: the local-ratio selection rule picks the
   // positive-weight CEI whose last segment ends first.
-  std::sort(ceis.begin(), ceis.end(), [](const Cei* a, const Cei* b) {
-    const Chronon fa = a->LatestFinish();
-    const Chronon fb = b->LatestFinish();
-    if (fa != fb) return fa < fb;
-    const Chronon ca = a->TotalChronons();
-    const Chronon cb = b->TotalChronons();
-    if (ca != cb) return ca < cb;
-    return a->id < b->id;
+  Stopwatch sort_watch;
+  struct Entry {
+    const Cei* cei;
+    Chronon latest_finish;
+    Chronon total_chronons;
+  };
+  std::vector<Entry> order;
+  {
+    const std::vector<const Cei*> all = problem.AllCeis();
+    order.reserve(all.size());
+    for (const Cei* cei : all) {
+      order.push_back({cei, cei->LatestFinish(), cei->TotalChronons()});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+    if (a.latest_finish != b.latest_finish) {
+      return a.latest_finish < b.latest_finish;
+    }
+    if (a.total_chronons != b.total_chronons) {
+      return a.total_chronons < b.total_chronons;
+    }
+    return a.cei->id < b.cei->id;
   });
+  const double sort_seconds = sort_watch.ElapsedSeconds();
 
-  // Unit profits: the recursive weight decomposition w -> w - w1(N[v])
-  // degenerates to zeroing the residual weight of v's conflict
-  // neighborhood. weight[i] > 0 <=> CEI i still selectable.
-  std::vector<double> weight(ceis.size(), 1.0);
-  // Per-chronon committed segment coverage (machine usage).
-  std::vector<int64_t> coverage(static_cast<size_t>(k), 0);
+  Stopwatch select_watch;
+  // Flat per-chronon tables: budget (hoisted out of BudgetVector::At),
+  // committed segment coverage, and an epoch-stamped demand scratch whose
+  // per-CEI reset costs O(chronons touched), not O(K).
+  std::vector<int64_t> budget(num_slots, 0);
+  for (Chronon t = 0; t < k; ++t) {
+    budget[static_cast<size_t>(t)] = problem.budget().At(t);
+  }
+  std::vector<int64_t> coverage(num_slots, 0);
+  std::vector<int64_t> demand(num_slots, 0);
+  std::vector<size_t> demand_epoch(num_slots, 0);
+  size_t epoch = 0;
+
+  // Interval index: chronon -> sorted positions of the CEIs with a segment
+  // covering it. Duplicates (a CEI covering t with two EIs) are harmless —
+  // zeroing is idempotent.
+  std::vector<std::vector<uint32_t>> bucket(num_slots);
+  for (uint32_t vi = 0; vi < order.size(); ++vi) {
+    for (const auto& ei : order[vi].cei->eis) {
+      for (Chronon t = ei.start; t <= ei.finish; ++t) {
+        bucket[static_cast<size_t>(t)].push_back(vi);
+      }
+    }
+  }
+
+  // selectable[vi] <=> residual local-ratio weight still positive.
+  std::vector<char> selectable(order.size(), 1);
 
   Schedule schedule(problem.num_resources(), k);
   int64_t committed = 0;
+  std::vector<Chronon> touched;
 
-  for (size_t vi = 0; vi < ceis.size(); ++vi) {
-    if (weight[vi] <= 0.0) continue;
-    const Cei& v = *ceis[vi];
+  for (size_t vi = 0; vi < order.size(); ++vi) {
+    if (!selectable[vi]) continue;
+    const Cei& v = *order[vi].cei;
 
     // Feasibility in the machine model: every chronon any EI of v spans
     // must have a free budget unit per covering segment (two EIs of v
     // overlapping in time each need their own unit).
-    std::vector<std::pair<Chronon, int64_t>> demand;  // chronon -> segments
+    ++epoch;
+    touched.clear();
+    bool feasible = true;
     for (const auto& ei : v.eis) {
       for (Chronon t = ei.start; t <= ei.finish; ++t) {
-        auto it = std::find_if(demand.begin(), demand.end(),
-                               [t](const auto& d) { return d.first == t; });
-        if (it == demand.end()) {
-          demand.emplace_back(t, 1);
-        } else {
-          ++it->second;
+        const size_t st = static_cast<size_t>(t);
+        if (demand_epoch[st] != epoch) {
+          demand_epoch[st] = epoch;
+          demand[st] = 0;
+          touched.push_back(t);
+        }
+        ++demand[st];
+        if (coverage[st] + demand[st] > budget[st]) {
+          feasible = false;
+          break;
         }
       }
-    }
-    bool feasible = true;
-    for (const auto& [t, units] : demand) {
-      if (coverage[static_cast<size_t>(t)] + units > problem.budget().At(t)) {
-        feasible = false;
-        break;
-      }
+      if (!feasible) break;
     }
     if (!feasible) {
-      weight[vi] = 0.0;
+      selectable[vi] = 0;
       continue;
     }
 
-    // Select v: occupy its segments and zero the weight of every CEI that
-    // conflicts with it under a now-exhausted chronon (for C = 1 this is
-    // exactly the split-interval-graph closed neighborhood).
+    // Select v: occupy its segments, probe each EI at its start chronon
+    // (segment ownership guarantees per-chronon feasibility).
     for (const auto& ei : v.eis) {
       for (Chronon t = ei.start; t <= ei.finish; ++t) {
         ++coverage[static_cast<size_t>(t)];
       }
     }
     ++committed;
-    // Probe each EI at its start chronon; the segment ownership guarantees
-    // per-chronon feasibility (probes at t <= EIs covering t <= coverage).
     for (const auto& ei : v.eis) {
       Status st = schedule.AddProbe(ei.resource, ei.start);
       (void)st;  // AlreadyExists: the physical probe is shared.
     }
 
-    // Neighborhood zeroing sweep — the expensive part of the local-ratio
-    // scheme (O(V) pairwise segment-overlap tests per selection).
-    for (size_t ui = 0; ui < ceis.size(); ++ui) {
-      if (ui == vi || weight[ui] <= 0.0) continue;
-      const Cei& u = *ceis[ui];
-      if (!SegmentsOverlap(v, u)) continue;
-      // u conflicts with v wherever budget is now exhausted.
-      bool blocked = false;
-      for (const auto& ei : u.eis) {
-        for (Chronon t = ei.start; t <= ei.finish && !blocked; ++t) {
-          if (coverage[static_cast<size_t>(t)] >= problem.budget().At(t)) {
-            blocked = true;
-          }
-        }
-        if (blocked) break;
+    // Neighborhood zeroing via the interval index: only the buckets of
+    // chronons this selection exhausted are walked, and each such bucket
+    // is dropped for good. (Only chronons v touched can have flipped to
+    // exhausted.)
+    for (const Chronon t : touched) {
+      const size_t st = static_cast<size_t>(t);
+      if (coverage[st] >= budget[st]) {
+        for (const uint32_t ui : bucket[st]) selectable[ui] = 0;
+        bucket[st].clear();
+        bucket[st].shrink_to_fit();
       }
-      if (blocked) weight[ui] = 0.0;
     }
   }
+  const double select_seconds = select_watch.ElapsedSeconds();
 
   OfflineApproxResult result{std::move(schedule), committed, 0.0, 0.0};
   result.completeness = GainedCompleteness(problem, result.schedule);
+  result.sort_seconds = sort_seconds;
+  result.select_seconds = select_seconds;
   result.wall_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -136,22 +170,24 @@ OfflineApproxResult SolveLocalRatio(const ProblemInstance& problem) {
 
 // Greedy slot assignment for one CEI against the committed bookings.
 // On success commits the bookings and returns true; on failure leaves all
-// state untouched and returns false.
+// state untouched and returns false. The per-slot tentative counter
+// replaces the reference's linear booked-list scan per candidate chronon;
+// it is rolled back after every attempt, so decisions are unchanged.
 class SlotAssigner {
  public:
   SlotAssigner(Schedule* schedule, std::vector<int64_t>* remaining,
                bool allow_shared_probes)
       : schedule_(schedule),
         remaining_(remaining),
-        allow_shared_probes_(allow_shared_probes) {}
+        allow_shared_probes_(allow_shared_probes),
+        tentative_(remaining->size(), 0) {}
 
   bool TryCommit(const Cei& cei) {
     // Assign tight windows first: an EI with fewer feasible chronons is
     // harder to place.
-    std::vector<const ExecutionInterval*> order;
-    order.reserve(cei.eis.size());
-    for (const auto& ei : cei.eis) order.push_back(&ei);
-    std::sort(order.begin(), order.end(),
+    order_.clear();
+    for (const auto& ei : cei.eis) order_.push_back(&ei);
+    std::sort(order_.begin(), order_.end(),
               [](const ExecutionInterval* a, const ExecutionInterval* b) {
                 if (a->Length() != b->Length()) {
                   return a->Length() < b->Length();
@@ -159,13 +195,14 @@ class SlotAssigner {
                 return a->id < b->id;
               });
 
-    std::vector<std::pair<ResourceId, Chronon>> booked;
-    for (const ExecutionInterval* ei : order) {
+    booked_.clear();
+    bool placed_all = true;
+    for (const ExecutionInterval* ei : order_) {
       if (allow_shared_probes_) {
         bool satisfied =
             schedule_->ProbedInRange(ei->resource, ei->start, ei->finish);
         if (!satisfied) {
-          for (const auto& [r, t] : booked) {
+          for (const auto& [r, t] : booked_) {
             if (r == ei->resource && ei->Contains(t)) {
               satisfied = true;
               break;
@@ -177,20 +214,26 @@ class SlotAssigner {
 
       Chronon chosen = kInvalidChronon;
       for (Chronon t = ei->start; t <= ei->finish; ++t) {
-        int64_t tentative = 0;
-        for (const auto& [r, t2] : booked) {
-          if (t2 == t) ++tentative;
-        }
-        if ((*remaining_)[static_cast<size_t>(t)] - tentative > 0) {
+        if ((*remaining_)[static_cast<size_t>(t)] -
+                tentative_[static_cast<size_t>(t)] >
+            0) {
           chosen = t;
           break;
         }
       }
-      if (chosen == kInvalidChronon) return false;
-      booked.emplace_back(ei->resource, chosen);
+      if (chosen == kInvalidChronon) {
+        placed_all = false;
+        break;
+      }
+      booked_.emplace_back(ei->resource, chosen);
+      ++tentative_[static_cast<size_t>(chosen)];
     }
 
-    for (const auto& [r, t] : booked) {
+    // Tentative marks roll back either way; on success they convert into
+    // real bookings.
+    for (const auto& [r, t] : booked_) --tentative_[static_cast<size_t>(t)];
+    if (!placed_all) return false;
+    for (const auto& [r, t] : booked_) {
       --(*remaining_)[static_cast<size_t>(t)];
       Status st = schedule_->AddProbe(r, t);
       (void)st;  // AlreadyExists: the probe is shared physically.
@@ -202,6 +245,9 @@ class SlotAssigner {
   Schedule* schedule_;
   std::vector<int64_t>* remaining_;
   bool allow_shared_probes_;
+  std::vector<int64_t> tentative_;
+  std::vector<const ExecutionInterval*> order_;
+  std::vector<std::pair<ResourceId, Chronon>> booked_;
 };
 
 }  // namespace
@@ -212,13 +258,16 @@ StatusOr<OfflineApproxResult> SolveOfflineApprox(
     return SolveLocalRatio(problem);
   }
   Stopwatch watch;
+  Stopwatch transform_watch;
   WEBMON_ASSIGN_OR_RETURN(
       P1TransformResult transformed,
       TransformToP1(problem, options.max_transform_ceis));
+  const double transform_seconds = transform_watch.ElapsedSeconds();
   OfflineApproxResult result = SolveLocalRatio(transformed.problem);
   // Evaluate the schedule against the ORIGINAL instance: identical
   // resources, epoch and budget make it directly feasible there.
   result.completeness = GainedCompleteness(problem, result.schedule);
+  result.transform_seconds = transform_seconds;
   result.wall_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -233,25 +282,45 @@ StatusOr<OfflineApproxResult> SolveOfflineGreedy(
     remaining[static_cast<size_t>(t)] = problem.budget().At(t);
   }
 
-  std::vector<const Cei*> order = problem.AllCeis();
-  std::sort(order.begin(), order.end(), [](const Cei* a, const Cei* b) {
-    const Chronon fa = a->LatestFinish();
-    const Chronon fb = b->LatestFinish();
-    if (fa != fb) return fa < fb;
-    const Chronon ca = a->TotalChronons();
-    const Chronon cb = b->TotalChronons();
-    if (ca != cb) return ca < cb;
-    return a->id < b->id;
+  // Decorate-sort on memoized keys, same earliest-completion total order
+  // as the local-ratio solver.
+  Stopwatch sort_watch;
+  struct Entry {
+    const Cei* cei;
+    Chronon latest_finish;
+    Chronon total_chronons;
+  };
+  std::vector<Entry> order;
+  {
+    const std::vector<const Cei*> all = problem.AllCeis();
+    order.reserve(all.size());
+    for (const Cei* cei : all) {
+      order.push_back({cei, cei->LatestFinish(), cei->TotalChronons()});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+    if (a.latest_finish != b.latest_finish) {
+      return a.latest_finish < b.latest_finish;
+    }
+    if (a.total_chronons != b.total_chronons) {
+      return a.total_chronons < b.total_chronons;
+    }
+    return a.cei->id < b.cei->id;
   });
+  const double sort_seconds = sort_watch.ElapsedSeconds();
 
+  Stopwatch select_watch;
   SlotAssigner assigner(&schedule, &remaining, options.allow_shared_probes);
   int64_t committed = 0;
-  for (const Cei* cei : order) {
-    if (assigner.TryCommit(*cei)) ++committed;
+  for (const Entry& entry : order) {
+    if (assigner.TryCommit(*entry.cei)) ++committed;
   }
+  const double select_seconds = select_watch.ElapsedSeconds();
 
   OfflineApproxResult result{std::move(schedule), committed, 0.0, 0.0};
   result.completeness = GainedCompleteness(problem, result.schedule);
+  result.sort_seconds = sort_seconds;
+  result.select_seconds = select_seconds;
   result.wall_seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -43,6 +43,12 @@ struct OfflineApproxResult {
   double completeness = 0.0;
   /// Wall time of the solve, seconds.
   double wall_seconds = 0.0;
+  /// Phase timers (diagnostics, surfaced by `webmon_cli offline --timing`):
+  /// P^[1] transformation, earliest-completion sort, and the
+  /// selection/commit loop, seconds.
+  double transform_seconds = 0.0;
+  double sort_seconds = 0.0;
+  double select_seconds = 0.0;
 };
 
 /// Options for the local-ratio approximation.
