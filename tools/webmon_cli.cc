@@ -29,6 +29,7 @@
 #include "model/completeness.h"
 #include "model/instance_stats.h"
 #include "model/serialize.h"
+#include "offline/exact_solver.h"
 #include "offline/offline_approx.h"
 #include "online/ingestion_driver.h"
 #include "online/run.h"
@@ -531,6 +532,148 @@ int ReplayCommand(int argc, const char* const* argv) {
   return 0;
 }
 
+int OfflineCommand(int argc, const char* const* argv) {
+  FlagSet flags(
+      "webmon_cli offline: run the offline solvers on one instance");
+  flags.AddString("instance", "",
+                  "saved instance file; when empty, generate a poisson "
+                  "workload from the flags below")
+      .AddInt("resources", 20, "number of resources n (generated)")
+      .AddInt("chronons", 48, "epoch length K (generated)")
+      .AddDouble("lambda", 20.0, "updates per resource per epoch (generated)")
+      .AddInt("profiles", 12, "number of client profiles m (generated)")
+      .AddInt("rank", 2, "CEI rank k (generated)")
+      .AddInt("window", 6, "capture window w (generated)")
+      .AddInt("budget", 1, "probes per chronon C (generated)")
+      .AddInt("seed", 1, "RNG seed (generated)")
+      .AddString("solvers", "local-ratio,greedy",
+                 "comma-separated solvers: exact|local-ratio|greedy")
+      .AddBool("transform", false,
+               "apply the Proposition 5 P^[1] transform before local ratio")
+      .AddInt("threads", 1,
+              "exact search threads (0 = hardware concurrency); results are "
+              "identical at any thread count")
+      .AddInt("max-states", 50'000'000, "exact search state budget")
+      .AddBool("timing", false,
+               "print search counters and per-phase timers");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+
+  ProblemInstance problem(1, 1, BudgetVector::Uniform(1));
+  if (!flags.GetString("instance").empty()) {
+    auto loaded = LoadProblemFromFile(flags.GetString("instance"));
+    if (!loaded.ok()) {
+      std::cerr << loaded.status() << "\n";
+      return 1;
+    }
+    problem = *std::move(loaded);
+  } else {
+    Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+    PoissonTraceOptions trace_options;
+    trace_options.num_resources =
+        static_cast<uint32_t>(flags.GetInt("resources"));
+    trace_options.num_chronons = flags.GetInt("chronons");
+    trace_options.lambda = flags.GetDouble("lambda");
+    auto trace = GeneratePoissonTrace(trace_options, rng);
+    if (!trace.ok()) {
+      std::cerr << trace.status() << "\n";
+      return 1;
+    }
+    PerfectUpdateModel model(*trace);
+    ProfileTemplate tmpl = ProfileTemplate::AuctionWatch(
+        static_cast<uint32_t>(flags.GetInt("rank")), /*exact_rank=*/true,
+        flags.GetInt("window"));
+    WorkloadOptions options;
+    options.num_profiles = static_cast<uint32_t>(flags.GetInt("profiles"));
+    options.budget = flags.GetInt("budget");
+    auto workload = GenerateWorkload(tmpl, options, model, *trace, rng);
+    if (!workload.ok()) {
+      std::cerr << workload.status() << "\n";
+      return 1;
+    }
+    problem = std::move(workload->problem);
+  }
+  std::cout << ComputeInstanceStats(problem).ToString() << "\n";
+
+  const bool timing = flags.GetBool("timing");
+  std::vector<std::string> headers{"solver", "captured", "completeness",
+                                   "weighted", "probes", "wall ms"};
+  if (timing) headers.push_back("phases");
+  TableWriter table(std::move(headers));
+  auto fmt_ms = [](double seconds) {
+    return TableWriter::Fmt(seconds * 1e3, 2);
+  };
+  for (const std::string& token : Split(flags.GetString("solvers"), ',')) {
+    const std::string name(StripWhitespace(token));
+    if (name.empty()) continue;
+    if (name == "exact") {
+      ExactSolverOptions options;
+      options.max_states = flags.GetInt("max-states");
+      const int threads = static_cast<int>(flags.GetInt("threads"));
+      options.num_threads =
+          threads == 0 ? ThreadPool::DefaultThreads() : threads;
+      auto result = SolveExact(problem, options);
+      if (!result.ok()) {
+        std::cerr << "exact: " << result.status() << "\n";
+        return 1;
+      }
+      std::vector<std::string> row{
+          "exact", TableWriter::Fmt(result->captured_ceis),
+          TableWriter::Percent(result->completeness),
+          TableWriter::Percent(result->weighted_completeness),
+          TableWriter::Fmt(result->schedule.TotalProbes()),
+          fmt_ms(result->search_seconds + result->reconstruct_seconds)};
+      if (timing) {
+        row.push_back("states=" + TableWriter::Fmt(result->states_expanded) +
+                      " pruned=" + TableWriter::Fmt(result->subtrees_pruned) +
+                      " dominated=" +
+                      TableWriter::Fmt(result->dominated_skipped) +
+                      " memo=" + TableWriter::Fmt(result->memo_hits) +
+                      " search=" + fmt_ms(result->search_seconds) +
+                      " rebuild=" + fmt_ms(result->reconstruct_seconds));
+      }
+      table.AddRow(std::move(row));
+    } else if (name == "local-ratio" || name == "greedy") {
+      StatusOr<OfflineApproxResult> result = Status::Internal("unset");
+      if (name == "local-ratio") {
+        OfflineApproxOptions options;
+        options.transform_to_p1 = flags.GetBool("transform");
+        result = SolveOfflineApprox(problem, options);
+      } else {
+        result = SolveOfflineGreedy(problem);
+      }
+      if (!result.ok()) {
+        std::cerr << name << ": " << result.status() << "\n";
+        return 1;
+      }
+      std::vector<std::string> row{
+          name, TableWriter::Fmt(result->committed_ceis),
+          TableWriter::Percent(result->completeness),
+          TableWriter::Percent(
+              WeightedCompleteness(problem, result->schedule)),
+          TableWriter::Fmt(result->schedule.TotalProbes()),
+          fmt_ms(result->wall_seconds)};
+      if (timing) {
+        std::string phases = "sort=" + fmt_ms(result->sort_seconds) +
+                             " select=" + fmt_ms(result->select_seconds);
+        if (result->transform_seconds > 0) {
+          phases += " transform=" + fmt_ms(result->transform_seconds);
+        }
+        row.push_back(std::move(phases));
+      }
+      table.AddRow(std::move(row));
+    } else {
+      std::cerr << "unknown solver: " << name
+                << " (expected exact|local-ratio|greedy)\n";
+      return 2;
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
 int IngestCommand(int argc, const char* const* argv) {
   FlagSet flags(
       "webmon_cli ingest: stream needs from producer threads into a ticking "
@@ -661,13 +804,15 @@ int IngestCommand(int argc, const char* const* argv) {
 
 int Main(int argc, const char* const* argv) {
   const std::string usage =
-      "usage: webmon_cli <run|inspect|query|generate|replay|ingest|policies> "
+      "usage: webmon_cli "
+      "<run|inspect|query|generate|replay|offline|ingest|policies> "
       "[flags]\n"
       "  run       execute a monitoring experiment\n"
       "  inspect   print trace statistics\n"
       "  query     run a continuous-query program\n"
       "  generate  build a workload instance and save it to a file\n"
       "  replay    run policies over a saved instance\n"
+      "  offline   run the offline solvers (exact, local ratio, greedy)\n"
       "  ingest    stress concurrent Submit/Push ingestion and verify replay\n"
       "  policies  list the scheduling policies and their classification\n"
       "Pass --help after a subcommand for its flags.\n";
@@ -682,6 +827,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "query") return QueryCommand(argc - 1, argv + 1);
   if (command == "generate") return GenerateCommand(argc - 1, argv + 1);
   if (command == "replay") return ReplayCommand(argc - 1, argv + 1);
+  if (command == "offline") return OfflineCommand(argc - 1, argv + 1);
   if (command == "ingest") return IngestCommand(argc - 1, argv + 1);
   if (command == "policies") return PoliciesCommand(argc - 1, argv + 1);
   if (command == "--help" || command == "help") {
