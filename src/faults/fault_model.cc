@@ -121,6 +121,9 @@ Status ParseProfile(std::istringstream& in, ResourceFaultProfile& p,
 std::string FaultSpecToText(const FaultSpec& spec) {
   std::ostringstream os;
   os << "webmon-faults 1\n";
+  if (spec.retry_budget >= 0.0) {
+    os << "retrybudget " << spec.retry_budget << "\n";
+  }
   os << "default ";
   AppendProfile(os, spec.defaults);
   os << "\n";
@@ -157,6 +160,12 @@ StatusOr<FaultSpec> FaultSpecFromText(const std::string& text) {
     if (!(fields >> kind) || kind.empty() || kind[0] == '#') continue;
     if (kind == "default") {
       WEBMON_RETURN_IF_ERROR(ParseProfile(fields, spec.defaults, line_no));
+    } else if (kind == "retrybudget") {
+      if (!(fields >> spec.retry_budget)) {
+        std::ostringstream os;
+        os << "fault spec line " << line_no << ": bad retrybudget value";
+        return Status::InvalidArgument(os.str());
+      }
     } else if (kind == "resource") {
       ResourceId resource = 0;
       if (!(fields >> resource)) {

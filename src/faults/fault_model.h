@@ -64,6 +64,13 @@ struct ResourceFaultProfile {
 struct FaultSpec {
   ResourceFaultProfile defaults;
   std::map<ResourceId, ResourceFaultProfile> overrides;
+  /// Cap on the total budget the scheduler may spend on retries — attempts
+  /// issued to a resource with a live failure streak — over one run, in
+  /// budget units (cost units under the varying-cost extension). Once
+  /// spent, resources with a live streak stop being offered to the policy
+  /// for the rest of the run; the budget flows to fresh work instead.
+  /// Negative = unlimited.
+  double retry_budget = -1.0;
 
   /// The profile governing `resource`.
   const ResourceFaultProfile& For(ResourceId resource) const;
@@ -74,6 +81,7 @@ struct FaultSpec {
 
 /// Serializes `spec` to the versioned line-oriented text format:
 ///   webmon-faults 1
+///   retrybudget <units>           (only when a cap is set)
 ///   default transient <p> timeout <p> outage <enter> <exit> <fail>
 ///           ratelimit <window> <max>
 ///   resource <id> transient <p> ... (same fields)

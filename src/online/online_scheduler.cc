@@ -84,7 +84,10 @@ void OnlineScheduler::RecordOutcome(ResourceId resource, Chronon now,
                                     bool success, double cost) {
   const FaultHandlingOptions& fh = options_.fault_handling;
   ResourceHealth& h = health_[resource];
-  if (h.consecutive_failures > 0) ++stats_.probes_retried;
+  if (h.consecutive_failures > 0) {
+    ++stats_.probes_retried;
+    stats_.retry_budget_spent += cost;
+  }
   h.ewma_failure = (1.0 - fh.failure_ewma_alpha) * h.ewma_failure +
                    fh.failure_ewma_alpha * (success ? 0.0 : 1.0);
   if (success) {
@@ -135,6 +138,12 @@ void OnlineScheduler::RecordOutcome(ResourceId resource, Chronon now,
         draw % static_cast<uint64_t>(backoff / 2 + 1));
   }
   h.retry_not_before = now + backoff;
+}
+
+bool OnlineScheduler::RetryBudgetExhausted() const {
+  if (options_.fault_injector == nullptr) return false;
+  const double cap = options_.fault_injector->spec().retry_budget;
+  return cap >= 0.0 && stats_.retry_budget_spent >= cap;
 }
 
 Status OnlineScheduler::AddPush(ResourceId resource, Chronon t) {
@@ -462,10 +471,18 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     const bool single_best = uniform_costs && budget == 1;
     ++rank_epoch_;
     if (compute_values && !health_.empty()) {
+      const bool no_retries = RetryBudgetExhausted();
       // Hoist the fault gates out of the scan: availability and deadline
       // shrink are pure per (resource, chronon) while ranking runs.
       for (ResourceId r = 0; r < num_resources_; ++r) {
         avail_now_[r] = ResourceAvailable(r, now) ? 1 : 0;
+        if (no_retries && avail_now_[r] != 0 &&
+            health_[r].consecutive_failures > 0) {
+          // The retry budget is spent: resources with a live failure
+          // streak stop being offered for the rest of the run.
+          avail_now_[r] = 0;
+          ++stats_.retries_suppressed;
+        }
         shrink_now_[r] = ShrinkFor(r);
       }
     }
@@ -595,6 +612,13 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       // merged_ holds one candidate per resource.
       WEBMON_DCHECK(!attempted_now_[r]);
       WEBMON_DCHECK(ResourceAvailable(r, now));
+      if (!health_.empty() && health_[r].consecutive_failures > 0 &&
+          RetryBudgetExhausted()) {
+        // The retry budget ran out mid-chronon (an earlier retry in this
+        // walk spent the rest): withhold this attempt too.
+        ++stats_.retries_suppressed;
+        continue;
+      }
       const double cost = uniform_costs ? 1.0 : options_.resource_costs[r];
       if (cost_used + cost > capacity) {
         if (uniform_costs) break;

@@ -102,6 +102,13 @@ struct SchedulerStats {
   int64_t probes_failed = 0;
   /// Attempts issued to a resource with a live failure streak (retries).
   int64_t probes_retried = 0;
+  /// Budget units spent on those retry attempts (counted against
+  /// FaultSpec::retry_budget when a cap is set).
+  double retry_budget_spent = 0.0;
+  /// Chronon x resource pairs withheld from ranking (or from issuance,
+  /// when the budget ran out mid-chronon) because the retry budget was
+  /// exhausted while the resource was otherwise available for a retry.
+  int64_t retries_suppressed = 0;
   /// Transitions of any resource's circuit breaker to the open state.
   int64_t breaker_trips = 0;
   /// Budget units spent on attempts that captured nothing.
@@ -291,6 +298,9 @@ class OnlineScheduler {
                      double cost);
   // Deadline shrink for EIs on `resource` (0 on healthy resources).
   Chronon ShrinkFor(ResourceId resource) const;
+  // True iff FaultSpec::retry_budget is set and already spent, so no
+  // further retry attempts may be issued.
+  bool RetryBudgetExhausted() const;
 
   uint32_t num_resources_;
   Chronon num_chronons_;

@@ -69,6 +69,29 @@ TEST(FaultSpecTest, TextRoundTrip) {
   EXPECT_TRUE(parsed->For(5) == spec.For(5));
 }
 
+TEST(FaultSpecTest, RetryBudgetRoundTrips) {
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 0.25;
+  spec.retry_budget = 12.5;
+
+  const std::string text = FaultSpecToText(spec);
+  EXPECT_NE(text.find("retrybudget 12.5"), std::string::npos) << text;
+  auto parsed = FaultSpecFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->retry_budget, 12.5);
+
+  // Unlimited (the default, negative) emits no line and parses back as
+  // unlimited.
+  spec.retry_budget = -1.0;
+  const std::string unlimited = FaultSpecToText(spec);
+  EXPECT_EQ(unlimited.find("retrybudget"), std::string::npos) << unlimited;
+  auto reparsed = FaultSpecFromText(unlimited);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_LT(reparsed->retry_budget, 0.0);
+
+  EXPECT_FALSE(FaultSpecFromText("webmon-faults 1\nretrybudget nope\n").ok());
+}
+
 TEST(FaultSpecTest, ResourceLinesInheritDefaults) {
   // A hand-written resource line only overrides the fields it names; the
   // rest come from the default profile parsed above it.

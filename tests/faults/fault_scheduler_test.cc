@@ -211,6 +211,83 @@ TEST(FaultSchedulerTest, AlwaysFailingResourceBacksOffThenTrips) {
   EXPECT_EQ(report.retries, 5);
 }
 
+TEST(FaultSchedulerTest, RetryBudgetCapsTotalRetrySpend) {
+  // Same always-failing single resource, but the spec caps retry spend at
+  // 2 budget units: after the retries at t=1 and t=3 the budget is gone,
+  // so the t=7 attempt (and everything later) is withheld even though the
+  // backoff gate has elapsed.
+  const Chronon k = 40;
+  const auto problem =
+      MakeProblemOneCeiPerProfile(1, k, 1, {{{0, 0, k - 1}}});
+
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 1.0;
+  spec.retry_budget = 2.0;
+  FaultInjector injector(spec, 1, /*seed=*/1);
+
+  auto policy = MakePolicy("s-edf");
+  ASSERT_TRUE(policy.ok());
+  SchedulerOptions options;
+  options.fault_injector = &injector;
+  options.fault_handling.backoff_jitter = false;
+  ManualRun run(problem, policy->get(), options);
+  run.StepTo(k - 1);
+
+  const std::vector<Chronon> expected = {0, 1, 3};
+  const auto& log = run.scheduler.attempt_log();
+  ASSERT_EQ(log.size(), expected.size());
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].chronon, expected[i]) << "attempt " << i;
+  }
+
+  const SchedulerStats& stats = run.scheduler.stats();
+  EXPECT_EQ(stats.probes_issued, 3);
+  EXPECT_EQ(stats.probes_retried, 2);
+  EXPECT_EQ(stats.retry_budget_spent, 2.0);
+  // Backoff after the t=3 failure gates until t=7; every chronon from
+  // there on would have offered a retry and was withheld instead.
+  EXPECT_EQ(stats.retries_suppressed, k - 7);
+  EXPECT_EQ(stats.breaker_trips, 0);  // the 4th attempt never goes out
+
+  // Suppression only removes attempts, so the audit contract still holds.
+  const Status audit = AuditFaultRun(problem, run.schedule, log,
+                                     options.fault_handling, {}, nullptr);
+  EXPECT_TRUE(audit.ok()) << audit;
+}
+
+TEST(FaultSchedulerTest, RetryBudgetExhaustionMidChrononSkipsIssuance) {
+  // Two always-failing resources, budget 2 per chronon, retry budget 1:
+  // at t=1 both are due for a retry, the first one issued spends the whole
+  // budget, and the second must be withheld inside the same chronon.
+  const Chronon k = 6;
+  const auto problem = MakeProblemOneCeiPerProfile(
+      2, k, 2, {{{0, 0, k - 1}}, {{1, 0, k - 1}}});
+
+  FaultSpec spec;
+  spec.defaults.transient_error_prob = 1.0;
+  spec.retry_budget = 1.0;
+  FaultInjector injector(spec, 2, /*seed=*/1);
+
+  auto policy = MakePolicy("s-edf");
+  ASSERT_TRUE(policy.ok());
+  SchedulerOptions options;
+  options.fault_injector = &injector;
+  options.fault_handling.backoff_jitter = false;
+  ManualRun run(problem, policy->get(), options);
+  run.StepTo(k - 1);
+
+  const SchedulerStats& stats = run.scheduler.stats();
+  // t=0: both first attempts (not retries). t=1: one retry spends the
+  // budget, the other is suppressed mid-chronon.
+  EXPECT_EQ(stats.probes_issued, 3);
+  EXPECT_EQ(stats.probes_retried, 1);
+  EXPECT_EQ(stats.retry_budget_spent, 1.0);
+  EXPECT_GT(stats.retries_suppressed, 0);
+  for (const ProbeAttempt& attempt : run.scheduler.attempt_log()) {
+    EXPECT_LE(attempt.chronon, 1) << "retry issued after budget exhaustion";
+  }
+}
+
 TEST(FaultSchedulerTest, HalfOpenTrialSuccessClosesBreaker) {
   // Rate limiter: 1 attempt per 8-chronon window succeeds, the rest fail —
   // a deterministic fail-then-recover pattern. One new single-EI need per

@@ -64,6 +64,9 @@ void AddFaultFlags(FlagSet& flags) {
                  "Gilbert-Elliott good->bad transition prob per chronon")
       .AddDouble("fault-outage-exit", 0.5,
                  "Gilbert-Elliott bad->good transition prob per chronon")
+      .AddDouble("fault-retry-budget", -1.0,
+                 "cap on total budget spent on retry attempts (< 0 = "
+                 "unlimited)")
       .AddInt("fault-seed", 1, "fault injector RNG seed");
 }
 
@@ -78,6 +81,7 @@ StatusOr<FaultSpec> FaultSpecFromFlags(const FlagSet& flags) {
   if (spec.defaults.outage_enter_prob > 0.0) {
     spec.defaults.outage_exit_prob = flags.GetDouble("fault-outage-exit");
   }
+  spec.retry_budget = flags.GetDouble("fault-retry-budget");
   WEBMON_RETURN_IF_ERROR(spec.Validate());
   return spec;
 }
