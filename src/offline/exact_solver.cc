@@ -152,6 +152,17 @@ class Search {
     Status status = Status::OK();
   };
 
+  // State shared across the parallel phase's workers. Deliberately
+  // lock-free — no mutex, so there is nothing for GUARDED_BY to name: the
+  // incumbent is a monotone CAS-max (AtomicMax) and the state budget a
+  // fetch_add, both order-independent, which is exactly why the searched
+  // VALUE is byte-identical at any thread count. Everything else a worker
+  // touches is its own ThreadState.
+  struct ParallelShared {
+    std::atomic<double> incumbent{0.0};
+    std::atomic<int64_t> states{0};
+  };
+
   // True iff CEI ci is already satisfied under its capture semantics.
   bool Completed(uint32_t ci, const Bitset256& captured) const {
     return static_cast<uint32_t>(captured.CountAnd(ceis_[ci].mask)) >=
@@ -213,7 +224,11 @@ class Search {
     }
     std::vector<Candidate> out;
     out.reserve(gain.size());
+    // unordered-iter-ok: sorted drain — the map is emptied into `out`,
+    // which the sort below orders by resource id (a unique map key), so
+    // bucket order never reaches the search.
     for (const auto& [resource, mask] : gain) out.push_back({resource, mask});
+    // total-order: resource ids are the map's keys, hence unique — no ties.
     std::sort(out.begin(), out.end(), [](const Candidate& a,
                                          const Candidate& b) {
       return a.resource < b.resource;
@@ -301,13 +316,15 @@ class Search {
   // The prune check runs before the visited insert, so a revisit is safe:
   // the first visit already raised the incumbent to at least this state's
   // best, and the incumbent only grows.
-  void Explore(Chronon t, const Bitset256& captured, ThreadState& ts) {
+  void Explore(Chronon t, const Bitset256& captured, ParallelShared& shared,
+               ThreadState& ts) {
     if (!ts.status.ok()) return;
     if (t >= k_) {
-      AtomicMax(*incumbent_, CompletedWeight(captured));
+      AtomicMax(shared.incumbent, CompletedWeight(captured));
       return;
     }
-    if (Bound(t, captured) <= incumbent_->load(std::memory_order_relaxed)) {
+    if (Bound(t, captured) <=
+        shared.incumbent.load(std::memory_order_relaxed)) {
       ++ts.counters.pruned;
       return;
     }
@@ -316,7 +333,7 @@ class Search {
       return;
     }
     if (options_.max_states > 0 &&
-        shared_states_->fetch_add(1, std::memory_order_relaxed) + 1 >
+        shared.states.fetch_add(1, std::memory_order_relaxed) + 1 >
             options_.max_states) {
       ts.status = Status::ResourceExhausted("exact search state budget "
                                             "exceeded");
@@ -330,7 +347,7 @@ class Search {
         std::min<size_t>(cands.size(),
                          static_cast<size_t>(std::max<int64_t>(budget, 0)));
     if (pick == 0) {
-      Explore(t + 1, captured, ts);
+      Explore(t + 1, captured, shared, ts);
       return;
     }
     std::vector<size_t> idx(pick);
@@ -338,7 +355,7 @@ class Search {
     do {
       Bitset256 next = captured;
       for (const size_t i : idx) next |= cands[i].gain;
-      Explore(t + 1, next, ts);
+      Explore(t + 1, next, shared, ts);
       if (!ts.status.ok()) return;
     } while (NextCombination(idx, cands.size()));
   }
@@ -365,10 +382,7 @@ class Search {
       } while (NextCombination(idx, cands.size()));
     }
 
-    std::atomic<double> incumbent{0.0};
-    std::atomic<int64_t> states{0};
-    incumbent_ = &incumbent;
-    shared_states_ = &states;
+    ParallelShared shared;
 
     ThreadPool pool(options_.num_threads);
     const int lanes = pool.num_threads();
@@ -380,21 +394,21 @@ class Search {
       ThreadState& ts = thread_states[static_cast<size_t>(lane)];
       for (size_t r = static_cast<size_t>(lane); r < roots.size();
            r += static_cast<size_t>(lanes)) {
-        Explore(1, roots[r], ts);
+        Explore(1, roots[r], shared, ts);
         if (!ts.status.ok()) return;
       }
     });
-    incumbent_ = nullptr;
-    shared_states_ = nullptr;
 
-    counters_.states += states.load();
+    // ParallelFor's return is the join barrier: every worker write
+    // happens-before these merges, which run on the driving thread alone.
+    counters_.states += shared.states.load();
     for (const auto& ts : thread_states) {
       if (!ts.status.ok()) return ts.status;
       counters_.pruned += ts.counters.pruned;
       counters_.dominated += ts.counters.dominated;
       counters_.memo_hits += ts.counters.memo_hits;
     }
-    return incumbent.load();
+    return shared.incumbent.load();
   }
 
   // Replays an optimal path against exact values, writing probes into
@@ -457,9 +471,6 @@ class Search {
   // Exact-value memo for phase 2, one table per chronon.
   std::vector<std::unordered_map<Bitset256, double, Bitset256::Hash>> memo_;
   SearchCounters counters_;
-  // Shared state of the parallel phase; null outside SearchParallel.
-  std::atomic<double>* incumbent_ = nullptr;
-  std::atomic<int64_t>* shared_states_ = nullptr;
 };
 
 }  // namespace

@@ -54,6 +54,7 @@ OfflineApproxResult SolveLocalRatio(const ProblemInstance& problem) {
       order.push_back({cei, cei->LatestFinish(), cei->TotalChronons()});
     }
   }
+  // total-order: final tie-break on the unique CEI id — no equal elements.
   std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
     if (a.latest_finish != b.latest_finish) {
       return a.latest_finish < b.latest_finish;
@@ -187,6 +188,8 @@ class SlotAssigner {
     // harder to place.
     order_.clear();
     for (const auto& ei : cei.eis) order_.push_back(&ei);
+    // total-order: final tie-break on the unique EI id — no equal elements
+    // (the pointees are compared, never the pointers).
     std::sort(order_.begin(), order_.end(),
               [](const ExecutionInterval* a, const ExecutionInterval* b) {
                 if (a->Length() != b->Length()) {
@@ -298,6 +301,7 @@ StatusOr<OfflineApproxResult> SolveOfflineGreedy(
       order.push_back({cei, cei->LatestFinish(), cei->TotalChronons()});
     }
   }
+  // total-order: final tie-break on the unique CEI id — no equal elements.
   std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
     if (a.latest_finish != b.latest_finish) {
       return a.latest_finish < b.latest_finish;

@@ -117,7 +117,11 @@ class ReferenceSearch {
       if (!Alive(ei.cei, t, captured)) continue;
       gain[ei.resource] |= (uint64_t{1} << e);
     }
+    // unordered-iter-ok: sorted drain — the map is copied into `out` and
+    // immediately sorted by its unique resource-id key, erasing bucket
+    // order before anything consumes the list.
     std::vector<std::pair<ResourceId, uint64_t>> out(gain.begin(), gain.end());
+    // total-order: pair comparison on a unique first element — no ties.
     std::sort(out.begin(), out.end());
     return out;
   }
@@ -250,6 +254,8 @@ OfflineApproxResult SolveLocalRatioReference(const ProblemInstance& problem) {
   const Chronon k = problem.num_chronons();
 
   std::vector<const Cei*> ceis = problem.AllCeis();
+  // total-order: final tie-break on the unique CEI id — no equal elements
+  // (the pointees are compared, never the pointers).
   std::sort(ceis.begin(), ceis.end(), [](const Cei* a, const Cei* b) {
     const Chronon fa = a->LatestFinish();
     const Chronon fb = b->LatestFinish();
@@ -345,6 +351,8 @@ class ReferenceSlotAssigner {
     std::vector<const ExecutionInterval*> order;
     order.reserve(cei.eis.size());
     for (const auto& ei : cei.eis) order.push_back(&ei);
+    // total-order: final tie-break on the unique EI id — no equal elements
+    // (the pointees are compared, never the pointers).
     std::sort(order.begin(), order.end(),
               [](const ExecutionInterval* a, const ExecutionInterval* b) {
                 if (a->Length() != b->Length()) {
@@ -432,6 +440,8 @@ StatusOr<OfflineApproxResult> SolveOfflineGreedyReference(
   }
 
   std::vector<const Cei*> order = problem.AllCeis();
+  // total-order: final tie-break on the unique CEI id — no equal elements
+  // (the pointees are compared, never the pointers).
   std::sort(order.begin(), order.end(), [](const Cei* a, const Cei* b) {
     const Chronon fa = a->LatestFinish();
     const Chronon fb = b->LatestFinish();

@@ -275,6 +275,8 @@ void OnlineScheduler::ProcessExpiries(Chronon from, Chronon to) {
   // sweep marked these failures in flat-list order — activation order, not
   // finish order — and CEI-death callbacks must replay identically.
   if (from < to) {
+    // total-order: activation sequence numbers are unique per candidate —
+    // no ties.
     std::sort(
         expiry_scratch_.begin(), expiry_scratch_.end(),
         [](const SeqCand& a, const SeqCand& b) { return a.seq < b.seq; });
@@ -569,6 +571,8 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
                          });
         merged_.resize(top_c);
       }
+      // total-order: RankedBefore breaks every tie down to the unique
+      // (CEI id, EI index) pair — no equal elements.
       std::sort(merged_.begin(), merged_.end(),
                 [split_started](const Ranked& a, const Ranked& b) {
                   return RankedBefore(a, b, split_started);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace webmon {
@@ -28,94 +29,117 @@ StatusOr<CeiId> Proxy::Submit(
   CeiId id = 0;
   mailbox_.Push([&](uint64_t /*seq*/,
                     int64_t epoch) -> std::optional<PendingEvent> {
-    auto reject = [&](Status s) {
-      status = std::move(s);
-      ++ingestion_.submits_rejected;
-      return std::nullopt;
-    };
-    if (epoch >= horizon_) {
-      return reject(Status::OutOfRange("proxy epoch already finished"));
-    }
-    if (eis.empty()) {
-      return reject(Status::InvalidArgument(
-          "a complex need requires at least one EI"));
-    }
-    if (weight <= 0.0) {
-      return reject(Status::InvalidArgument("need weight must be positive"));
-    }
-    if (required > eis.size()) {
-      return reject(Status::InvalidArgument(
-          "cannot require more captures than the need has EIs"));
-    }
-    Cei cei;
-    cei.profile = 0;  // the streaming API tracks needs, not profiles
-    cei.arrival = epoch;
-    cei.weight = weight;
-    cei.required = required;
-    for (const auto& [resource, start, finish] : eis) {
-      if (resource >= num_resources_) {
-        return reject(Status::InvalidArgument(
-            "EI names unknown resource " + std::to_string(resource)));
-      }
-      if (start > finish) {
-        return reject(
-            Status::InvalidArgument("EI start exceeds its finish"));
-      }
-      ExecutionInterval ei;
-      ei.resource = resource;
-      // Clamp the window into the remaining epoch; a need expressed for the
-      // past cannot be monitored.
-      ei.start = std::max(start, epoch);
-      ei.finish = std::min(finish, horizon_ - 1);
-      if (ei.start > ei.finish) {
-        return reject(Status::InvalidArgument(
-            "EI window lies entirely in the past or beyond the horizon"));
-      }
-      cei.eis.push_back(ei);
-    }
-    // Commit: ids are assigned only to accepted needs, so id allocation is
-    // a pure function of the accepted-arrival order and a serial replay
-    // re-assigns identical CeiIds and EiIds.
-    cei.id = next_cei_id_++;
-    for (ExecutionInterval& ei : cei.eis) ei.id = next_ei_id_++;
-    ceis_.push_back(std::move(cei));
-    const Cei* stored = &ceis_.back();
-    id = stored->id;
-    ++ingestion_.submits_accepted;
-    PendingEvent event;
-    event.cei = stored;
-    event.log.is_push = false;
-    event.log.eis = eis;
-    event.log.weight = weight;
-    event.log.required = required;
-    event.log.assigned_id = id;
-    return event;
+    // SeqMailbox::Push runs this closure inside its critical section; the
+    // assert makes that fact visible to the thread-safety analysis.
+    mailbox_.mu().AssertHeld();
+    return MakeSubmitEventLocked(eis, weight, required, epoch, status, id);
   });
   if (!status.ok()) return status;
   return id;
+}
+
+std::optional<Proxy::PendingEvent> Proxy::MakeSubmitEventLocked(
+    const std::vector<std::tuple<ResourceId, Chronon, Chronon>>& eis,
+    double weight, uint32_t required, int64_t epoch, Status& status,
+    CeiId& id) {
+  auto reject = [&](Status s) {
+    status = std::move(s);
+    // The counter bump is covered by the enclosing REQUIRES; re-assert for
+    // the analysis, which examines this lambda as its own function.
+    mailbox_.mu().AssertHeld();
+    ++ingestion_.submits_rejected;
+    return std::nullopt;
+  };
+  if (epoch >= horizon_) {
+    return reject(Status::OutOfRange("proxy epoch already finished"));
+  }
+  if (eis.empty()) {
+    return reject(Status::InvalidArgument(
+        "a complex need requires at least one EI"));
+  }
+  if (weight <= 0.0) {
+    return reject(Status::InvalidArgument("need weight must be positive"));
+  }
+  if (required > eis.size()) {
+    return reject(Status::InvalidArgument(
+        "cannot require more captures than the need has EIs"));
+  }
+  Cei cei;
+  cei.profile = 0;  // the streaming API tracks needs, not profiles
+  cei.arrival = epoch;
+  cei.weight = weight;
+  cei.required = required;
+  for (const auto& [resource, start, finish] : eis) {
+    if (resource >= num_resources_) {
+      return reject(Status::InvalidArgument(
+          "EI names unknown resource " + std::to_string(resource)));
+    }
+    if (start > finish) {
+      return reject(Status::InvalidArgument("EI start exceeds its finish"));
+    }
+    ExecutionInterval ei;
+    ei.resource = resource;
+    // Clamp the window into the remaining epoch; a need expressed for the
+    // past cannot be monitored.
+    ei.start = std::max(start, epoch);
+    ei.finish = std::min(finish, horizon_ - 1);
+    if (ei.start > ei.finish) {
+      return reject(Status::InvalidArgument(
+          "EI window lies entirely in the past or beyond the horizon"));
+    }
+    cei.eis.push_back(ei);
+  }
+  // Commit: ids are assigned only to accepted needs, so id allocation is
+  // a pure function of the accepted-arrival order and a serial replay
+  // re-assigns identical CeiIds and EiIds.
+  cei.id = next_cei_id_++;
+  for (ExecutionInterval& ei : cei.eis) ei.id = next_ei_id_++;
+  ceis_.push_back(std::move(cei));
+  const Cei* stored = &ceis_.back();
+  id = stored->id;
+  ++ingestion_.submits_accepted;
+  PendingEvent event;
+  event.cei = stored;
+  event.log.is_push = false;
+  event.log.eis = eis;
+  event.log.weight = weight;
+  event.log.required = required;
+  event.log.assigned_id = id;
+  return event;
 }
 
 Status Proxy::Push(ResourceId resource) {
   Status status = Status::OK();
   mailbox_.Push([&](uint64_t /*seq*/,
                     int64_t epoch) -> std::optional<PendingEvent> {
-    if (epoch >= horizon_) {
-      status = Status::OutOfRange("proxy epoch already finished");
-      ++ingestion_.pushes_rejected;
-      return std::nullopt;
-    }
-    if (resource >= num_resources_) {
-      status = Status::OutOfRange("pushed resource out of range");
-      ++ingestion_.pushes_rejected;
-      return std::nullopt;
-    }
-    ++ingestion_.pushes_accepted;
-    PendingEvent event;
-    event.log.is_push = true;
-    event.log.resource = resource;
-    return event;
+    mailbox_.mu().AssertHeld();
+    return MakePushEventLocked(resource, epoch, status);
   });
   return status;
+}
+
+std::optional<Proxy::PendingEvent> Proxy::MakePushEventLocked(
+    ResourceId resource, int64_t epoch, Status& status) {
+  if (epoch >= horizon_) {
+    status = Status::OutOfRange("proxy epoch already finished");
+    ++ingestion_.pushes_rejected;
+    return std::nullopt;
+  }
+  if (resource >= num_resources_) {
+    status = Status::OutOfRange("pushed resource out of range");
+    ++ingestion_.pushes_rejected;
+    return std::nullopt;
+  }
+  ++ingestion_.pushes_accepted;
+  PendingEvent event;
+  event.log.is_push = true;
+  event.log.resource = resource;
+  return event;
+}
+
+IngestionStats Proxy::ingestion_stats() const {
+  MutexLock lock(mailbox_.mu());
+  return ingestion_;
 }
 
 StatusOr<std::vector<ResourceId>> Proxy::Tick() {
@@ -158,11 +182,20 @@ StatusOr<std::vector<ResourceId>> Proxy::Tick() {
       }
       arrival_log_.push_back(std::move(entry.item.log));
     }
-    ++ingestion_.drain_batches;
-    ingestion_.max_batch =
-        std::max(ingestion_.max_batch, static_cast<int64_t>(batch.size()));
   }
-  ingestion_.drain_seconds += drain_watch.ElapsedSeconds();
+  // Fold the drain stats in under the mailbox lock: producers bump the
+  // accept/reject counters of the same struct inside Push closures, so the
+  // whole struct stays consistent for mid-run ingestion_stats() readers.
+  {
+    const double drain_elapsed = drain_watch.ElapsedSeconds();
+    MutexLock lock(mailbox_.mu());
+    if (!batch.empty()) {
+      ++ingestion_.drain_batches;
+      ingestion_.max_batch =
+          std::max(ingestion_.max_batch, static_cast<int64_t>(batch.size()));
+    }
+    ingestion_.drain_seconds += drain_elapsed;
+  }
 
   std::vector<ResourceId> probed;
   WEBMON_RETURN_IF_ERROR(scheduler_.Step(now, &schedule_, &probed));

@@ -19,9 +19,15 @@
 // byte for byte. Tick() itself is single-consumer: exactly one thread may
 // drive it, and calling it from a CEI callback (or from a second thread
 // while a tick is in flight) fails with FailedPrecondition instead of
-// deadlocking. now() and Done() are safe from any thread; every other
-// accessor (schedule(), stats(), arrival_log(), ...) must only be read by
-// the ticking thread or after producers have quiesced.
+// deadlocking. now(), Done(), and ingestion_stats() are safe from any
+// thread; every other accessor (schedule(), stats(), arrival_log(), ...)
+// must only be read by the ticking thread or after producers have quiesced.
+//
+// Lock discipline is compiler-checked: the members the mailbox lock guards
+// are declared GUARDED_BY(mailbox_.mu()) and the Submit/Push closure bodies
+// live in *Locked() helpers annotated REQUIRES(mailbox_.mu()), so the
+// `thread-safety` preset (clang -Wthread-safety) rejects any unguarded
+// access path at compile time (docs/STATIC_ANALYSIS.md).
 //
 // CEI callbacks run on the ticking thread, inside Tick(). A callback may
 // call Submit() or Push() — the event lands in the mailbox and takes effect
@@ -35,6 +41,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -44,6 +51,7 @@
 #include "policy/policy.h"
 #include "util/mailbox.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace webmon {
 
@@ -71,10 +79,11 @@ struct ArrivalEvent {
 };
 using ArrivalLog = std::vector<ArrivalEvent>;
 
-/// Ingestion-side counters. The accept/reject counters are guarded by the
-/// mailbox lock (producers mutate them inside Submit/Push); the drain fields
-/// are written only by the ticking thread. Read the struct only from the
-/// ticking thread or after producers have quiesced.
+/// Ingestion-side counters. All fields are guarded by the mailbox lock:
+/// producers bump the accept/reject counters inside Submit/Push closures,
+/// the ticking thread folds in the drain fields under the same lock, and
+/// Proxy::ingestion_stats() snapshots the whole struct under it — so the
+/// counters are consistent from any thread at any time.
 struct IngestionStats {
   int64_t submits_accepted = 0;
   int64_t submits_rejected = 0;
@@ -139,8 +148,9 @@ class Proxy {
   /// Every accepted ingestion event in drain order (the replay record).
   /// Ticking thread / quiesced only.
   const ArrivalLog& arrival_log() const { return arrival_log_; }
-  /// Mailbox accept/reject/drain counters. Ticking thread / quiesced only.
-  const IngestionStats& ingestion_stats() const { return ingestion_; }
+  /// Consistent snapshot of the mailbox accept/reject/drain counters, taken
+  /// under the mailbox lock. Safe from any thread, mid-run included.
+  IngestionStats ingestion_stats() const;
   /// Probe attempts with outcomes (only populated when the proxy runs with
   /// a fault injector; empty otherwise).
   const std::vector<ProbeAttempt>& attempt_log() const {
@@ -170,6 +180,19 @@ class Proxy {
     ArrivalEvent log;
   };
 
+  // Closure bodies of Submit()/Push(): validate against the stamped
+  // (seq, epoch), allocate ids, and build the mailbox entry. They run under
+  // the mailbox lock (SeqMailbox::Push invokes them inside its critical
+  // section), which is what lets them touch the guarded members below.
+  std::optional<PendingEvent> MakeSubmitEventLocked(
+      const std::vector<std::tuple<ResourceId, Chronon, Chronon>>& eis,
+      double weight, uint32_t required, int64_t epoch, Status& status,
+      CeiId& id) REQUIRES(mailbox_.mu());
+  std::optional<PendingEvent> MakePushEventLocked(ResourceId resource,
+                                                  int64_t epoch,
+                                                  Status& status)
+      REQUIRES(mailbox_.mu());
+
   uint32_t num_resources_;
   Chronon horizon_;
   // The ticking clock; written only by Tick(), read from any thread.
@@ -177,16 +200,17 @@ class Proxy {
   // Reentrancy / concurrent-consumer guard for Tick().
   std::atomic<bool> in_tick_{false};
   std::unique_ptr<Policy> policy_;
-  // The ingestion mailbox. Its lock also guards ceis_, next_cei_id_,
-  // next_ei_id_, and the accept/reject counters of ingestion_ (all mutated
-  // only inside Submit/Push closures).
+  // The ingestion mailbox. Its lock (mailbox_.mu()) also guards the proxy's
+  // own ingestion state declared GUARDED_BY below.
   SeqMailbox<PendingEvent> mailbox_;
   // Owns submitted CEI definitions; deque keeps pointers stable for the
-  // scheduler. CEIs are immutable once the mailbox lock is released.
-  std::deque<Cei> ceis_;
-  CeiId next_cei_id_ = 0;
-  EiId next_ei_id_ = 0;
-  IngestionStats ingestion_;
+  // scheduler. The container is mutated only under the mailbox lock; the
+  // Cei objects themselves are immutable once the lock is released, so the
+  // scheduler may read them through stored pointers lock-free.
+  std::deque<Cei> ceis_ GUARDED_BY(mailbox_.mu());
+  CeiId next_cei_id_ GUARDED_BY(mailbox_.mu()) = 0;
+  EiId next_ei_id_ GUARDED_BY(mailbox_.mu()) = 0;
+  IngestionStats ingestion_ GUARDED_BY(mailbox_.mu());
   // Drain-order record of every accepted event. Ticking thread only.
   ArrivalLog arrival_log_;
   // Drain scratch, reused across ticks.

@@ -120,15 +120,17 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config,
       agg.capture_seconds.Add(run.stats.capture_seconds);
     }
 
-    if (include_offline) {
+    // Guard on the optional itself (emplaced above iff include_offline) so
+    // the access is provably checked, not just correlated with a flag.
+    if (result.offline.has_value()) {
       WEBMON_ASSIGN_OR_RETURN(OfflineApproxResult off,
                               SolveOfflineApprox(problem));
-      result.offline->completeness.Add(off.completeness);
-      result.offline->validated_completeness.Add(ValidatedCompleteness(
+      OfflineAggregate& offline = *result.offline;
+      offline.completeness.Add(off.completeness);
+      offline.validated_completeness.Add(ValidatedCompleteness(
           problem, off.schedule, workload.true_windows));
-      result.offline->usec_per_ei.Add(off.wall_seconds * 1e6 / total_eis);
-      result.offline->committed_ceis.Add(
-          static_cast<double>(off.committed_ceis));
+      offline.usec_per_ei.Add(off.wall_seconds * 1e6 / total_eis);
+      offline.committed_ceis.Add(static_cast<double>(off.committed_ceis));
     }
   }
   return result;

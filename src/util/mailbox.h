@@ -20,10 +20,12 @@
 #define WEBMON_UTIL_MAILBOX_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace webmon {
 
@@ -55,9 +57,14 @@ class SeqMailbox {
   /// Push returns true; a disengaged optional rejects the item, consumes no
   /// sequence number, and returns false. `make` must be cheap (it runs under
   /// the producers' shared lock) and must not touch the mailbox.
+  /// The closure runs while `mu()` is held; a closure that touches state of
+  /// its own declared GUARDED_BY(mailbox.mu()) should open with
+  /// `mailbox.mu().AssertHeld()` so the analysis sees that fact (the lock
+  /// acquisition below is invisible across the std::function-free template
+  /// boundary).
   template <typename F>
   bool Push(F&& make) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::optional<T> item = make(next_seq_, epoch_);
     if (!item.has_value()) return false;
     pending_.push_back(Entry{next_seq_, epoch_, *std::move(item)});
@@ -71,7 +78,7 @@ class SeqMailbox {
   /// every returned entry was stamped with an earlier epoch.
   std::vector<Entry> DrainAndAdvance(int64_t next_epoch) {
     std::vector<Entry> batch;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     epoch_ = next_epoch;
     batch.swap(pending_);
     return batch;
@@ -79,21 +86,29 @@ class SeqMailbox {
 
   /// The epoch new items are currently stamped with.
   int64_t epoch() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return epoch_;
   }
 
   /// Number of accepted items awaiting the next drain.
   size_t pending() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pending_.size();
   }
 
+  /// The mailbox's lock, exposed as a capability so owners can co-locate
+  /// their own ingestion state under it: declare members
+  /// GUARDED_BY(mailbox_.mu()) and take `MutexLock lock(mailbox_.mu())` to
+  /// read them outside a Push closure (the proxy's ingestion counters do
+  /// exactly this). Use it for annotation and short reads — never to call
+  /// back into the mailbox, whose methods acquire it themselves.
+  Mutex& mu() const RETURN_CAPABILITY(mu_) { return mu_; }
+
  private:
-  mutable std::mutex mu_;
-  uint64_t next_seq_ = 0;
-  int64_t epoch_ = 0;
-  std::vector<Entry> pending_;
+  mutable Mutex mu_;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  int64_t epoch_ GUARDED_BY(mu_) = 0;
+  std::vector<Entry> pending_ GUARDED_BY(mu_);
 };
 
 }  // namespace webmon

@@ -1,0 +1,100 @@
+// Annotated locking primitives: the only mutex surface of the repository.
+//
+// webmon::Mutex wraps std::mutex with clang Thread Safety attributes
+// (util/thread_annotations.h), so holding-discipline is checked at compile
+// time under the `thread-safety` preset: members declared GUARDED_BY(mu_)
+// cannot be touched without the lock, *Locked() helpers declare REQUIRES,
+// and MutexLock scopes are tracked by the analysis. std::lock_guard on a
+// bare std::mutex carries no annotations (libstdc++ is unannotated), which
+// is why locking code uses these wrappers instead — the webmon_lint rule
+// `rawmutex` enforces that choice repo-wide.
+//
+// Everything here is a zero-cost veneer: Mutex is exactly a std::mutex,
+// MutexLock is exactly a lock_guard, CondVar is exactly a
+// condition_variable. Wait() takes the Mutex (REQUIRES it) instead of a
+// unique_lock so waiting loops stay visible to the analysis:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);   // ready_ is GUARDED_BY(mu_)
+
+#ifndef WEBMON_UTIL_MUTEX_H_
+#define WEBMON_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace webmon {
+
+/// A std::mutex with thread-safety annotations. Prefer MutexLock over
+/// manual Lock/Unlock pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis the lock is held at this point without touching the
+  /// mutex. For code that provably runs under the lock but where the
+  /// acquisition is not visible to the analysis — e.g. a closure invoked by
+  /// SeqMailbox::Push, which locks before calling it.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped mutex, for interop with std:: waiting primitives (CondVar
+  /// below). Does not transfer the capability.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock scope over a Mutex (the annotated lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over a webmon::Mutex. Wait() requires the lock and
+/// returns with it re-held, so guarded state read in the waiting loop's
+/// condition stays inside the analyzed critical section. No predicate
+/// overload on purpose: spell the `while (!condition) Wait(mu)` loop out so
+/// the condition's guarded reads are analyzed in the caller, not hidden in
+/// a lambda the analysis cannot attribute a capability to.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and reacquires `mu`
+  /// before returning. Spurious wakeups are possible: always wait in a
+  /// condition loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still logically holds the Mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_MUTEX_H_

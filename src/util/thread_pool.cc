@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -36,14 +36,14 @@ void ThreadPool::ParallelFor(int num_tasks,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     WEBMON_CHECK(job_ == nullptr) << "ParallelFor is not reentrant";
     job_ = &fn;
     job_tasks_ = num_tasks;
     next_task_.store(0, std::memory_order_relaxed);
     ++job_epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The calling thread is a full lane: claim and run tasks like a worker.
   for (int t = next_task_.fetch_add(1); t < num_tasks;
        t = next_task_.fetch_add(1)) {
@@ -52,8 +52,8 @@ void ThreadPool::ParallelFor(int num_tasks,
   // All tasks are claimed; wait for workers still running theirs. Workers
   // that never woke up for this job are not in workers_in_job_ and will
   // find the task counter exhausted when they do wake.
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return workers_in_job_ == 0; });
+  MutexLock lock(mu_);
+  while (workers_in_job_ != 0) done_cv_.Wait(mu_);
   job_ = nullptr;
 }
 
@@ -63,10 +63,8 @@ void ThreadPool::WorkerLoop() {
     const std::function<void(int)>* job = nullptr;
     int num_tasks = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || job_epoch_ != seen_epoch;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && job_epoch_ == seen_epoch) work_cv_.Wait(mu_);
       if (shutdown_) return;
       seen_epoch = job_epoch_;
       job = job_;
@@ -78,10 +76,10 @@ void ThreadPool::WorkerLoop() {
       (*job)(t);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --workers_in_job_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 

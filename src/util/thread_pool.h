@@ -15,12 +15,13 @@
 #define WEBMON_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace webmon {
 
@@ -56,21 +57,25 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // Written in the constructor, joined in the destructor; never touched
+  // while workers run, so no guard is needed (or possible — the workers
+  // themselves would need it).
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // signaled when a job is published
-  std::condition_variable done_cv_;  // signaled when a worker leaves a job
+  Mutex mu_;
+  CondVar work_cv_;  // signaled when a job is published
+  CondVar done_cv_;  // signaled when a worker leaves a job
   // Current job, published under mu_ with a bumped epoch; workers adopt the
   // newest job exactly once per wakeup, so a worker can never mix one job's
   // task counter with another job's function.
-  const std::function<void(int)>* job_ = nullptr;
-  int job_tasks_ = 0;
-  uint64_t job_epoch_ = 0;
-  int workers_in_job_ = 0;
-  bool shutdown_ = false;
+  const std::function<void(int)>* job_ GUARDED_BY(mu_) = nullptr;
+  int job_tasks_ GUARDED_BY(mu_) = 0;
+  uint64_t job_epoch_ GUARDED_BY(mu_) = 0;
+  int workers_in_job_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
   // Next unclaimed task index of the current job; tasks are claimed with
-  // fetch_add so each index runs exactly once.
+  // fetch_add so each index runs exactly once. Deliberately atomic rather
+  // than GUARDED_BY(mu_): claiming must not serialize the workers.
   std::atomic<int> next_task_{0};
 };
 

@@ -1,0 +1,25 @@
+// expect: ptr-hash
+// as-path: src/offline/bad_ptr_hash.cc
+//
+// Known-bad fixture for webmon_determinism rule `ptr-hash`: std::hash over
+// a pointer hashes an ASLR-randomized address, and a pointer-keyed
+// unordered container buckets by it. Never compiled — consumed by
+// `ctest -R webmon_determinism_selftest`.
+
+#include <cstddef>
+#include <functional>
+#include <unordered_set>
+
+namespace webmon {
+
+struct Cei;
+
+inline size_t HashCeiPointer(const Cei* cei) {
+  return std::hash<const Cei*>{}(cei);  // rule fires: std::hash of pointer
+}
+
+struct PointerBucketedState {
+  std::unordered_set<const Cei*> visited;  // rule fires: pointer-keyed
+};
+
+}  // namespace webmon

@@ -1,0 +1,21 @@
+// expect: ptr-ordered-key
+// as-path: src/policy/bad_ptr_ordered_key.cc
+//
+// Known-bad fixture for webmon_determinism rule `ptr-ordered-key`: ordered
+// containers keyed on pointers iterate in address order, which changes with
+// every run's allocations. Never compiled — consumed by
+// `ctest -R webmon_determinism_selftest`.
+
+#include <map>
+#include <set>
+
+namespace webmon {
+
+struct Cei;
+
+struct PointerKeyedState {
+  std::map<const Cei*, double> utility_by_cei;  // rule fires
+  std::set<Cei*> pending;                       // rule fires
+};
+
+}  // namespace webmon

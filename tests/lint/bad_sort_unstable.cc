@@ -1,0 +1,27 @@
+// expect: sort-stability
+// as-path: src/online/bad_sort_unstable.cc
+//
+// Known-bad fixture for webmon_determinism rule `sort-stability`: a
+// std::sort on a schedule-feeding path whose comparator ties on equal
+// values, with neither std::stable_sort nor a `total-order` justification.
+// Never compiled — consumed by `ctest -R webmon_determinism_selftest`.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace webmon {
+
+struct RankedEntry {
+  double value = 0.0;
+  uint32_t resource = 0;
+};
+
+void RankCandidates(std::vector<RankedEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),  // rule fires: ties on value
+            [](const RankedEntry& a, const RankedEntry& b) {
+              return a.value < b.value;
+            });
+}
+
+}  // namespace webmon

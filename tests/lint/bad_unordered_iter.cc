@@ -1,0 +1,30 @@
+// expect: unordered-iter
+// as-path: src/model/bad_unordered_iter.cc
+//
+// Known-bad fixture for webmon_determinism rule `unordered-iter`: both a
+// range-for over an unordered_map and an iterator drain of an
+// unordered_set leak bucket order into the output vector. Never compiled —
+// consumed by `ctest -R webmon_determinism_selftest`.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace webmon {
+
+std::vector<uint32_t> DrainInBucketOrder(
+    const std::unordered_map<uint32_t, double>& weights) {
+  std::vector<uint32_t> out;
+  for (const auto& [id, weight] : weights) {  // rule fires: range-for
+    if (weight > 0.0) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<uint32_t> CopyInBucketOrder(
+    const std::unordered_set<uint32_t>& ids) {
+  return std::vector<uint32_t>(ids.begin(), ids.end());  // rule fires: drain
+}
+
+}  // namespace webmon

@@ -1,0 +1,60 @@
+// expect: none
+// as-path: src/online/good_clean.cc
+//
+// Known-good fixture for webmon_determinism: every pattern here is one the
+// analyzer must NOT flag — membership tests against unordered containers,
+// iteration over ordered/sequence containers, stable sorts, a justified
+// total-order std::sort, and id-keyed hashing. A false positive on any of
+// these fails the self-test. Never compiled — consumed by
+// `ctest -R webmon_determinism_selftest`.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace webmon {
+
+struct Need {
+  uint64_t id = 0;
+  double weight = 0.0;
+};
+
+// Membership and lookup on unordered containers are order-free: find(),
+// count(), insert(), and the `== x.end()` idiom never observe bucket order.
+double LookupWeight(const std::unordered_map<uint64_t, double>& weights,
+                    uint64_t id) {
+  auto it = weights.find(id);
+  if (it == weights.end()) return 0.0;
+  return it->second;
+}
+
+bool RecordSeen(std::unordered_set<uint64_t>& seen, uint64_t id) {
+  return seen.insert(id).second;
+}
+
+// Iterating an ORDERED map is deterministic (key order, id-keyed).
+double SumInKeyOrder(const std::map<uint64_t, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, weight] : weights) total += weight;
+  return total;
+}
+
+// stable_sort is always acceptable on schedule-feeding paths.
+void OrderByWeightStable(std::vector<Need>& needs) {
+  std::stable_sort(needs.begin(), needs.end(),
+                   [](const Need& a, const Need& b) {
+                     return a.weight < b.weight;
+                   });
+}
+
+// std::sort with a justified strict total order is acceptable.
+void OrderByIdExact(std::vector<Need>& needs) {
+  // total-order: ids are unique — no ties for introsort to reorder.
+  std::sort(needs.begin(), needs.end(),
+            [](const Need& a, const Need& b) { return a.id < b.id; });
+}
+
+}  // namespace webmon

@@ -441,5 +441,114 @@ TEST(ConcurrentIngestionStress, RacingProducersTicksAndCallbacks) {
   EXPECT_EQ(expired, replay->expired);
 }
 
+// Regression test for the ingestion_stats() lock discipline: the accessor
+// used to hand out a const reference into state the producers mutate under
+// the mailbox lock, so reading it was only safe once everything quiesced.
+// It now returns a by-value snapshot taken under the lock, which must be
+// (a) safe to call from any thread mid-run, (b) coherent — counters only
+// ever grow between snapshots — and (c) exactly equal to the producers'
+// own tallies once they have joined.
+TEST(ConcurrentIngestionStats, MidRunSnapshotsAreCoherentAndExactAfterJoin) {
+  constexpr uint32_t kStatsResources = 8;
+  constexpr Chronon kStatsHorizon = 400;
+  constexpr int kStatsProducers = 3;
+  constexpr int64_t kStatsQuota = 600;
+  const uint64_t seed = 0x5747;
+
+  auto policy = MakePolicy("mrsf", 17);
+  ASSERT_TRUE(policy.ok());
+  Proxy proxy(kStatsResources, kStatsHorizon, BudgetVector::Uniform(2),
+              std::move(*policy));
+
+  struct Tally {
+    int64_t submits_accepted = 0;
+    int64_t submits_rejected = 0;
+    int64_t pushes_accepted = 0;
+    int64_t pushes_rejected = 0;
+  };
+  std::vector<Tally> tallies(kStatsProducers);
+
+  std::atomic<bool> producing{true};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kStatsProducers; ++p) {
+    producers.emplace_back([&proxy, &tally = tallies[p], seed, p] {
+      Rng rng(seed ^ (0xBEEF0000ULL + static_cast<uint64_t>(p)));
+      for (int64_t i = 0; i < kStatsQuota; ++i) {
+        const Chronon gate =
+            static_cast<Chronon>(i * kStatsHorizon / kStatsQuota);
+        while (proxy.now() < gate) std::this_thread::yield();
+        if (rng.Bernoulli(0.15)) {
+          // Every rejection path — bad resource or past-horizon — bumps
+          // pushes_rejected, so a plain ok()/!ok() tally matches the proxy.
+          const auto r = static_cast<ResourceId>(
+              rng.UniformU64(kStatsResources + 2));  // sometimes invalid
+          if (proxy.Push(r).ok()) {
+            ++tally.pushes_accepted;
+          } else {
+            ++tally.pushes_rejected;
+          }
+          continue;
+        }
+        const Chronon base = proxy.now();
+        const auto r =
+            static_cast<ResourceId>(rng.UniformU64(kStatsResources));
+        const Chronon s = base + static_cast<Chronon>(rng.UniformU64(4));
+        if (proxy
+                .Submit({{r, s, s + static_cast<Chronon>(rng.UniformU64(8))}},
+                        0.5 + rng.UniformDouble())
+                .ok()) {
+          ++tally.submits_accepted;
+        } else {
+          ++tally.submits_rejected;
+        }
+      }
+    });
+  }
+
+  // The reader hammers the accessor from a thread that owns no other lock
+  // while producers and the ticker are live. Each snapshot must dominate
+  // the previous one field by field: a torn read (the old const-ref
+  // behavior) shows up as a counter appearing to move backwards.
+  int64_t reader_snapshots = 0;
+  std::thread reader([&proxy, &producing, &reader_snapshots] {
+    IngestionStats prev;
+    while (producing.load(std::memory_order_acquire)) {
+      const IngestionStats snap = proxy.ingestion_stats();
+      EXPECT_GE(snap.submits_accepted, prev.submits_accepted);
+      EXPECT_GE(snap.submits_rejected, prev.submits_rejected);
+      EXPECT_GE(snap.pushes_accepted, prev.pushes_accepted);
+      EXPECT_GE(snap.pushes_rejected, prev.pushes_rejected);
+      EXPECT_GE(snap.drain_batches, prev.drain_batches);
+      EXPECT_GE(snap.max_batch, prev.max_batch);
+      prev = snap;
+      ++reader_snapshots;
+      std::this_thread::yield();
+    }
+  });
+
+  while (!proxy.Done()) {
+    ASSERT_TRUE(proxy.Tick().ok());
+    std::this_thread::yield();
+  }
+  for (auto& thread : producers) thread.join();
+  producing.store(false, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(reader_snapshots, 0);
+
+  Tally total;
+  for (const Tally& t : tallies) {
+    total.submits_accepted += t.submits_accepted;
+    total.submits_rejected += t.submits_rejected;
+    total.pushes_accepted += t.pushes_accepted;
+    total.pushes_rejected += t.pushes_rejected;
+  }
+  const IngestionStats final_stats = proxy.ingestion_stats();
+  EXPECT_EQ(final_stats.submits_accepted, total.submits_accepted);
+  EXPECT_EQ(final_stats.submits_rejected, total.submits_rejected);
+  EXPECT_EQ(final_stats.pushes_accepted, total.pushes_accepted);
+  EXPECT_EQ(final_stats.pushes_rejected, total.pushes_rejected);
+  EXPECT_EQ(proxy.stats().ceis_seen, final_stats.submits_accepted);
+}
+
 }  // namespace
 }  // namespace webmon

@@ -1,0 +1,440 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism analyzer, run as a CTest
+(`ctest -R webmon_determinism`).
+
+The repo's contracts — schedules byte-identical at any thread count, the
+schedule a deterministic function of the arrival log — are enforced
+dynamically by the replay-identity suites. This tool enforces the *static*
+half: source patterns whose output order depends on hash-table layout,
+pointer values, or an unstable sort would silently break those contracts in
+ways no single-configuration test can see (the order only changes across
+libstdc++ versions, ASLR seeds, or allocator behavior). Rules:
+
+  unordered-iter   No iteration over std::unordered_map/unordered_set in
+                   src/ (range-for, .begin()/.end(), iterator-range
+                   construction): bucket order leaks hash-table layout into
+                   whatever consumes the loop. Sites that erase the order
+                   again (e.g. draining into a vector that is immediately
+                   sorted by a total key) are allowlisted per-site in
+                   ALLOWED_UNORDERED_ITERS below AND must carry an in-code
+                   `// unordered-iter-ok: <why>` justification within the
+                   three lines above the site — the allowlist names the
+                   site, the comment defends it where the code lives.
+  ptr-ordered-key  No pointer-keyed std::map/std::set in src/: iteration
+                   order is the pointer order, i.e. the allocator's mood.
+  sort-stability   std::sort in src/policy, src/online, src/offline must be
+                   std::stable_sort or carry a `// total-order: <why>`
+                   comment (same line or the three lines above) arguing the
+                   comparator is a strict total order on the sorted range —
+                   with ties, std::sort's result depends on the
+                   implementation's introsort details.
+  ptr-hash         No std::hash over pointer types and no pointer-keyed
+                   unordered containers in src/: hashes of addresses change
+                   run to run under ASLR, and anything they feed
+                   (iteration, sampling, bucketing) changes with them.
+
+Engine: a libclang pass when python bindings + libclang are importable
+(resolves the static type of every range-for's range expression — no
+false positives from shadowed names), falling back to a tokenizer pass in
+the style of tools/lint/webmon_lint.py (tracks unordered-typed
+declarations, including file-local and repo-wide `using` aliases, then
+flags iteration over the tracked names). Both passes share the allowlist
+and the justification-comment requirements.
+
+Self-test (`--self-test tests/lint`): every fixture file declares the
+rules it must trigger in a `// expect: rule[,rule]` header (or
+`// expect: none`) and the path it pretends to live at in `// as-path:`;
+the analyzer runs itself over each fixture and fails unless the fired rule
+set matches exactly — known-bad snippets must fire, the known-good file
+must not.
+
+Exit status: 0 = clean, 1 = violations (printed as
+file:line: rule: message).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+SKIP_DIR_NAMES = {"build", "CMakeFiles", "__pycache__", ".git"}
+
+# Directories whose std::sort calls feed schedules (rule sort-stability).
+SORT_SCOPE = ("src/policy/", "src/online/", "src/offline/")
+
+# Per-site allowlist for rule unordered-iter: (repo-relative path, variable).
+# Every entry must ALSO carry a `// unordered-iter-ok:` justification within
+# the three lines above the flagged line; an allowlisted site without the
+# comment still fails. Keep this list short — the default is a sorted
+# container or a sorted drain.
+ALLOWED_UNORDERED_ITERS = {
+    # Sorted drains: the per-chronon candidate gain map is emptied into a
+    # vector that is immediately sorted by resource id (a unique key), so
+    # bucket order never reaches the search.
+    ("src/offline/exact_solver.cc", "gain"),
+    ("src/offline/reference_solvers.cc", "gain"),
+}
+
+JUSTIFY_UNORDERED = "unordered-iter-ok:"
+JUSTIFY_SORT = "total-order:"
+# How far above a flagged line a justification comment may sit.
+JUSTIFY_WINDOW = 3
+
+LINE_COMMENT = re.compile(r"//.*$")
+
+UNORDERED_DECL_HEAD = re.compile(
+    r"^\s*(?:mutable\s+|static\s+|constexpr\s+|const\s+|typename\s+)*"
+    r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
+UNORDERED_TYPE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+USING_ALIAS = re.compile(
+    r"^\s*using\s+(\w+)\s*=\s*std\s*::\s*"
+    r"unordered_(?:map|set|multimap|multiset)\s*<")
+TYPEDEF_ALIAS = re.compile(
+    r"^\s*typedef\s+std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+
+RANGE_FOR = re.compile(r"\bfor\s*\(")
+STD_SORT = re.compile(r"\bstd\s*::\s*sort\s*\(")
+PTR_ORDERED = re.compile(
+    r"\bstd\s*::\s*(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?"
+    r"[\w:]+(?:\s*<[^<>]*>)?\s*\*")
+PTR_UNORDERED = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<\s*"
+    r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*")
+PTR_STD_HASH = re.compile(r"\bstd\s*::\s*hash\s*<[^<>]*\*")
+
+IDENT = r"[A-Za-z_]\w*"
+
+
+def strip_comment(line):
+    return LINE_COMMENT.sub("", line)
+
+
+def repo_files(root, top_dirs):
+    for top in top_dirs:
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_path):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIR_NAMES]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    path = os.path.join(dirpath, name)
+                    yield os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def has_justification(lines, index, marker):
+    """True if `marker` appears in a comment on lines[index] or the
+    JUSTIFY_WINDOW lines above it."""
+    lo = max(0, index - JUSTIFY_WINDOW)
+    return any(marker in lines[i] for i in range(lo, index + 1))
+
+
+# ---------------------------------------------------------------------------
+# Alias collection (repo-wide pass)
+# ---------------------------------------------------------------------------
+
+def collect_unordered_aliases(root, rel_paths):
+    """Names introduced by `using X = std::unordered_*<...>` anywhere in the
+    scanned tree. Variables declared with these alias types count as
+    unordered containers in every file (TrueWindowMap travels across
+    translation units)."""
+    aliases = set()
+    for rel_path in rel_paths:
+        try:
+            with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+                for raw in f:
+                    m = USING_ALIAS.match(strip_comment(raw))
+                    if m:
+                        aliases.add(m.group(1))
+        except OSError:
+            continue
+    return aliases
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer engine
+# ---------------------------------------------------------------------------
+
+def matching_angle_end(text, open_index):
+    """Index just past the `>` matching the `<` at open_index, or -1."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def unordered_vars_in_file(lines, aliases):
+    """Identifiers declared in this file with an unordered container type
+    (direct or via a collected alias), including reference/pointer
+    parameters. Per-file and name-based — deliberately conservative."""
+    names = set()
+    alias_decl = None
+    if aliases:
+        alias_decl = re.compile(
+            r"\b(?:" + "|".join(map(re.escape, sorted(aliases))) + r")"
+            r"\s*[&*]?\s+(" + IDENT + r")\b")
+    for raw in lines:
+        code = strip_comment(raw)
+        m = UNORDERED_DECL_HEAD.match(code)
+        if m:
+            open_idx = code.index("<", m.start())
+            end = matching_angle_end(code, open_idx)
+            if end >= 0:
+                tail = code[end:]
+                dm = re.match(r"\s*[&*]?\s*(" + IDENT + r")\b", tail)
+                if dm and dm.group(1) not in {"const", "operator"}:
+                    names.add(dm.group(1))
+        if alias_decl:
+            for am in alias_decl.finditer(code):
+                names.add(am.group(1))
+    return names
+
+
+def check_unordered_iter_tokenizer(rel_path, lines, aliases):
+    """Rule unordered-iter without libclang: flag range-for over, or
+    .begin()/.end()/.cbegin()/.cend() on, any tracked unordered name."""
+    names = unordered_vars_in_file(lines, aliases)
+    if not names:
+        return
+    name_alt = "|".join(map(re.escape, sorted(names)))
+    range_for = re.compile(r"\bfor\s*\([^;()]*:\s*(" + name_alt + r")\s*\)")
+    # Only begin()/cbegin(): every iteration needs one, while a bare end()
+    # is the `find(...) == x.end()` membership idiom, which is order-free.
+    begin_end = re.compile(r"\b(" + name_alt + r")\s*\.\s*c?begin\s*\(")
+    for i, raw in enumerate(lines):
+        code = strip_comment(raw)
+        for pattern, how in ((range_for, "range-for over"),
+                             (begin_end, "iterator drain of")):
+            for m in pattern.finditer(code):
+                yield i + 1, m.group(1), (
+                    f"{how} unordered container `{m.group(1)}`: bucket order "
+                    "leaks hash-table layout into the output")
+
+
+# ---------------------------------------------------------------------------
+# libclang engine (optional refinement for unordered-iter)
+# ---------------------------------------------------------------------------
+
+def load_libclang():
+    try:
+        from clang import cindex  # noqa: PLC0415
+        index = cindex.Index.create()
+        return cindex, index
+    except Exception:  # ImportError or missing libclang.so
+        return None, None
+
+
+def check_unordered_iter_libclang(cindex, index, root, rel_path, lines):
+    """Rule unordered-iter with real type information: walk every
+    CXXForRangeStmt and member call to begin/end, resolve the canonical type
+    of the iterated expression, and flag unordered containers. Replaces the
+    name-tracking heuristic when libclang is available."""
+    path = os.path.join(root, rel_path)
+    args = ["-std=c++20", "-I", os.path.join(root, "src"),
+            "-I", os.path.join(root, "tests"), "-fsyntax-only"]
+    tu = index.parse(path, args=args)
+    kinds = cindex.CursorKind
+
+    def iterated_exprs(cursor):
+        if cursor.kind == kinds.CXX_FOR_RANGE_STMT:
+            children = list(cursor.get_children())
+            if len(children) >= 2:
+                yield children[-2]  # the range initializer
+        if cursor.kind == kinds.CALL_EXPR and cursor.spelling in (
+                "begin", "cbegin"):
+            children = list(cursor.get_children())
+            if children:
+                yield children[0]
+        for child in cursor.get_children():
+            if child.location.file and child.location.file.name == path:
+                yield from iterated_exprs(child)
+
+    for expr in iterated_exprs(tu.cursor):
+        type_name = expr.type.get_canonical().spelling
+        if "unordered_map" in type_name or "unordered_set" in type_name:
+            line = expr.location.line
+            text = lines[line - 1] if 0 < line <= len(lines) else ""
+            var = expr.spelling or strip_comment(text).strip()
+            yield line, var, (
+                f"iteration over unordered container `{var}` "
+                f"({type_name.split('<')[0]}): bucket order leaks hash-table "
+                "layout into the output")
+
+
+# ---------------------------------------------------------------------------
+# Purely lexical rules
+# ---------------------------------------------------------------------------
+
+def check_ptr_ordered_key(lines):
+    for i, raw in enumerate(lines):
+        code = strip_comment(raw)
+        if PTR_ORDERED.search(code):
+            yield i + 1, ("pointer-keyed ordered container: its iteration "
+                          "order is the address order, which changes run to "
+                          "run; key by a stable id instead")
+
+
+def check_sort_stability(rel_path, lines):
+    if not rel_path.startswith(SORT_SCOPE):
+        return
+    for i, raw in enumerate(lines):
+        code = strip_comment(raw)
+        if not STD_SORT.search(code):
+            continue
+        if has_justification(lines, i, JUSTIFY_SORT):
+            continue
+        yield i + 1, ("std::sort on a schedule-feeding path: with tying "
+                      "keys the result depends on introsort internals; use "
+                      "std::stable_sort or justify the comparator as a "
+                      "strict total order with a `// total-order:` comment")
+
+
+def check_ptr_hash(lines):
+    for i, raw in enumerate(lines):
+        code = strip_comment(raw)
+        if PTR_STD_HASH.search(code):
+            yield i + 1, ("std::hash over a pointer type: address hashes "
+                          "change with ASLR; hash a stable id instead")
+        elif PTR_UNORDERED.search(code):
+            yield i + 1, ("pointer-keyed unordered container: bucket "
+                          "placement hashes addresses, which change run to "
+                          "run; key by a stable id instead")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def analyze_file(root, rel_path, lines, aliases, engine, as_path=None):
+    """All violations for one file as (line, rule, message). `as_path`
+    overrides the path used for scoping/allowlisting (self-test mode)."""
+    scope_path = as_path or rel_path
+    violations = []
+
+    if scope_path.startswith("src/"):
+        cindex, index = engine
+        if cindex is not None:
+            found = check_unordered_iter_libclang(
+                cindex, index, root, rel_path, lines)
+        else:
+            found = check_unordered_iter_tokenizer(rel_path, lines, aliases)
+        for line, var, msg in found:
+            if (scope_path, var) in ALLOWED_UNORDERED_ITERS:
+                if has_justification(lines, line - 1, JUSTIFY_UNORDERED):
+                    continue
+                msg = (f"allowlisted unordered iteration of `{var}` is "
+                       "missing its `// unordered-iter-ok:` justification "
+                       "comment")
+            violations.append((line, "unordered-iter", msg))
+        for line, msg in check_ptr_ordered_key(lines):
+            violations.append((line, "ptr-ordered-key", msg))
+        for line, msg in check_ptr_hash(lines):
+            violations.append((line, "ptr-hash", msg))
+
+    for line, msg in check_sort_stability(scope_path, lines):
+        violations.append((line, "sort-stability", msg))
+
+    violations.sort()
+    return violations
+
+
+def read_lines(root, rel_path):
+    with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+        return f.read().splitlines()
+
+
+def run_scan(root, paths):
+    rel_paths = paths or sorted(repo_files(root, ("src",)))
+    aliases = collect_unordered_aliases(root, rel_paths)
+    engine = load_libclang()
+    bad_files = 0
+    for rel_path in rel_paths:
+        lines = read_lines(root, rel_path)
+        violations = analyze_file(root, rel_path, lines, aliases, engine)
+        if violations:
+            bad_files += 1
+            for line, rule, msg in violations:
+                print(f"{rel_path}:{line}: {rule}: {msg}")
+    mode = "libclang" if engine[0] is not None else "tokenizer"
+    if bad_files:
+        print(f"webmon_determinism[{mode}]: {bad_files} of "
+              f"{len(rel_paths)} files have violations", file=sys.stderr)
+        return 1
+    print(f"webmon_determinism[{mode}]: {len(rel_paths)} files clean")
+    return 0
+
+
+EXPECT = re.compile(r"//\s*expect:\s*([\w,\- ]+)")
+AS_PATH = re.compile(r"//\s*as-path:\s*(\S+)")
+
+
+def run_self_test(root, fixture_dir):
+    """Check the analyzer against its fixtures: each must fire exactly the
+    rules its `// expect:` header names (or none)."""
+    fixture_root = os.path.join(root, fixture_dir)
+    fixtures = sorted(
+        f for f in os.listdir(fixture_root) if f.endswith(SOURCE_EXTS))
+    if not fixtures:
+        print(f"webmon_determinism --self-test: no fixtures in "
+              f"{fixture_dir}", file=sys.stderr)
+        return 1
+    # Tokenizer engine on purpose: fixtures are freestanding snippets that
+    # need no includes, and the tokenizer path is the one that must keep
+    # working on machines without libclang.
+    engine = (None, None)
+    failures = 0
+    for name in fixtures:
+        rel_path = f"{fixture_dir}/{name}"
+        lines = read_lines(root, rel_path)
+        head = "\n".join(lines[:10])
+        expect_m = EXPECT.search(head)
+        as_path_m = AS_PATH.search(head)
+        if not expect_m or not as_path_m:
+            print(f"{rel_path}: fixture is missing its `// expect:` or "
+                  f"`// as-path:` header")
+            failures += 1
+            continue
+        expected = {r.strip() for r in expect_m.group(1).split(",")}
+        expected.discard("none")
+        aliases = collect_unordered_aliases(root, [rel_path])
+        fired = {rule for _, rule, _ in analyze_file(
+            root, rel_path, lines, aliases, engine,
+            as_path=as_path_m.group(1))}
+        if fired != expected:
+            print(f"{rel_path}: expected rules {sorted(expected) or ['none']}"
+                  f", fired {sorted(fired) or ['none']}")
+            failures += 1
+    total = len(fixtures)
+    if failures:
+        print(f"webmon_determinism --self-test: {failures} of {total} "
+              f"fixtures misbehaved", file=sys.stderr)
+        return 1
+    print(f"webmon_determinism --self-test: {total} fixtures behaved")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--self-test", metavar="DIR",
+                        help="run the fixture self-test on DIR instead of "
+                             "scanning the tree")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to analyze (default: src/)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root, args.self_test.rstrip("/"))
+    return run_scan(root, args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,14 @@ Rules:
              contract (schedules byte-identical at any thread count) has a
              single enforcement point. Tests may spawn threads to exercise
              concurrency primitives directly.
+  rawmutex   No std::mutex/std::condition_variable in files that do not
+             include util/thread_annotations.h (directly or via
+             util/mutex.h): locking goes through the annotated
+             webmon::Mutex/MutexLock/CondVar wrappers so clang
+             -Wthread-safety (the `thread-safety` preset) sees every
+             acquisition — a raw std::mutex is invisible to the analysis
+             and silently exempts its file from the lock-discipline checks.
+             Tests are exempt (they exercise the primitives directly).
 
 Exit status is the number of files with violations (0 = clean). Violations
 are printed as file:line: rule: message, one per line.
@@ -46,6 +54,15 @@ THREAD_EXEMPT = re.compile(r"^(src/util/thread_pool\.(h|cc)|tests/.*)$")
 # hardware_concurrency). std::this_thread does not match: after "std::"
 # the pattern requires "thread" or "jthread" immediately.
 RAW_THREAD = re.compile(r"\bstd\s*::\s*j?thread\b")
+
+# Files allowed to name std::mutex / std::condition_variable without the
+# annotations header: the annotated wrapper itself (whose whole point is to
+# wrap them) and tests.
+RAWMUTEX_EXEMPT = re.compile(r"^(src/util/mutex\.h|tests/.*)$")
+
+RAW_MUTEX = re.compile(r"\bstd\s*::\s*(mutex|condition_variable)\b")
+ANNOTATIONS_INCLUDE = re.compile(
+    r'#\s*include\s+"util/(thread_annotations|mutex)\.h"')
 
 BANNED_RANDOMNESS = [
     (re.compile(r"(?<![\w:.])s?rand\s*\("), "call to rand()/srand()"),
@@ -143,6 +160,19 @@ def check_thread(rel_path, lines):
                           "thread count)")
 
 
+def check_rawmutex(rel_path, lines):
+    if RAWMUTEX_EXEMPT.match(rel_path):
+        return
+    includes_annotations = any(ANNOTATIONS_INCLUDE.search(line)
+                               for line in lines)
+    for i, line in enumerate(lines):
+        if RAW_MUTEX.search(strip_comment(line)) and not includes_annotations:
+            yield i + 1, ("raw std::mutex/std::condition_variable without "
+                          "util/thread_annotations.h; use the annotated "
+                          "webmon::Mutex/CondVar wrappers (util/mutex.h) so "
+                          "-Wthread-safety sees the acquisition")
+
+
 def check_using_namespace(lines):
     for i, line in enumerate(lines):
         if USING_NAMESPACE.match(strip_comment(line)):
@@ -163,6 +193,8 @@ def lint_file(root, rel_path):
     violations += [(line, "sleep", msg) for line, msg in check_sleep(lines)]
     violations += [(line, "thread", msg)
                    for line, msg in check_thread(rel_path, lines)]
+    violations += [(line, "rawmutex", msg)
+                   for line, msg in check_rawmutex(rel_path, lines)]
     return violations
 
 
