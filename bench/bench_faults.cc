@@ -1,21 +1,40 @@
-// Robustness: completeness degradation under injected probe failures.
+// Robustness: completeness degradation under injected probe failures, and
+// the recovery the incident-aware fleet breaker buys under correlated
+// fleet-wide incidents.
 //
-// Setup: Table I baseline scaled to 3 repetitions, all seven policies in
-// preemptive mode. The failure knob p drives the whole fault profile:
-// transient errors with probability p, timeouts at p/4, and a Gilbert-
-// Elliott outage chain entering its bad state at p/8 (exit 0.4, so bursts
-// last ~2.5 chronons). Every policy faces the same per-repetition fault
-// streams; failed probes burn budget, retries go through capped
-// exponential backoff, and repeat offenders trip the circuit breaker.
+// Part 1 (degradation sweep): Table I baseline scaled to 3 repetitions,
+// all seven policies in preemptive mode. The failure knob p drives the
+// whole fault profile: transient errors with probability p, timeouts at
+// p/4, and a Gilbert-Elliott outage chain entering its bad state at p/8
+// (exit 0.4, so bursts last ~2.5 chronons). Every policy faces the same
+// per-repetition fault streams; failed probes burn budget, retries go
+// through capped exponential backoff, and repeat offenders trip the
+// circuit breaker.
 //
 // Expected shape: completeness decays gracefully (sub-linearly) in p —
 // the breaker and backoff redirect budget away from dead resources, so
 // the loss is bounded by the budget actually burned on failures.
+//
+// Part 2 (incident ablation): a fleet-level incident domain covers half
+// the resources; while its Gilbert-Elliott chain sits in the bad state,
+// probes to covered resources fail with probability 0.98. The same cell
+// runs twice — incident detection ON (the windowed failure-rate detector
+// opens the fleet breaker and redirects budget to uncovered work) and OFF
+// (the scheduler keeps retrying into the outage, the per-resource
+// machinery alone absorbs it). The aware run should recover measurable
+// completeness over the oblivious baseline.
+//
+// Pass --json <path> to emit both sweeps as a JSON document (the CI perf
+// artifact, BENCH_faults.json).
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "util/flags.h"
 
 namespace webmon::bench {
 namespace {
@@ -31,7 +50,91 @@ FaultSpec SpecFor(double p) {
   return spec;
 }
 
-int Run() {
+// Mild background faults plus one fleet incident domain covering every
+// even resource. Incidents are rare and long — enter 0.005, exit 0.02, so
+// ~4-5 incidents of ~50 chronons over a 1000-chronon epoch — the regime
+// where fleet-level detection pays: with budget C = 1 the windowed
+// detector needs ~a dozen chronons of attempts to open, which must be
+// small against the incident length for suppression to recover budget.
+// Covered probes fail at 0.98 while the domain's chain is bad.
+FaultSpec IncidentSpec() {
+  FaultSpec spec = SpecFor(0.05);
+  IncidentDomain domain;
+  domain.name = "backbone";
+  domain.stride = 2;
+  domain.offset = 0;
+  domain.enter_prob = 0.005;
+  domain.exit_prob = 0.02;
+  domain.fail_prob = 0.98;
+  spec.incidents.push_back(domain);
+  return spec;
+}
+
+struct DegradationRow {
+  std::string policy;
+  double rate = 0.0;
+  double completeness = 0.0;
+  double probes_failed = 0.0;
+  double probes_retried = 0.0;
+  double breaker_trips = 0.0;
+};
+
+struct IncidentRow {
+  std::string policy;
+  bool detection = false;
+  double completeness = 0.0;
+  double windows_detected = 0.0;
+  double windows_missed = 0.0;
+  double probes_suppressed = 0.0;
+  double trial_probes = 0.0;
+};
+
+void WriteJson(const std::string& path,
+               const std::vector<DegradationRow>& degradation,
+               const std::vector<IncidentRow>& incidents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"faults\",\n  \"rows\": [\n";
+  for (size_t r = 0; r < degradation.size(); ++r) {
+    const DegradationRow& row = degradation[r];
+    out << "    {\"policy\": \"" << row.policy << "\", \"rate\": " << row.rate
+        << ", \"completeness\": " << row.completeness
+        << ", \"probes_failed\": " << row.probes_failed
+        << ", \"probes_retried\": " << row.probes_retried
+        << ", \"breaker_trips\": " << row.breaker_trips << "}"
+        << (r + 1 < degradation.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"incident_rows\": [\n";
+  for (size_t r = 0; r < incidents.size(); ++r) {
+    const IncidentRow& row = incidents[r];
+    out << "    {\"policy\": \"" << row.policy << "\", \"detection\": "
+        << (row.detection ? "true" : "false")
+        << ", \"completeness\": " << row.completeness
+        << ", \"windows_detected\": " << row.windows_detected
+        << ", \"windows_missed\": " << row.windows_missed
+        << ", \"probes_suppressed\": " << row.probes_suppressed
+        << ", \"trial_probes\": " << row.trial_probes << "}"
+        << (r + 1 < incidents.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+int Run(int argc, const char* const* argv) {
+  FlagSet flags("bench_faults: completeness under probe failures and "
+                "fleet incidents");
+  flags.AddString("json", "", "write measurements to this JSON file")
+      .AddInt("repetitions", 3, "repetitions per cell");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+  const auto repetitions =
+      static_cast<uint32_t>(flags.GetInt("repetitions"));
+
   PrintBanner("Robustness", "Completeness vs injected failure rate, "
                             "all policies, preemptive",
               "graceful sub-linear decay; backoff + breaker bound the "
@@ -45,7 +148,7 @@ int Run() {
   std::vector<ExperimentResult> by_rate;
   for (double p : kRates) {
     ExperimentConfig config = PaperBaseline(/*seed=*/31);
-    config.repetitions = 3;
+    config.repetitions = repetitions;
     config.fault_spec = SpecFor(p);
     config.fault_seed = 1031;
     auto result = RunExperiment(config, specs);
@@ -56,13 +159,22 @@ int Run() {
     by_rate.push_back(*std::move(result));
   }
 
+  std::vector<DegradationRow> degradation_rows;
   TableWriter completeness({"policy", "p=0.00", "p=0.05", "p=0.10",
                             "p=0.20", "p=0.40"});
   for (size_t i = 0; i < specs.size(); ++i) {
     std::vector<std::string> cells{specs[i].Label()};
-    for (const ExperimentResult& result : by_rate) {
-      cells.push_back(
-          TableWriter::Percent(result.policies[i].completeness.mean()));
+    for (size_t k = 0; k < by_rate.size(); ++k) {
+      const PolicyResult& r = by_rate[k].policies[i];
+      cells.push_back(TableWriter::Percent(r.completeness.mean()));
+      DegradationRow row;
+      row.policy = specs[i].Label();
+      row.rate = kRates[k];
+      row.completeness = r.completeness.mean();
+      row.probes_failed = r.probes_failed.mean();
+      row.probes_retried = r.probes_retried.mean();
+      row.breaker_trips = r.breaker_trips.mean();
+      degradation_rows.push_back(row);
     }
     completeness.AddRow(cells);
   }
@@ -86,10 +198,55 @@ int Run() {
                                         : 0.0)});
   }
   PrintTable(accounting);
+
+  // --- Part 2: incident ablation, detection ON vs OFF. ---
+  PrintBanner("Fleet incidents",
+              "Incident-aware fleet breaker vs incident-oblivious baseline",
+              "the aware run suppresses probes into the outage and "
+              "recovers completeness the oblivious baseline loses");
+  const std::vector<PolicySpec> incident_specs = {{"m-edf", true},
+                                                  {"mrsf", true}};
+  std::vector<IncidentRow> incident_rows;
+  TableWriter ablation({"policy", "detection", "completeness", "detected",
+                        "missed", "suppressed", "trials"});
+  for (const bool detection : {true, false}) {
+    ExperimentConfig config = PaperBaseline(/*seed=*/31);
+    config.repetitions = repetitions;
+    config.fault_spec = IncidentSpec();
+    config.fault_seed = 1031;
+    config.fault_handling.incident_detection = detection;
+    auto result = RunExperiment(config, incident_specs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < incident_specs.size(); ++i) {
+      const PolicyResult& r = result->policies[i];
+      IncidentRow row;
+      row.policy = incident_specs[i].Label();
+      row.detection = detection;
+      row.completeness = r.completeness.mean();
+      row.windows_detected = r.incident_windows_detected.mean();
+      row.windows_missed = r.incident_windows_missed.mean();
+      row.probes_suppressed = r.incident_probes_suppressed.mean();
+      row.trial_probes = r.incident_trial_probes.mean();
+      incident_rows.push_back(row);
+      ablation.AddRow({row.policy, detection ? "on" : "off",
+                       TableWriter::Percent(row.completeness),
+                       TableWriter::Fmt(row.windows_detected),
+                       TableWriter::Fmt(row.windows_missed),
+                       TableWriter::Fmt(row.probes_suppressed),
+                       TableWriter::Fmt(row.trial_probes)});
+    }
+  }
+  PrintTable(ablation);
+
+  const std::string json = flags.GetString("json");
+  if (!json.empty()) WriteJson(json, degradation_rows, incident_rows);
   return 0;
 }
 
 }  // namespace
 }  // namespace webmon::bench
 
-int main() { return webmon::bench::Run(); }
+int main(int argc, char** argv) { return webmon::bench::Run(argc, argv); }

@@ -1,5 +1,8 @@
 #include "faults/fault_model.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -54,6 +57,57 @@ bool operator==(const ResourceFaultProfile& a, const ResourceFaultProfile& b) {
          a.rate_limit_max == b.rate_limit_max;
 }
 
+bool IncidentDomain::Covers(ResourceId resource) const {
+  if (stride > 0 && resource % stride == offset) return true;
+  return std::binary_search(members.begin(), members.end(), resource);
+}
+
+bool IncidentDomain::IsIdeal() const {
+  return enter_prob == 0.0 || fail_prob == 0.0;
+}
+
+Status IncidentDomain::Validate() const {
+  const std::string who = "incident domain '" + name + "'";
+  if (name.empty()) {
+    return Status::InvalidArgument("incident domains need a name");
+  }
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(who + ": name must not contain "
+                                     "whitespace");
+    }
+  }
+  if (!IsProb(enter_prob) || !IsProb(exit_prob) || !IsProb(fail_prob)) {
+    return Status::InvalidArgument(who +
+                                   ": probabilities must lie in [0, 1]");
+  }
+  if (enter_prob > 0.0 && exit_prob == 0.0) {
+    return Status::InvalidArgument(
+        who + ": an incident that can start must be exitable "
+              "(exit_prob > 0)");
+  }
+  if (members.empty() && stride == 0) {
+    return Status::InvalidArgument(who + ": must cover at least one "
+                                   "resource (members or a selector)");
+  }
+  if (stride > 0 && offset >= stride) {
+    return Status::InvalidArgument(who + ": selector offset must be < "
+                                   "stride");
+  }
+  if (!std::is_sorted(members.begin(), members.end()) ||
+      std::adjacent_find(members.begin(), members.end()) != members.end()) {
+    return Status::InvalidArgument(who + ": members must be sorted and "
+                                   "unique");
+  }
+  return Status::OK();
+}
+
+bool operator==(const IncidentDomain& a, const IncidentDomain& b) {
+  return a.name == b.name && a.members == b.members && a.stride == b.stride &&
+         a.offset == b.offset && a.enter_prob == b.enter_prob &&
+         a.exit_prob == b.exit_prob && a.fail_prob == b.fail_prob;
+}
+
 const ResourceFaultProfile& FaultSpec::For(ResourceId resource) const {
   auto it = overrides.find(resource);
   return it == overrides.end() ? defaults : it->second;
@@ -65,6 +119,9 @@ bool FaultSpec::IsIdeal() const {
     (void)resource;
     if (!profile.IsIdeal()) return false;
   }
+  for (const IncidentDomain& domain : incidents) {
+    if (!domain.IsIdeal()) return false;
+  }
   return true;
 }
 
@@ -74,6 +131,18 @@ Status FaultSpec::Validate() const {
     std::ostringstream who;
     who << "resource " << resource;
     WEBMON_RETURN_IF_ERROR(ValidateProfile(profile, who.str()));
+  }
+  for (size_t d = 0; d < incidents.size(); ++d) {
+    WEBMON_RETURN_IF_ERROR(incidents[d].Validate());
+    for (size_t e = 0; e < d; ++e) {
+      if (incidents[e].name == incidents[d].name) {
+        return Status::InvalidArgument("duplicate incident domain '" +
+                                       incidents[d].name + "'");
+      }
+    }
+  }
+  if (std::isnan(retry_budget)) {
+    return Status::InvalidArgument("retry_budget must not be NaN");
   }
   return Status::OK();
 }
@@ -116,6 +185,44 @@ Status ParseProfile(std::istringstream& in, ResourceFaultProfile& p,
   return Status::OK();
 }
 
+Status ParseIncident(std::istringstream& in, IncidentDomain& domain,
+                     int line_no) {
+  auto fail = [line_no](const std::string& what) {
+    std::ostringstream os;
+    os << "fault spec line " << line_no << ": " << what;
+    return Status::InvalidArgument(os.str());
+  };
+  if (!(in >> domain.name)) return fail("incident needs a name");
+  std::string key;
+  while (in >> key) {
+    if (key == "enter") {
+      if (!(in >> domain.enter_prob)) return fail("bad enter value");
+    } else if (key == "exit") {
+      if (!(in >> domain.exit_prob)) return fail("bad exit value");
+    } else if (key == "fail") {
+      if (!(in >> domain.fail_prob)) return fail("bad fail value");
+    } else if (key == "every") {
+      if (!(in >> domain.stride)) return fail("bad every value");
+    } else if (key == "offset") {
+      if (!(in >> domain.offset)) return fail("bad offset value");
+    } else if (key == "members") {
+      // Members run to the end of the line, so they must come last.
+      ResourceId id = 0;
+      while (in >> id) domain.members.push_back(id);
+      if (!in.eof()) return fail("bad member id");
+      // total-order: operator< on integer resource ids; duplicates are
+      // erased right below, and equal elements are indistinguishable.
+      std::sort(domain.members.begin(), domain.members.end());
+      domain.members.erase(
+          std::unique(domain.members.begin(), domain.members.end()),
+          domain.members.end());
+    } else {
+      return fail("unknown incident field '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string FaultSpecToText(const FaultSpec& spec) {
@@ -130,6 +237,19 @@ std::string FaultSpecToText(const FaultSpec& spec) {
   for (const auto& [resource, profile] : spec.overrides) {
     os << "resource " << resource << " ";
     AppendProfile(os, profile);
+    os << "\n";
+  }
+  for (const IncidentDomain& domain : spec.incidents) {
+    os << "incident " << domain.name << " enter " << domain.enter_prob
+       << " exit " << domain.exit_prob << " fail " << domain.fail_prob;
+    if (domain.stride > 0) {
+      os << " every " << domain.stride << " offset " << domain.offset;
+    }
+    if (!domain.members.empty()) {
+      // Members last: the parser reads ids greedily to the end of the line.
+      os << " members";
+      for (ResourceId r : domain.members) os << " " << r;
+    }
     os << "\n";
   }
   return os.str();
@@ -176,6 +296,10 @@ StatusOr<FaultSpec> FaultSpecFromText(const std::string& text) {
       ResourceFaultProfile profile = spec.defaults;
       WEBMON_RETURN_IF_ERROR(ParseProfile(fields, profile, line_no));
       spec.overrides[resource] = profile;
+    } else if (kind == "incident") {
+      IncidentDomain domain;
+      WEBMON_RETURN_IF_ERROR(ParseIncident(fields, domain, line_no));
+      spec.incidents.push_back(std::move(domain));
     } else {
       std::ostringstream os;
       os << "fault spec line " << line_no << ": unknown record '" << kind
@@ -219,6 +343,61 @@ FaultInjector::FaultInjector(FaultSpec spec, uint32_t num_resources,
     states_[r].probe_rng = Rng(SplitMix64Next(stream));
     states_[r].chain_rng = Rng(SplitMix64Next(stream));
   }
+  if (!spec_.incidents.empty()) {
+    domains_.resize(spec_.incidents.size());
+    for (size_t d = 0; d < spec_.incidents.size(); ++d) {
+      // Fleet chains get their own stream family (a different mixing
+      // constant than the per-resource streams) so a domain never shares
+      // randomness with the resources it covers.
+      uint64_t stream = seed ^ (0xBF58476D1CE4E5B9ULL * (d + 1));
+      domains_[d].chain_rng = Rng(SplitMix64Next(stream));
+    }
+    covering_.resize(num_resources);
+    for (uint32_t r = 0; r < num_resources; ++r) {
+      for (size_t d = 0; d < spec_.incidents.size(); ++d) {
+        if (spec_.incidents[d].Covers(r)) {
+          covering_[r].push_back(static_cast<uint32_t>(d));
+        }
+      }
+    }
+  }
+}
+
+void FaultInjector::AdvanceDomain(size_t domain, Chronon t) {
+  const IncidentDomain& spec = spec_.incidents[domain];
+  DomainState& state = domains_[domain];
+  if (spec.enter_prob == 0.0 && !state.active) {
+    state.chain_advanced_to = std::max(state.chain_advanced_to, t);
+    return;
+  }
+  while (state.chain_advanced_to < t) {
+    ++state.chain_advanced_to;
+    if (state.active) {
+      if (state.chain_rng.Bernoulli(spec.exit_prob)) state.active = false;
+    } else if (state.chain_rng.Bernoulli(spec.enter_prob)) {
+      state.active = true;
+    }
+  }
+}
+
+bool FaultInjector::FleetIncidentActive(size_t domain, Chronon t) {
+  WEBMON_CHECK_LT(domain, domains_.size())
+      << "fault injector asked about an unknown incident domain";
+  AdvanceDomain(domain, t);
+  return domains_[domain].active;
+}
+
+bool FaultInjector::ResourceInIncident(ResourceId resource, Chronon t) {
+  for (uint32_t d : DomainsCovering(resource)) {
+    if (FleetIncidentActive(d, t)) return true;
+  }
+  return false;
+}
+
+const std::vector<uint32_t>& FaultInjector::DomainsCovering(
+    ResourceId resource) const {
+  if (resource >= covering_.size()) return no_domains_;
+  return covering_[resource];
 }
 
 void FaultInjector::AdvanceChain(ResourceState& state,
@@ -255,13 +434,23 @@ ProbeOutcome FaultInjector::OnProbe(ResourceId resource, Chronon t) {
       << "fault injector probed for an unknown resource";
   const ResourceFaultProfile& profile = spec_.For(resource);
   ResourceState& state = states_[resource];
+  // Draw order is part of the determinism contract: fleet incident first
+  // (the probe never reaches the server, so the rate limiter does not see
+  // it), then rate limit (no RNG), timeout, and the outage/transient draw.
+  // While no covering domain is active, no randomness is consumed, so a
+  // spec whose incidents never fire stays byte-identical to one without
+  // incident lines.
+  for (uint32_t d : DomainsCovering(resource)) {
+    if (FleetIncidentActive(d, t) &&
+        state.probe_rng.Bernoulli(spec_.incidents[d].fail_prob)) {
+      return ProbeOutcome::kIncident;
+    }
+  }
   if (profile.IsIdeal()) {
     // Fast path: an ideal resource never consumes randomness, so attaching
     // an all-zero injector is pay-for-use.
     return ProbeOutcome::kSuccess;
   }
-  // Draw order is part of the determinism contract: rate limit (no RNG),
-  // then timeout, then the outage/transient error draw.
   if (profile.rate_limit_window > 0) {
     const Chronon window = t / profile.rate_limit_window;
     if (window != state.rate_window_index) {

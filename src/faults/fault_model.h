@@ -59,11 +59,45 @@ struct ResourceFaultProfile {
                          const ResourceFaultProfile& b);
 };
 
+/// One named fleet-level incident domain: a shared upstream (CDN, ISP,
+/// data center) modeled as its own Gilbert-Elliott chain. While the chain
+/// is in its bad state, probes to every covered resource fail with
+/// `fail_prob` — composed on top of (before) the per-resource profiles, so
+/// outages correlate across the domain's members. The chain advances once
+/// per chronon on its own RNG stream regardless of probing; the incident
+/// pattern of a run is a function of (spec, seed) alone.
+struct IncidentDomain {
+  /// Domain label ("cdn-east"); unique within a spec, no whitespace.
+  std::string name;
+  /// Explicit member resources (kept sorted and deduplicated).
+  std::vector<ResourceId> members;
+  /// Modulo selector: when stride > 0, also covers every resource r with
+  /// r % stride == offset (a cheap way to spread a domain over a fleet of
+  /// unknown size). 0 disables the selector.
+  uint32_t stride = 0;
+  uint32_t offset = 0;
+  /// Per-chronon probability of entering / leaving the bad state.
+  double enter_prob = 0.0;
+  double exit_prob = 1.0;
+  /// Failure probability per attempt to a covered resource while bad.
+  double fail_prob = 1.0;
+
+  /// True iff the domain covers `resource`.
+  bool Covers(ResourceId resource) const;
+  /// True iff this domain can never fail a probe.
+  bool IsIdeal() const;
+  Status Validate() const;
+
+  friend bool operator==(const IncidentDomain& a, const IncidentDomain& b);
+};
+
 /// Failure model of a whole resource fleet: a default profile plus
 /// per-resource overrides.
 struct FaultSpec {
   ResourceFaultProfile defaults;
   std::map<ResourceId, ResourceFaultProfile> overrides;
+  /// Fleet-level incident domains, in declaration order.
+  std::vector<IncidentDomain> incidents;
   /// Cap on the total budget the scheduler may spend on retries — attempts
   /// issued to a resource with a live failure streak — over one run, in
   /// budget units (cost units under the varying-cost extension). Once
@@ -85,6 +119,9 @@ struct FaultSpec {
 ///   default transient <p> timeout <p> outage <enter> <exit> <fail>
 ///           ratelimit <window> <max>
 ///   resource <id> transient <p> ... (same fields)
+///   incident <name> enter <p> exit <p> fail <p> every <stride> offset <k>
+///           members <id>...   (selector and/or members; members read the
+///           rest of the line, so they must come last)
 std::string FaultSpecToText(const FaultSpec& spec);
 /// Parses the text format; the result is validated.
 StatusOr<FaultSpec> FaultSpecFromText(const std::string& text);
@@ -108,6 +145,20 @@ class FaultInjector {
   /// advances its chain to `t`. Diagnostics and tests.
   bool InOutage(ResourceId resource, Chronon t);
 
+  /// True iff incident domain `domain` (index into spec().incidents) is in
+  /// its bad state at chronon `t`; advances the fleet chain to `t`.
+  /// Ground truth — the scheduler's detector must never consult this for
+  /// scheduling decisions, only for the detected/missed-window counters.
+  bool FleetIncidentActive(size_t domain, Chronon t);
+
+  /// True iff any incident domain covering `resource` is active at `t`.
+  bool ResourceInIncident(ResourceId resource, Chronon t);
+
+  /// Indices into spec().incidents of the domains covering `resource`.
+  const std::vector<uint32_t>& DomainsCovering(ResourceId resource) const;
+
+  size_t num_incident_domains() const { return domains_.size(); }
+
   const FaultSpec& spec() const { return spec_; }
   uint64_t seed() const { return seed_; }
   uint32_t num_resources() const {
@@ -124,12 +175,25 @@ class FaultInjector {
     int64_t rate_window_attempts = 0;
   };
 
+  struct DomainState {
+    Rng chain_rng;
+    bool active = false;
+    Chronon chain_advanced_to = -1;
+  };
+
   void AdvanceChain(ResourceState& state, const ResourceFaultProfile& profile,
                     Chronon t);
+  void AdvanceDomain(size_t domain, Chronon t);
 
   FaultSpec spec_;
   uint64_t seed_;
   std::vector<ResourceState> states_;
+  // Fleet incident chains, one per spec().incidents entry, plus the
+  // resource -> covering-domains index (empty vectors shared via
+  // no_domains_ so uncovered lookups stay allocation-free).
+  std::vector<DomainState> domains_;
+  std::vector<std::vector<uint32_t>> covering_;
+  const std::vector<uint32_t> no_domains_;
 };
 
 }  // namespace webmon

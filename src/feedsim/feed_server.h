@@ -24,6 +24,10 @@ namespace webmon {
 struct FeedItem {
   /// Globally unique id (assigned by the publisher).
   uint64_t id = 0;
+  /// Per-feed publication sequence number, 1-based and gap-free: the
+  /// feed's n-th item carries seq == n. Consumers detect lost pushes by
+  /// sequence gaps (ids are global across feeds, so id gaps mean nothing).
+  uint64_t seq = 0;
   /// Publication chronon.
   Chronon published = 0;
   /// Item text (headline); content predicates match against this.

@@ -14,6 +14,12 @@ StatusOr<FeedWorld> FeedWorld::Create(const EventTrace& trace,
   if (options.buffer_capacity == 0) {
     return Status::InvalidArgument("feed buffers need capacity >= 1");
   }
+  if (options.push_loss_prob < 0.0 || options.push_loss_prob > 1.0 ||
+      options.incident_push_loss_prob < 0.0 ||
+      options.incident_push_loss_prob > 1.0) {
+    return Status::InvalidArgument(
+        "push loss probabilities must be in [0, 1]");
+  }
   WEBMON_RETURN_IF_ERROR(options.fault_spec.Validate());
   FeedWorld world(options);
   if (!options.fault_spec.IsIdeal()) {
@@ -27,6 +33,8 @@ StatusOr<FeedWorld> FeedWorld::Create(const EventTrace& trace,
       world.plan_.push_back({t, r});
     }
   }
+  // total-order: (chronon, feed) is unique per planned event — EventsOf
+  // yields each feed's chronons deduplicated.
   std::sort(world.plan_.begin(), world.plan_.end(),
             [](const PlannedEvent& a, const PlannedEvent& b) {
               if (a.chronon != b.chronon) return a.chronon < b.chronon;
@@ -42,11 +50,33 @@ void FeedWorld::AdvanceTo(Chronon now) {
     const PlannedEvent& event = plan_[next_event_++];
     FeedItem item;
     item.id = next_item_id_++;
+    // Per-feed sequence number: the n-th item of a feed carries seq == n,
+    // so subscribers can spot lost pushes as gaps.
+    item.seq =
+        static_cast<uint64_t>(servers_[event.feed].total_published()) + 1;
     item.published = event.chronon;
     item.content = content_.Next(rng_);
     servers_[event.feed].Publish(item);
-    for (const auto& callback : subscribers_[event.feed]) {
-      callback(item);
+    if (!subscribers_[event.feed].empty()) {
+      // The push channel rides the same network as the probes: while a
+      // fleet incident covers the feed, losses jump to the incident rate.
+      double loss = options_.push_loss_prob;
+      if (fault_injector_ != nullptr &&
+          options_.incident_push_loss_prob > loss &&
+          fault_injector_->ResourceInIncident(event.feed, event.chronon)) {
+        loss = options_.incident_push_loss_prob;
+      }
+      for (auto& sub : subscribers_[event.feed]) {
+        // Draw only under a positive loss probability: the infallible
+        // default consumes no randomness, keeping legacy runs
+        // byte-identical.
+        if (loss > 0.0 && sub.loss_rng.Bernoulli(loss)) {
+          ++total_pushes_lost_;
+          continue;
+        }
+        ++total_pushes_delivered_;
+        sub.callback(item);
+      }
     }
   }
   now_ = now;
@@ -87,7 +117,15 @@ Status FeedWorld::Subscribe(ResourceId feed,
   if (feed >= servers_.size()) {
     return Status::OutOfRange("subscribed feed does not exist");
   }
-  subscribers_[feed].push_back(std::move(callback));
+  Subscription sub;
+  sub.callback = std::move(callback);
+  // Independent per-subscription loss stream, keyed by registration index
+  // with a constant distinct from the injector's per-resource and
+  // per-domain streams.
+  sub.loss_rng = Rng(options_.fault_seed ^
+                     (0xD6E8FEB86659FD93ULL * (next_subscription_ + 1)));
+  ++next_subscription_;
+  subscribers_[feed].push_back(std::move(sub));
   return Status::OK();
 }
 

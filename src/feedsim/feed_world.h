@@ -41,6 +41,15 @@ struct FeedWorldOptions {
   FaultSpec fault_spec;
   /// Seed of the fault injector's RNG streams (independent of `seed`).
   uint64_t fault_seed = 1;
+  /// Probability a push notification is silently lost before reaching a
+  /// subscriber (per subscription, per item). The default 0 keeps pushes
+  /// infallible — and consumes no randomness, so ideal runs stay
+  /// byte-identical.
+  double push_loss_prob = 0.0;
+  /// Push-loss probability while a fleet incident covers the feed
+  /// (requires incident domains in fault_spec): the same correlated outage
+  /// that fails probes also drops the push channel.
+  double incident_push_loss_prob = 1.0;
 };
 
 /// The simulated server fleet.
@@ -85,6 +94,11 @@ class FeedWorld {
   /// Items evicted before the epoch ended (upper bound on unobservable
   /// loss; a probe may still have seen them before eviction).
   int64_t total_evicted() const;
+  /// Push notifications delivered to / silently dropped before reaching
+  /// subscribers (per subscription; one item to two subscribers counts
+  /// twice).
+  int64_t total_pushes_delivered() const { return total_pushes_delivered_; }
+  int64_t total_pushes_lost() const { return total_pushes_lost_; }
 
  private:
   FeedWorld(FeedWorldOptions options);
@@ -92,6 +106,13 @@ class FeedWorld {
   struct PlannedEvent {
     Chronon chronon;
     ResourceId feed;
+  };
+  struct Subscription {
+    std::function<void(const FeedItem&)> callback;
+    // Loss stream, independent per subscription so adding a subscriber
+    // never perturbs another's losses. Only drawn from while the effective
+    // loss probability is positive.
+    Rng loss_rng;
   };
 
   FeedWorldOptions options_;
@@ -104,7 +125,10 @@ class FeedWorld {
   size_t next_event_ = 0;
   Chronon now_ = -1;
   uint64_t next_item_id_ = 0;
-  std::vector<std::vector<std::function<void(const FeedItem&)>>> subscribers_;
+  uint64_t next_subscription_ = 0;
+  int64_t total_pushes_delivered_ = 0;
+  int64_t total_pushes_lost_ = 0;
+  std::vector<std::vector<Subscription>> subscribers_;
 };
 
 }  // namespace webmon

@@ -35,6 +35,9 @@ enum class ProbeOutcome : uint8_t {
   /// Probe latency exceeded the chronon; the reply arrives too late to
   /// count (the chronon is the indivisible scheduling unit).
   kTimeout = 4,
+  /// Failure while a fleet-level incident domain covering the resource is
+  /// in its bad state (a correlated outage: CDN, ISP, data center).
+  kIncident = 5,
 };
 
 /// Canonical spelling of `outcome` (e.g. "success", "rate-limited").
@@ -50,6 +53,8 @@ inline const char* ProbeOutcomeToString(ProbeOutcome outcome) {
       return "rate-limited";
     case ProbeOutcome::kTimeout:
       return "timeout";
+    case ProbeOutcome::kIncident:
+      return "incident";
   }
   return "unknown";
 }
@@ -62,13 +67,22 @@ inline bool ProbeSucceeded(ProbeOutcome outcome) {
 /// a fault injector is attached; the auditor replays the log to verify the
 /// failure-handling invariants.
 struct ProbeAttempt {
+  /// Bit flags of `incident`: the scheduler's detector believed a covering
+  /// incident domain was open when the attempt was issued (so the attempt
+  /// is a fleet-breaker trial), and the injector's ground truth — a
+  /// covering domain actually was in its bad state. Both stay 0 on specs
+  /// without incident domains, keeping old logs bit-identical.
+  static constexpr uint8_t kDetectorOpen = 1;
+  static constexpr uint8_t kFleetIncident = 2;
+
   ResourceId resource = 0;
   Chronon chronon = 0;
   ProbeOutcome outcome = ProbeOutcome::kSuccess;
+  uint8_t incident = 0;
 
   friend bool operator==(const ProbeAttempt& a, const ProbeAttempt& b) {
     return a.resource == b.resource && a.chronon == b.chronon &&
-           a.outcome == b.outcome;
+           a.outcome == b.outcome && a.incident == b.incident;
   }
 };
 
@@ -105,6 +119,23 @@ struct FaultHandlingOptions {
   Chronon deadline_shrink_cap = 8;
   /// Smoothing factor of the per-resource failure-rate estimate.
   double failure_ewma_alpha = 0.2;
+
+  // --- Fleet incident detector (docs/ROBUSTNESS.md). Consulted only when
+  // the attached injector's spec names incident domains; the detector sees
+  // probe outcomes alone, never the injector's chain state (no oracle).
+  /// Master switch: false runs incident-oblivious (the ablation baseline).
+  bool incident_detection = true;
+  /// Trailing window (chronons) of the per-domain failure-rate estimate.
+  Chronon incident_window = 16;
+  /// Minimum attempts inside the window before the estimate is trusted.
+  int32_t incident_min_attempts = 6;
+  /// Windowed failure rate at which the fleet breaker opens.
+  double incident_open_threshold = 0.7;
+  /// While open, one covered resource is re-probed every this many
+  /// chronons (the end-of-incident trial).
+  Chronon incident_reprobe_interval = 4;
+  /// Consecutive successful trials that close the fleet breaker.
+  int32_t incident_close_successes = 2;
 };
 
 }  // namespace webmon

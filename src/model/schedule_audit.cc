@@ -354,6 +354,12 @@ Status AuditFaultRun(const ProblemInstance& problem, const Schedule& schedule,
       sim.consecutive_failures = 0;
       sim.retry_not_before = 0;
       sim.cooldown = 0;
+      if ((a.incident & ProbeAttempt::kDetectorOpen) != 0 &&
+          !schedule.Probed(a.resource, a.chronon)) {
+        // A successful fleet-breaker trial with no live EI to capture is
+        // a pure health check — legally absent from the schedule.
+        continue;
+      }
       const Status added = replay.AddProbe(a.resource, a.chronon);
       WEBMON_DCHECK(added.ok())  // duplicate-attempt check already fired
           << "replaying a successful attempt failed: " << added.ToString();

@@ -133,7 +133,11 @@ struct FaultAuditReport {
 /// only) plus the full `attempts` log (every issued probe with its outcome)
 /// against the failure-handling contract in `fault`:
 ///   * the successful attempts reproduce `schedule` exactly (failed probes
-///     never capture; successful ones always enter the schedule),
+///     never capture; successful ones always enter the schedule) — with
+///     one exemption: a successful attempt tagged kDetectorOpen (a
+///     fleet-breaker end-of-incident trial, see faults/incident_detector.h)
+///     may be absent from the schedule, because a trial probe with no live
+///     EI to capture is a pure health check,
 ///   * per-chronon attempt count (or cost) respects the budget — failed
 ///     attempts spend budget like successful ones,
 ///   * after the k-th consecutive failure of a resource, the next attempt

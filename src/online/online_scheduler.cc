@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "faults/fault_model.h"
+#include "faults/incident_detector.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -36,6 +37,16 @@ OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
     health_.resize(num_resources);
     avail_now_.assign(num_resources, 1);
     shrink_now_.assign(num_resources, 0);
+    const FaultSpec& spec = options_.fault_injector->spec();
+    if (!spec.incidents.empty()) {
+      track_incidents_ = true;
+      gt_in_window_.assign(spec.incidents.size(), 0);
+      gt_window_detected_.assign(spec.incidents.size(), 0);
+      if (options_.fault_handling.incident_detection) {
+        detector_ = std::make_unique<IncidentDetector>(
+            spec, num_resources, options_.fault_handling);
+      }
+    }
   }
   num_shards_ = std::max(options_.num_threads, 1);
   if (num_shards_ > 1) {
@@ -51,6 +62,8 @@ OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
   best_of_r_.resize(num_resources);
   best_epoch_.assign(num_resources, 0);
 }
+
+OnlineScheduler::~OnlineScheduler() = default;
 
 ResourceHealth OnlineScheduler::health(ResourceId resource) const {
   if (resource < health_.size()) return health_[resource];
@@ -427,6 +440,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   }
   last_step_ = now;
   if (probed) probed->clear();
+  if (track_incidents_) UpdateIncidentState(now);
 
   Stopwatch phase;
   // --- Index maintenance: O(events), not O(active). Close the windows the
@@ -466,6 +480,71 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   const bool uniform_costs = options_.resource_costs.empty();
   const bool split_started = !options_.preemptive;
   std::vector<ResourceId> r_ids;  // resources probed this chronon
+  const double capacity = static_cast<double>(budget);
+  double cost_used = 0.0;
+  int64_t attempts = 0;
+
+  // --- Fleet-breaker trials: a domain whose breaker is open gets its due
+  // end-of-incident trial issued ahead of the ranked walk — the ranking
+  // would almost never pick that exact resource, and without trials the
+  // breaker could never observe recovery and close. Trials spend budget
+  // like any probe and respect the per-resource gates (backoff, breaker,
+  // retry budget), so the fault audit's discipline still holds; marking
+  // the resource attempted_now_ excludes it from the ranking below. ---
+  if (detector_ != nullptr && budget > 0) {
+    for (size_t d = 0; d < detector_->num_domains(); ++d) {
+      ResourceId r = 0;
+      if (!detector_->TrialDue(d, &r)) continue;
+      if (attempted_now_[r]) continue;  // push or an earlier domain's trial
+      if (!ResourceAvailable(r, now)) continue;
+      if (health_[r].consecutive_failures > 0 && RetryBudgetExhausted()) {
+        continue;
+      }
+      const double cost = uniform_costs ? 1.0 : options_.resource_costs[r];
+      if (cost_used + cost > capacity) break;
+      cost_used += cost;
+      attempted_now_[r] = 1;
+      ++attempts;
+      ++stats_.probes_issued;
+      policy_->NotifyProbed(r, now);
+      ResourceHealth& h = health_[r];
+      if (h.breaker == ResourceHealth::Breaker::kOpen) {
+        h.breaker = ResourceHealth::Breaker::kHalfOpen;
+      }
+      const ProbeOutcome outcome = options_.fault_injector->OnProbe(r, now);
+      uint8_t inc_flags = ProbeAttempt::kDetectorOpen;  // a trial is open
+      ++stats_.incident_trial_probes;
+      if (options_.fault_injector->ResourceInIncident(r, now)) {
+        inc_flags |= ProbeAttempt::kFleetIncident;
+      }
+      attempt_log_.push_back({r, now, outcome, inc_flags});
+      const bool success = ProbeSucceeded(outcome);
+      RecordOutcome(r, now, success, cost);
+      detector_->RecordAttempt(r, now, success);
+      if (!success) continue;  // budget spent, nothing captured
+      // A successful trial enters the schedule only when it can legally
+      // capture — some live candidate EI on the resource has a window
+      // containing `now`. Otherwise it was a pure health check: the
+      // attempt log records it (tagged kDetectorOpen), but the schedule
+      // holds only window-legal probes (AuditFaultRun exempts exactly
+      // these successes from the schedule/log agreement).
+      bool capturable = false;
+      for (const Slot& slot : slots_) {
+        if (slot.cand.ei().resource != r) continue;
+        if (LiveCandidate(slot.cand) && slot.cand.ei().Contains(now)) {
+          capturable = true;
+          break;
+        }
+      }
+      if (!capturable) continue;
+      probed_now_[r] = 1;
+      r_ids.push_back(r);
+      if (schedule != nullptr) {
+        WEBMON_RETURN_IF_ERROR(schedule->AddProbe(r, now));
+      }
+    }
+  }
+
   merged_.clear();
   const size_t n = slots_.size();
   if (n > 0) {
@@ -484,6 +563,14 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
           // streak stop being offered for the rest of the run.
           avail_now_[r] = 0;
           ++stats_.retries_suppressed;
+        }
+        if (detector_ != nullptr && avail_now_[r] != 0 &&
+            detector_->Suppressed(r)) {
+          // A covering fleet breaker is open and this resource is not the
+          // chronon's end-of-incident trial: withhold the probe and let the
+          // budget flow to unaffected work.
+          avail_now_[r] = 0;
+          ++stats_.incident_probes_suppressed;
         }
         shrink_now_[r] = ShrinkFor(r);
       }
@@ -601,10 +688,8 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     // With uniform costs every probe consumes one budget unit; with the
     // varying-cost extension, probing r consumes resource_costs[r] of the
     // chronon's cost capacity and cheaper candidates further down the
-    // ranking may still fit after an expensive one does not.
-    const double capacity = static_cast<double>(budget);
-    double cost_used = 0.0;
-    int64_t attempts = 0;
+    // ranking may still fit after an expensive one does not. Fleet-breaker
+    // trials issued above already spent part of the capacity.
     for (const Ranked& sel : merged_) {
       // Candidate legality: the index must only ever hand the policy EIs
       // that are probeable right now.
@@ -644,9 +729,22 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
         }
         const ProbeOutcome outcome =
             options_.fault_injector->OnProbe(r, now);
-        attempt_log_.push_back({r, now, outcome});
+        uint8_t inc_flags = 0;
+        if (track_incidents_) {
+          if (detector_ != nullptr && detector_->OpenFor(r)) {
+            // The breaker is open yet the probe went out: by construction
+            // this is the chronon's end-of-incident trial.
+            inc_flags |= ProbeAttempt::kDetectorOpen;
+            ++stats_.incident_trial_probes;
+          }
+          if (options_.fault_injector->ResourceInIncident(r, now)) {
+            inc_flags |= ProbeAttempt::kFleetIncident;
+          }
+        }
+        attempt_log_.push_back({r, now, outcome, inc_flags});
         success = ProbeSucceeded(outcome);
         RecordOutcome(r, now, success, cost);
+        if (detector_ != nullptr) detector_->RecordAttempt(r, now, success);
       }
       if (!success) continue;  // budget spent, nothing captured
 
@@ -657,16 +755,17 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       }
     }
 
-    // probeEIs contract: the chronon's budget C_j is never exceeded,
-    // whether budget counts probes or (varying-cost extension) cost units —
-    // and failed attempts count against it exactly like successful ones.
-    if (uniform_costs) {
-      WEBMON_CHECK_LE(attempts, budget)
-          << "probeEIs issued more probes than C_j at chronon " << now;
-    } else {
-      WEBMON_CHECK_LE(cost_used, capacity)
-          << "probeEIs exceeded the cost capacity C_j at chronon " << now;
-    }
+  }
+  // probeEIs contract: the chronon's budget C_j is never exceeded,
+  // whether budget counts probes or (varying-cost extension) cost units —
+  // and failed attempts (fleet-breaker trials included) count against it
+  // exactly like successful ones.
+  if (uniform_costs) {
+    WEBMON_CHECK_LE(attempts, budget)
+        << "probeEIs issued more probes than C_j at chronon " << now;
+  } else {
+    WEBMON_CHECK_LE(cost_used, capacity)
+        << "probeEIs exceeded the cost capacity C_j at chronon " << now;
   }
   stats_.probe_seconds += phase.ElapsedSeconds();
 
@@ -715,6 +814,35 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   }
   stats_.capture_seconds += phase.ElapsedSeconds();
   return Status::OK();
+}
+
+void OnlineScheduler::UpdateIncidentState(Chronon now) {
+  if (detector_ != nullptr) detector_->BeginChronon(now);
+  FaultInjector* injector = options_.fault_injector;
+  // Fold the injector's ground truth into the detected/missed counters.
+  // Measurement only: FleetIncidentActive is the oracle the detector must
+  // never consult, so nothing here feeds back into scheduling.
+  for (size_t d = 0; d < injector->num_incident_domains(); ++d) {
+    const bool actual = injector->FleetIncidentActive(d, now);
+    const bool open = detector_ != nullptr && detector_->Open(d);
+    if (actual) {
+      if (!gt_in_window_[d]) {
+        gt_in_window_[d] = 1;
+        gt_window_detected_[d] = 0;
+      }
+      if (open && !gt_window_detected_[d]) {
+        gt_window_detected_[d] = 1;
+        ++stats_.incident_windows_detected;
+      }
+      ++stats_.incident_chronons;
+    } else if (gt_in_window_[d]) {
+      gt_in_window_[d] = 0;
+      if (!gt_window_detected_[d]) ++stats_.incident_windows_missed;
+    }
+  }
+  if (detector_ != nullptr) {
+    stats_.incident_openings = detector_->stats().opens;
+  }
 }
 
 size_t OnlineScheduler::NumCandidateCeis() const {

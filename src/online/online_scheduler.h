@@ -37,6 +37,18 @@
 // whose failure probabilities are all zero) the schedule is byte-identical
 // to the fault-free algorithm (pay-for-use, enforced by the fault property
 // tests).
+//
+// When the injector's spec additionally names fleet incident domains
+// (docs/ROBUSTNESS.md), an online IncidentDetector watches the attempt
+// stream per domain — no oracle access — and opens a fleet-level breaker on
+// a sustained windowed failure spike: covered resources are withheld from
+// ranking (their budget flows to unaffected work) except for one
+// deterministic re-probe trial per reprobe interval, which is also how the
+// detector notices the incident ended. Detector state is a pure function of
+// the attempt stream and is only read/written in the serial phases, so the
+// any-thread-count determinism contract is unchanged. Specs without
+// incident lines construct no detector and schedule byte-identically to
+// before.
 
 #ifndef WEBMON_ONLINE_ONLINE_SCHEDULER_H_
 #define WEBMON_ONLINE_ONLINE_SCHEDULER_H_
@@ -57,6 +69,7 @@
 namespace webmon {
 
 class FaultInjector;
+class IncidentDetector;
 
 /// Execution options for the online algorithm.
 struct SchedulerOptions {
@@ -113,6 +126,24 @@ struct SchedulerStats {
   int64_t breaker_trips = 0;
   /// Budget units spent on attempts that captured nothing.
   double budget_lost_to_failures = 0.0;
+  // --- Fleet incident counters (all zero without incident domains). The
+  // window tallies compare the injector's ground truth against the
+  // detector's belief — measurement only, never a scheduling input.
+  /// Fleet-breaker open transitions (detector closed -> open).
+  int64_t incident_openings = 0;
+  /// Ground-truth incident windows during which the detector opened at
+  /// least once, and completed windows it never caught. Windows still in
+  /// progress when the run ends are counted in neither.
+  int64_t incident_windows_detected = 0;
+  int64_t incident_windows_missed = 0;
+  /// Chronon x domain pairs of ground-truth incident exposure.
+  int64_t incident_chronons = 0;
+  /// Chronon x resource pairs withheld from ranking by an open fleet
+  /// breaker while otherwise available — the budget redirected (saved).
+  int64_t incident_probes_suppressed = 0;
+  /// End-of-incident re-probe trials issued while a covering breaker was
+  /// open.
+  int64_t incident_trial_probes = 0;
   /// Cumulative wall seconds spent per Step phase (reported under the
   /// --timing flag): index maintenance (activation, expiry catch-up,
   /// pushes), candidate ranking (BeginChronon + values + top-C selection —
@@ -155,6 +186,7 @@ class OnlineScheduler {
 
   OnlineScheduler(const OnlineScheduler&) = delete;
   OnlineScheduler& operator=(const OnlineScheduler&) = delete;
+  ~OnlineScheduler();
 
   /// Registers CEIs arriving at chronon `now`. Must be called before
   /// Step(now); `cei` pointers must stay valid for the scheduler's lifetime.
@@ -202,6 +234,13 @@ class OnlineScheduler {
   /// Failure-handling state of `resource`. Only meaningful when a fault
   /// injector is attached; returns a default (healthy) state otherwise.
   ResourceHealth health(ResourceId resource) const;
+
+  /// The fleet incident detector; null unless the attached injector's spec
+  /// names incident domains and FaultHandlingOptions::incident_detection is
+  /// on. Diagnostics and tests.
+  const IncidentDetector* incident_detector() const {
+    return detector_.get();
+  }
 
   /// Number of currently live candidate CEIs (diagnostics).
   size_t NumCandidateCeis() const;
@@ -301,6 +340,11 @@ class OnlineScheduler {
   // True iff FaultSpec::retry_budget is set and already spent, so no
   // further retry attempts may be issued.
   bool RetryBudgetExhausted() const;
+  // Advances the incident detector to `now` and folds the injector's
+  // ground-truth incident state into the detected/missed window counters
+  // (measurement only — scheduling reads the detector alone). Called once
+  // per Step when the spec names incident domains.
+  void UpdateIncidentState(Chronon now);
 
   uint32_t num_resources_;
   Chronon num_chronons_;
@@ -384,6 +428,16 @@ class OnlineScheduler {
   // Per-resource failure-handling state; empty when no injector is set.
   std::vector<ResourceHealth> health_;
   std::vector<ProbeAttempt> attempt_log_;
+  // Fleet incident machinery; allocated only when the injector's spec
+  // names incident domains (pay-for-use). detector_ additionally requires
+  // incident_detection — the oblivious ablation keeps it null but still
+  // tallies the ground-truth exposure counters.
+  bool track_incidents_ = false;
+  std::unique_ptr<IncidentDetector> detector_;
+  // Ground-truth window tracking per domain: inside a bad window, and
+  // whether the detector caught it.
+  std::vector<uint8_t> gt_in_window_;
+  std::vector<uint8_t> gt_window_detected_;
 
   Chronon last_step_ = -1;
   SchedulerStats stats_;

@@ -161,6 +161,11 @@ class Proxy {
   ResourceHealth health(ResourceId resource) const {
     return scheduler_.health(resource);
   }
+  /// Fleet incident detector (null unless the injector's spec names
+  /// incident domains and detection is on). Ticking thread / quiesced only.
+  const IncidentDetector* incident_detector() const {
+    return scheduler_.incident_detector();
+  }
 
   /// Fraction of submitted CEIs captured so far.
   double CompletenessSoFar() const;

@@ -145,8 +145,36 @@ Status QueryEngine::DeliverPushes(Chronon now) {
     QueryState& state = queries_[qi];
     ++state.stats.triggers_fired;
     ++state.stats.items_delivered;
+    // Staleness detection: a gap in the feed's sequence numbers means
+    // pushes were lost in flight. The push channel cannot resend, so fall
+    // back to a scheduled pull — the missed items may still sit in the
+    // feed's buffer. (A lost FINAL push stays invisible until the next
+    // push or pull; sequence gaps are the only client-side signal.)
+    // last_seen_seq starts at 0 and subscriptions are wired before the
+    // world publishes, so a FIRST push with seq > 1 is also a gap.
+    if (item.seq > state.last_seen_seq + 1) {
+      ++state.stats.push_gaps_detected;
+      // The lost items' ids lie strictly between the last item seen and
+      // this push; remember the window so the pull's re-delivery survives
+      // the max-id dedup below.
+      state.recovery_ranges.emplace_back(
+          state.seen_any_item ? state.last_seen_item : 0, item.id);
+      // The pull must start NEXT chronon: this same push marks the feed
+      // pushed at `now`, and a need whose window contains `now` would be
+      // captured by the push itself — without any probe ever fetching the
+      // lost items from the buffer.
+      const Chronon slack =
+          state.spec.within_anchor.empty() ? 0 : state.spec.within_offset;
+      auto need = proxy_->Submit({{state.resource, now + 1, now + 1 + slack}});
+      if (need.ok()) {
+        ++state.stats.fallback_pulls;
+        ++state.stats.needs_submitted;
+        need_owners_[*need] = {qi};
+      }
+    }
     state.seen_any_item = true;
     state.last_seen_item = std::max(state.last_seen_item, item.id);
+    state.last_seen_seq = std::max(state.last_seen_seq, item.seq);
     state.current_anchor = now;
     WEBMON_RETURN_IF_ERROR(proxy_->Push(state.resource));
 
@@ -203,7 +231,20 @@ Status QueryEngine::DeliverItems(ResourceId resource, Chronon now) {
     if (state.resource != resource) continue;
     std::vector<size_t> fired;
     for (const FeedItem& item : items) {
-      if (state.seen_any_item && item.id <= state.last_seen_item) continue;
+      state.last_seen_seq = std::max(state.last_seen_seq, item.seq);
+      if (state.seen_any_item && item.id <= state.last_seen_item) {
+        // Already past this id — unless it sits in an open gap-recovery
+        // window, in which case this pull is re-delivering an item the
+        // push channel lost.
+        bool recovered = false;
+        for (const auto& [lo, hi] : state.recovery_ranges) {
+          if (item.id > lo && item.id < hi) {
+            recovered = true;
+            break;
+          }
+        }
+        if (!recovered) continue;
+      }
       state.seen_any_item = true;
       state.last_seen_item = std::max(state.last_seen_item, item.id);
       ++state.stats.items_delivered;
@@ -214,6 +255,9 @@ Status QueryEngine::DeliverItems(ResourceId resource, Chronon now) {
         }
       }
     }
+    // This pull saw the feed's whole buffer: every recoverable lost item
+    // was just re-delivered, and anything still missing was evicted.
+    state.recovery_ranges.clear();
     const Chronon anchor = state.current_anchor == kInvalidChronon
                                ? now
                                : state.current_anchor;

@@ -36,6 +36,10 @@ struct QueryRuntimeStats {
   int64_t needs_submitted = 0;
   int64_t needs_captured = 0;
   int64_t needs_expired = 0;
+  /// Push-loss fallback: sequence gaps spotted on the push channel, and
+  /// the pull needs scheduled to recover the missed items.
+  int64_t push_gaps_detected = 0;
+  int64_t fallback_pulls = 0;
 };
 
 /// Binds parsed queries to a FeedWorld and drives an epoch.
@@ -78,6 +82,17 @@ class QueryEngine {
     Chronon last_fired_anchor = kInvalidChronon;
     // Highest item id this query has observed.
     uint64_t last_seen_item = 0;
+    // Highest per-feed sequence number observed (probes and pushes); a
+    // push arriving with seq > last_seen_seq + 1 reveals lost items.
+    uint64_t last_seen_seq = 0;
+    // Open gap-recovery windows (exclusive item-id bounds): the items lost
+    // on the push channel have ids strictly between the last item seen
+    // before the gap and the gap-revealing push. A fallback pull may
+    // re-deliver ids inside these windows even though the max-id dedup has
+    // already advanced past them; the next pull on the feed clears them
+    // (the pull returned the whole buffer — anything still missing was
+    // evicted and is unrecoverable).
+    std::vector<std::pair<uint64_t, uint64_t>> recovery_ranges;
     bool seen_any_item = false;
     // Indices of content queries depending on this one.
     std::vector<size_t> dependents;

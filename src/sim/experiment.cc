@@ -114,6 +114,14 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config,
       agg.probes_failed.Add(static_cast<double>(run.stats.probes_failed));
       agg.probes_retried.Add(static_cast<double>(run.stats.probes_retried));
       agg.breaker_trips.Add(static_cast<double>(run.stats.breaker_trips));
+      agg.incident_windows_detected.Add(
+          static_cast<double>(run.stats.incident_windows_detected));
+      agg.incident_windows_missed.Add(
+          static_cast<double>(run.stats.incident_windows_missed));
+      agg.incident_probes_suppressed.Add(
+          static_cast<double>(run.stats.incident_probes_suppressed));
+      agg.incident_trial_probes.Add(
+          static_cast<double>(run.stats.incident_trial_probes));
       agg.activate_seconds.Add(run.stats.activate_seconds);
       agg.rank_seconds.Add(run.stats.rank_seconds);
       agg.probe_seconds.Add(run.stats.probe_seconds);

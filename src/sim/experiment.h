@@ -92,6 +92,11 @@ struct PolicyResult {
   RunningStats probes_failed;           // attempts lost to injected faults
   RunningStats probes_retried;          // re-attempts after a failure
   RunningStats breaker_trips;           // closed -> open transitions
+  // Fleet incidents (zero unless the fault spec names incident domains).
+  RunningStats incident_windows_detected;  // ground-truth windows caught
+  RunningStats incident_windows_missed;    // windows the detector never saw
+  RunningStats incident_probes_suppressed;  // probes withheld by the breaker
+  RunningStats incident_trial_probes;       // end-of-incident re-probes
   // Per-phase scheduler time (seconds per run; see SchedulerStats).
   RunningStats activate_seconds;
   RunningStats rank_seconds;

@@ -181,5 +181,125 @@ TEST(FeedWorldTest, ZeroCapacityRejected) {
   EXPECT_FALSE(FeedWorld::Create(trace, options).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Push loss: sequence numbering, loss counters, determinism, incident
+// correlation.
+// ---------------------------------------------------------------------------
+
+TEST(FeedWorldPushLossTest, SeqNumbersArePerFeedAndGapFree) {
+  const EventTrace trace = SmallTrace();
+  auto world = FeedWorld::Create(trace);
+  ASSERT_TRUE(world.ok());
+  std::vector<uint64_t> seqs[2];
+  for (ResourceId r = 0; r < 2; ++r) {
+    ASSERT_TRUE(world->Subscribe(r, [&seqs, r](const FeedItem& item) {
+      seqs[r].push_back(item.seq);
+    }).ok());
+  }
+  world->AdvanceTo(20);
+  // Per-feed, 1-based, gap-free — unlike ids, which are global.
+  EXPECT_EQ(seqs[0], (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(seqs[1], (std::vector<uint64_t>{1, 2}));
+  // A probe sees the same sequence numbers the pushes carried.
+  auto items = world->Probe(0, 20);
+  ASSERT_TRUE(items.ok());
+  for (const FeedItem& item : *items) EXPECT_GE(item.seq, 1u);
+}
+
+TEST(FeedWorldPushLossTest, LossIsCountedAndDeterministic) {
+  EventTrace trace(1, 200);
+  for (Chronon t = 0; t < 100; ++t) ASSERT_TRUE(trace.AddEvent(0, t).ok());
+  trace.Finalize();
+  FeedWorldOptions options;
+  options.push_loss_prob = 0.5;
+  options.buffer_capacity = 200;
+
+  std::vector<uint64_t> delivered[2];
+  for (int i = 0; i < 2; ++i) {
+    auto world = FeedWorld::Create(trace, options);
+    ASSERT_TRUE(world.ok());
+    ASSERT_TRUE(world->Subscribe(0, [&delivered, i](const FeedItem& item) {
+      delivered[i].push_back(item.seq);
+    }).ok());
+    world->AdvanceTo(200);
+    // Every published item was either delivered or counted lost.
+    EXPECT_EQ(world->total_pushes_delivered() + world->total_pushes_lost(),
+              world->total_published());
+    EXPECT_GT(world->total_pushes_lost(), 0);
+    EXPECT_GT(world->total_pushes_delivered(), 0);
+    EXPECT_EQ(world->total_pushes_delivered(),
+              static_cast<int64_t>(delivered[i].size()));
+  }
+  // Same options, same seed: the loss pattern replays exactly.
+  EXPECT_EQ(delivered[0], delivered[1]);
+}
+
+TEST(FeedWorldPushLossTest, LossStreamsArePerSubscription) {
+  // Two subscribers to the same feed draw from independent streams: a
+  // push may reach one and not the other.
+  EventTrace trace(1, 200);
+  for (Chronon t = 0; t < 100; ++t) ASSERT_TRUE(trace.AddEvent(0, t).ok());
+  trace.Finalize();
+  FeedWorldOptions options;
+  options.push_loss_prob = 0.5;
+  auto world = FeedWorld::Create(trace, options);
+  ASSERT_TRUE(world.ok());
+  std::vector<uint64_t> a, b;
+  ASSERT_TRUE(world->Subscribe(0, [&](const FeedItem& item) {
+    a.push_back(item.seq);
+  }).ok());
+  ASSERT_TRUE(world->Subscribe(0, [&](const FeedItem& item) {
+    b.push_back(item.seq);
+  }).ok());
+  world->AdvanceTo(200);
+  EXPECT_NE(a, b);
+  // The tallies aggregate over both subscriptions.
+  EXPECT_EQ(world->total_pushes_delivered() + world->total_pushes_lost(),
+            2 * world->total_published());
+}
+
+TEST(FeedWorldPushLossTest, ValidationRejectsBadLossProbs) {
+  const EventTrace trace = SmallTrace();
+  FeedWorldOptions options;
+  options.push_loss_prob = 1.5;
+  EXPECT_FALSE(FeedWorld::Create(trace, options).ok());
+  options.push_loss_prob = 0.0;
+  options.incident_push_loss_prob = -0.1;
+  EXPECT_FALSE(FeedWorld::Create(trace, options).ok());
+}
+
+TEST(FeedWorldPushLossTest, IncidentCorrelatedLossSilencesCoveredFeed) {
+  EventTrace trace(2, 200);
+  for (Chronon t = 0; t < 100; ++t) {
+    ASSERT_TRUE(trace.AddEvent(0, t).ok());
+    ASSERT_TRUE(trace.AddEvent(1, t).ok());
+  }
+  trace.Finalize();
+  FeedWorldOptions options;
+  options.push_loss_prob = 0.0;  // the only loss source is the incident
+  IncidentDomain domain;
+  domain.name = "cdn";
+  domain.members = {0};
+  domain.enter_prob = 0.2;
+  domain.exit_prob = 0.3;
+  domain.fail_prob = 1.0;
+  options.fault_spec.incidents = {domain};
+  auto world = FeedWorld::Create(trace, options);
+  ASSERT_TRUE(world.ok());
+
+  int64_t got[2] = {0, 0};
+  for (ResourceId r = 0; r < 2; ++r) {
+    ASSERT_TRUE(world->Subscribe(r, [&got, r](const FeedItem&) {
+      ++got[r];
+    }).ok());
+  }
+  world->AdvanceTo(200);
+  // The uncovered feed delivered everything; the covered feed lost every
+  // push that landed during an incident (default incident loss prob is 1).
+  EXPECT_EQ(got[1], 100);
+  EXPECT_LT(got[0], 100);
+  EXPECT_EQ(world->total_pushes_lost(), 100 - got[0]);
+}
+
 }  // namespace
 }  // namespace webmon

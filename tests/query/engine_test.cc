@@ -289,5 +289,61 @@ TEST(QueryEngineTest, StatsForUnknownAlias) {
             StatusCode::kNotFound);
 }
 
+TEST(QueryEnginePushLossTest, SequenceGapTriggersFallbackPull) {
+  // A lossy push channel: some pushes vanish silently; the next push that
+  // does arrive skips sequence numbers, and the engine falls back to a
+  // budgeted pull to recover the missed items from the feed's buffer.
+  EventTrace trace(1, 100);
+  for (Chronon t = 2; t < 80; t += 4) ASSERT_TRUE(trace.AddEvent(0, t).ok());
+  trace.Finalize();
+  FeedWorldOptions options;
+  options.push_loss_prob = 0.4;
+  options.buffer_capacity = 50;
+  auto world = FeedWorld::Create(trace, options);
+  ASSERT_TRUE(world.ok());
+
+  auto queries =
+      ParseQueries("SELECT item AS F1 FROM feed(Blog) WHEN ON PUSH AS T1");
+  ASSERT_TRUE(queries.ok()) << queries.status();
+  auto engine = QueryEngine::Create(*queries, {{"Blog", 0}}, &*world, Mrsf(),
+                                    100, BudgetVector::Uniform(1));
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_TRUE((*engine)->Run().ok());
+
+  ASSERT_GT(world->total_pushes_lost(), 0);
+  auto f1 = (*engine)->StatsFor("F1");
+  ASSERT_TRUE(f1.ok());
+  // Each observed gap scheduled one fallback pull (budget permitting).
+  EXPECT_GT(f1->push_gaps_detected, 0);
+  EXPECT_GT(f1->fallback_pulls, 0);
+  EXPECT_LE(f1->fallback_pulls, f1->push_gaps_detected);
+  EXPECT_EQ(f1->needs_submitted, f1->fallback_pulls);
+  // The pulls recovered items the push channel dropped: the query saw more
+  // items than pushes reached it.
+  EXPECT_GT(f1->items_delivered, world->total_pushes_delivered())
+      << "gaps=" << f1->push_gaps_detected << " pulls=" << f1->fallback_pulls
+      << " captured=" << f1->needs_captured << " lost="
+      << world->total_pushes_lost() << " published="
+      << world->total_published();
+}
+
+TEST(QueryEnginePushLossTest, LosslessChannelSchedulesNoFallbacks) {
+  const EventTrace trace = BlogTrace();
+  auto world = FeedWorld::Create(trace);
+  ASSERT_TRUE(world.ok());
+  auto queries =
+      ParseQueries("SELECT item AS F1 FROM feed(Blog) WHEN ON PUSH AS T1");
+  ASSERT_TRUE(queries.ok());
+  auto engine = QueryEngine::Create(*queries, {{"Blog", 0}}, &*world, Mrsf(),
+                                    100, BudgetVector::Uniform(1));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Run().ok());
+  auto f1 = (*engine)->StatsFor("F1");
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1->push_gaps_detected, 0);
+  EXPECT_EQ(f1->fallback_pulls, 0);
+  EXPECT_EQ(f1->needs_submitted, 0);
+}
+
 }  // namespace
 }  // namespace webmon

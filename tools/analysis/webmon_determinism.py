@@ -22,7 +22,8 @@ libstdc++ versions, ASLR seeds, or allocator behavior). Rules:
                    site, the comment defends it where the code lives.
   ptr-ordered-key  No pointer-keyed std::map/std::set in src/: iteration
                    order is the pointer order, i.e. the allocator's mood.
-  sort-stability   std::sort in src/policy, src/online, src/offline must be
+  sort-stability   std::sort in src/policy, src/online, src/offline,
+                   src/faults, and src/feedsim must be
                    std::stable_sort or carry a `// total-order: <why>`
                    comment (same line or the three lines above) arguing the
                    comparator is a strict total order on the sorted range —
@@ -61,7 +62,10 @@ SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 SKIP_DIR_NAMES = {"build", "CMakeFiles", "__pycache__", ".git"}
 
 # Directories whose std::sort calls feed schedules (rule sort-stability).
-SORT_SCOPE = ("src/policy/", "src/online/", "src/offline/")
+# src/faults and src/feedsim joined when fleet incidents and push loss made
+# their orderings (domain coverage, publication plans) schedule-relevant.
+SORT_SCOPE = ("src/policy/", "src/online/", "src/offline/", "src/faults/",
+              "src/feedsim/")
 
 # Per-site allowlist for rule unordered-iter: (repo-relative path, variable).
 # Every entry must ALSO carry a `// unordered-iter-ok:` justification within

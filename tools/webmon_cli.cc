@@ -55,9 +55,11 @@ void AddCommonTraceFlags(FlagSet& flags) {
 }
 
 void AddFaultFlags(FlagSet& flags) {
-  flags.AddString("fault-spec", "",
+  flags.AddString("fault-spec-file", "",
                   "fault spec file (webmon-faults text format); overrides "
                   "the inline --fault-* flags")
+      .AddString("fault-spec", "",
+                 "deprecated alias of --fault-spec-file")
       .AddDouble("fault-transient", 0.0, "per-probe transient error prob")
       .AddDouble("fault-timeout", 0.0, "per-probe timeout prob")
       .AddDouble("fault-outage-enter", 0.0,
@@ -71,8 +73,15 @@ void AddFaultFlags(FlagSet& flags) {
 }
 
 StatusOr<FaultSpec> FaultSpecFromFlags(const FlagSet& flags) {
-  if (!flags.GetString("fault-spec").empty()) {
-    return LoadFaultSpecFromFile(flags.GetString("fault-spec"));
+  const std::string spec_file = flags.GetString("fault-spec-file");
+  const std::string legacy = flags.GetString("fault-spec");
+  if (!spec_file.empty() && !legacy.empty() && spec_file != legacy) {
+    return Status::InvalidArgument(
+        "--fault-spec-file and --fault-spec (deprecated alias) disagree; "
+        "pass only --fault-spec-file");
+  }
+  if (!spec_file.empty() || !legacy.empty()) {
+    return LoadFaultSpecFromFile(spec_file.empty() ? legacy : spec_file);
   }
   FaultSpec spec;
   spec.defaults.transient_error_prob = flags.GetDouble("fault-transient");
