@@ -20,6 +20,7 @@
 #include "policy/s_edf.h"
 #include "trace/poisson_trace.h"
 #include "trace/update_model.h"
+#include "util/stopwatch.h"
 #include "workload/generator.h"
 
 namespace webmon {
@@ -97,11 +98,19 @@ void BM_OnlineRun(benchmark::State& state) {
     return;
   }
   auto policy = MakePolicy("mrsf");
+  ScopedMemorySampler memory;
   for (auto _ : state) {
     auto result = RunOnline(workload->problem, policy->get());
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations() * workload->problem.TotalEis());
+  // Net heap growth and peak-RSS push across the measured iterations —
+  // steady-state runs should show heap_delta ~0 (scratch is reused, not
+  // reallocated per run).
+  state.counters["heap_delta_bytes"] =
+      static_cast<double>(memory.HeapDeltaBytes());
+  state.counters["peak_rss_delta_bytes"] =
+      static_cast<double>(memory.PeakRssDeltaBytes());
 }
 BENCHMARK(BM_OnlineRun)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 

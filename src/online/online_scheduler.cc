@@ -19,15 +19,15 @@ OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
       budget_(std::move(budget)),
       policy_(policy),
       options_(options),
-      expiring_by_finish_(
-          static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
+      expiring_ring_(&arena_,
+                     static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
+      pending_ring_(&arena_,
+                    static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
+      push_ring_(&arena_,
+                 static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
       track_active_mirror_(policy != nullptr && policy->ObservesActiveSet()),
       value_stable_(policy != nullptr &&
                     policy->ValueStableBetweenCaptures()),
-      pending_by_start_(
-          static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
-      pushes_by_chronon_(
-          static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
       probed_now_(num_resources, 0),
       attempted_now_(num_resources, 0) {
   // Fault bookkeeping is pay-for-use: without an injector no health state
@@ -53,14 +53,37 @@ OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
     pool_ = std::make_unique<ThreadPool>(num_shards_);
   }
   const size_t shards = static_cast<size_t>(num_shards_);
-  shard_best_.resize(shards * num_resources);
-  shard_best_epoch_.assign(shards * num_resources, 0);
+  // The per-resource rank tables (shard_best_, best_of_r_) are lazily
+  // allocated by EnsureRankTables — the bounded top-C path never needs
+  // them. The C-entry boards are tiny and reserved up front so the rank
+  // phase never grows them.
+  shard_topc_.resize(shards);
+  const size_t board = static_cast<size_t>(kMaxBoundedTopC) + 1;
+  for (auto& kept : shard_topc_) kept.reserve(board);
   shard_touched_.resize(shards);
   shard_one_.resize(shards);
   shard_one_set_.assign(shards, 0);
   shard_live_end_.assign(shards, 0);
-  best_of_r_.resize(num_resources);
-  best_epoch_.assign(num_resources, 0);
+  merged_.reserve(shards * board);
+
+  // Steady-state capacity hints: everything below also grows on demand,
+  // but pre-reserving moves the reallocation burst out of the first
+  // chronons (visible in the per-phase timers).
+  const SchedulerSizingHints& hints = options_.sizing;
+  if (hints.expected_active_eis > 0) {
+    slot_cand_.reserve(hints.expected_active_eis);
+    slot_resource_.reserve(hints.expected_active_eis);
+    slot_finish_.reserve(hints.expected_active_eis);
+    if (value_stable_) {
+      slot_value_.reserve(hints.expected_active_eis);
+      slot_version_.reserve(hints.expected_active_eis);
+    }
+    expiry_scratch_.reserve(hints.expected_active_eis);
+    if (track_active_mirror_) active_mirror_.reserve(hints.expected_active_eis);
+  }
+  if (options_.fault_injector != nullptr && hints.expected_attempts > 0) {
+    attempt_log_.reserve(hints.expected_attempts);
+  }
 }
 
 OnlineScheduler::~OnlineScheduler() = default;
@@ -170,7 +193,7 @@ Status OnlineScheduler::AddPush(ResourceId resource, Chronon t) {
     return Status::FailedPrecondition(
         "pushes must precede the Step for their chronon");
   }
-  pushes_by_chronon_[static_cast<size_t>(t)].push_back(resource);
+  push_ring_.Push(t, resource);
   return Status::OK();
 }
 
@@ -185,8 +208,8 @@ Status OnlineScheduler::AddArrival(const Cei* cei, Chronon now) {
     return Status::FailedPrecondition(
         "arrivals must precede the Step for their chronon");
   }
-  states_.push_back(std::make_unique<CeiState>(cei));
-  CeiState* state = states_.back().get();
+  states_.emplace_back(cei);
+  CeiState* state = &states_.back();
   ++stats_.ceis_seen;
   stats_.eis_seen += static_cast<int64_t>(cei->eis.size());
 
@@ -214,7 +237,7 @@ Status OnlineScheduler::AddArrival(const Cei* cei, Chronon now) {
     if (ei.start <= now) {
       AdmitActive(cand);
     } else if (ei.start < num_chronons_) {
-      pending_by_start_[static_cast<size_t>(ei.start)].push_back(cand);
+      pending_ring_.Push(ei.start, cand);
     }
     // EIs starting at or beyond the epoch end can never be probed; the CEI
     // will die when too many siblings expire or the epoch ends.
@@ -236,26 +259,32 @@ Status OnlineScheduler::AddArrivalBatch(const std::vector<const Cei*>& batch,
 void OnlineScheduler::AdmitActive(const CandidateEi& cand) {
   const uint64_t seq = next_seq_++;
   const ExecutionInterval& ei = cand.ei();
-  slots_.push_back(Slot{cand, 0.0, kNoCachedValue});
+  // Amortized column growth, pre-reservable through
+  // SchedulerSizingHints::expected_active_eis.
+  slot_cand_.push_back(cand);         // hotpath-alloc-ok: amortized growth
+  slot_resource_.push_back(ei.resource);  // hotpath-alloc-ok: amortized
+  slot_finish_.push_back(ei.finish);  // hotpath-alloc-ok: amortized growth
+  if (value_stable_) {
+    slot_value_.push_back(0.0);       // hotpath-alloc-ok: amortized growth
+    slot_version_.push_back(kNoCachedValue);  // hotpath-alloc-ok: amortized
+  }
   if (ei.finish < num_chronons_) {
-    expiring_by_finish_[static_cast<size_t>(ei.finish)].push_back(
-        SeqCand{seq, cand});
+    expiring_ring_.Push(ei.finish, SeqCand{seq, cand});
   }
   // EIs closing at or beyond the epoch end never hit an expiry bucket; they
   // leave the list only through capture, CEI death, or the ranking pass's
   // stale-entry pruning — exactly when the legacy compaction would have
   // dropped them.
-  if (track_active_mirror_) active_mirror_.push_back(cand);
+  if (track_active_mirror_) {
+    active_mirror_.push_back(cand);  // hotpath-alloc-ok: amortized growth
+  }
 }
 
 void OnlineScheduler::Activate(Chronon now) {
-  auto& bucket = pending_by_start_[static_cast<size_t>(now)];
-  for (const CandidateEi& cand : bucket) {
-    if (cand.state->dead || cand.state->Complete()) continue;
+  pending_ring_.Drain(now, [this](const CandidateEi& cand) {
+    if (cand.state->dead || cand.state->Complete()) return;
     AdmitActive(cand);
-  }
-  bucket.clear();
-  bucket.shrink_to_fit();
+  });
 }
 
 void OnlineScheduler::MarkFailed(const CandidateEi& cand) {
@@ -276,11 +305,9 @@ void OnlineScheduler::ProcessExpiries(Chronon from, Chronon to) {
   if (from > to) return;
   expiry_scratch_.clear();
   for (Chronon t = from; t <= to; ++t) {
-    auto& bucket = expiring_by_finish_[static_cast<size_t>(t)];
-    expiry_scratch_.insert(expiry_scratch_.end(), bucket.begin(),
-                           bucket.end());
-    bucket.clear();
-    bucket.shrink_to_fit();
+    expiring_ring_.Drain(t, [this](const SeqCand& sc) {
+      expiry_scratch_.push_back(sc);  // hotpath-alloc-ok: retained capacity
+    });
   }
   expiry_cursor_ = std::max(expiry_cursor_, to);
   if (expiry_scratch_.empty()) return;
@@ -323,38 +350,68 @@ bool OnlineScheduler::RankedBefore(const Ranked& a, const Ranked& b,
     return a.started;
   }
   if (a.value != b.value) return a.value < b.value;
-  const Chronon da = a.cand.ei().finish;
-  const Chronon db = b.cand.ei().finish;
-  if (da != db) return da < db;  // earlier deadline first
+  if (a.finish != b.finish) return a.finish < b.finish;  // earlier deadline
   if (a.cand.state->cei->id != b.cand.state->cei->id) {
     return a.cand.state->cei->id < b.cand.state->cei->id;
   }
   return a.cand.ei_index < b.cand.ei_index;
 }
 
+void OnlineScheduler::MoveSlot(size_t to, size_t from) {
+  slot_cand_[to] = slot_cand_[from];
+  slot_resource_[to] = slot_resource_[from];
+  slot_finish_[to] = slot_finish_[from];
+  if (value_stable_) {
+    slot_value_[to] = slot_value_[from];
+    slot_version_[to] = slot_version_[from];
+  }
+}
+
+void OnlineScheduler::EnsureRankTables() {
+  if (!shard_best_epoch_.empty() || num_resources_ == 0) return;
+  const size_t shards = static_cast<size_t>(num_shards_);
+  shard_best_.resize(shards * num_resources_);
+  shard_best_epoch_.assign(shards * num_resources_, 0);
+  best_of_r_.resize(num_resources_);
+  best_epoch_.assign(num_resources_, 0);
+}
+
 void OnlineScheduler::RankShard(int shard, Chronon now, bool compute_values,
-                                bool single_best) {
-  const size_t n = slots_.size();
+                                bool single_best, size_t top_c,
+                                bool check_attempted) {
+  const size_t n = slot_cand_.size();
   const size_t begin = std::min(static_cast<size_t>(shard) * chunk_size_, n);
   const size_t end = std::min(begin + chunk_size_, n);
   const bool split_started = !options_.preemptive;
   const bool faulty = !health_.empty();
 
-  // Computes the candidate's policy value (reusing the memoized value when
+  // Computes the candidate's policy value (reusing the memo column when
   // the policy declared it stable between captures) at the fault-shrunk
   // effective chronon. On healthy resources (and always without an
   // injector) the shrink is 0.
-  auto value_of = [&](Slot& slot, ResourceId r) {
+  auto value_of = [&](size_t i, const CandidateEi& cand, ResourceId r) {
     const Chronon shrink = faulty ? shrink_now_[r] : 0;
     const Chronon eff =
-        shrink == 0 ? now : std::min(now + shrink, slot.cand.ei().finish);
-    if (!value_stable_) return policy_->Value(slot.cand, eff);
-    const size_t version = slot.cand.state->num_captured;
-    if (slot.cached_version != version) {
-      slot.cached_value = policy_->Value(slot.cand, eff);
-      slot.cached_version = version;
+        shrink == 0 ? now : std::min(now + shrink, slot_finish_[i]);
+    if (!value_stable_) return policy_->Value(cand, eff);
+    const size_t version = cand.state->num_captured;
+    if (slot_version_[i] != version) {
+      slot_value_[i] = policy_->Value(cand, eff);
+      slot_version_[i] = version;
     }
-    return slot.cached_value;
+    return slot_value_[i];
+  };
+  // Skip resources already served by a push or fleet trial (the legacy
+  // greedy walk skipped their candidates one by one, so dropping them
+  // pre-selection issues the identical probes) and resources gated by
+  // backoff or an open breaker. Availability is stable within the chronon
+  // (each resource records at most one outcome, after ranking); with an
+  // injector both gates are hoisted into per-resource caches at the start
+  // of the rank phase. check_attempted is false when nothing was contacted
+  // before the rank phase, skipping the table lookup entirely.
+  auto eligible = [&](ResourceId r) {
+    return (!check_attempted || !attempted_now_[r]) &&
+           (!faulty || avail_now_[r]);
   };
 
   if (compute_values && single_best) {
@@ -365,18 +422,18 @@ void OnlineScheduler::RankShard(int shard, Chronon now, bool compute_values,
     bool has_one = false;
     size_t w = begin;
     for (size_t i = begin; i < end; ++i) {
-      Slot& slot = slots_[i];
-      if (!LiveCandidate(slot.cand)) continue;  // lazy stale-entry removal
-      const ResourceId r = slot.cand.ei().resource;
-      if (!attempted_now_[r] && (!faulty || avail_now_[r])) {
-        const Ranked cur{slot.cand, value_of(slot, r),
-                         split_started && slot.cand.state->Started()};
+      const CandidateEi cand = slot_cand_[i];
+      if (!LiveCandidate(cand)) continue;  // lazy stale-entry removal
+      const ResourceId r = slot_resource_[i];
+      if (eligible(r)) {
+        const Ranked cur{cand, value_of(i, cand, r), slot_finish_[i], r,
+                         split_started && cand.state->Started()};
         if (!has_one || RankedBefore(cur, best_one, split_started)) {
           best_one = cur;
           has_one = true;
         }
       }
-      if (w != i) slots_[w] = slot;
+      if (w != i) MoveSlot(w, i);
       ++w;
     }
     shard_one_[static_cast<size_t>(shard)] = best_one;
@@ -385,33 +442,100 @@ void OnlineScheduler::RankShard(int shard, Chronon now, bool compute_values,
     return;
   }
 
+  if (compute_values && top_c > 0) {
+    // Bounded top-C (uniform costs, 1 < C <= kMaxBoundedTopC): keep the C
+    // best-ranked candidates over distinct resources on a small board
+    // instead of a per-resource table. Sound because RankedBefore is a
+    // position-independent strict total order: a candidate skipped or
+    // evicted while the board is full is beaten by C entries for C
+    // distinct other resources, each of which upper-bounds its own
+    // resource's best — so the skipped resource cannot be in the global
+    // top-C of per-resource bests, and every true top-C resource's
+    // shard-best survives on the board exactly.
+    std::vector<Ranked>& kept = shard_topc_[static_cast<size_t>(shard)];
+    kept.clear();
+    auto worst_of = [&]() {
+      size_t worst = 0;
+      for (size_t j = 1; j < kept.size(); ++j) {
+        if (RankedBefore(kept[worst], kept[j], split_started)) worst = j;
+      }
+      return worst;
+    };
+    size_t worst = 0;  // valid only while the board is full
+    size_t w = begin;
+    for (size_t i = begin; i < end; ++i) {
+      const CandidateEi cand = slot_cand_[i];
+      if (!LiveCandidate(cand)) continue;  // lazy stale-entry removal
+      const ResourceId r = slot_resource_[i];
+      if (eligible(r)) {
+        const bool full = kept.size() == top_c;
+        // Cheap reject first: a full board whose worst entry outranks the
+        // candidate cannot change (not even via resource dedup — the
+        // board's entry for this resource, if any, outranks it too).
+        bool consider = !full;
+        if (full) {
+          const Ranked probe{cand, value_of(i, cand, r), slot_finish_[i], r,
+                             split_started && cand.state->Started()};
+          consider = RankedBefore(probe, kept[worst], split_started);
+          if (consider) {
+            size_t j = 0;
+            while (j < kept.size() && kept[j].resource != r) ++j;
+            if (j < kept.size()) {
+              if (RankedBefore(probe, kept[j], split_started)) {
+                kept[j] = probe;
+                worst = worst_of();
+              }
+            } else {
+              kept[worst] = probe;
+              worst = worst_of();
+            }
+          }
+        } else {
+          const Ranked cur{cand, value_of(i, cand, r), slot_finish_[i], r,
+                           split_started && cand.state->Started()};
+          size_t j = 0;
+          while (j < kept.size() && kept[j].resource != r) ++j;
+          if (j < kept.size()) {
+            if (RankedBefore(cur, kept[j], split_started)) kept[j] = cur;
+          } else {
+            // The board is reserved to kMaxBoundedTopC+1 in the
+            // constructor, so this never reallocates.
+            kept.push_back(cur);  // hotpath-alloc-ok: board reserved in ctor
+            if (kept.size() == top_c) worst = worst_of();
+          }
+        }
+      }
+      if (w != i) MoveSlot(w, i);
+      ++w;
+    }
+    shard_live_end_[static_cast<size_t>(shard)] = w;
+    return;
+  }
+
   const uint64_t epoch = rank_epoch_;
-  Ranked* best = shard_best_.data() +
-                 static_cast<size_t>(shard) * num_resources_;
-  uint64_t* stamp = shard_best_epoch_.data() +
-                    static_cast<size_t>(shard) * num_resources_;
-  std::vector<ResourceId>& touched = shard_touched_[static_cast<size_t>(shard)];
-  touched.clear();
+  Ranked* best = nullptr;
+  uint64_t* stamp = nullptr;
+  if (compute_values) {
+    best = shard_best_.data() + static_cast<size_t>(shard) * num_resources_;
+    stamp = shard_best_epoch_.data() +
+            static_cast<size_t>(shard) * num_resources_;
+    shard_touched_[static_cast<size_t>(shard)].clear();
+  }
+  std::vector<ResourceId>& touched =
+      shard_touched_[static_cast<size_t>(shard)];
   size_t w = begin;
   for (size_t i = begin; i < end; ++i) {
-    Slot& slot = slots_[i];
-    if (!LiveCandidate(slot.cand)) continue;  // lazy stale-entry removal
+    const CandidateEi cand = slot_cand_[i];
+    if (!LiveCandidate(cand)) continue;  // lazy stale-entry removal
     if (compute_values) {
-      const ResourceId r = slot.cand.ei().resource;
-      // Skip resources already served by a push and resources gated by
-      // backoff or an open breaker: the legacy greedy walk skipped their
-      // candidates one by one, so dropping them pre-selection issues the
-      // identical probes. Availability is stable within the chronon (each
-      // resource records at most one outcome, after ranking); with an
-      // injector both gates are hoisted into per-resource caches at the
-      // start of the rank phase.
-      if (!attempted_now_[r] && (!faulty || avail_now_[r])) {
-        const Ranked cur{slot.cand, value_of(slot, r),
-                         split_started && slot.cand.state->Started()};
+      const ResourceId r = slot_resource_[i];
+      if (eligible(r)) {
+        const Ranked cur{cand, value_of(i, cand, r), slot_finish_[i], r,
+                         split_started && cand.state->Started()};
         if (stamp[r] != epoch) {
           stamp[r] = epoch;
           best[r] = cur;
-          touched.push_back(r);
+          touched.push_back(r);  // hotpath-alloc-ok: retained capacity
         } else if (RankedBefore(cur, best[r], split_started)) {
           best[r] = cur;
         }
@@ -419,7 +543,7 @@ void OnlineScheduler::RankShard(int shard, Chronon now, bool compute_values,
     }
     // Compact in place, writing only across gaps left by pruned slots —
     // the common all-live tick touches no memory beyond the reads.
-    if (w != i) slots_[w] = slot;
+    if (w != i) MoveSlot(w, i);
     ++w;
   }
   shard_live_end_[static_cast<size_t>(shard)] = w;
@@ -451,15 +575,15 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   if (track_active_mirror_) CompactMirror(now);
 
   // --- Server pushes: free captures, no budget consumed. ---
-  std::vector<ResourceId> pushed_now;
-  for (ResourceId r : pushes_by_chronon_[static_cast<size_t>(now)]) {
-    if (probed_now_[r]) continue;
+  pushed_now_scratch_.clear();
+  push_ring_.Drain(now, [&](ResourceId r) {
+    if (probed_now_[r]) return;
     probed_now_[r] = 1;
     attempted_now_[r] = 1;  // a pushed resource needs no probe this chronon
-    pushed_now.push_back(r);
+    // hotpath-alloc-ok: capacity retained across chronons.
+    pushed_now_scratch_.push_back(r);
     ++stats_.pushes_delivered;
-  }
-  pushes_by_chronon_[static_cast<size_t>(now)].clear();
+  });
   stats_.activate_seconds += phase.ElapsedSeconds();
 
   phase.Reset();
@@ -479,7 +603,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   const int64_t budget = budget_.At(now);
   const bool uniform_costs = options_.resource_costs.empty();
   const bool split_started = !options_.preemptive;
-  std::vector<ResourceId> r_ids;  // resources probed this chronon
+  r_ids_scratch_.clear();  // resources probed this chronon
   const double capacity = static_cast<double>(budget);
   double cost_used = 0.0;
   int64_t attempts = 0;
@@ -517,6 +641,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       if (options_.fault_injector->ResourceInIncident(r, now)) {
         inc_flags |= ProbeAttempt::kFleetIncident;
       }
+      // hotpath-alloc-ok: fault-path log, reservable via sizing hints
       attempt_log_.push_back({r, now, outcome, inc_flags});
       const bool success = ProbeSucceeded(outcome);
       RecordOutcome(r, now, success, cost);
@@ -529,16 +654,17 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       // holds only window-legal probes (AuditFaultRun exempts exactly
       // these successes from the schedule/log agreement).
       bool capturable = false;
-      for (const Slot& slot : slots_) {
-        if (slot.cand.ei().resource != r) continue;
-        if (LiveCandidate(slot.cand) && slot.cand.ei().Contains(now)) {
+      for (size_t i = 0; i < slot_cand_.size(); ++i) {
+        if (slot_resource_[i] != r) continue;
+        const CandidateEi& cand = slot_cand_[i];
+        if (LiveCandidate(cand) && cand.ei().Contains(now)) {
           capturable = true;
           break;
         }
       }
       if (!capturable) continue;
       probed_now_[r] = 1;
-      r_ids.push_back(r);
+      r_ids_scratch_.push_back(r);  // hotpath-alloc-ok: retained capacity
       if (schedule != nullptr) {
         WEBMON_RETURN_IF_ERROR(schedule->AddProbe(r, now));
       }
@@ -546,11 +672,20 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   }
 
   merged_.clear();
-  const size_t n = slots_.size();
+  const size_t n = slot_cand_.size();
+  const size_t top_c = static_cast<size_t>(std::min<int64_t>(
+      budget, static_cast<int64_t>(num_resources_) + 1));
   if (n > 0) {
     const bool compute_values = budget > 0;
     const bool single_best = uniform_costs && budget == 1;
+    const bool bounded =
+        uniform_costs && budget > 1 && budget <= kMaxBoundedTopC;
+    // Whether anything was contacted before the rank phase (pushes, fleet
+    // trials). Usually nothing was, and the scan skips the per-candidate
+    // attempted_now_ lookup.
+    const bool check_attempted = !pushed_now_scratch_.empty() || attempts > 0;
     ++rank_epoch_;
+    if (compute_values && !single_best && !bounded) EnsureRankTables();
     if (compute_values && !health_.empty()) {
       const bool no_retries = RetryBudgetExhausted();
       // Hoist the fault gates out of the scan: availability and deadline
@@ -577,18 +712,21 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     }
     const size_t shards = static_cast<size_t>(num_shards_);
     chunk_size_ = (n + shards - 1) / shards;
+    const size_t shard_top_c = bounded ? top_c : 0;
     if (pool_ != nullptr) {
       // Shards write only their own contiguous slot range and their own
-      // partial-best tables; candidate states, policy values, health, and
-      // the attempted mask are read-only here. The pool joins before the
-      // stitch and merge, so nothing below observes concurrency and the
+      // board/partial-best tables; candidate states, policy values, health,
+      // and the attempted mask are read-only here. The pool joins before
+      // the stitch and merge, so nothing below observes concurrency and the
       // thread count cannot alter the schedule.
-      pool_->ParallelFor(
-          num_shards_, [this, now, compute_values, single_best](int shard) {
-            RankShard(shard, now, compute_values, single_best);
-          });
+      pool_->ParallelFor(num_shards_, [this, now, compute_values, single_best,
+                                       shard_top_c, check_attempted](int s) {
+        RankShard(s, now, compute_values, single_best, shard_top_c,
+                  check_attempted);
+      });
     } else {
-      RankShard(0, now, compute_values, single_best);
+      RankShard(0, now, compute_values, single_best, shard_top_c,
+                check_attempted);
     }
     // Stitch the per-chunk compactions back into one contiguous list
     // (stable: chunk order is activation order). No pruned slots -> no
@@ -601,9 +739,15 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
         w = e;
         continue;
       }
-      for (size_t i = b; i < e; ++i) slots_[w++] = slots_[i];
+      for (size_t i = b; i < e; ++i) MoveSlot(w++, i);
     }
-    slots_.resize(w);
+    slot_cand_.resize(w);
+    slot_resource_.resize(w);
+    slot_finish_.resize(w);
+    if (value_stable_) {
+      slot_value_.resize(w);
+      slot_version_.resize(w);
+    }
 
     if (compute_values) {
       if (single_best) {
@@ -618,10 +762,40 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
             has = true;
           }
         }
-        if (has) merged_.push_back(best);
+        if (has) merged_.push_back(best);  // hotpath-alloc-ok: reserved
+      } else if (bounded) {
+        // Concatenate the shard boards (<= shards * C entries), order them
+        // globally, then keep the first entry per resource until C
+        // resources are selected. Every true top-C resource's global best
+        // is on some board (see RankShard), and every other board entry
+        // ranks after all C of those — so this yields exactly the
+        // selection the table path truncates and sorts to, pre-sorted.
+        for (size_t s = 0; s < shards; ++s) {
+          for (const Ranked& e : shard_topc_[s]) {
+            merged_.push_back(e);  // hotpath-alloc-ok: reserved in ctor
+          }
+        }
+        // total-order: RankedBefore breaks every tie down to the unique
+        // (CEI id, EI index) pair — no equal elements.
+        std::sort(merged_.begin(), merged_.end(),
+                  [split_started](const Ranked& a, const Ranked& b) {
+                    return RankedBefore(a, b, split_started);
+                  });
+        size_t out = 0;
+        for (size_t i = 0; i < merged_.size() && out < top_c; ++i) {
+          bool dup = false;
+          for (size_t j = 0; j < out; ++j) {
+            if (merged_[j].resource == merged_[i].resource) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) merged_[out++] = merged_[i];
+        }
+        merged_.resize(out);
       } else if (num_shards_ == 1) {
         for (ResourceId r : shard_touched_[0]) {
-          merged_.push_back(shard_best_[r]);
+          merged_.push_back(shard_best_[r]);  // hotpath-alloc-ok: retained
         }
       } else {
         // Per-resource combine across shards, in shard order: RankedBefore
@@ -635,35 +809,39 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
             if (best_epoch_[r] != rank_epoch_) {
               best_epoch_[r] = rank_epoch_;
               best_of_r_[r] = best[r];
-              touched_.push_back(r);
+              touched_.push_back(r);  // hotpath-alloc-ok: retained
             } else if (RankedBefore(best[r], best_of_r_[r], split_started)) {
               best_of_r_[r] = best[r];
             }
           }
         }
-        for (ResourceId r : touched_) merged_.push_back(best_of_r_[r]);
+        for (ResourceId r : touched_) {
+          merged_.push_back(best_of_r_[r]);  // hotpath-alloc-ok: retained
+        }
       }
-      // Bounded top-C selection: under uniform costs at most C distinct
-      // resources are probed and merged_ holds one candidate per resource,
-      // so only the C best matter. (With varying costs a cheap candidate
-      // beyond the C-th may still fit, so every resource's best is kept.)
-      const size_t top_c = static_cast<size_t>(std::min<int64_t>(
-          budget, static_cast<int64_t>(num_resources_) + 1));
-      if (uniform_costs && merged_.size() > top_c) {
-        std::nth_element(merged_.begin(),
-                         merged_.begin() + static_cast<std::ptrdiff_t>(top_c),
-                         merged_.end(),
-                         [split_started](const Ranked& a, const Ranked& b) {
-                           return RankedBefore(a, b, split_started);
-                         });
-        merged_.resize(top_c);
+      if (!bounded) {
+        // Bounded top-C selection over the table merge: under uniform
+        // costs at most C distinct resources are probed and merged_ holds
+        // one candidate per resource, so only the C best matter. (With
+        // varying costs a cheap candidate beyond the C-th may still fit,
+        // so every resource's best is kept.)
+        if (uniform_costs && merged_.size() > top_c) {
+          std::nth_element(
+              merged_.begin(),
+              merged_.begin() + static_cast<std::ptrdiff_t>(top_c),
+              merged_.end(),
+              [split_started](const Ranked& a, const Ranked& b) {
+                return RankedBefore(a, b, split_started);
+              });
+          merged_.resize(top_c);
+        }
+        // total-order: RankedBefore breaks every tie down to the unique
+        // (CEI id, EI index) pair — no equal elements.
+        std::sort(merged_.begin(), merged_.end(),
+                  [split_started](const Ranked& a, const Ranked& b) {
+                    return RankedBefore(a, b, split_started);
+                  });
       }
-      // total-order: RankedBefore breaks every tie down to the unique
-      // (CEI id, EI index) pair — no equal elements.
-      std::sort(merged_.begin(), merged_.end(),
-                [split_started](const Ranked& a, const Ranked& b) {
-                  return RankedBefore(a, b, split_started);
-                });
     }
   }
   stats_.rank_seconds += phase.ElapsedSeconds();
@@ -696,7 +874,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       WEBMON_DCHECK(sel.cand.IsLegalAt(now))
           << "illegal candidate (CEI " << sel.cand.state->cei->id
           << ", EI index " << sel.cand.ei_index << ") at chronon " << now;
-      const ResourceId r = sel.cand.ei().resource;
+      const ResourceId r = sel.resource;
       // Ranking already excluded contacted and unavailable resources, and
       // merged_ holds one candidate per resource.
       WEBMON_DCHECK(!attempted_now_[r]);
@@ -741,6 +919,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
             inc_flags |= ProbeAttempt::kFleetIncident;
           }
         }
+        // hotpath-alloc-ok: fault-path log, reservable via sizing hints
         attempt_log_.push_back({r, now, outcome, inc_flags});
         success = ProbeSucceeded(outcome);
         RecordOutcome(r, now, success, cost);
@@ -749,7 +928,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       if (!success) continue;  // budget spent, nothing captured
 
       probed_now_[r] = 1;
-      r_ids.push_back(r);
+      r_ids_scratch_.push_back(r);  // hotpath-alloc-ok: retained capacity
       if (schedule != nullptr) {
         WEBMON_RETURN_IF_ERROR(schedule->AddProbe(r, now));
       }
@@ -776,10 +955,11 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   // capturing) and completion callbacks byte-identical to the legacy flat
   // sweep. Entries with closed windows were marked failed by the expiry
   // sweep and pruned by the rank pass above, so `failed` screens them.
-  if (!pushed_now.empty() || !r_ids.empty()) {
-    for (const Slot& slot : slots_) {
-      const CandidateEi& cand = slot.cand;
-      if (!probed_now_[cand.ei().resource]) continue;
+  if (!pushed_now_scratch_.empty() || !r_ids_scratch_.empty()) {
+    const size_t live = slot_cand_.size();
+    for (size_t i = 0; i < live; ++i) {
+      if (!probed_now_[slot_resource_[i]]) continue;
+      const CandidateEi& cand = slot_cand_[i];
       CeiState& s = *cand.state;
       if (s.dead || s.Complete() || s.captured[cand.ei_index] ||
           s.failed[cand.ei_index]) {
@@ -802,15 +982,15 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   // too many EIs have failed for its semantics (with AND semantics, one).
   ProcessExpiries(now, now);
 
-  if (probed) *probed = r_ids;
-  for (ResourceId r : r_ids) probed_now_[r] = 0;
-  for (ResourceId r : pushed_now) probed_now_[r] = 0;
+  if (probed) *probed = r_ids_scratch_;
+  for (ResourceId r : r_ids_scratch_) probed_now_[r] = 0;
+  for (ResourceId r : pushed_now_scratch_) probed_now_[r] = 0;
   if (options_.fault_injector != nullptr) {
     // Failed attempts marked attempted_now_ without entering r_ids.
     std::fill(attempted_now_.begin(), attempted_now_.end(), 0);
   } else {
-    for (ResourceId r : r_ids) attempted_now_[r] = 0;
-    for (ResourceId r : pushed_now) attempted_now_[r] = 0;
+    for (ResourceId r : r_ids_scratch_) attempted_now_[r] = 0;
+    for (ResourceId r : pushed_now_scratch_) attempted_now_[r] = 0;
   }
   stats_.capture_seconds += phase.ElapsedSeconds();
   return Status::OK();
@@ -847,16 +1027,16 @@ void OnlineScheduler::UpdateIncidentState(Chronon now) {
 
 size_t OnlineScheduler::NumCandidateCeis() const {
   size_t live = 0;
-  for (const auto& s : states_) {
-    if (!s->dead && !s->Complete()) ++live;
+  for (const CeiState& s : states_) {
+    if (!s.dead && !s.Complete()) ++live;
   }
   return live;
 }
 
 size_t OnlineScheduler::NumActiveEis() const {
   size_t live = 0;
-  for (const Slot& slot : slots_) {
-    if (LiveCandidate(slot.cand)) ++live;
+  for (const CandidateEi& cand : slot_cand_) {
+    if (LiveCandidate(cand)) ++live;
   }
   return live;
 }

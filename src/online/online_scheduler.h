@@ -12,15 +12,20 @@
 //   5. kills CEIs for which an EI expired uncaptured at T_j — they can never
 //      be completed, so their remaining EIs stop consuming budget.
 //
-// Implementation (docs/PERFORMANCE.md): activations and expiries flow
-// through per-chronon buckets (pending_by_start_, expiring_by_finish_), so
-// window open/close/kill processing costs O(events) instead of a full-list
-// death scan per chronon. The active candidates themselves live in one flat
-// activation-ordered vector (cache-friendly, like the legacy active_ list)
-// that the ranking pass compacts in place as it reads. Ranking computes one
-// best candidate per resource (resource dedup) into an epoch-stamped
-// per-resource table and then runs a bounded top-C selection instead of
-// sorting every active EI; with SchedulerOptions::num_threads > 1 the flat
+// Implementation (docs/PERFORMANCE.md "Memory & sustained throughput"):
+// activations, expiries, and pushes flow through per-chronon buckets kept as
+// flat chunked rings (EventRing) carved from one Arena — after warm-up the
+// chunk population recycles and a steady-state chronon performs zero heap
+// allocations (enforced by the counter-based regression test). The active
+// candidates live in structure-of-arrays parallel vectors in activation
+// order (the handle, plus cached resource/finish columns the ranking scan
+// reads sequentially; the policy-value memo columns exist only for
+// ValueStableBetweenCaptures policies), compacted stably in place by every
+// ranking pass. Ranking computes one best candidate per resource (resource
+// dedup) and a bounded top-C selection: small uniform budgets keep a
+// C-bounded per-shard list and never touch the per-resource tables (which
+// are then never even allocated); larger or varying-cost budgets use the
+// epoch-stamped tables. With SchedulerOptions::num_threads > 1 the flat
 // scan is chunk-sharded across a fixed worker pool and the per-shard
 // partial bests are merged deterministically. The schedule is
 // byte-identical for every thread count — the documented value/deadline/
@@ -54,6 +59,7 @@
 #define WEBMON_ONLINE_ONLINE_SCHEDULER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -63,6 +69,8 @@
 #include "model/schedule.h"
 #include "model/types.h"
 #include "policy/policy.h"
+#include "util/arena.h"
+#include "util/event_ring.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -70,6 +78,20 @@ namespace webmon {
 
 class FaultInjector;
 class IncidentDetector;
+
+/// Capacity hints for long-running deployments. All default to 0 ("let the
+/// containers grow on demand"); a server that knows its steady-state load
+/// can pre-reserve and skip the cold-start reallocation burst that
+/// otherwise shows up in the per-phase timers over the first few chronons.
+struct SchedulerSizingHints {
+  /// Expected peak number of simultaneously active candidate EIs: sizes the
+  /// flat slot columns, the expiry scratch, and (for observing policies)
+  /// the active mirror.
+  size_t expected_active_eis = 0;
+  /// Expected total probe attempts over the run: pre-reserves the attempt
+  /// log (only allocated when a fault injector is attached).
+  size_t expected_attempts = 0;
+};
 
 /// Execution options for the online algorithm.
 struct SchedulerOptions {
@@ -93,6 +115,8 @@ struct SchedulerOptions {
   /// fixed pool. The emitted schedule is byte-identical for every value
   /// (determinism contract, docs/PERFORMANCE.md); values < 1 mean 1.
   int num_threads = 1;
+  /// Steady-state capacity hints (see SchedulerSizingHints).
+  SchedulerSizingHints sizing;
 };
 
 /// Counters accumulated over a run.
@@ -250,18 +274,6 @@ class OnlineScheduler {
   size_t NumActiveEis() const;
 
  private:
-  // One active candidate in the flat activation-ordered list. Compaction is
-  // stable, so the list's order always equals the global activation
-  // sequence — the order the legacy flat active_ vector processed events
-  // in, which is what keeps capture/expiry callbacks and sibling-capture
-  // interactions byte-identical to the pre-index scheduler.
-  struct Slot {
-    CandidateEi cand;
-    // Policy value memoized for ValueStableBetweenCaptures() policies;
-    // valid while the parent CEI's num_captured equals cached_version.
-    double cached_value = 0.0;
-    size_t cached_version = kNoCachedValue;
-  };
   // A candidate tagged with its activation sequence (expiry buckets, which
   // drain out of activation order on chronon gaps and must restore it).
   struct SeqCand {
@@ -269,13 +281,20 @@ class OnlineScheduler {
     CandidateEi cand;
   };
   // A resource's best candidate surviving per-resource dedup, with its
-  // policy value and (non-preemptive mode) started flag.
+  // policy value, cached deadline/resource (so comparisons and dedup skip
+  // the EI deref), and (non-preemptive mode) started flag.
   struct Ranked {
     CandidateEi cand;
     double value = 0.0;
+    Chronon finish = 0;
+    ResourceId resource = 0;
     bool started = false;
   };
   static constexpr size_t kNoCachedValue = ~size_t{0};
+  // Largest uniform budget served by the table-free bounded top-C path; a
+  // C-entry scan board stops beating the epoch-stamped tables somewhere
+  // beyond this.
+  static constexpr int64_t kMaxBoundedTopC = 64;
 
   // The documented candidate total order: (non-preemptive: started CEIs
   // first), then ascending value, earlier deadline, CEI id, EI index.
@@ -296,8 +315,8 @@ class OnlineScheduler {
   }
 
   // Indexes `cand` as active: assigns its activation seq, appends it to the
-  // flat slot list and its finish chronon's expiry bucket (and the active
-  // mirror when the policy observes the active set).
+  // flat slot columns and its finish chronon's expiry bucket (and the
+  // active mirror when the policy observes the active set).
   void AdmitActive(const CandidateEi& cand);
   // Activates EIs whose start chronon is `now`.
   void Activate(Chronon now);
@@ -312,19 +331,34 @@ class OnlineScheduler {
   // Removes entries the legacy Compact would drop from the active mirror
   // (only maintained for ObservesActiveSet policies).
   void CompactMirror(Chronon now);
+  // Copies slot `from` over slot `to` in every live column (compaction).
+  void MoveSlot(size_t to, size_t from);
+  // Allocates the epoch-stamped per-resource rank tables on first use —
+  // the bounded top-C path never needs them, so small-budget uniform-cost
+  // runs skip tens of MB per shard at fleet scale.
+  void EnsureRankTables();
   // One chunk of the fused compact-and-rank pass: scans the shard's
-  // contiguous range of slots_, compacts live entries in place (stable,
-  // writing only across gaps), and — when `compute_values` — computes
-  // policy values (reusing cached ones where legal) and tracks each
-  // resource's best candidate in the shard's epoch-stamped partial-best
-  // table. When `single_best` (the paper's canonical C = 1 with uniform
-  // costs) only the global minimum can ever be probed, so the shard keeps
-  // one running best and skips the tables entirely — the legacy O(n)
-  // fast path, sharded. Runs concurrently with other shards: writes only
-  // the shard's own slot range and tables; everything else it touches is
-  // read-only during the phase.
+  // contiguous range of the slot columns, compacts live entries in place
+  // (stable, writing only across gaps), and — when `compute_values` —
+  // computes policy values (reusing the memo columns where legal) and
+  // tracks candidates for selection. Three selection modes, all provably
+  // schedule-identical (see RankedBefore):
+  //   single_best — C = 1 with uniform costs (the paper's canonical
+  //     setting): one running minimum per shard.
+  //   bounded (top_c > 0) — uniform costs, 1 < C <= kMaxBoundedTopC: a
+  //     C-entry per-shard board with linear-scan resource dedup; a
+  //     candidate that cannot beat the board's worst entry is skipped
+  //     outright, so the per-resource tables are never touched (a resource
+  //     evicted or skipped that way is provably outside the global top-C).
+  //   tables (top_c == 0) — varying costs or large C: each resource's best
+  //     in the shard's epoch-stamped partial-best table.
+  // `check_attempted` is false when no resource was contacted before the
+  // rank phase (no pushes or fleet trials) — the common case, which skips
+  // the per-candidate attempted_now_ lookup. Runs concurrently with other
+  // shards: writes only the shard's own slot range, board, and tables;
+  // everything else it touches is read-only during the phase.
   void RankShard(int shard, Chronon now, bool compute_values,
-                 bool single_best);
+                 bool single_best, size_t top_c, bool check_attempted);
 
   // --- Failure handling (active only when a fault injector is attached) ---
   // True iff `resource` may be probed at `now`: its breaker is not open
@@ -352,16 +386,40 @@ class OnlineScheduler {
   Policy* policy_;
   SchedulerOptions options_;
 
-  // Owned CEI scheduling states; pointers into this deque-like storage are
-  // stable because we never erase.
-  std::vector<std::unique_ptr<CeiState>> states_;
-  // The active candidate list, in activation order, compacted stably in
-  // place by every ranking pass (so between Steps it holds at most one
-  // tick's worth of stale entries).
-  std::vector<Slot> slots_;
-  // expiring_by_finish_[t] = activated EIs whose window closes at t;
-  // drained exactly once when the expiry cursor passes t.
-  std::vector<std::vector<SeqCand>> expiring_by_finish_;
+  // Owned CEI scheduling states. A deque so pointers stay stable (we never
+  // erase) while states of CEIs that arrived together stay contiguous —
+  // the ranking scan visits slots in activation order, so neighboring
+  // liveness checks hit the same cache lines.
+  std::deque<CeiState> states_;
+
+  // The active candidate list in activation order, split into parallel
+  // structure-of-arrays columns so the ranking scan streams exactly the
+  // bytes it needs: the handle (liveness), and the resource/finish columns
+  // that replace the state->cei->eis pointer chase for dedup, gating, and
+  // deadline tie-breaks. All columns compact together, stably, in every
+  // ranking pass (so between Steps they hold at most one tick's worth of
+  // stale entries).
+  std::vector<CandidateEi> slot_cand_;
+  std::vector<ResourceId> slot_resource_;
+  std::vector<Chronon> slot_finish_;
+  // Policy-value memo columns, maintained only when the policy declares
+  // ValueStableBetweenCaptures() (pay-for-use): slot_value_[i] is valid
+  // while the parent CEI's num_captured equals slot_version_[i].
+  std::vector<double> slot_value_;
+  std::vector<size_t> slot_version_;
+
+  // Backing store for every per-chronon event bucket below. Grows to the
+  // high-water chunk population and is never reset — EventRing recycles
+  // drained chunks through its free list, so steady state allocates
+  // nothing.
+  Arena arena_;
+  // expiring_ring_[t] = activated EIs whose window closes at t; drained
+  // exactly once when the expiry cursor passes t.
+  EventRing<SeqCand> expiring_ring_;
+  // pending_ring_[t] = EIs becoming active at chronon t.
+  EventRing<CandidateEi> pending_ring_;
+  // push_ring_[t] = resources whose servers push at chronon t.
+  EventRing<ResourceId> push_ring_;
   // All expiries at chronons <= expiry_cursor_ have been processed.
   Chronon expiry_cursor_ = -1;
   // Next activation sequence number (see SeqCand::seq).
@@ -378,10 +436,6 @@ class OnlineScheduler {
   // True when the policy declares ValueStableBetweenCaptures().
   bool value_stable_ = false;
 
-  // pending_by_start_[t] = EIs becoming active at chronon t.
-  std::vector<std::vector<CandidateEi>> pending_by_start_;
-  // pushes_by_chronon_[t] = resources whose servers push at chronon t.
-  std::vector<std::vector<ResourceId>> pushes_by_chronon_;
   // Scratch: marks resources whose content is available this step (R_ids:
   // successful probes and pushes) — these capture their active EIs.
   std::vector<uint8_t> probed_now_;
@@ -389,12 +443,19 @@ class OnlineScheduler {
   // successful or not; dedups the greedy walk. Equal to probed_now_ when no
   // injector is attached.
   std::vector<uint8_t> attempted_now_;
+  // Per-step scratch for the resources pushed / probed this chronon,
+  // reused across chronons (steady state must not allocate).
+  std::vector<ResourceId> pushed_now_scratch_;
+  std::vector<ResourceId> r_ids_scratch_;
 
   // Ranking scratch, reused across chronons to avoid per-step allocation.
-  // Each shard scans a contiguous chunk of slots_ and keeps its partial
-  // per-resource bests in shard_best_ (rows of num_resources_ entries),
-  // valid when the matching shard_best_epoch_ entry equals rank_epoch_ —
-  // stamping makes per-tick resets O(touched), not O(resources).
+  // Bounded top-C mode: each shard's C-entry selection board.
+  std::vector<std::vector<Ranked>> shard_topc_;
+  // Table mode (lazily allocated by EnsureRankTables): each shard keeps its
+  // partial per-resource bests in shard_best_ (rows of num_resources_
+  // entries), valid when the matching shard_best_epoch_ entry equals
+  // rank_epoch_ — stamping makes per-tick resets O(touched), not
+  // O(resources).
   std::vector<Ranked> shard_best_;
   std::vector<uint64_t> shard_best_epoch_;
   // Resources each shard touched this tick, in first-touch order.
@@ -407,7 +468,8 @@ class OnlineScheduler {
   // after the pool joins).
   std::vector<size_t> shard_live_end_;
   size_t chunk_size_ = 0;  // slots per shard this tick
-  // Serial merge of the shards' partial bests (same stamping scheme).
+  // Serial merge of the shards' partial bests (same stamping scheme;
+  // best_of_r_/best_epoch_ are lazily allocated with the shard tables).
   std::vector<Ranked> best_of_r_;
   std::vector<uint64_t> best_epoch_;
   std::vector<ResourceId> touched_;

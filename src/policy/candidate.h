@@ -10,39 +10,53 @@
 #define WEBMON_POLICY_CANDIDATE_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "model/cei.h"
 #include "util/check.h"
+#include "util/small_bitset.h"
 
 namespace webmon {
 
 /// Mutable per-CEI scheduling state. Owned by the online scheduler; policies
 /// only read it.
+///
+/// Layout matters here: the scheduler's ranking pass tests liveness for
+/// every active EI every chronon, so the hot fields (counts, dead flag, the
+/// capture/failure bit words for ranks <= 64) are plain inline members that
+/// land together, RequiredCaptures()/eis.size() are memoized at construction
+/// (the Cei is immutable), and the per-EI flags are SmallBitsets instead of
+/// heap-backed vector<bool>s (docs/PERFORMANCE.md "Memory & sustained
+/// throughput").
 struct CeiState {
   explicit CeiState(const Cei* cei_def)
       : cei((WEBMON_CHECK(cei_def != nullptr), cei_def)),
-        captured(cei_def->eis.size(), false),
-        failed(cei_def->eis.size(), false) {}
+        required_captures(cei_def->RequiredCaptures()),
+        num_eis(cei_def->eis.size()),
+        captured(cei_def->eis.size()),
+        failed(cei_def->eis.size()) {}
 
   /// The immutable CEI definition.
   const Cei* cei;
-  /// captured[i] == true iff cei->eis[i] has been captured.
-  std::vector<bool> captured;
-  /// failed[i] == true iff cei->eis[i]'s window expired uncaptured.
-  std::vector<bool> failed;
   /// Running count of captured EIs (== count of true in `captured`).
   size_t num_captured = 0;
   /// Running count of failed EIs (== count of true in `failed`).
   size_t num_failed = 0;
+  /// Memoized cei->RequiredCaptures() (the Cei never changes).
+  size_t required_captures;
+  /// Memoized cei->eis.size().
+  size_t num_eis;
   /// Set when the CEI can no longer be satisfied: more EIs failed than the
   /// subset semantics tolerate.
   bool dead = false;
+  /// captured[i] == true iff cei->eis[i] has been captured.
+  SmallBitset captured;
+  /// failed[i] == true iff cei->eis[i]'s window expired uncaptured.
+  SmallBitset failed;
 
   /// True iff enough EIs are captured to satisfy the CEI (all of them under
   /// the paper's baseline AND semantics; `required` of them under the
   /// Section VII "alternatives" extension).
-  bool Complete() const { return num_captured >= cei->RequiredCaptures(); }
+  bool Complete() const { return num_captured >= required_captures; }
 
   /// True iff at least one EI has been captured (used by non-preemptive
   /// policies to prioritize previously probed CEIs).
@@ -50,13 +64,14 @@ struct CeiState {
 
   /// Number of EI captures still needed to satisfy the CEI.
   size_t Residual() const {
-    const size_t needed = cei->RequiredCaptures();
-    return needed > num_captured ? needed - num_captured : 0;
+    return required_captures > num_captured
+               ? required_captures - num_captured
+               : 0;
   }
 
   /// True iff too many EIs have failed for the CEI ever to complete.
   bool BeyondRepair() const {
-    return cei->eis.size() - num_failed < cei->RequiredCaptures();
+    return num_eis - num_failed < required_captures;
   }
 };
 

@@ -1,0 +1,84 @@
+// Dynamic bitset with inline storage for up to 64 bits.
+//
+// CeiState tracks captured/failed flags per execution interval. CEI ranks
+// are tiny (the paper's workloads top out around a dozen EIs), but the old
+// std::vector<bool> representation cost a heap allocation per flag set and
+// a pointer chase per liveness test — measurable at n=10^6 live EIs in the
+// rank scan (docs/PERFORMANCE.md). SmallBitset keeps ranks <= 64 in one
+// inline word (zero heap) and spills to a vector of words only above that.
+//
+// operator[] mirrors vector<bool>: the non-const form returns an assignable
+// proxy so existing `state.captured[i] = true` call sites keep working.
+
+#ifndef WEBMON_UTIL_SMALL_BITSET_H_
+#define WEBMON_UTIL_SMALL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace webmon {
+
+class SmallBitset {
+ public:
+  SmallBitset() = default;
+
+  /// All bits start clear. Only sizes <= 64 are allocation-free.
+  explicit SmallBitset(size_t num_bits) : num_bits_(num_bits) {
+    if (num_bits > 64) spill_.assign((num_bits - 1) / 64, 0);
+  }
+
+  size_t size() const { return num_bits_; }
+
+  bool Test(size_t i) const {
+    WEBMON_DCHECK(i < num_bits_) << "bit index out of range";
+    return (word(i >> 6) & Mask(i)) != 0;
+  }
+
+  void Set(size_t i, bool value) {
+    WEBMON_DCHECK(i < num_bits_) << "bit index out of range";
+    uint64_t& w = word(i >> 6);
+    if (value) {
+      w |= Mask(i);
+    } else {
+      w &= ~Mask(i);
+    }
+  }
+
+  /// Assignable reference to a single bit, like vector<bool>::reference.
+  class Ref {
+   public:
+    Ref(SmallBitset* set, size_t i) : set_(set), i_(i) {}
+    Ref& operator=(bool value) {
+      set_->Set(i_, value);
+      return *this;
+    }
+    Ref& operator=(const Ref& other) { return *this = bool(other); }
+    operator bool() const { return set_->Test(i_); }
+
+   private:
+    SmallBitset* set_;
+    size_t i_;
+  };
+
+  bool operator[](size_t i) const { return Test(i); }
+  Ref operator[](size_t i) { return Ref(this, i); }
+
+ private:
+  static uint64_t Mask(size_t i) { return uint64_t{1} << (i & 63); }
+
+  uint64_t& word(size_t wi) { return wi == 0 ? inline_word_ : spill_[wi - 1]; }
+  const uint64_t& word(size_t wi) const {
+    return wi == 0 ? inline_word_ : spill_[wi - 1];
+  }
+
+  uint64_t inline_word_ = 0;
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> spill_;  // words 1.. for num_bits_ > 64
+};
+
+}  // namespace webmon
+
+#endif  // WEBMON_UTIL_SMALL_BITSET_H_

@@ -1,0 +1,39 @@
+// expect: none
+// as-path: src/online/online_scheduler.cc
+// lint-expect: hotpath
+//
+// Known-bad fixture for webmon_lint rule `hotpath`: a Tick-phase hot
+// function (the pretend path + function name put it on the scheduler's
+// per-chronon path) that constructs container locals and grows a vector
+// without a `hotpath-alloc-ok:` justification — exactly the per-tick churn
+// the steady-state zero-allocation contract bans. Never compiled —
+// consumed by `ctest -R webmon_lint_selftest`.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace webmon {
+
+struct OnlineScheduler {
+  void Step(int64_t now);
+  void Helper(int64_t now);
+  std::vector<uint32_t> scratch_;
+};
+
+void OnlineScheduler::Step(int64_t now) {
+  std::vector<uint32_t> pushed_now;           // rule fires: per-tick local
+  std::map<uint32_t, double> best_by_resource;  // rule fires: per-tick map
+  for (uint32_t r = 0; r < 8; ++r) {
+    pushed_now.push_back(r);                  // rule fires: unjustified grow
+  }
+  scratch_.push_back(static_cast<uint32_t>(now));  // rule fires too
+}
+
+// Not in HOTPATH_FUNCTIONS: cold-path helpers may use containers freely.
+void OnlineScheduler::Helper(int64_t now) {
+  std::vector<int64_t> fine;
+  fine.push_back(now);
+}
+
+}  // namespace webmon

@@ -1,0 +1,33 @@
+// expect: none
+// as-path: src/online/online_scheduler.cc
+// lint-expect: none
+//
+// Known-good fixture for webmon_lint rule `hotpath`: the allocation-free
+// idioms a Tick-phase hot function is supposed to use — member scratch
+// reused across chronons, references into existing storage, and growth
+// points explicitly justified with `hotpath-alloc-ok:`. Never compiled —
+// consumed by `ctest -R webmon_lint_selftest`.
+
+#include <cstdint>
+#include <vector>
+
+namespace webmon {
+
+struct OnlineScheduler {
+  void Step(int64_t now);
+  std::vector<uint32_t> r_ids_scratch_;
+  std::vector<std::vector<uint32_t>> shard_topc_;
+};
+
+void OnlineScheduler::Step(int64_t now) {
+  r_ids_scratch_.clear();
+  // A reference into member storage is not a construction.
+  std::vector<uint32_t>& board = shard_topc_[0];
+  board.push_back(3);  // hotpath-alloc-ok: board reserved in the ctor
+  // hotpath-alloc-ok: capacity retained across chronons.
+  r_ids_scratch_.push_back(static_cast<uint32_t>(now));
+  const std::vector<uint32_t>* view = &r_ids_scratch_;
+  (void)view;
+}
+
+}  // namespace webmon

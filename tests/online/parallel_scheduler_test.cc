@@ -223,5 +223,117 @@ TEST(SerialParallelIdentityTest, ThreadedSoakMatchesSerial) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SoA slot-column identity under churn: streaming arrivals every few
+// chronons, server pushes, expiries, and CEI deaths continuously grow and
+// compact the parallel columns mid-run. Any column that slipped out of sync
+// during MoveSlot compaction or the shard stitch would change the probe
+// stream somewhere in the run.
+// ---------------------------------------------------------------------------
+TEST(SoaIdentityTest, ChurnHeavyStreamingMatchesAcrossThreadCounts) {
+  const uint32_t n = 40;
+  const Chronon k = 200;
+
+  // One shared workload: CEIs keyed by arrival chronon, plus a push plan.
+  Rng rng(0x50A1D);
+  std::vector<Cei> ceis;
+  std::vector<std::pair<Chronon, ResourceId>> pushes;
+  CeiId next_cei = 0;
+  EiId next_ei = 0;
+  for (Chronon t = 0; t < k - 1; t += 1 + static_cast<Chronon>(
+                                         rng.UniformU64(3))) {
+    for (int a = 0; a < 4; ++a) {
+      Cei cei;
+      cei.id = next_cei++;
+      cei.arrival = t;
+      const uint32_t rank = 1 + static_cast<uint32_t>(rng.UniformU64(3));
+      for (uint32_t e = 0; e < rank; ++e) {
+        ExecutionInterval ei;
+        ei.id = next_ei++;
+        ei.resource = static_cast<ResourceId>(rng.UniformU64(n));
+        ei.start = t + static_cast<Chronon>(rng.UniformU64(4));
+        ei.finish = std::min<Chronon>(
+            ei.start + 2 + static_cast<Chronon>(rng.UniformU64(8)), k - 1);
+        if (ei.start > k - 1) ei.start = k - 1;
+        cei.eis.push_back(ei);
+      }
+      ceis.push_back(std::move(cei));
+    }
+    if (rng.UniformU64(2) == 0) {
+      pushes.emplace_back(t + 1,
+                          static_cast<ResourceId>(rng.UniformU64(n)));
+    }
+  }
+
+  auto run_with = [&](const std::string& policy_name, bool preemptive,
+                      int threads) {
+    auto policy = MakePolicy(policy_name, 17);
+    EXPECT_TRUE(policy.ok());
+    SchedulerOptions options;
+    options.preemptive = preemptive;
+    options.num_threads = threads;
+    OnlineScheduler scheduler(n, k, BudgetVector::Uniform(3), policy->get(),
+                              options);
+    Schedule schedule(n, k);
+    std::vector<CeiId> completed;
+    std::vector<CeiId> expired;
+    scheduler.set_on_cei_captured(
+        [&](const Cei& cei) { completed.push_back(cei.id); });
+    scheduler.set_on_cei_expired(
+        [&](const Cei& cei) { expired.push_back(cei.id); });
+    for (const auto& [t, r] : pushes) {
+      EXPECT_TRUE(scheduler.AddPush(r, t).ok());
+    }
+    size_t next = 0;
+    for (Chronon t = 0; t < k; ++t) {
+      while (next < ceis.size() && ceis[next].arrival == t) {
+        EXPECT_TRUE(scheduler.AddArrival(&ceis[next], t).ok());
+        ++next;
+      }
+      EXPECT_TRUE(scheduler.Step(t, &schedule).ok());
+    }
+    EXPECT_EQ(next, ceis.size());
+    std::vector<std::vector<Chronon>> probes(n);
+    for (ResourceId r = 0; r < n; ++r) probes[r] = schedule.ProbesOf(r);
+    return std::make_tuple(probes, scheduler.stats().eis_captured,
+                           scheduler.stats().ceis_captured,
+                           scheduler.stats().pushes_delivered, completed,
+                           expired);
+  };
+
+  for (const std::string policy_name : {"s-edf", "m-edf", "wic"}) {
+    for (const bool preemptive : {true, false}) {
+      const auto serial = run_with(policy_name, preemptive, 1);
+      EXPECT_GT(std::get<1>(serial), 0) << policy_name;
+      for (const int threads : {2, 8}) {
+        EXPECT_EQ(serial, run_with(policy_name, preemptive, threads))
+            << policy_name << " preemptive=" << preemptive
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform budget above the bounded-top-C board limit (kMaxBoundedTopC = 64)
+// drives the lazily-allocated epoch-stamped tables; the parallel merge over
+// them must still match the serial walk exactly.
+// ---------------------------------------------------------------------------
+TEST(SoaIdentityTest, TableModeLargeBudgetMatchesAcrossThreadCounts) {
+  Rng rng(0x7AB7E);
+  const ProblemInstance problem = RandomInstance(rng, 100, 24, 80, 300);
+  for (const std::string policy_name : {"s-edf", "mrsf"}) {
+    const OnlineRunResult serial =
+        RunWith(problem, policy_name, true, false, 1, 0xFEED);
+    EXPECT_GT(serial.stats.probes_issued, 0) << policy_name;
+    for (const int threads : {2, 4}) {
+      const OnlineRunResult parallel =
+          RunWith(problem, policy_name, true, false, threads, 0xFEED);
+      ExpectByteIdentical(problem, serial, parallel, threads,
+                          policy_name + " table-mode");
+    }
+  }
+}
+
 }  // namespace
 }  // namespace webmon

@@ -186,6 +186,59 @@ TEST_P(ReferenceDifferential, SchedulesIdentically) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Budgets straddling the bounded-top-C board limit (kMaxBoundedTopC = 64):
+// C = 63/64 select through the per-shard boards, C = 65/96 through the
+// epoch-stamped tables. Both must reproduce the naive full sort exactly —
+// this pins the board's skip/evict pruning and the mode switch itself.
+// ---------------------------------------------------------------------------
+TEST(SoaIdentityTest, BudgetsAcrossBoundedTopCBoundaryMatchNaive) {
+  Rng rng(0xB0A2D);
+  for (const int64_t budget : {63, 64, 65, 96}) {
+    const uint32_t n = 120;
+    const Chronon k = 14;
+    ProblemBuilder builder(n, k, BudgetVector::Uniform(budget));
+    for (uint32_t c = 0; c < 300; ++c) {
+      builder.BeginProfile();
+      const uint32_t rank = 1 + static_cast<uint32_t>(rng.UniformU64(2));
+      std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+      for (uint32_t e = 0; e < rank; ++e) {
+        const auto r = static_cast<ResourceId>(rng.UniformU64(n));
+        const auto s =
+            static_cast<Chronon>(rng.UniformU64(static_cast<uint64_t>(k)));
+        const auto f = std::min<Chronon>(
+            s + static_cast<Chronon>(rng.UniformU64(5)), k - 1);
+        eis.emplace_back(r, s, f);
+      }
+      ASSERT_TRUE(builder.AddCei(eis).ok());
+    }
+    auto built = builder.Build();
+    ASSERT_TRUE(built.ok());
+    const ProblemInstance problem = std::move(built).value();
+
+    for (const bool preemptive : {true, false}) {
+      auto fast_policy = MakePolicy("s-edf", 11);
+      auto naive_policy = MakePolicy("s-edf", 11);
+      ASSERT_TRUE(fast_policy.ok());
+      ASSERT_TRUE(naive_policy.ok());
+      SchedulerOptions options;
+      options.preemptive = preemptive;
+      auto fast = RunOnline(problem, fast_policy->get(), options);
+      ASSERT_TRUE(fast.ok());
+      const NaiveResult naive =
+          RunNaive(problem, **naive_policy, preemptive);
+      EXPECT_EQ(fast->stats.probes_issued, naive.probes)
+          << "budget " << budget << " preemptive " << preemptive;
+      EXPECT_EQ(fast->stats.ceis_captured, naive.captured_ceis)
+          << "budget " << budget << " preemptive " << preemptive;
+      for (ResourceId r = 0; r < problem.num_resources(); ++r) {
+        EXPECT_EQ(fast->schedule.ProbesOf(r), naive.schedule.ProbesOf(r))
+            << "budget " << budget << " resource " << r;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Policies, ReferenceDifferential,
     // round-robin joins the differential now that its NotifyProbed call

@@ -27,6 +27,24 @@ Rules:
              acquisition — a raw std::mutex is invisible to the analysis
              and silently exempts its file from the lock-discipline checks.
              Tests are exempt (they exercise the primitives directly).
+  hotpath    Inside the Tick-phase hot functions of the online scheduler
+             (HOTPATH_FUNCTIONS below), no by-value construction of
+             std::vector/std::map locals and no push_back/emplace_back
+             without a `hotpath-alloc-ok:` justification comment on the
+             same line or the line directly above. The steady-state
+             contract (docs/PERFORMANCE.md "Memory & sustained
+             throughput", enforced at runtime by AllocSteadyTest) is that
+             a fault-free Step performs zero heap allocations after
+             warm-up; this rule keeps per-tick container churn from
+             creeping back in. References/pointers to containers and
+             member scratch reused across chronons are fine — the comment
+             marks every growth point as amortized/reserved on purpose.
+
+Self-test (`--self-test tests/lint`): every fixture carrying a
+`// lint-expect: rule[,rule]` header (or `// lint-expect: none`) plus an
+`// as-path:` header is linted as if it lived at that path; the run fails
+unless the fired rule set matches exactly. Fixtures without a
+`// lint-expect:` header belong to other analyzers and are skipped.
 
 Exit status is the number of files with violations (0 = clean). Violations
 are printed as file:line: rule: message, one per line.
@@ -81,6 +99,85 @@ BANNED_SLEEP = [
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 
 LINE_COMMENT = re.compile(r"//.*$")
+
+# --- Rule hotpath -----------------------------------------------------------
+# Per-chronon hot functions whose bodies must not construct containers or
+# grow them without an explicit justification. Keyed by repo-relative file;
+# the named methods are the ones on the OnlineScheduler::Step call path.
+HOTPATH_FUNCTIONS = {
+    "src/online/online_scheduler.cc": {
+        "Step", "RankShard", "Activate", "AdmitActive", "ProcessExpiries",
+        "MarkFailed", "MoveSlot", "CompactMirror",
+    },
+}
+HOTPATH_ALLOW = "hotpath-alloc-ok:"
+HOTPATH_GROW = re.compile(r"\.\s*(push_back|emplace_back)\s*\(")
+HOTPATH_CONTAINER = re.compile(r"\bstd\s*::\s*(vector|map)\s*<")
+HOTPATH_FUNC_DEF = re.compile(r"::\s*(\w+)\s*\(")
+
+
+def container_constructed_by_value(code, start):
+    """True when the std::vector/std::map spelled at `start` declares a
+    by-value object (construction) rather than a reference/pointer type."""
+    open_at = code.find("<", start)
+    if open_at < 0:
+        return False
+    depth = 0
+    i = open_at
+    while i < len(code):
+        if code[i] == "<":
+            depth += 1
+        elif code[i] == ">":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    if depth != 0:  # type continues on the next line: be permissive
+        return False
+    rest = code[i + 1:].lstrip()
+    if not rest:
+        return False
+    # A reference/pointer declarator, a nested template argument, or a
+    # qualified name (std::vector<...>::iterator) is not a construction.
+    return rest[0] not in "&*>,)>:;"
+
+
+def check_hotpath(rel_path, lines):
+    functions = HOTPATH_FUNCTIONS.get(rel_path)
+    if not functions:
+        return
+    in_hot = False
+    depth = 0
+    seen_body = False
+    for i, line in enumerate(lines):
+        code = strip_comment(line)
+        if not in_hot:
+            m = HOTPATH_FUNC_DEF.search(code)
+            if m and m.group(1) in functions:
+                in_hot = True
+                depth = 0
+                seen_body = False
+            else:
+                continue
+        allowed = (HOTPATH_ALLOW in line
+                   or (i > 0 and HOTPATH_ALLOW in lines[i - 1]))
+        if not allowed:
+            for m in HOTPATH_CONTAINER.finditer(code):
+                if container_constructed_by_value(code, m.start()):
+                    yield i + 1, (
+                        "std::vector/std::map constructed in a Tick-phase "
+                        "hot function; use member scratch reused across "
+                        "chronons (or justify with `hotpath-alloc-ok:`)")
+            if HOTPATH_GROW.search(code):
+                yield i + 1, (
+                    "push_back/emplace_back in a Tick-phase hot function "
+                    "without a `hotpath-alloc-ok:` comment; steady-state "
+                    "Steps must not allocate (docs/PERFORMANCE.md)")
+        depth += code.count("{") - code.count("}")
+        if "{" in code:
+            seen_body = True
+        if seen_body and depth <= 0:
+            in_hot = False
 
 
 def repo_files(root):
@@ -179,33 +276,90 @@ def check_using_namespace(lines):
             yield i + 1, "`using namespace` in a header leaks into every includer"
 
 
-def lint_file(root, rel_path):
+def lint_file(root, rel_path, as_path=None):
+    """Lints one file. `as_path` overrides the path used for rule scoping
+    and allowlisting (self-test fixtures pretend to live elsewhere)."""
     with open(os.path.join(root, rel_path), encoding="utf-8") as f:
         lines = f.read().splitlines()
+    scoped = as_path or rel_path
     violations = []
-    is_header = rel_path.endswith(HEADER_EXTS)
+    is_header = scoped.endswith(HEADER_EXTS)
     if is_header:
         violations += [(line, "guard", msg)
-                       for line, msg in check_guard(rel_path, lines)]
+                       for line, msg in check_guard(scoped, lines)]
         violations += [(line, "usingns", msg)
                        for line, msg in check_using_namespace(lines)]
-    violations += [(line, "rng", msg) for line, msg in check_rng(rel_path, lines)]
+    violations += [(line, "rng", msg) for line, msg in check_rng(scoped, lines)]
     violations += [(line, "sleep", msg) for line, msg in check_sleep(lines)]
     violations += [(line, "thread", msg)
-                   for line, msg in check_thread(rel_path, lines)]
+                   for line, msg in check_thread(scoped, lines)]
     violations += [(line, "rawmutex", msg)
-                   for line, msg in check_rawmutex(rel_path, lines)]
+                   for line, msg in check_rawmutex(scoped, lines)]
+    violations += [(line, "hotpath", msg)
+                   for line, msg in check_hotpath(scoped, lines)]
     return violations
+
+
+LINT_EXPECT = re.compile(r"//\s*lint-expect:\s*([\w,\s-]+)")
+LINT_AS_PATH = re.compile(r"//\s*as-path:\s*(\S+)")
+
+
+def run_self_test(root, fixture_dir):
+    """Check the linter against its fixtures: each file in `fixture_dir`
+    carrying a `// lint-expect:` header must fire exactly the named rules
+    when linted as its `// as-path:`."""
+    fixture_root = os.path.join(root, fixture_dir)
+    names = sorted(f for f in os.listdir(fixture_root)
+                   if f.endswith(SOURCE_EXTS))
+    failures = 0
+    checked = 0
+    for name in names:
+        rel_path = f"{fixture_dir}/{name}"
+        with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+            head = "\n".join(f.read().splitlines()[:10])
+        expect_m = LINT_EXPECT.search(head)
+        if not expect_m:
+            continue  # another analyzer's fixture
+        as_path_m = LINT_AS_PATH.search(head)
+        if not as_path_m:
+            print(f"{rel_path}: lint fixture is missing its `// as-path:` "
+                  f"header")
+            failures += 1
+            continue
+        checked += 1
+        expected = {r.strip() for r in expect_m.group(1).split(",")}
+        expected.discard("none")
+        fired = {rule for _, rule, _ in
+                 lint_file(root, rel_path, as_path=as_path_m.group(1))}
+        if fired != expected:
+            print(f"{rel_path}: expected rules {sorted(expected) or ['none']}"
+                  f", fired {sorted(fired) or ['none']}")
+            failures += 1
+    if checked == 0:
+        print(f"webmon_lint --self-test: no lint fixtures in {fixture_dir}",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"webmon_lint --self-test: {failures} fixtures misbehaved",
+              file=sys.stderr)
+        return 1
+    print(f"webmon_lint --self-test: {checked} fixtures behaved")
+    return 0
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--self-test", metavar="DIR",
+                        help="run the fixture self-test on DIR instead of "
+                             "linting the tree")
     parser.add_argument("paths", nargs="*",
                         help="specific files to lint (default: whole tree)")
     args = parser.parse_args()
 
     root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root, args.self_test.rstrip("/"))
     targets = args.paths or sorted(repo_files(root))
     bad_files = 0
     checked = 0
