@@ -68,6 +68,41 @@ struct Cei {
   std::string ToString() const;
 };
 
+/// Terminal-state audit of a CEI's life inside the online scheduler. A CEI
+/// moves kUnknown -> kPending on arrival and then reaches exactly one of the
+/// three terminal states; the scheduler's per-outcome counters
+/// (ceis_captured / ceis_expired / ceis_cancelled) partition the terminal
+/// population, which the churn tests assert as an accounting closure.
+enum class CeiLifecycle : uint8_t {
+  /// Never registered with the scheduler (or rejected on submission).
+  kUnknown = 0,
+  /// Registered and still schedulable (some EIs may already be captured).
+  kPending = 1,
+  /// Satisfied: RequiredCaptures() of its EIs were captured.
+  kCaptured = 2,
+  /// Dead by expiry: too many EI windows closed uncaptured.
+  kExpired = 3,
+  /// Dead by client cancellation (Proxy::Cancel).
+  kCancelled = 4,
+};
+
+/// Stable lower-case name for logs and test diagnostics.
+constexpr const char* CeiLifecycleName(CeiLifecycle lifecycle) {
+  switch (lifecycle) {
+    case CeiLifecycle::kPending:
+      return "pending";
+    case CeiLifecycle::kCaptured:
+      return "captured";
+    case CeiLifecycle::kExpired:
+      return "expired";
+    case CeiLifecycle::kCancelled:
+      return "cancelled";
+    case CeiLifecycle::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
 }  // namespace webmon
 
 #endif  // WEBMON_MODEL_CEI_H_

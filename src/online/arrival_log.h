@@ -1,0 +1,55 @@
+// Text serialization of the proxy's arrival log.
+//
+// The arrival log is the complete replayable record of a run's inputs
+// (docs/CONCURRENCY.md): persist it, and ReplayArrivalLog reproduces the
+// run byte for byte. This header pins a stable line-oriented text encoding
+// for that persistence — the golden suite locks the exact bytes, so any
+// change here is a format bump, not a refactor.
+//
+// Format "webmon-arrivals 2" (one record per line, fields space-separated):
+//
+//   webmon-arrivals 2
+//   submit <seq> <effective> <id> <weight> <required> <k> {<r> <s> <f>}*k
+//   push <seq> <effective> <resource>
+//   cancel <seq> <effective> <id>
+//
+// Submit windows are the raw pre-clamp payload (replay re-clamps), weight
+// is printed with 17 significant digits so doubles round-trip bit-exactly,
+// and <id> is the assigned (submit) or targeted (cancel) CeiId. Version 1
+// lacked cancel records; v1 inputs still parse (the submit/push encoding is
+// unchanged), so logs recorded before profile churn replay as-is.
+
+#ifndef WEBMON_ONLINE_ARRIVAL_LOG_H_
+#define WEBMON_ONLINE_ARRIVAL_LOG_H_
+
+#include <string>
+
+#include "online/proxy.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// The version SerializeArrivalLog writes (and the newest ParseArrivalLog
+/// accepts).
+inline constexpr int kArrivalLogFormatVersion = 2;
+
+/// Encodes `log` in the format documented above. Deterministic: equal logs
+/// serialize to equal bytes (the golden suite pins them).
+std::string SerializeArrivalLog(const ArrivalLog& log);
+
+/// Decodes a serialized log (format versions 1 and 2). Fails on a missing
+/// or unknown header, a malformed record, or a record kind the declared
+/// version does not have (a cancel in a v1 log).
+StatusOr<ArrivalLog> ParseArrivalLog(const std::string& text);
+
+/// Structural well-formedness of a log, independent of any proxy
+/// configuration: sequence numbers strictly increase, effective chronons
+/// never decrease, submits assign the dense ids 0,1,2,... in order and
+/// carry at least one window, and every cancel names a previously assigned
+/// id at most once. ReplayArrivalLog enforces the config-dependent rest
+/// (epoch bounds, resource ranges).
+Status AuditArrivalLog(const ArrivalLog& log);
+
+}  // namespace webmon
+
+#endif  // WEBMON_ONLINE_ARRIVAL_LOG_H_

@@ -26,7 +26,7 @@ int64_t ReleasedCount(Chronon t, Chronon horizon, int64_t quota) {
   return std::min<int64_t>(quota, ((t + 1) * quota - 1) / horizon + 1);
 }
 
-void ProduceOne(Proxy& proxy, Rng& rng,
+void ProduceOne(Proxy& proxy, Rng& rng, std::vector<CeiId>& owned,
                 const IngestionDriverOptions& options) {
   const Chronon base = proxy.now();
   if (rng.Bernoulli(options.push_prob)) {
@@ -34,6 +34,18 @@ void ProduceOne(Proxy& proxy, Rng& rng,
     // epoch), but tolerate them: the log is the source of truth.
     (void)proxy.Push(
         static_cast<ResourceId>(rng.UniformU64(options.num_resources)));
+    return;
+  }
+  if (!owned.empty() && rng.Bernoulli(options.cancel_prob)) {
+    // Cancel a random one of this lane's own accepted submits. Swap-remove
+    // keeps the pool duplicate-free, so the mailbox's duplicate-cancel
+    // rejection never fires from the driver; the cancel itself may still be
+    // a scheduler no-op when the target already captured/expired.
+    const size_t pick = static_cast<size_t>(rng.UniformU64(owned.size()));
+    const CeiId victim = owned[pick];
+    owned[pick] = owned.back();
+    owned.pop_back();
+    (void)proxy.Cancel(victim);
     return;
   }
   std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
@@ -46,9 +58,10 @@ void ProduceOne(Proxy& proxy, Rng& rng,
   }
   // Windows anchored at the live clock can only be rejected when the clamp
   // empties them at the epoch's edge; those late needs simply don't exist.
-  (void)proxy.Submit(eis, 0.5 + rng.UniformDouble(),
-                     static_cast<uint32_t>(rng.UniformU64(
-                         static_cast<uint64_t>(rank) + 1)));
+  auto id = proxy.Submit(eis, 0.5 + rng.UniformDouble(),
+                         static_cast<uint32_t>(rng.UniformU64(
+                             static_cast<uint64_t>(rank) + 1)));
+  if (id.ok()) owned.push_back(*id);
 }
 
 }  // namespace
@@ -77,6 +90,9 @@ StatusOr<IngestionRunResult> RunConcurrentIngestion(
   });
   proxy.set_on_cei_expired([&result, &proxy](CeiId id) {
     result.expired.emplace_back(proxy.now(), id);
+  });
+  proxy.set_on_cei_cancelled([&result, &proxy](CeiId id) {
+    result.cancelled.emplace_back(proxy.now(), id);
   });
 
   std::atomic<int64_t> events{0};
@@ -109,12 +125,13 @@ StatusOr<IngestionRunResult> RunConcurrentIngestion(
       return;
     }
     Rng rng(options.seed ^ (0x1A9E57ULL + static_cast<uint64_t>(lane)));
+    std::vector<CeiId> owned;  // this lane's cancellable submits
     for (int64_t i = 0; i < quota; ++i) {
       while (!Released(i, proxy.now(), options.horizon, quota) &&
              !proxy.Done()) {
         std::this_thread::yield();
       }
-      ProduceOne(proxy, rng, options);
+      ProduceOne(proxy, rng, owned, options);
       events.fetch_add(1, std::memory_order_release);
     }
   });
@@ -156,6 +173,10 @@ Status VerifyReplayIdentity(const IngestionRunResult& result,
   if (a.eis_seen != b.eis_seen) return mismatch("eis_seen");
   if (a.ceis_captured != b.ceis_captured) return mismatch("ceis_captured");
   if (a.ceis_expired != b.ceis_expired) return mismatch("ceis_expired");
+  if (a.ceis_cancelled != b.ceis_cancelled) {
+    return mismatch("ceis_cancelled");
+  }
+  if (a.cancels_noop != b.cancels_noop) return mismatch("cancels_noop");
   if (a.eis_captured != b.eis_captured) return mismatch("eis_captured");
   if (a.pushes_delivered != b.pushes_delivered) {
     return mismatch("pushes_delivered");
@@ -171,6 +192,9 @@ Status VerifyReplayIdentity(const IngestionRunResult& result,
   }
   if (result.expired != replay->expired) {
     return mismatch("expiry callback stream");
+  }
+  if (result.cancelled != replay->cancelled) {
+    return mismatch("cancellation callback stream");
   }
   if (result.attempts.size() != replay->attempts.size()) {
     return mismatch("attempt log length");

@@ -30,6 +30,10 @@ struct IngestionDriverOptions {
   int64_t events_per_producer = 2000;
   /// Fraction of events that are server pushes instead of submits.
   double push_prob = 0.1;
+  /// Fraction of events that cancel one of the lane's own earlier accepted
+  /// submits instead of submitting (mid-epoch profile churn). Each id is
+  /// cancelled at most once; a lane with nothing left to cancel submits.
+  double cancel_prob = 0.0;
   /// Seeds the per-producer payload streams.
   uint64_t seed = 1;
   /// Scheduler configuration (preemption, fault injector, ranking threads).
@@ -44,9 +48,10 @@ struct IngestionRunResult {
   /// Probe chronons per resource, in probe order.
   std::vector<std::vector<Chronon>> probes;
   std::vector<ProbeAttempt> attempts;
-  /// Capture / expiry callback streams, in firing order.
+  /// Capture / expiry / cancellation callback streams, in firing order.
   std::vector<std::pair<Chronon, CeiId>> captured;
   std::vector<std::pair<Chronon, CeiId>> expired;
+  std::vector<std::pair<Chronon, CeiId>> cancelled;
   double completeness = 0.0;
   /// Wall seconds inside Tick() calls (scheduling + drain, excluding the
   /// pacing waits) and the largest single tick.

@@ -84,6 +84,9 @@ OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
   if (options_.fault_injector != nullptr && hints.expected_attempts > 0) {
     attempt_log_.reserve(hints.expected_attempts);
   }
+  if (hints.expected_ceis > 0) {
+    cei_index_.Reserve(hints.expected_ceis);
+  }
 }
 
 OnlineScheduler::~OnlineScheduler() = default;
@@ -210,6 +213,11 @@ Status OnlineScheduler::AddArrival(const Cei* cei, Chronon now) {
   }
   states_.emplace_back(cei);
   CeiState* state = &states_.back();
+  state->admitted_at = now;
+  // Amortized map growth; pre-reservable through
+  // SchedulerSizingHints::expected_ceis. Outside the Step hot path, so the
+  // zero-allocation tick contract is untouched.
+  cei_index_.Insert(cei->id, static_cast<uint32_t>(states_.size() - 1));
   ++stats_.ceis_seen;
   stats_.eis_seen += static_cast<int64_t>(cei->eis.size());
 
@@ -254,6 +262,107 @@ Status OnlineScheduler::AddArrivalBatch(const std::vector<const Cei*>& batch,
   ++stats_.drain_batches;
   stats_.drained_arrivals += static_cast<int64_t>(batch.size());
   return Status::OK();
+}
+
+Status OnlineScheduler::RemoveCei(CeiId id, Chronon now) {
+  if (now < 0 || now >= num_chronons_) {
+    return Status::OutOfRange("cancel chronon outside the epoch");
+  }
+  if (now <= last_step_) {
+    return Status::FailedPrecondition(
+        "cancels must precede the Step for their chronon");
+  }
+  const uint32_t* index = cei_index_.Find(id);
+  if (index == nullptr) {
+    return Status::NotFound("cancel names unknown CEI " + std::to_string(id));
+  }
+  CeiState* state = &states_[*index];
+  if (state->dead || state->Complete()) {
+    // The CEI already reached a terminal state (captured, expired, or a
+    // second direct cancel). Deterministic no-op: the race between a cancel
+    // and a same-chronon capture/expiry was resolved by mailbox sequence
+    // when the cancel was accepted, and a cancel sequenced after the
+    // terminal event simply finds nothing left to remove.
+    ++stats_.cancels_noop;
+    return Status::OK();
+  }
+  state->cancelled = true;
+  state->dead = true;
+  ++stats_.ceis_cancelled;
+
+  // Incrementally unwind the candidate index. The slot columns, top-C
+  // boards, value memos, and active mirror all screen on LiveCandidate /
+  // !dead, so the dead flag alone removes the CEI from ranking as of this
+  // chronon; the per-chronon event-ring entries are additionally tombstoned
+  // so cancel-heavy runs compact them away (amortized O(1)) instead of
+  // dragging them to their drain chronon. Tombstones are noted only where
+  // ring membership is certain — under chronon-gapped stepping a bucket in
+  // the gap may or may not have drained, and an uncredited entry merely
+  // waits for its drain's liveness filter (correctness never depends on
+  // the tombstones; see the churn-equivalence suite).
+  // Two passes: note every tombstone before any compaction runs. A
+  // compaction's keep filter evicts ALL of this now-dead CEI's entries in
+  // the bucket it rewrites — compacting after the first sibling's note
+  // would leave later siblings in the same bucket noting entries already
+  // gone, over-counting `dead` past the bucket's size.
+  for (uint32_t i = 0; i < state->num_eis; ++i) {
+    if (state->captured[i] || state->failed[i]) continue;
+    const ExecutionInterval& ei = state->cei->eis[i];
+    if (ei.start > last_step_ && ei.start > state->admitted_at) {
+      // Parked in its start chronon's pending bucket: pushed there because
+      // it started after admission, undrained because Activate has not
+      // reached the bucket. (Starts at or beyond the epoch end were never
+      // indexed at all.)
+      if (ei.start < num_chronons_) pending_ring_.NoteDead(ei.start);
+    } else if ((ei.start <= state->admitted_at ||
+                (contiguous_steps_ && ei.start <= last_step_)) &&
+               ei.finish > last_step_ && ei.finish < num_chronons_) {
+      // Activated (admitted on arrival, or its start bucket was provably
+      // drained) and unexpired: registered in its finish chronon's expiry
+      // bucket, which the expiry cursor has not reached.
+      expiring_ring_.NoteDead(ei.finish);
+    }
+  }
+  for (uint32_t i = 0; i < state->num_eis; ++i) {
+    if (state->captured[i] || state->failed[i]) continue;
+    const ExecutionInterval& ei = state->cei->eis[i];
+    if (ei.start > last_step_ && ei.start > state->admitted_at) {
+      // A bucket shared by several of this CEI's EIs compacts on the first
+      // call and no-ops on the rest (its dead count resets to zero).
+      if (ei.start < num_chronons_) {
+        pending_ring_.CompactIfStale(ei.start, [](const CandidateEi& cand) {
+          return !cand.state->dead && !cand.state->Complete();
+        });
+      }
+    } else if ((ei.start <= state->admitted_at ||
+                (contiguous_steps_ && ei.start <= last_step_)) &&
+               ei.finish > last_step_ && ei.finish < num_chronons_) {
+      expiring_ring_.CompactIfStale(ei.finish, [](const SeqCand& sc) {
+        const CeiState& s = *sc.cand.state;
+        return !s.dead && !s.Complete() && !s.captured[sc.cand.ei_index];
+      });
+    }
+  }
+  if (on_cei_cancelled_) on_cei_cancelled_(*state->cei);
+  return Status::OK();
+}
+
+Status OnlineScheduler::RemoveCeiBatch(const std::vector<CeiId>& batch,
+                                       Chronon now) {
+  for (CeiId id : batch) {
+    WEBMON_RETURN_IF_ERROR(RemoveCei(id, now));
+  }
+  return Status::OK();
+}
+
+CeiLifecycle OnlineScheduler::LifecycleOf(CeiId id) const {
+  const uint32_t* index = cei_index_.Find(id);
+  if (index == nullptr) return CeiLifecycle::kUnknown;
+  const CeiState& state = states_[*index];
+  if (state.cancelled) return CeiLifecycle::kCancelled;
+  if (state.Complete()) return CeiLifecycle::kCaptured;
+  if (state.dead) return CeiLifecycle::kExpired;
+  return CeiLifecycle::kPending;
 }
 
 void OnlineScheduler::AdmitActive(const CandidateEi& cand) {
@@ -562,6 +671,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
     return Status::InvalidArgument(
         "resource_costs must have one entry per resource");
   }
+  if (now != last_step_ + 1) contiguous_steps_ = false;
   last_step_ = now;
   if (probed) probed->clear();
   if (track_incidents_) UpdateIncidentState(now);

@@ -2,7 +2,9 @@
 // (paper Appendix A, Algorithm 1 + procedure probeEIs).
 //
 // At each chronon T_j the scheduler
-//   1. receives the CEIs arriving at T_j (AddArrivals),
+//   1. receives the CEIs arriving at T_j (AddArrivals) and the client
+//      cancellations taking effect at T_j (RemoveCeiBatch — mid-epoch
+//      profile churn; cancelled CEIs stop consuming budget immediately),
 //   2. activates their EIs as the EIs' start chronons are reached,
 //   3. asks the policy to rank the active candidate EIs and greedily probes
 //      up to C_j distinct resources (non-preemptive mode first serves EIs of
@@ -71,6 +73,7 @@
 #include "policy/policy.h"
 #include "util/arena.h"
 #include "util/event_ring.h"
+#include "util/id_map.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -91,6 +94,9 @@ struct SchedulerSizingHints {
   /// Expected total probe attempts over the run: pre-reserves the attempt
   /// log (only allocated when a fault injector is attached).
   size_t expected_attempts = 0;
+  /// Expected total CEIs registered over the run: pre-sizes the id -> state
+  /// lookup serving RemoveCei, so steady-state churn never grows it.
+  size_t expected_ceis = 0;
 };
 
 /// Execution options for the online algorithm.
@@ -124,6 +130,12 @@ struct SchedulerStats {
   int64_t ceis_seen = 0;
   int64_t ceis_captured = 0;
   int64_t ceis_expired = 0;
+  /// CEIs removed live by RemoveCei / RemoveCeiBatch (client cancels that
+  /// reached a still-pending CEI).
+  int64_t ceis_cancelled = 0;
+  /// Cancels that arrived after their CEI already reached a terminal state
+  /// (captured or expired) — accepted as deterministic no-ops.
+  int64_t cancels_noop = 0;
   int64_t eis_seen = 0;
   int64_t eis_captured = 0;
   /// Probe attempts issued (each spends budget whether or not it succeeds).
@@ -223,6 +235,24 @@ class OnlineScheduler {
   /// SchedulerStats. Stops at the first invalid CEI.
   Status AddArrivalBatch(const std::vector<const Cei*>& batch, Chronon now);
 
+  /// Cancels a previously registered CEI before the Step for chronon `now`
+  /// runs (mid-epoch profile churn). A still-pending CEI is removed: it is
+  /// never probed again, its event-ring entries are purged or tombstoned
+  /// (amortized-O(1) compaction), its slot-column entries fall to the next
+  /// ranking pass's lazy pruning, and on_cei_cancelled fires. A CEI that
+  /// already completed or expired yields a deterministic no-op (the
+  /// `cancels_noop` counter) — never an error, because the caller (the
+  /// Proxy mailbox) cannot observe scheduler state when it accepts the
+  /// cancel. Per-resource fault health (backoff, breaker, EWMA) is
+  /// deliberately retained: it describes the resource, not the need.
+  /// Fails on an id the scheduler never saw.
+  Status RemoveCei(CeiId id, Chronon now);
+
+  /// Removes a whole drained cancel batch, in batch order (the Proxy
+  /// mailbox's sequence order). Equivalent to calling RemoveCei for each
+  /// element; stops at the first unknown id.
+  Status RemoveCeiBatch(const std::vector<CeiId>& batch, Chronon now);
+
   /// Registers a server push of `resource` delivered at chronon `t`
   /// (paper Section III: "occasionally a server may push an update").
   /// Pushed content captures every EI on the resource active at `t` for
@@ -245,6 +275,15 @@ class OnlineScheduler {
   void set_on_cei_expired(std::function<void(const Cei&)> cb) {
     on_cei_expired_ = std::move(cb);
   }
+  /// Called with every still-pending CEI removed by RemoveCei (no-op
+  /// cancels of already-terminal CEIs do not fire it).
+  void set_on_cei_cancelled(std::function<void(const Cei&)> cb) {
+    on_cei_cancelled_ = std::move(cb);
+  }
+
+  /// Terminal-state audit of CEI `id`: kUnknown for ids never registered,
+  /// kPending while live, else the terminal state (diagnostics, tests).
+  CeiLifecycle LifecycleOf(CeiId id) const;
 
   const SchedulerStats& stats() const { return stats_; }
 
@@ -391,6 +430,15 @@ class OnlineScheduler {
   // the ranking scan visits slots in activation order, so neighboring
   // liveness checks hit the same cache lines.
   std::deque<CeiState> states_;
+  // CeiId -> index into states_, maintained by AddArrival and looked up by
+  // RemoveCei / LifecycleOf. Flat open addressing with backward-shift
+  // deletion (util/id_map.h): inserts allocate only at high-water growth,
+  // so steady-state churn keeps the zero-allocation tick contract. Entries
+  // are never erased — terminal states stay queryable for the lifecycle
+  // audit, matching states_' own append-only growth. If the same id is
+  // registered twice (only possible when driving the scheduler directly,
+  // never through the Proxy), the latest registration wins.
+  FlatIdMap<uint32_t> cei_index_;
 
   // The active candidate list in activation order, split into parallel
   // structure-of-arrays columns so the ranking scan streams exactly the
@@ -502,9 +550,14 @@ class OnlineScheduler {
   std::vector<uint8_t> gt_window_detected_;
 
   Chronon last_step_ = -1;
+  // True while every chronon 0..last_step_ has been stepped (no gaps), in
+  // which case every pending bucket <= last_step_ has provably drained —
+  // the certainty RemoveCei's event-ring tombstoning relies on.
+  bool contiguous_steps_ = true;
   SchedulerStats stats_;
   std::function<void(const Cei&)> on_cei_captured_;
   std::function<void(const Cei&)> on_cei_expired_;
+  std::function<void(const Cei&)> on_cei_cancelled_;
 };
 
 }  // namespace webmon

@@ -97,10 +97,11 @@ std::optional<Proxy::PendingEvent> Proxy::MakeSubmitEventLocked(
   ceis_.push_back(std::move(cei));
   const Cei* stored = &ceis_.back();
   id = stored->id;
+  cancel_requested_.push_back(0);
   ++ingestion_.submits_accepted;
   PendingEvent event;
   event.cei = stored;
-  event.log.is_push = false;
+  event.log.kind = ArrivalKind::kSubmit;
   event.log.eis = eis;
   event.log.weight = weight;
   event.log.required = required;
@@ -132,8 +133,49 @@ std::optional<Proxy::PendingEvent> Proxy::MakePushEventLocked(
   }
   ++ingestion_.pushes_accepted;
   PendingEvent event;
-  event.log.is_push = true;
+  event.log.kind = ArrivalKind::kPush;
   event.log.resource = resource;
+  return event;
+}
+
+Status Proxy::Cancel(CeiId id) {
+  Status status = Status::OK();
+  mailbox_.Push([&](uint64_t /*seq*/,
+                    int64_t epoch) -> std::optional<PendingEvent> {
+    mailbox_.mu().AssertHeld();
+    return MakeCancelEventLocked(id, epoch, status);
+  });
+  return status;
+}
+
+std::optional<Proxy::PendingEvent> Proxy::MakeCancelEventLocked(
+    CeiId id, int64_t epoch, Status& status) {
+  auto reject = [&](Status s) {
+    status = std::move(s);
+    mailbox_.mu().AssertHeld();
+    ++ingestion_.cancels_rejected;
+    return std::nullopt;
+  };
+  if (epoch >= horizon_) {
+    return reject(Status::OutOfRange("proxy epoch already finished"));
+  }
+  if (id >= next_cei_id_) {
+    return reject(Status::NotFound("cancel names unknown CEI " +
+                                   std::to_string(id)));
+  }
+  if (cancel_requested_[id]) {
+    return reject(Status::FailedPrecondition(
+        "CEI " + std::to_string(id) + " was already cancelled"));
+  }
+  // Whether the target is still pending is scheduler state this closure
+  // cannot observe (the mailbox lock does not cover the scheduler). Accept,
+  // and let the drain resolve cancel-vs-capture/expire races by sequence —
+  // a cancel landing after the terminal event is a deterministic no-op.
+  cancel_requested_[id] = 1;
+  ++ingestion_.cancels_accepted;
+  PendingEvent event;
+  event.log.kind = ArrivalKind::kCancel;
+  event.log.assigned_id = id;
   return event;
 }
 
@@ -167,16 +209,34 @@ StatusOr<std::vector<ResourceId>> Proxy::Tick() {
   auto batch = mailbox_.DrainAndAdvance(now + 1);
   if (!batch.empty()) {
     drain_ceis_.clear();
+    drain_cancels_.clear();
     for (auto& entry : batch) {
       WEBMON_DCHECK(entry.epoch == now)
           << "mailbox entry stamped " << entry.epoch << " drained at " << now;
       entry.item.log.seq = entry.seq;
       entry.item.log.effective = entry.epoch;
-      if (entry.item.cei != nullptr) drain_ceis_.push_back(entry.item.cei);
+      switch (entry.item.log.kind) {
+        case ArrivalKind::kSubmit:
+          drain_ceis_.push_back(entry.item.cei);
+          break;
+        case ArrivalKind::kCancel:
+          drain_cancels_.push_back(entry.item.log.assigned_id);
+          break;
+        case ArrivalKind::kPush:
+          break;
+      }
     }
+    // Apply all submits, then all cancels, each in sequence order. This is
+    // provably equivalent to strict interleaved sequence order: a cancel's
+    // target was validated against next_cei_id_ under the mailbox lock, so
+    // the target's submit carries an earlier sequence number (possibly from
+    // an earlier tick), and a cancel commutes with every later-sequenced
+    // submit in the batch (they name different CEIs). Pushes only mark
+    // resources for this chronon's Step, which reads them after both.
     WEBMON_RETURN_IF_ERROR(scheduler_.AddArrivalBatch(drain_ceis_, now));
+    WEBMON_RETURN_IF_ERROR(scheduler_.RemoveCeiBatch(drain_cancels_, now));
     for (auto& entry : batch) {
-      if (entry.item.cei == nullptr) {
+      if (entry.item.log.kind == ArrivalKind::kPush) {
         WEBMON_RETURN_IF_ERROR(
             scheduler_.AddPush(entry.item.log.resource, now));
       }
@@ -220,6 +280,11 @@ void Proxy::set_on_cei_expired(std::function<void(CeiId)> cb) {
       [cb = std::move(cb)](const Cei& cei) { cb(cei.id); });
 }
 
+void Proxy::set_on_cei_cancelled(std::function<void(CeiId)> cb) {
+  scheduler_.set_on_cei_cancelled(
+      [cb = std::move(cb)](const Cei& cei) { cb(cei.id); });
+}
+
 StatusOr<ProxyReplayResult> ReplayArrivalLog(
     const ArrivalLog& log, uint32_t num_resources, Chronon horizon,
     BudgetVector budget, std::unique_ptr<Policy> policy,
@@ -243,26 +308,39 @@ StatusOr<ProxyReplayResult> ReplayArrivalLog(
               options);
   std::vector<std::pair<Chronon, CeiId>> captured;
   std::vector<std::pair<Chronon, CeiId>> expired;
+  std::vector<std::pair<Chronon, CeiId>> cancelled;
   proxy.set_on_cei_captured(
       [&](CeiId id) { captured.emplace_back(proxy.now(), id); });
   proxy.set_on_cei_expired(
       [&](CeiId id) { expired.emplace_back(proxy.now(), id); });
+  proxy.set_on_cei_cancelled(
+      [&](CeiId id) { cancelled.emplace_back(proxy.now(), id); });
 
   size_t next = 0;
   while (!proxy.Done()) {
     const Chronon t = proxy.now();
     for (; next < log.size() && log[next].effective == t; ++next) {
       const ArrivalEvent& event = log[next];
-      if (event.is_push) {
-        WEBMON_RETURN_IF_ERROR(proxy.Push(event.resource));
-      } else {
-        auto id = proxy.Submit(event.eis, event.weight, event.required);
-        WEBMON_RETURN_IF_ERROR(id.status());
-        if (*id != event.assigned_id) {
-          return Status::Internal(
-              "replayed Submit assigned CEI id " + std::to_string(*id) +
-              " where the log recorded " +
-              std::to_string(event.assigned_id));
+      switch (event.kind) {
+        case ArrivalKind::kPush:
+          WEBMON_RETURN_IF_ERROR(proxy.Push(event.resource));
+          break;
+        case ArrivalKind::kCancel:
+          // A logged cancel was accepted by the recording run, so the
+          // replaying proxy must accept it too (ids replay identically and
+          // duplicates never reach the log).
+          WEBMON_RETURN_IF_ERROR(proxy.Cancel(event.assigned_id));
+          break;
+        case ArrivalKind::kSubmit: {
+          auto id = proxy.Submit(event.eis, event.weight, event.required);
+          WEBMON_RETURN_IF_ERROR(id.status());
+          if (*id != event.assigned_id) {
+            return Status::Internal(
+                "replayed Submit assigned CEI id " + std::to_string(*id) +
+                " where the log recorded " +
+                std::to_string(event.assigned_id));
+          }
+          break;
         }
       }
     }
@@ -280,6 +358,7 @@ StatusOr<ProxyReplayResult> ReplayArrivalLog(
                            proxy.attempt_log(),
                            std::move(captured),
                            std::move(expired),
+                           std::move(cancelled),
                            proxy.CompletenessSoFar()};
 }
 

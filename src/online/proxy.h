@@ -55,27 +55,49 @@
 
 namespace webmon {
 
+/// What an arrival-log record describes. Serialized (tools and the golden
+/// suite pin the encoding — see online/arrival_log.h, format
+/// "webmon-arrivals 2"), so the enumerator values are part of the format.
+enum class ArrivalKind : uint8_t {
+  kSubmit = 0,
+  kPush = 1,
+  /// A client cancel of a previously assigned CeiId (mid-epoch profile
+  /// churn). Added in format version 2.
+  kCancel = 2,
+};
+
 /// One accepted ingestion event as recorded in the proxy's arrival log: the
-/// raw (pre-clamp) payload of a Submit() or Push(), stamped with its mailbox
-/// sequence number and the chronon it took effect at. The log is a complete
-/// replayable record of the run's inputs — feeding it to ReplayArrivalLog()
-/// serially reproduces a concurrent run byte for byte.
+/// raw (pre-clamp) payload of a Submit(), Push(), or Cancel(), stamped with
+/// its mailbox sequence number and the chronon it took effect at. The log is
+/// a complete replayable record of the run's inputs — feeding it to
+/// ReplayArrivalLog() serially reproduces a concurrent run byte for byte.
 struct ArrivalEvent {
   /// Position in the mailbox's total arrival order.
   uint64_t seq = 0;
   /// The chronon the event took effect at (the Tick() that drained it).
   Chronon effective = 0;
-  bool is_push = false;
+  ArrivalKind kind = ArrivalKind::kSubmit;
   /// Submit payload: the windows exactly as the producer passed them.
   /// Replaying clamps them at `effective` again, rebuilding the stored CEI
   /// exactly.
   std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
   double weight = 1.0;
   uint32_t required = 0;
-  /// The id Submit() returned; a serial replay must re-assign the same.
+  /// Submit: the id Submit() returned (a serial replay must re-assign the
+  /// same). Cancel: the id the client cancelled.
   CeiId assigned_id = 0;
   /// Push payload.
   ResourceId resource = 0;
+
+  friend bool operator==(const ArrivalEvent& a, const ArrivalEvent& b) {
+    return a.seq == b.seq && a.effective == b.effective && a.kind == b.kind &&
+           a.eis == b.eis && a.weight == b.weight &&
+           a.required == b.required && a.assigned_id == b.assigned_id &&
+           a.resource == b.resource;
+  }
+  friend bool operator!=(const ArrivalEvent& a, const ArrivalEvent& b) {
+    return !(a == b);
+  }
 };
 using ArrivalLog = std::vector<ArrivalEvent>;
 
@@ -89,6 +111,12 @@ struct IngestionStats {
   int64_t submits_rejected = 0;
   int64_t pushes_accepted = 0;
   int64_t pushes_rejected = 0;
+  /// Cancel() outcomes. An accepted cancel may still be a scheduler no-op
+  /// (target already captured/expired when the cancel drains — see
+  /// SchedulerStats::cancels_noop); rejected means the mailbox refused it
+  /// (unknown id, duplicate cancel, epoch finished).
+  int64_t cancels_accepted = 0;
+  int64_t cancels_rejected = 0;
   /// Ticks that drained at least one event.
   int64_t drain_batches = 0;
   /// Largest single drained batch.
@@ -129,6 +157,23 @@ class Proxy {
   /// chronon's Tick() executes (the paper's Example 3 "WHEN ON PUSH").
   /// Thread-safe, same stamping rules as Submit().
   Status Push(ResourceId resource);
+
+  /// Cancels need `id` (mid-epoch profile churn): the CEI stops being
+  /// scheduled as of the chronon the cancel is stamped with, its index
+  /// entries are unwound incrementally, and the on-cancelled callback fires
+  /// during that chronon's Tick(). Thread-safe, same stamping rules as
+  /// Submit(); callable from CEI callbacks (lands next chronon).
+  ///
+  /// Validation under the mailbox lock: an id never assigned fails with
+  /// NotFound, a second cancel of the same id with FailedPrecondition, and
+  /// a finished epoch with OutOfRange — none of which consume a sequence
+  /// number or appear in the log. Whether the target is still pending,
+  /// however, is scheduler state the mailbox cannot observe, so a cancel
+  /// racing its target's capture/expiry is ACCEPTED and resolved
+  /// deterministically by mailbox sequence when it drains: if the target
+  /// reached a terminal state first, the cancel becomes a recorded no-op
+  /// (SchedulerStats::cancels_noop) — replays reproduce the no-op exactly.
+  Status Cancel(CeiId id);
 
   /// Executes the current chronon and advances time: drains the ingestion
   /// mailbox in sequence order, steps the scheduler, fires CEI callbacks.
@@ -176,10 +221,15 @@ class Proxy {
   /// before the first Tick() and do not change mid-run.
   void set_on_cei_captured(std::function<void(CeiId)> cb);
   void set_on_cei_expired(std::function<void(CeiId)> cb);
+  /// Invoked when a Cancel() removes a still-pending CEI (no-op cancels of
+  /// already-terminal CEIs fire nothing). Same rules as the other
+  /// callbacks.
+  void set_on_cei_cancelled(std::function<void(CeiId)> cb);
 
  private:
-  // One mailbox entry: the materialized CEI (null for pushes) plus the raw
-  // payload destined for the arrival log (seq/effective stamped at drain).
+  // One mailbox entry: the materialized CEI (submits; null for pushes and
+  // cancels) plus the raw payload destined for the arrival log
+  // (seq/effective stamped at drain). log.kind discriminates.
   struct PendingEvent {
     const Cei* cei = nullptr;
     ArrivalEvent log;
@@ -196,6 +246,9 @@ class Proxy {
   std::optional<PendingEvent> MakePushEventLocked(ResourceId resource,
                                                   int64_t epoch,
                                                   Status& status)
+      REQUIRES(mailbox_.mu());
+  std::optional<PendingEvent> MakeCancelEventLocked(CeiId id, int64_t epoch,
+                                                    Status& status)
       REQUIRES(mailbox_.mu());
 
   uint32_t num_resources_;
@@ -215,11 +268,16 @@ class Proxy {
   std::deque<Cei> ceis_ GUARDED_BY(mailbox_.mu());
   CeiId next_cei_id_ GUARDED_BY(mailbox_.mu()) = 0;
   EiId next_ei_id_ GUARDED_BY(mailbox_.mu()) = 0;
+  // cancel_requested_[id] is set when a Cancel(id) was accepted; duplicate
+  // cancels are rejected under the lock so the log never carries two cancel
+  // records for one id (one flag byte per submitted CEI).
+  std::vector<uint8_t> cancel_requested_ GUARDED_BY(mailbox_.mu());
   IngestionStats ingestion_ GUARDED_BY(mailbox_.mu());
   // Drain-order record of every accepted event. Ticking thread only.
   ArrivalLog arrival_log_;
   // Drain scratch, reused across ticks.
   std::vector<const Cei*> drain_ceis_;
+  std::vector<CeiId> drain_cancels_;
   Schedule schedule_;
   OnlineScheduler scheduler_;
 };
@@ -233,9 +291,10 @@ struct ProxyReplayResult {
   /// well-formed replay).
   ArrivalLog log;
   std::vector<ProbeAttempt> attempts;
-  /// Capture / expiry callback streams, in firing order.
+  /// Capture / expiry / cancellation callback streams, in firing order.
   std::vector<std::pair<Chronon, CeiId>> captured;
   std::vector<std::pair<Chronon, CeiId>> expired;
+  std::vector<std::pair<Chronon, CeiId>> cancelled;
   double completeness = 0.0;
 };
 

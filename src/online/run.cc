@@ -1,5 +1,7 @@
 #include "online/run.h"
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "model/completeness.h"
@@ -10,6 +12,12 @@ namespace webmon {
 StatusOr<OnlineRunResult> RunOnline(const ProblemInstance& problem,
                                     Policy* policy,
                                     SchedulerOptions options) {
+  return RunOnlineWithChurn(problem, policy, {}, std::move(options));
+}
+
+StatusOr<OnlineRunResult> RunOnlineWithChurn(
+    const ProblemInstance& problem, Policy* policy,
+    const std::vector<CancelEvent>& cancels, SchedulerOptions options) {
   if (policy == nullptr) {
     return Status::InvalidArgument("RunOnline: policy must not be null");
   }
@@ -22,6 +30,18 @@ StatusOr<OnlineRunResult> RunOnline(const ProblemInstance& problem,
     arrivals[static_cast<size_t>(cei->arrival)].push_back(cei);
   }
 
+  // Bucket cancels the same way. Validation up front keeps the per-chronon
+  // loop a pure RemoveCeiBatch call.
+  std::vector<std::vector<CeiId>> cancel_batches(static_cast<size_t>(k));
+  for (const CancelEvent& cancel : cancels) {
+    if (cancel.chronon < 0 || cancel.chronon >= k) {
+      return Status::OutOfRange("RunOnlineWithChurn: cancel chronon " +
+                                std::to_string(cancel.chronon) +
+                                " outside the epoch");
+    }
+    cancel_batches[static_cast<size_t>(cancel.chronon)].push_back(cancel.id);
+  }
+
   OnlineRunResult result{Schedule(problem.num_resources(), k),
                          SchedulerStats{}, 0.0, 0.0, 0.0, {}};
   OnlineScheduler scheduler(problem.num_resources(), k, problem.budget(),
@@ -31,6 +51,8 @@ StatusOr<OnlineRunResult> RunOnline(const ProblemInstance& problem,
   for (Chronon t = 0; t < k; ++t) {
     WEBMON_RETURN_IF_ERROR(
         scheduler.AddArrivalBatch(arrivals[static_cast<size_t>(t)], t));
+    WEBMON_RETURN_IF_ERROR(
+        scheduler.RemoveCeiBatch(cancel_batches[static_cast<size_t>(t)], t));
     WEBMON_RETURN_IF_ERROR(scheduler.Step(t, &result.schedule));
   }
   result.wall_seconds = watch.ElapsedSeconds();

@@ -33,6 +33,24 @@ StatusOr<OnlineRunResult> RunOnline(const ProblemInstance& problem,
                                     Policy* policy,
                                     SchedulerOptions options = {});
 
+/// A scripted mid-epoch cancellation: CEI `id` is removed at the top of
+/// chronon `chronon`, before that chronon's probes are decided.
+struct CancelEvent {
+  Chronon chronon = 0;
+  CeiId id = 0;
+};
+
+/// RunOnline with profile churn: each cancel in `cancels` is applied via
+/// OnlineScheduler::RemoveCeiBatch at the top of its chronon (after that
+/// chronon's arrivals, before Step), matching the proxy's drain order of
+/// submits-then-cancels. Every cancel must land at or after its target's
+/// arrival chronon and inside the epoch; a cancel of an already
+/// captured/expired CEI is the documented no-op. Used by the churn-fuzz
+/// differential suite to compare against a rebuild-from-scratch reference.
+StatusOr<OnlineRunResult> RunOnlineWithChurn(
+    const ProblemInstance& problem, Policy* policy,
+    const std::vector<CancelEvent>& cancels, SchedulerOptions options = {});
+
 }  // namespace webmon
 
 #endif  // WEBMON_ONLINE_RUN_H_

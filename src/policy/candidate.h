@@ -46,8 +46,17 @@ struct CeiState {
   /// Memoized cei->eis.size().
   size_t num_eis;
   /// Set when the CEI can no longer be satisfied: more EIs failed than the
-  /// subset semantics tolerate.
+  /// subset semantics tolerate, or the client cancelled it mid-epoch.
   bool dead = false;
+  /// Set (together with `dead`) when the CEI was removed by a client cancel
+  /// rather than by expiry — distinguishes the terminal states for the
+  /// lifecycle audit without adding a branch to the hot liveness checks.
+  bool cancelled = false;
+  /// The chronon the scheduler registered this CEI at (AddArrival's `now`).
+  /// Scheduler bookkeeping: cancellation uses it to tell whether an EI was
+  /// admitted straight to the active index (start <= admitted_at) or parked
+  /// in its start chronon's pending bucket.
+  Chronon admitted_at = 0;
   /// captured[i] == true iff cei->eis[i] has been captured.
   SmallBitset captured;
   /// failed[i] == true iff cei->eis[i]'s window expired uncaptured.

@@ -9,8 +9,15 @@
 // onto a free list, and after warm-up the chunk population stabilizes and no
 // call touches the heap (the Arena grows only on high-water marks).
 //
+// Items cannot be erased by key (chunks hold no per-item index), but a
+// caller that invalidates items logically (e.g. CEI cancellation) can
+// NoteDead each one and call CompactIfStale: once half a bucket is dead it
+// is rewritten in place — stable, allocation-free, amortized O(1) per dead
+// item — so cancel-heavy runs don't drag garbage to the drain.
+//
 // Determinism: per-bucket visit order is exactly push order, independent of
-// chunk placement. Not thread-safe — single-owner, like the Arena.
+// chunk placement (and of whether any compaction triggered). Not
+// thread-safe — single-owner, like the Arena.
 
 #ifndef WEBMON_UTIL_EVENT_RING_H_
 #define WEBMON_UTIL_EVENT_RING_H_
@@ -85,12 +92,87 @@ class EventRing {
     b.head = nullptr;
     b.tail = nullptr;
     b.size = 0;
+    b.dead = 0;
     while (c != nullptr) {
       Chunk* next = c->next;
       for (uint32_t i = 0; i < c->count; ++i) fn(c->items[i]);
       ReleaseChunk(c);
       c = next;
     }
+  }
+
+  /// Records that one item already pushed to `bucket` has logically died
+  /// (the drain-time filter will skip it). Fuels CompactIfStale's trigger;
+  /// the caller is responsible for counting each dead item at most once.
+  void NoteDead(int64_t bucket) {
+    WEBMON_DCHECK(bucket >= 0 &&
+                  static_cast<size_t>(bucket) < buckets_.size())
+        << "event bucket " << bucket << " out of range";
+    Bucket& b = buckets_[static_cast<size_t>(bucket)];
+    ++b.dead;
+    WEBMON_DCHECK_LE(b.dead, b.size)
+        << "more dead items noted than bucket " << bucket << " holds";
+  }
+
+  /// Dead items noted against `bucket` since its last drain/compaction
+  /// (diagnostics, tests).
+  uint32_t NotedDead(int64_t bucket) const {
+    return buckets_[static_cast<size_t>(bucket)].dead;
+  }
+
+  /// When at least half of `bucket`'s items have been NoteDead'd, rewrites
+  /// the bucket in place keeping only items for which keep(item) is true —
+  /// stable (push order preserved), allocation-free (emptied tail chunks
+  /// recycle onto the free list), and amortized O(1) per NoteDead by the
+  /// usual halving potential argument: each compaction visits <= 2x the
+  /// dead items that paid for it. Returns true iff a compaction ran.
+  ///
+  /// Draining later sees exactly the same live items in the same order
+  /// whether or not a compaction triggered, so the threshold can never
+  /// alter a schedule.
+  template <typename Keep>
+  bool CompactIfStale(int64_t bucket, Keep&& keep) {
+    Bucket& b = buckets_[static_cast<size_t>(bucket)];
+    if (b.dead == 0 || b.dead * 2 < b.size) return false;
+    Chunk* write = b.head;
+    uint32_t wi = 0;
+    uint32_t kept = 0;
+    for (Chunk* c = b.head; c != nullptr; c = c->next) {
+      const uint32_t n = c->count;
+      for (uint32_t i = 0; i < n; ++i) {
+        // Copy out: once write catches up to c, items[wi] aliases items[i].
+        const T item = c->items[i];
+        if (!keep(item)) continue;
+        if (wi == kChunkCapacity) {
+          write->count = kChunkCapacity;
+          // The write cursor trails the read cursor (kept <= visited), so
+          // the next chunk always exists.
+          write = write->next;
+          wi = 0;
+        }
+        write->items[wi++] = item;
+        ++kept;
+      }
+    }
+    Chunk* excess;
+    if (kept == 0) {
+      excess = b.head;
+      b.head = nullptr;
+      b.tail = nullptr;
+    } else {
+      write->count = wi;
+      excess = write->next;
+      write->next = nullptr;
+      b.tail = write;
+    }
+    while (excess != nullptr) {
+      Chunk* next = excess->next;
+      ReleaseChunk(excess);
+      excess = next;
+    }
+    b.size = kept;
+    b.dead = 0;
+    return true;
   }
 
   /// Recycles a bucket's chunks without visiting the items (used for
@@ -101,6 +183,7 @@ class EventRing {
     b.head = nullptr;
     b.tail = nullptr;
     b.size = 0;
+    b.dead = 0;
     while (c != nullptr) {
       Chunk* next = c->next;
       ReleaseChunk(c);
@@ -123,6 +206,8 @@ class EventRing {
     Chunk* head = nullptr;
     Chunk* tail = nullptr;
     uint32_t size = 0;
+    // Items noted dead since the last drain/compaction (see NoteDead).
+    uint32_t dead = 0;
   };
 
   Chunk* AcquireChunk() {

@@ -1,0 +1,35 @@
+// expect: unordered-iter
+// as-path: src/online/bad_cancel_sweep.cc
+//
+// Known-bad fixture for webmon_determinism rule `unordered-iter` on the
+// churn path: a cancel sweep that walks the live-CEI index via
+// FlatIdMap::ForEach collects doomed ids in probe order, so the order the
+// cancels unwind (and every tie they break downstream) depends on the
+// table's insertion/deletion history. Never compiled — consumed by
+// `ctest -R webmon_determinism_selftest`.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/id_map.h"
+
+namespace webmon {
+
+using LiveIndex = FlatIdMap<uint32_t>;
+
+std::vector<uint32_t> CollectDoomedInProbeOrder(
+    const FlatIdMap<uint32_t>& cei_index, uint32_t doomed_slot) {
+  std::vector<uint32_t> doomed;
+  cei_index.ForEach([&](uint32_t id, uint32_t slot) {  // rule fires: ForEach
+    if (slot == doomed_slot) doomed.push_back(id);
+  });
+  return doomed;
+}
+
+uint32_t CountLiveViaAlias(const LiveIndex& live) {
+  uint32_t count = 0;
+  live.ForEach([&](uint32_t, uint32_t) { ++count; });  // rule fires: alias
+  return count;
+}
+
+}  // namespace webmon

@@ -1,0 +1,28 @@
+// expect: none
+// as-path: src/online/good_cancel_sweep.cc
+//
+// Known-good twin of bad_cancel_sweep.cc: the cancel batch arrives as a
+// vector already in mailbox-sequence order, so the sweep iterates THAT and
+// only probes the FlatIdMap point-wise with Find — no ForEach, no
+// order-sensitive traversal, deterministic unwind order by construction.
+// Never compiled — consumed by `ctest -R webmon_determinism_selftest`.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/id_map.h"
+
+namespace webmon {
+
+std::vector<uint32_t> ResolveCancelBatchInMailboxOrder(
+    const FlatIdMap<uint32_t>& cei_index,
+    const std::vector<uint32_t>& cancel_batch) {
+  std::vector<uint32_t> live_slots;
+  for (uint32_t id : cancel_batch) {
+    const uint32_t* slot = cei_index.Find(id);
+    if (slot != nullptr) live_slots.push_back(*slot);
+  }
+  return live_slots;
+}
+
+}  // namespace webmon

@@ -154,6 +154,85 @@ TEST(AllocSteadyTest, OngoingArrivalsKeepStepAllocationsAmortizedConstant) {
       << "Step allocation rate regressed above O(1) amortized";
 }
 
+// Profile churn must not break the steady-state contract: a rolling
+// population where every chronon admits new needs AND cancels the oldest
+// still-live ones keeps ticking allocation-free once the slot columns,
+// rings, and id map have reached their high-water capacities — the cancel
+// path (tombstone notes, amortized compaction, backward-shift id-map
+// deletion) recycles everything it touches.
+TEST(AllocSteadyTest, RollingInsertPlusCancelChurnStaysAllocationFree) {
+  constexpr uint32_t kResources = 500;
+  constexpr Chronon kChronons = 600;
+  constexpr Chronon kWarmup = 200;
+  constexpr int kPerChronon = 20;
+  constexpr Chronon kWindow = 16;
+
+  auto policy = MakePolicy("s-edf", 17);
+  ASSERT_TRUE(policy.ok()) << policy.status();
+  std::vector<Cei> ceis;
+  {
+    Rng rng(3);
+    CeiId next_cei = 0;
+    EiId next_ei = 0;
+    for (Chronon t = 0; t < kChronons; ++t) {
+      for (int a = 0; a < kPerChronon; ++a) {
+        Cei cei;
+        cei.id = next_cei++;
+        cei.arrival = t;
+        for (int e = 0; e < 2; ++e) {
+          ExecutionInterval ei;
+          ei.id = next_ei++;
+          ei.resource = static_cast<ResourceId>(rng.UniformU64(kResources));
+          ei.start = t;
+          ei.finish = std::min<Chronon>(t + kWindow, kChronons - 1);
+          cei.eis.push_back(ei);
+        }
+        ceis.push_back(std::move(cei));
+      }
+    }
+  }
+
+  SchedulerOptions options;
+  options.sizing.expected_active_eis = 4096;
+  options.sizing.expected_ceis = ceis.size();
+  OnlineScheduler scheduler(kResources, kChronons, BudgetVector::Uniform(4),
+                            policy->get(), options);
+  // Cancel half of each chronon's cohort while it is still mid-window:
+  // at chronon t, cancel the first kPerChronon/2 needs that arrived at
+  // t - kWindow/2 (those not already captured are live candidates, so the
+  // cancels exercise the full unwind, not the no-op path).
+  std::vector<CeiId> cancel_batch;
+  cancel_batch.reserve(kPerChronon / 2);
+  size_t next = 0;
+  int64_t tick_allocs = 0;
+  for (Chronon t = 0; t < kChronons; ++t) {
+    while (next < ceis.size() && ceis[next].arrival == t) {
+      ASSERT_TRUE(scheduler.AddArrival(&ceis[next], t).ok());
+      ++next;
+    }
+    cancel_batch.clear();
+    const Chronon cohort = t - kWindow / 2;
+    if (cohort >= 0) {
+      const CeiId first = static_cast<CeiId>(cohort) * kPerChronon;
+      for (int i = 0; i < kPerChronon / 2; ++i) {
+        cancel_batch.push_back(first + static_cast<CeiId>(i));
+      }
+    }
+    const AllocSnapshot before = SnapshotAllocCounters();
+    ASSERT_TRUE(scheduler.RemoveCeiBatch(cancel_batch, t).ok());
+    ASSERT_TRUE(scheduler.Step(t, nullptr, nullptr).ok());
+    const AllocSnapshot after = SnapshotAllocCounters();
+    if (t >= kWarmup) tick_allocs += after.allocations - before.allocations;
+  }
+  EXPECT_EQ(tick_allocs, 0)
+      << "steady-state cancel+step ticks must not touch the heap";
+  EXPECT_GT(scheduler.stats().ceis_cancelled, 0);
+  EXPECT_GT(scheduler.stats().cancels_noop, 0)
+      << "some cancelled cohort members should already be captured — the "
+         "no-op path must also stay allocation-free";
+  EXPECT_GT(scheduler.stats().eis_captured, 0);
+}
+
 // The counting operator new itself must observe this binary's allocations
 // (meta-check that the macro is actually wired in).
 TEST(AllocSteadyTest, CountingOperatorNewIsActive) {

@@ -170,7 +170,7 @@ void ExpectLogsEqual(const ArrivalLog& a, const ArrivalLog& b,
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].seq, b[i].seq) << label << " event " << i;
     EXPECT_EQ(a[i].effective, b[i].effective) << label << " event " << i;
-    EXPECT_EQ(a[i].is_push, b[i].is_push) << label << " event " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << label << " event " << i;
     EXPECT_EQ(a[i].eis, b[i].eis) << label << " event " << i;
     EXPECT_EQ(a[i].weight, b[i].weight) << label << " event " << i;
     EXPECT_EQ(a[i].required, b[i].required) << label << " event " << i;
@@ -192,7 +192,7 @@ void ExpectAccountingClosed(const RunRecord& run, const std::string& label) {
       EXPECT_GT(event.seq, prev_seq) << label << ": log out of drain order";
     }
     prev_seq = event.seq;
-    if (event.is_push) {
+    if (event.kind == ArrivalKind::kPush) {
       ++pushes;
     } else {
       ++submits;

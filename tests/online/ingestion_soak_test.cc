@@ -131,7 +131,7 @@ TEST(IngestionSoakTest, TwentyThousandChrononsOfConcurrentStreaming) {
       ASSERT_GT(event.seq, prev_seq);
     }
     prev_seq = event.seq;
-    if (!event.is_push) {
+    if (event.kind == ArrivalKind::kSubmit) {
       ++submits;
       ASSERT_EQ(event.assigned_id, expected_id++);
     }

@@ -178,9 +178,9 @@ TEST(ProxyTest, ArrivalLogRecordsEffectiveChronons) {
   const ArrivalLog& log = proxy.arrival_log();
   ASSERT_EQ(log.size(), 3u);
   EXPECT_EQ(log[0].effective, 0);
-  EXPECT_FALSE(log[0].is_push);
+  EXPECT_EQ(log[0].kind, ArrivalKind::kSubmit);
   EXPECT_EQ(log[1].effective, 2);
-  EXPECT_TRUE(log[1].is_push);
+  EXPECT_EQ(log[1].kind, ArrivalKind::kPush);
   EXPECT_EQ(log[1].resource, 1u);
   EXPECT_EQ(log[2].effective, 2);
   EXPECT_EQ(log[2].seq, 2u);

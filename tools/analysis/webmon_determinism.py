@@ -13,7 +13,11 @@ libstdc++ versions, ASLR seeds, or allocator behavior). Rules:
   unordered-iter   No iteration over std::unordered_map/unordered_set in
                    src/ (range-for, .begin()/.end(), iterator-range
                    construction): bucket order leaks hash-table layout into
-                   whatever consumes the loop. Sites that erase the order
+                   whatever consumes the loop. FlatIdMap (util/id_map.h)
+                   counts as unordered too: its only traversal, ForEach,
+                   visits probe order, so a ForEach over scheduling state
+                   (e.g. a cancel sweep) is the same bug with a different
+                   container. Sites that erase the order
                    again (e.g. draining into a vector that is immediately
                    sorted by a total key) are allowlisted per-site in
                    ALLOWED_UNORDERED_ITERS below AND must carry an in-code
@@ -87,16 +91,23 @@ JUSTIFY_WINDOW = 3
 
 LINE_COMMENT = re.compile(r"//.*$")
 
+# FlatIdMap joins the std::unordered_* family for rule unordered-iter: its
+# ForEach traversal order is probe order (explicitly unspecified).
 UNORDERED_DECL_HEAD = re.compile(
     r"^\s*(?:mutable\s+|static\s+|constexpr\s+|const\s+|typename\s+)*"
-    r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
+    r"(?:(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)"
+    r"|(?:webmon\s*::\s*)?FlatIdMap)\s*<")
 UNORDERED_TYPE = re.compile(
-    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+    r"\b(?:std\s*::\s*unordered_(?:map|set|multimap|multiset)"
+    r"|(?:webmon\s*::\s*)?FlatIdMap)\s*<")
 USING_ALIAS = re.compile(
-    r"^\s*using\s+(\w+)\s*=\s*std\s*::\s*"
-    r"unordered_(?:map|set|multimap|multiset)\s*<")
+    r"^\s*using\s+(\w+)\s*=\s*(?:std\s*::\s*"
+    r"unordered_(?:map|set|multimap|multiset)"
+    r"|(?:webmon\s*::\s*)?FlatIdMap)\s*<")
 TYPEDEF_ALIAS = re.compile(
-    r"^\s*typedef\s+std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+    r"^\s*typedef\s+(?:std\s*::\s*"
+    r"unordered_(?:map|set|multimap|multiset)"
+    r"|(?:webmon\s*::\s*)?FlatIdMap)\s*<")
 
 RANGE_FOR = re.compile(r"\bfor\s*\(")
 STD_SORT = re.compile(r"\bstd\s*::\s*sort\s*\(")
@@ -213,14 +224,18 @@ def check_unordered_iter_tokenizer(rel_path, lines, aliases):
     # Only begin()/cbegin(): every iteration needs one, while a bare end()
     # is the `find(...) == x.end()` membership idiom, which is order-free.
     begin_end = re.compile(r"\b(" + name_alt + r")\s*\.\s*c?begin\s*\(")
+    # FlatIdMap has no iterators; its traversal entry point is ForEach, which
+    # visits probe order — same leak, different spelling.
+    for_each = re.compile(r"\b(" + name_alt + r")\s*\.\s*ForEach\s*\(")
     for i, raw in enumerate(lines):
         code = strip_comment(raw)
         for pattern, how in ((range_for, "range-for over"),
-                             (begin_end, "iterator drain of")):
+                             (begin_end, "iterator drain of"),
+                             (for_each, "ForEach traversal of")):
             for m in pattern.finditer(code):
                 yield i + 1, m.group(1), (
-                    f"{how} unordered container `{m.group(1)}`: bucket order "
-                    "leaks hash-table layout into the output")
+                    f"{how} unordered container `{m.group(1)}`: bucket/probe "
+                    "order leaks hash-table layout into the output")
 
 
 # ---------------------------------------------------------------------------
@@ -253,7 +268,7 @@ def check_unordered_iter_libclang(cindex, index, root, rel_path, lines):
             if len(children) >= 2:
                 yield children[-2]  # the range initializer
         if cursor.kind == kinds.CALL_EXPR and cursor.spelling in (
-                "begin", "cbegin"):
+                "begin", "cbegin", "ForEach"):
             children = list(cursor.get_children())
             if children:
                 yield children[0]
@@ -263,14 +278,15 @@ def check_unordered_iter_libclang(cindex, index, root, rel_path, lines):
 
     for expr in iterated_exprs(tu.cursor):
         type_name = expr.type.get_canonical().spelling
-        if "unordered_map" in type_name or "unordered_set" in type_name:
+        if ("unordered_map" in type_name or "unordered_set" in type_name
+                or "FlatIdMap" in type_name):
             line = expr.location.line
             text = lines[line - 1] if 0 < line <= len(lines) else ""
             var = expr.spelling or strip_comment(text).strip()
             yield line, var, (
                 f"iteration over unordered container `{var}` "
-                f"({type_name.split('<')[0]}): bucket order leaks hash-table "
-                "layout into the output")
+                f"({type_name.split('<')[0]}): bucket/probe order leaks "
+                "hash-table layout into the output")
 
 
 # ---------------------------------------------------------------------------

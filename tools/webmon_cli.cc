@@ -699,6 +699,9 @@ int IngestCommand(int argc, const char* const* argv) {
       .AddInt("submits-per-producer", 2000,
               "events (submits + pushes) per producer")
       .AddDouble("push-prob", 0.1, "fraction of events that are pushes")
+      .AddDouble("churn", 0.0,
+                 "fraction of events that cancel an earlier accepted submit "
+                 "(mid-epoch profile churn)")
       .AddInt("seed", 1, "payload RNG seed")
       .AddInt("threads", 1,
               "ranking threads inside the scheduler (0 = hardware "
@@ -723,6 +726,7 @@ int IngestCommand(int argc, const char* const* argv) {
       static_cast<int>(flags.GetInt("producer-threads"));
   options.events_per_producer = flags.GetInt("submits-per-producer");
   options.push_prob = flags.GetDouble("push-prob");
+  options.cancel_prob = flags.GetDouble("churn");
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   const int threads_flag = static_cast<int>(flags.GetInt("threads"));
   options.scheduler.num_threads =
@@ -746,8 +750,9 @@ int IngestCommand(int argc, const char* const* argv) {
     std::cerr << run.status() << "\n";
     return 1;
   }
-  const int64_t accepted =
-      run->ingestion.submits_accepted + run->ingestion.pushes_accepted;
+  const int64_t accepted = run->ingestion.submits_accepted +
+                           run->ingestion.pushes_accepted +
+                           run->ingestion.cancels_accepted;
   TableWriter table({"metric", "value"});
   table.AddRow({"producer threads",
                 TableWriter::Fmt(
@@ -760,6 +765,16 @@ int IngestCommand(int argc, const char* const* argv) {
                 TableWriter::Fmt(run->ingestion.pushes_accepted)});
   table.AddRow({"pushes rejected",
                 TableWriter::Fmt(run->ingestion.pushes_rejected)});
+  if (options.cancel_prob > 0) {
+    table.AddRow({"cancels accepted",
+                  TableWriter::Fmt(run->ingestion.cancels_accepted)});
+    table.AddRow({"cancels rejected",
+                  TableWriter::Fmt(run->ingestion.cancels_rejected)});
+    table.AddRow({"ceis cancelled",
+                  TableWriter::Fmt(run->stats.ceis_cancelled)});
+    table.AddRow({"cancel no-ops",
+                  TableWriter::Fmt(run->stats.cancels_noop)});
+  }
   table.AddRow({"drain batches",
                 TableWriter::Fmt(run->ingestion.drain_batches)});
   table.AddRow({"largest batch", TableWriter::Fmt(run->ingestion.max_batch)});
