@@ -18,7 +18,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -62,39 +61,31 @@ struct ChurnRow {
 
 void WriteJson(const std::string& path, const std::string& policy,
                const FlagSet& flags, const std::vector<ChurnRow>& rows) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
+  BenchJson json("churn");
+  json.Param("policy", policy)
+      .Param("window", flags.GetInt("window"))
+      .Param("budget", flags.GetInt("budget"))
+      .Param("threads", flags.GetInt("threads"));
+  for (const ChurnRow& row : rows) {
+    json.Row()
+        .Field("population", row.population)
+        .Field("churn", row.churn)
+        .Field("cancels_per_chronon", row.cancels_per_chronon)
+        .Field("measured_chronons", row.measured_chronons)
+        .Field("chronons_per_sec", row.chronons_per_sec)
+        .Field("throughput_ratio", row.throughput_ratio)
+        .Field("tick_us_per_chronon", row.tick_us_per_chronon)
+        .Field("ingest_us_per_chronon", row.ingest_us_per_chronon)
+        .Field("tick_allocs_per_chronon", row.tick_allocs_per_chronon)
+        .Field("tick_alloc_bytes_per_chronon", row.tick_alloc_bytes_per_chronon)
+        .Field("ingest_allocs_per_chronon", row.ingest_allocs_per_chronon)
+        .Field("peak_rss_mb", row.peak_rss_mb)
+        .Field("live_eis", row.live_eis)
+        .Field("ceis_cancelled", row.ceis_cancelled)
+        .Field("cancels_noop", row.cancels_noop)
+        .Field("probes_issued", row.probes_issued);
   }
-  out << "{\n  \"bench\": \"churn\",\n  \"policy\": \"" << policy
-      << "\",\n  \"window\": " << flags.GetInt("window")
-      << ",\n  \"budget\": " << flags.GetInt("budget")
-      << ",\n  \"threads\": " << flags.GetInt("threads")
-      << ",\n  \"rows\": [\n";
-  for (size_t r = 0; r < rows.size(); ++r) {
-    const ChurnRow& row = rows[r];
-    out << "    {\"population\": " << row.population
-        << ", \"churn\": " << row.churn
-        << ", \"cancels_per_chronon\": " << row.cancels_per_chronon
-        << ", \"measured_chronons\": " << row.measured_chronons
-        << ", \"chronons_per_sec\": " << row.chronons_per_sec
-        << ", \"throughput_ratio\": " << row.throughput_ratio
-        << ", \"tick_us_per_chronon\": " << row.tick_us_per_chronon
-        << ", \"ingest_us_per_chronon\": " << row.ingest_us_per_chronon
-        << ", \"tick_allocs_per_chronon\": " << row.tick_allocs_per_chronon
-        << ", \"tick_alloc_bytes_per_chronon\": "
-        << row.tick_alloc_bytes_per_chronon
-        << ", \"ingest_allocs_per_chronon\": " << row.ingest_allocs_per_chronon
-        << ", \"peak_rss_mb\": " << row.peak_rss_mb
-        << ", \"live_eis\": " << row.live_eis
-        << ", \"ceis_cancelled\": " << row.ceis_cancelled
-        << ", \"cancels_noop\": " << row.cancels_noop
-        << ", \"probes_issued\": " << row.probes_issued << "}"
-        << (r + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "wrote " << path << "\n";
+  json.Write(path);
 }
 
 // The arrival stream for one population: arrivals_per_chronon CEIs join

@@ -1,9 +1,172 @@
 #include "bench/bench_common.h"
 
+#include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 namespace webmon::bench {
+namespace {
+
+std::string JsonString(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return buf;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void AppendObject(
+    std::string* out,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  *out += '{';
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += JsonString(fields[i].first);
+    *out += ": ";
+    *out += fields[i].second;
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+BenchJson& BenchJson::Param(const std::string& key, int64_t value) {
+  params_.emplace_back(key, JsonNumber(value));
+  return *this;
+}
+BenchJson& BenchJson::Param(const std::string& key, int value) {
+  return Param(key, static_cast<int64_t>(value));
+}
+BenchJson& BenchJson::Param(const std::string& key, double value) {
+  params_.emplace_back(key, JsonNumber(value));
+  return *this;
+}
+BenchJson& BenchJson::Param(const std::string& key, bool value) {
+  params_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+BenchJson& BenchJson::Param(const std::string& key, const char* value) {
+  params_.emplace_back(key, JsonString(value));
+  return *this;
+}
+BenchJson& BenchJson::Param(const std::string& key, const std::string& value) {
+  params_.emplace_back(key, JsonString(value));
+  return *this;
+}
+
+BenchJson& BenchJson::Table(const std::string& name) {
+  tables_.emplace_back(name, std::vector<Object>{});
+  return *this;
+}
+
+BenchJson& BenchJson::Row() {
+  if (tables_.empty()) Table("rows");
+  tables_.back().second.emplace_back();
+  return *this;
+}
+
+void BenchJson::PushField(const std::string& key, std::string encoded) {
+  if (tables_.empty() || tables_.back().second.empty()) Row();
+  tables_.back().second.back().emplace_back(key, std::move(encoded));
+}
+
+BenchJson& BenchJson::Field(const std::string& key, int64_t value) {
+  PushField(key, JsonNumber(value));
+  return *this;
+}
+BenchJson& BenchJson::Field(const std::string& key, int value) {
+  return Field(key, static_cast<int64_t>(value));
+}
+BenchJson& BenchJson::Field(const std::string& key, double value) {
+  PushField(key, JsonNumber(value));
+  return *this;
+}
+BenchJson& BenchJson::Field(const std::string& key, bool value) {
+  PushField(key, value ? "true" : "false");
+  return *this;
+}
+BenchJson& BenchJson::Field(const std::string& key, const char* value) {
+  PushField(key, JsonString(value));
+  return *this;
+}
+BenchJson& BenchJson::Field(const std::string& key,
+                            const std::string& value) {
+  PushField(key, JsonString(value));
+  return *this;
+}
+
+std::string BenchJson::ToString() const {
+  std::string out = "{\n  \"bench\": ";
+  out += JsonString(bench_name_);
+  out += ",\n  \"schema\": 1,\n  \"params\": ";
+  AppendObject(&out, params_);
+  out += ",\n  \"tables\": {";
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    if (t > 0) out += ',';
+    out += "\n    ";
+    out += JsonString(tables_[t].first);
+    out += ": [";
+    const std::vector<Object>& rows = tables_[t].second;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      out += r > 0 ? ",\n      " : "\n      ";
+      AppendObject(&out, rows[r]);
+    }
+    out += rows.empty() ? "]" : "\n    ]";
+  }
+  out += tables_.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void BenchJson::Write(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  out << ToString();
+  std::cout << "wrote " << path << "\n";
+}
 
 void PrintBanner(const std::string& experiment_id, const std::string& title,
                  const std::string& paper_shape) {

@@ -8,7 +8,10 @@
 #ifndef WEBMON_BENCH_BENCH_COMMON_H_
 #define WEBMON_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/experiment.h"
 #include "util/table_writer.h"
@@ -21,6 +24,68 @@ void PrintBanner(const std::string& experiment_id, const std::string& title,
 
 /// Prints the table followed by its CSV form.
 void PrintTable(const TableWriter& table);
+
+/// Shared emitter for the --json CI perf artifacts (BENCH_*.json). Every
+/// bench writes the same schema:
+///
+///   {
+///     "bench": "<name>",
+///     "schema": 1,
+///     "params": { "<flag>": <value>, ... },
+///     "tables": { "<table>": [ { "<column>": <value>, ... }, ... ] }
+///   }
+///
+/// Single-sweep benches use the default table name "rows"; benches with
+/// several sweeps (e.g. bench_faults' degradation + incident) start one
+/// named table per sweep. Values are JSON numbers, strings, or booleans;
+/// non-finite doubles serialize as null. Usage:
+///
+///   BenchJson json("sustained");
+///   json.Param("policy", policy).Param("budget", budget);
+///   for (const Row& r : rows) {
+///     json.Row().Field("resources", r.resources)
+///               .Field("chronons_per_sec", r.chronons_per_sec);
+///   }
+///   json.Write(flags.GetString("json"));  // no-op when the flag is empty
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  BenchJson& Param(const std::string& key, int64_t value);
+  BenchJson& Param(const std::string& key, int value);
+  BenchJson& Param(const std::string& key, double value);
+  BenchJson& Param(const std::string& key, bool value);
+  BenchJson& Param(const std::string& key, const char* value);
+  BenchJson& Param(const std::string& key, const std::string& value);
+
+  /// Starts (or switches to) the named row table. Implicit when Row() is
+  /// called first: the default table is "rows".
+  BenchJson& Table(const std::string& name);
+  /// Starts a new row in the current table.
+  BenchJson& Row();
+  BenchJson& Field(const std::string& key, int64_t value);
+  BenchJson& Field(const std::string& key, int value);
+  BenchJson& Field(const std::string& key, double value);
+  BenchJson& Field(const std::string& key, bool value);
+  BenchJson& Field(const std::string& key, const char* value);
+  BenchJson& Field(const std::string& key, const std::string& value);
+
+  /// The serialized document.
+  std::string ToString() const;
+  /// Writes the document to `path` and echoes "wrote <path>"; complains to
+  /// stderr when the file cannot be opened. Empty `path` is a no-op (the
+  /// conventional meaning of an unset --json flag).
+  void Write(const std::string& path) const;
+
+ private:
+  using Object = std::vector<std::pair<std::string, std::string>>;
+  void PushField(const std::string& key, std::string encoded);
+
+  std::string bench_name_;
+  Object params_;
+  // Tables in creation order; rows in append order.
+  std::vector<std::pair<std::string, std::vector<Object>>> tables_;
+};
 
 /// Table I baseline: n = 1000 resources, m = 100 profiles, K = 1000
 /// chronons, C = 1, lambda = 20, alpha = 0.3, beta = 0, w = 10,

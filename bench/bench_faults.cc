@@ -28,7 +28,6 @@
 // artifact, BENCH_faults.json).
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -92,35 +91,29 @@ struct IncidentRow {
 void WriteJson(const std::string& path,
                const std::vector<DegradationRow>& degradation,
                const std::vector<IncidentRow>& incidents) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
+  BenchJson json("faults");
+  json.Table("degradation");
+  for (const DegradationRow& row : degradation) {
+    json.Row()
+        .Field("policy", row.policy)
+        .Field("rate", row.rate)
+        .Field("completeness", row.completeness)
+        .Field("probes_failed", row.probes_failed)
+        .Field("probes_retried", row.probes_retried)
+        .Field("breaker_trips", row.breaker_trips);
   }
-  out << "{\n  \"bench\": \"faults\",\n  \"rows\": [\n";
-  for (size_t r = 0; r < degradation.size(); ++r) {
-    const DegradationRow& row = degradation[r];
-    out << "    {\"policy\": \"" << row.policy << "\", \"rate\": " << row.rate
-        << ", \"completeness\": " << row.completeness
-        << ", \"probes_failed\": " << row.probes_failed
-        << ", \"probes_retried\": " << row.probes_retried
-        << ", \"breaker_trips\": " << row.breaker_trips << "}"
-        << (r + 1 < degradation.size() ? "," : "") << "\n";
+  json.Table("incident");
+  for (const IncidentRow& row : incidents) {
+    json.Row()
+        .Field("policy", row.policy)
+        .Field("detection", row.detection)
+        .Field("completeness", row.completeness)
+        .Field("windows_detected", row.windows_detected)
+        .Field("windows_missed", row.windows_missed)
+        .Field("probes_suppressed", row.probes_suppressed)
+        .Field("trial_probes", row.trial_probes);
   }
-  out << "  ],\n  \"incident_rows\": [\n";
-  for (size_t r = 0; r < incidents.size(); ++r) {
-    const IncidentRow& row = incidents[r];
-    out << "    {\"policy\": \"" << row.policy << "\", \"detection\": "
-        << (row.detection ? "true" : "false")
-        << ", \"completeness\": " << row.completeness
-        << ", \"windows_detected\": " << row.windows_detected
-        << ", \"windows_missed\": " << row.windows_missed
-        << ", \"probes_suppressed\": " << row.probes_suppressed
-        << ", \"trial_probes\": " << row.trial_probes << "}"
-        << (r + 1 < incidents.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "wrote " << path << "\n";
+  json.Write(path);
 }
 
 int Run(int argc, const char* const* argv) {

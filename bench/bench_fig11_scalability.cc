@@ -15,7 +15,6 @@
 // perf artifact, BENCH_scalability.json).
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -44,37 +43,26 @@ struct ThreadSweep {
   std::vector<SweepRow> rows;
 };
 
-// Emits the collected measurements as a small hand-rolled JSON document —
-// one object per thread count, one row per workload size.
+// Emits the collected measurements — one flat row per
+// (thread count, workload size, policy) cell.
 void WriteJson(const std::string& path,
                const std::vector<ThreadSweep>& sweeps) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
-  }
-  out << "{\n  \"bench\": \"fig11_scalability\",\n  \"metric\": "
-         "\"us_per_ei\",\n  \"sweeps\": [\n";
-  for (size_t s = 0; s < sweeps.size(); ++s) {
-    const ThreadSweep& sweep = sweeps[s];
-    out << "    {\n      \"threads\": " << sweep.threads
-        << ",\n      \"rows\": [\n";
-    for (size_t r = 0; r < sweep.rows.size(); ++r) {
-      const SweepRow& row = sweep.rows[r];
-      out << "        {\"profiles\": " << row.profiles
-          << ", \"ceis\": " << row.ceis << ", \"eis\": " << row.eis
-          << ", \"us_per_ei\": {";
-      for (size_t p = 0; p < row.policies.size(); ++p) {
-        out << "\"" << row.policies[p].name
-            << "\": " << row.policies[p].us_per_ei;
-        if (p + 1 < row.policies.size()) out << ", ";
+  BenchJson json("fig11_scalability");
+  json.Param("metric", "us_per_ei");
+  for (const ThreadSweep& sweep : sweeps) {
+    for (const SweepRow& row : sweep.rows) {
+      for (const PolicyCell& cell : row.policies) {
+        json.Row()
+            .Field("threads", sweep.threads)
+            .Field("profiles", static_cast<int64_t>(row.profiles))
+            .Field("ceis", row.ceis)
+            .Field("eis", row.eis)
+            .Field("policy", cell.name)
+            .Field("us_per_ei", cell.us_per_ei);
       }
-      out << "}}" << (r + 1 < sweep.rows.size() ? "," : "") << "\n";
     }
-    out << "      ]\n    }" << (s + 1 < sweeps.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
-  std::cout << "wrote " << path << "\n";
+  json.Write(path);
 }
 
 int Run(int argc, const char* const* argv) {

@@ -11,7 +11,6 @@
 // BENCH_ingestion.json).
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -36,31 +35,23 @@ struct IngestionRow {
   double drain_ms = 0.0;
 };
 
-// Emits the collected measurements as a small hand-rolled JSON document —
-// one object per producer count.
+// Emits the collected measurements — one row per producer count.
 void WriteJson(const std::string& path, const std::string& policy,
                Chronon horizon, const std::vector<IngestionRow>& rows) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
+  BenchJson json("ingestion");
+  json.Param("policy", policy).Param("chronons", static_cast<int64_t>(horizon));
+  for (const IngestionRow& row : rows) {
+    json.Row()
+        .Field("producers", row.producers)
+        .Field("accepted", row.accepted)
+        .Field("rejected", row.rejected)
+        .Field("events_per_second", row.events_per_second)
+        .Field("mean_tick_us", row.mean_tick_us)
+        .Field("max_tick_us", row.max_tick_us)
+        .Field("max_batch", row.max_batch)
+        .Field("drain_ms", row.drain_ms);
   }
-  out << "{\n  \"bench\": \"ingestion\",\n  \"policy\": \"" << policy
-      << "\",\n  \"chronons\": " << horizon << ",\n  \"rows\": [\n";
-  for (size_t r = 0; r < rows.size(); ++r) {
-    const IngestionRow& row = rows[r];
-    out << "    {\"producers\": " << row.producers
-        << ", \"accepted\": " << row.accepted
-        << ", \"rejected\": " << row.rejected
-        << ", \"events_per_second\": " << row.events_per_second
-        << ", \"mean_tick_us\": " << row.mean_tick_us
-        << ", \"max_tick_us\": " << row.max_tick_us
-        << ", \"max_batch\": " << row.max_batch
-        << ", \"drain_ms\": " << row.drain_ms << "}"
-        << (r + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "wrote " << path << "\n";
+  json.Write(path);
 }
 
 int Run(int argc, const char* const* argv) {

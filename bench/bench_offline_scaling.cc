@@ -17,7 +17,6 @@
 // BENCH_offline.json).
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <tuple>
@@ -117,25 +116,21 @@ StatusOr<ProblemInstance> AuctionInstance(uint32_t num_profiles,
 }
 
 void WriteJson(const std::string& path, const std::vector<BenchRow>& rows) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
+  BenchJson json("offline_scaling");
+  for (const BenchRow& row : rows) {
+    json.Row()
+        .Field("solver", row.solver)
+        .Field("cell", row.cell)
+        .Field("ceis", row.ceis)
+        .Field("chronons", row.chronons)
+        .Field("opt_ms", row.opt_ms)
+        .Field("ref_ms", row.ref_ms)
+        .Field("speedup", row.speedup)
+        .Field("states", row.states)
+        .Field("pruned", row.pruned)
+        .Field("match", row.match);
   }
-  out << "{\n  \"bench\": \"offline_scaling\",\n  \"rows\": [\n";
-  for (size_t r = 0; r < rows.size(); ++r) {
-    const BenchRow& row = rows[r];
-    out << "    {\"solver\": \"" << row.solver << "\", \"cell\": \""
-        << row.cell << "\", \"ceis\": " << row.ceis
-        << ", \"chronons\": " << row.chronons
-        << ", \"opt_ms\": " << row.opt_ms << ", \"ref_ms\": " << row.ref_ms
-        << ", \"speedup\": " << row.speedup
-        << ", \"states\": " << row.states << ", \"pruned\": " << row.pruned
-        << ", \"match\": " << (row.match ? "true" : "false") << "}"
-        << (r + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "wrote " << path << "\n";
+  json.Write(path);
 }
 
 int Run(int argc, const char* const* argv) {

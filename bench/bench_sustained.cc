@@ -13,7 +13,6 @@
 // (the CI perf artifact, BENCH_sustained.json).
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -51,40 +50,33 @@ struct SustainedRow {
 
 void WriteJson(const std::string& path, const std::string& policy,
                const FlagSet& flags, const std::vector<SustainedRow>& rows) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
+  BenchJson json("sustained");
+  json.Param("policy", policy)
+      .Param("arrivals_per_chronon", flags.GetInt("arrivals"))
+      .Param("rank", flags.GetInt("rank"))
+      .Param("window", flags.GetInt("window"))
+      .Param("budget", flags.GetInt("budget"))
+      .Param("threads", flags.GetInt("threads"));
+  for (const SustainedRow& row : rows) {
+    json.Row()
+        .Field("resources", row.resources)
+        .Field("measured_chronons", row.measured_chronons)
+        .Field("chronons_per_sec", row.chronons_per_sec)
+        .Field("step_us_per_chronon", row.step_us_per_chronon)
+        .Field("ingest_us_per_chronon", row.ingest_us_per_chronon)
+        .Field("step_allocs_per_chronon", row.step_allocs_per_chronon)
+        .Field("step_alloc_bytes_per_chronon",
+               row.step_alloc_bytes_per_chronon)
+        .Field("total_allocs_per_chronon", row.total_allocs_per_chronon)
+        .Field("heap_delta_bytes_per_chronon",
+               row.heap_delta_bytes_per_chronon)
+        .Field("peak_rss_mb", row.peak_rss_mb)
+        .Field("rank_us_per_chronon", row.rank_us_per_chronon)
+        .Field("live_eis", row.live_eis)
+        .Field("probes_issued", row.probes_issued)
+        .Field("eis_captured", row.eis_captured);
   }
-  out << "{\n  \"bench\": \"sustained\",\n  \"policy\": \"" << policy
-      << "\",\n  \"arrivals_per_chronon\": " << flags.GetInt("arrivals")
-      << ",\n  \"rank\": " << flags.GetInt("rank")
-      << ",\n  \"window\": " << flags.GetInt("window")
-      << ",\n  \"budget\": " << flags.GetInt("budget")
-      << ",\n  \"threads\": " << flags.GetInt("threads")
-      << ",\n  \"rows\": [\n";
-  for (size_t r = 0; r < rows.size(); ++r) {
-    const SustainedRow& row = rows[r];
-    out << "    {\"resources\": " << row.resources
-        << ", \"measured_chronons\": " << row.measured_chronons
-        << ", \"chronons_per_sec\": " << row.chronons_per_sec
-        << ", \"step_us_per_chronon\": " << row.step_us_per_chronon
-        << ", \"ingest_us_per_chronon\": " << row.ingest_us_per_chronon
-        << ", \"step_allocs_per_chronon\": " << row.step_allocs_per_chronon
-        << ", \"step_alloc_bytes_per_chronon\": "
-        << row.step_alloc_bytes_per_chronon
-        << ", \"total_allocs_per_chronon\": " << row.total_allocs_per_chronon
-        << ", \"heap_delta_bytes_per_chronon\": "
-        << row.heap_delta_bytes_per_chronon
-        << ", \"peak_rss_mb\": " << row.peak_rss_mb
-        << ", \"rank_us_per_chronon\": " << row.rank_us_per_chronon
-        << ", \"live_eis\": " << row.live_eis
-        << ", \"probes_issued\": " << row.probes_issued
-        << ", \"eis_captured\": " << row.eis_captured << "}"
-        << (r + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "wrote " << path << "\n";
+  json.Write(path);
 }
 
 // One per-chronon arrival batch. Cei objects live in `store` (never resized

@@ -25,6 +25,8 @@ OnlineScheduler::OnlineScheduler(uint32_t num_resources, Chronon num_chronons,
                     static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
       push_ring_(&arena_,
                  static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
+      retire_ring_(&arena_,
+                   static_cast<size_t>(std::max<Chronon>(num_chronons, 0))),
       track_active_mirror_(policy != nullptr && policy->ObservesActiveSet()),
       value_stable_(policy != nullptr &&
                     policy->ValueStableBetweenCaptures()),
@@ -211,13 +213,24 @@ Status OnlineScheduler::AddArrival(const Cei* cei, Chronon now) {
     return Status::FailedPrecondition(
         "arrivals must precede the Step for their chronon");
   }
-  states_.emplace_back(cei);
-  CeiState* state = &states_.back();
+  uint32_t state_index;
+  if (!free_states_.empty()) {
+    // Recycle a reclaimed slot (compact_terminal_states): by the release-
+    // chronon argument in RetireTerminalState no index structure still
+    // references the old occupant, so overwriting it is invisible.
+    state_index = free_states_.back();
+    free_states_.pop_back();
+    states_[state_index] = CeiState(cei);
+  } else {
+    states_.emplace_back(cei);
+    state_index = static_cast<uint32_t>(states_.size() - 1);
+  }
+  CeiState* state = &states_[state_index];
   state->admitted_at = now;
   // Amortized map growth; pre-reservable through
   // SchedulerSizingHints::expected_ceis. Outside the Step hot path, so the
   // zero-allocation tick contract is untouched.
-  cei_index_.Insert(cei->id, static_cast<uint32_t>(states_.size() - 1));
+  cei_index_.Insert(cei->id, state_index);
   ++stats_.ceis_seen;
   stats_.eis_seen += static_cast<int64_t>(cei->eis.size());
 
@@ -234,6 +247,10 @@ Status OnlineScheduler::AddArrival(const Cei* cei, Chronon now) {
   if (state->BeyondRepair()) {
     state->dead = true;
     ++stats_.ceis_expired;
+    // Dead on arrival: nothing was indexed, so the state is reclaimable as
+    // soon as this chronon's step completes.
+    retire_floor_ = now;
+    RetireTerminalState(state_index);
     if (on_cei_expired_) on_cei_expired_(*cei);
     return Status::OK();
   }
@@ -274,9 +291,19 @@ Status OnlineScheduler::RemoveCei(CeiId id, Chronon now) {
   }
   const uint32_t* index = cei_index_.Find(id);
   if (index == nullptr) {
+    if (options_.compact_terminal_states) {
+      // With terminal-state reclamation the only forgotten ids are CEIs
+      // that already reached a terminal state — exactly the case the
+      // uncompacted scheduler resolves as a deterministic no-op cancel.
+      // (Ids never assigned at all cannot reach here through the Proxy:
+      // the mailbox rejects them with NotFound before the drain.)
+      ++stats_.cancels_noop;
+      return Status::OK();
+    }
     return Status::NotFound("cancel names unknown CEI " + std::to_string(id));
   }
-  CeiState* state = &states_[*index];
+  const uint32_t state_index = *index;
+  CeiState* state = &states_[state_index];
   if (state->dead || state->Complete()) {
     // The CEI already reached a terminal state (captured, expired, or a
     // second direct cancel). Deterministic no-op: the race between a cancel
@@ -343,6 +370,13 @@ Status OnlineScheduler::RemoveCei(CeiId id, Chronon now) {
       });
     }
   }
+  // A cancelled CEI's slot-column entries fall to the NEXT rank pass —
+  // the one Step(now) runs — so the state is releasable once every ring
+  // bucket that still mentions it has passed (RetireTerminalState's
+  // release formula; the tombstone compaction above may already have
+  // evicted some, which only makes the lingering references fewer).
+  retire_floor_ = now;
+  RetireTerminalState(state_index);
   if (on_cei_cancelled_) on_cei_cancelled_(*state->cei);
   return Status::OK();
 }
@@ -396,6 +430,34 @@ void OnlineScheduler::Activate(Chronon now) {
   });
 }
 
+void OnlineScheduler::RetireTerminalState(uint32_t index) {
+  if (!options_.compact_terminal_states || !contiguous_steps_) return;
+  const CeiState& s = states_[index];
+  // Last chronon at which a pending/expiry bucket may still reference the
+  // state: an EI starting inside the epoch sits in its finish bucket when
+  // the window closes inside the epoch, else only in its start bucket.
+  // (EIs starting at or beyond the epoch end were never indexed.) Whether
+  // each individual reference was tombstoned away, drained, or skipped
+  // does not matter — after this chronon none can be read again.
+  Chronon release = retire_floor_;
+  for (const ExecutionInterval& ei : s.cei->eis) {
+    if (ei.start >= num_chronons_) continue;
+    const Chronon held_until =
+        ei.finish < num_chronons_ ? ei.finish : ei.start;
+    release = std::max(release, held_until);
+  }
+  if (release >= num_chronons_) release = num_chronons_ - 1;
+  retire_ring_.Push(release, index);
+}
+
+void OnlineScheduler::RetireTerminalStateOf(const CeiState& state) {
+  if (!options_.compact_terminal_states || !contiguous_steps_) return;
+  const uint32_t* index = cei_index_.Find(state.cei->id);
+  if (index != nullptr && &states_[*index] == &state) {
+    RetireTerminalState(*index);
+  }
+}
+
 void OnlineScheduler::MarkFailed(const CandidateEi& cand) {
   CeiState& s = *cand.state;
   if (s.failed[cand.ei_index] || s.captured[cand.ei_index]) return;
@@ -404,6 +466,7 @@ void OnlineScheduler::MarkFailed(const CandidateEi& cand) {
   if (!s.dead && !s.Complete() && s.BeyondRepair()) {
     s.dead = true;
     ++stats_.ceis_expired;
+    RetireTerminalStateOf(s);
     if (on_cei_expired_) on_cei_expired_(*s.cei);
   }
 }
@@ -412,6 +475,11 @@ void OnlineScheduler::ProcessExpiries(Chronon from, Chronon to) {
   if (from < 0) from = 0;
   if (to >= num_chronons_) to = num_chronons_ - 1;
   if (from > to) return;
+  // A CEI dying here still has slot-column entries until the rank pass
+  // AFTER chronon `to` prunes them, so its state releases no earlier than
+  // to + 1 (the end-of-step call makes this now + 1; the step-start
+  // catch-up call makes it now, whose own rank pass does the pruning).
+  retire_floor_ = to + 1;
   expiry_scratch_.clear();
   for (Chronon t = from; t <= to; ++t) {
     expiring_ring_.Drain(t, [this](const SeqCand& sc) {
@@ -1066,6 +1134,9 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   // sweep. Entries with closed windows were marked failed by the expiry
   // sweep and pruned by the rank pass above, so `failed` screens them.
   if (!pushed_now_scratch_.empty() || !r_ids_scratch_.empty()) {
+    // A CEI completing here keeps slot entries until Step(now + 1)'s rank
+    // pass prunes them, so its state releases no earlier than now + 1.
+    retire_floor_ = now + 1;
     const size_t live = slot_cand_.size();
     for (size_t i = 0; i < live; ++i) {
       if (!probed_now_[slot_resource_[i]]) continue;
@@ -1083,6 +1154,7 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
       ++stats_.eis_captured;
       if (s.Complete()) {
         ++stats_.ceis_captured;
+        RetireTerminalStateOf(s);
         if (on_cei_captured_) on_cei_captured_(*s.cei);
       }
     }
@@ -1091,6 +1163,23 @@ Status OnlineScheduler::Step(Chronon now, Schedule* schedule,
   // --- Expire: an EI closing uncaptured at `now` fails; the CEI dies once
   // too many EIs have failed for its semantics (with AND semantics, one).
   ProcessExpiries(now, now);
+
+  // --- Reclaim terminal CEI states whose release chronon is `now`: every
+  // structure that could reference them has provably let go (the rank
+  // pass above pruned their slot entries, their ring buckets have all
+  // passed), so the slot can host a later arrival and the id mapping can
+  // shrink. Gated on gap-free stepping — after a gap, buckets inside the
+  // gap never drain and their entries must stay resident.
+  if (options_.compact_terminal_states && contiguous_steps_) {
+    retire_ring_.Drain(now, [this](uint32_t index) {
+      const CeiState& s = states_[index];
+      const uint32_t* found = cei_index_.Find(s.cei->id);
+      if (found != nullptr && *found == index) {
+        cei_index_.Erase(s.cei->id);
+      }
+      free_states_.push_back(index);  // hotpath-alloc-ok: retained capacity
+    });
+  }
 
   if (probed) *probed = r_ids_scratch_;
   for (ResourceId r : r_ids_scratch_) probed_now_[r] = 0;

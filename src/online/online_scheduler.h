@@ -123,6 +123,20 @@ struct SchedulerOptions {
   int num_threads = 1;
   /// Steady-state capacity hints (see SchedulerSizingHints).
   SchedulerSizingHints sizing;
+  /// Reclaim per-CEI state once a CEI reaches a terminal state (captured,
+  /// expired, cancelled): its states_ slot is recycled for a later arrival
+  /// and its id -> state entry is dropped, so resident footprint tracks the
+  /// LIVE population instead of total arrivals (docs/PERFORMANCE.md
+  /// "Churn"). The schedule, callbacks, and every counter are byte-
+  /// identical with the flag on or off (the churn-compaction suite); the
+  /// observable differences are diagnostic only: LifecycleOf on a retired
+  /// CEI answers kUnknown instead of the terminal state, and a RemoveCei
+  /// naming an id the scheduler has forgotten counts as a cancels_noop
+  /// instead of failing NotFound (through the Proxy this is unreachable —
+  /// the mailbox rejects ids it never assigned). Off by default.
+  /// Requires gap-free stepping to reclaim: after a chronon gap the
+  /// scheduler stops retiring (correct, just no longer shrinking).
+  bool compact_terminal_states = false;
 };
 
 /// Counters accumulated over a run.
@@ -283,6 +297,8 @@ class OnlineScheduler {
 
   /// Terminal-state audit of CEI `id`: kUnknown for ids never registered,
   /// kPending while live, else the terminal state (diagnostics, tests).
+  /// Under SchedulerOptions::compact_terminal_states a retired CEI's entry
+  /// is gone, so terminal ids answer kUnknown once reclaimed.
   CeiLifecycle LifecycleOf(CeiId id) const;
 
   const SchedulerStats& stats() const { return stats_; }
@@ -307,6 +323,12 @@ class OnlineScheduler {
 
   /// Number of currently live candidate CEIs (diagnostics).
   size_t NumCandidateCeis() const;
+  /// Number of CEI state slots currently resident (allocated and not on
+  /// the free list). Without compact_terminal_states this is every CEI
+  /// ever registered; with it, live CEIs plus terminal ones awaiting their
+  /// release chronon — the bounded-footprint quantity the churn soak
+  /// asserts on (docs/PERFORMANCE.md "Churn").
+  size_t NumResidentStates() const { return states_.size() - free_states_.size(); }
   /// Number of currently live active candidate EIs (diagnostics; counts the
   /// index's live entries, excluding captured/failed stragglers awaiting
   /// lazy pruning).
@@ -370,6 +392,21 @@ class OnlineScheduler {
   // Removes entries the legacy Compact would drop from the active mirror
   // (only maintained for ObservesActiveSet policies).
   void CompactMirror(Chronon now);
+  // compact_terminal_states: schedules states_[index] (just turned
+  // terminal) for reclamation at its release chronon — the last chronon at
+  // which any event-ring bucket may still hold a reference to the state
+  // (max over its EIs with start < K of: finish when finish < K, else
+  // start), floored by retire_floor_ (set by the terminal site to the
+  // first chronon whose rank pass has provably pruned the state's slot-
+  // column entries). The retire ring drains at the END of Step(release),
+  // after every structure that could reach the state has let go, so slot
+  // reuse by a later arrival can never resurrect a stale reference. No-op
+  // unless the option is on and stepping has been gap-free.
+  void RetireTerminalState(uint32_t index);
+  // Looks up the states_ index of `state` and retires it if the id -> index
+  // mapping still points at it (it may not when a direct driver re-
+  // registered the same id).
+  void RetireTerminalStateOf(const CeiState& state);
   // Copies slot `from` over slot `to` in every live column (compaction).
   void MoveSlot(size_t to, size_t from);
   // Allocates the epoch-stamped per-resource rank tables on first use —
@@ -468,6 +505,14 @@ class OnlineScheduler {
   EventRing<CandidateEi> pending_ring_;
   // push_ring_[t] = resources whose servers push at chronon t.
   EventRing<ResourceId> push_ring_;
+  // retire_ring_[t] = states_ indices of terminal CEIs whose last possible
+  // reference expires at t; drained at the end of Step(t) into free_states_
+  // (compact_terminal_states only — otherwise never pushed to).
+  EventRing<uint32_t> retire_ring_;
+  // Recycled states_ slots awaiting reuse by AddArrival.
+  std::vector<uint32_t> free_states_;
+  // Floor for the next RetireTerminalState's release chronon (see above).
+  Chronon retire_floor_ = 0;
   // All expiries at chronons <= expiry_cursor_ have been processed.
   Chronon expiry_cursor_ = -1;
   // Next activation sequence number (see SeqCand::seq).

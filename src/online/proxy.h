@@ -190,6 +190,13 @@ class Proxy {
   /// Full probe history so far. Ticking thread / quiesced only.
   const Schedule& schedule() const { return schedule_; }
   const SchedulerStats& stats() const { return scheduler_.stats(); }
+  /// Per-CEI state slots currently resident in the scheduler. Equal to the
+  /// total admissions unless SchedulerOptions::compact_terminal_states
+  /// reclaims terminal slots (the churn-soak footprint bound). Ticking
+  /// thread / quiesced only.
+  size_t num_resident_states() const {
+    return scheduler_.NumResidentStates();
+  }
   /// Every accepted ingestion event in drain order (the replay record).
   /// Ticking thread / quiesced only.
   const ArrivalLog& arrival_log() const { return arrival_log_; }

@@ -1,0 +1,89 @@
+// Aggregator of the sharded scheduler tier: merges per-shard event streams
+// and scores cross-shard CEIs (docs/SHARDING.md).
+//
+// The shards schedule independently; the aggregator is where the fleet's
+// answer is assembled. It k-way merges the shard streams in the canonical
+// (chronon, shard, seq) order and replays the fleet's capture history
+// against the global CEI definitions with the same capture-mask rule the
+// scheduler's capture sweep uses: content availability on resource r at
+// chronon T (a successful probe or a push, the R_ids set) captures every
+// EI of every live CEI whose window contains T and whose CEI has arrived —
+// which is exactly how AND semantics spanning shards compose, because "all
+// EIs captured" does not care which shard probed what. k-of-n CEIs fall
+// out of the same mask (popcount >= required).
+//
+// Cancellation honours the per-shard drain order: within a chronon every
+// shard's mailbox drains cancels before probes are issued, so the merge
+// applies ALL of a chronon's cancel records before ANY of its
+// availability records — a CEI cancelled at T cannot complete at T.
+//
+// Two audits run inside the merge:
+//   - Budget: per chronon, the summed `spend` attempts of all shards must
+//     not exceed the GLOBAL budget — the invariant the proportional split
+//     (sharded_run.h) guarantees by construction and this re-checks from
+//     the streams alone.
+//   - AND cross-check: for required == 0 CEIs the mask verdict must agree
+//     with the shards' own fragment lifecycle (captured iff every fragment
+//     holder emitted `capture`), tying the mask machinery to the
+//     schedulers' ground truth.
+//
+// The result is a pure function of the input streams; SerializeAggregateResult
+// pins it to bytes so replay-identity tests can compare whole runs.
+
+#ifndef WEBMON_SHARD_AGGREGATOR_H_
+#define WEBMON_SHARD_AGGREGATOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/schedule.h"
+#include "shard/event_stream.h"
+#include "shard/partitioner.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// The merged fleet-level outcome.
+struct AggregateResult {
+  uint32_t num_shards = 0;
+  int64_t total_ceis = 0;
+  /// CEIs whose capture mask reached RequiredCaptures.
+  int64_t ceis_captured = 0;
+  /// CEIs cancelled (first cancel record seen) before capturing.
+  int64_t ceis_cancelled = 0;
+  /// CEIs spanning more than one shard, and the captured subset thereof.
+  int64_t cross_shard_ceis = 0;
+  int64_t cross_shard_captured = 0;
+  /// Stream record tallies.
+  int64_t probes = 0;
+  int64_t pushes = 0;
+  /// Summed spend attempts, and the largest single-chronon fleet spend.
+  int64_t total_attempts = 0;
+  int64_t max_chronon_spend = 0;
+  /// Gained completeness (Eq. 1): ceis_captured / total_ceis.
+  double completeness = 0.0;
+  /// Weight-normalized completeness (Section VII utilities).
+  double weighted_completeness = 0.0;
+  /// Global CEI captures in merge order: (chronon, global CEI id).
+  std::vector<std::pair<Chronon, CeiId>> captures;
+};
+
+/// Deterministic text form of `result` (equal results serialize to equal
+/// bytes) — the replay-identity suite's comparison unit.
+std::string SerializeAggregateResult(const AggregateResult& result);
+
+/// Merges `streams` (one per shard, any order; identified by their
+/// headers) against the global CEI definitions `ceis` under `plan`,
+/// returning the fleet outcome. Fails if the streams' headers disagree,
+/// a stream fails AuditShardStream, the fleet overspends `global_budget`
+/// in any chronon, or the AND cross-check finds the mask and the fragment
+/// lifecycles in disagreement.
+StatusOr<AggregateResult> AggregateShardStreams(
+    const std::vector<ShardStream>& streams,
+    const std::vector<ShardCeiSpec>& ceis, const PartitionPlan& plan,
+    const BudgetVector& global_budget);
+
+}  // namespace webmon
+
+#endif  // WEBMON_SHARD_AGGREGATOR_H_

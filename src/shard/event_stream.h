@@ -1,0 +1,126 @@
+// Serialized shard -> aggregator event stream (docs/SHARDING.md).
+//
+// Each shard runtime emits one stream per epoch: the resources whose
+// content became available (successful probes and server pushes, the
+// scheduler's R_ids set), the lifecycle of the shard's CEI fragments, and a
+// per-chronon budget-spend record covering every probe attempt (failed
+// attempts included), so the aggregator can both score cross-shard CEIs
+// with the capture-mask machinery and audit the global per-chronon budget
+// invariant. The framing follows the arrival-log v2 conventions
+// (online/arrival_log.h): line-oriented text, one record per line,
+// space-separated fields, a pinned header — the golden suite locks the
+// exact bytes, so any change here is a format bump.
+//
+// Format "webmon-shardstream 1":
+//
+//   webmon-shardstream 1
+//   shard <shard_id> <num_shards> <num_resources> <horizon>
+//   probe <seq> <chronon> <global_resource>
+//   push <seq> <chronon> <global_resource>
+//   capture <seq> <chronon> <global_cei>
+//   expire <seq> <chronon> <global_cei>
+//   cancel <seq> <chronon> <global_cei>
+//   spend <seq> <chronon> <attempts>
+//
+// `seq` is the shard's own monotone record sequence (dense from 0);
+// `chronon` never decreases. Resource ids are GLOBAL (the runtime maps its
+// proxy's dense local ids back before emitting); capture/expire/cancel name
+// the GLOBAL CEI whose local fragment reached that state. `spend` closes a
+// chronon in which the shard issued probe attempts: `attempts` counts every
+// budget-consuming attempt that chronon, successful or not, which is the
+// quantity the aggregator's budget audit sums across shards.
+//
+// Within one chronon, records are emitted in the fixed category order
+// push, probe, capture, expire, cancel, spend — each category in the
+// deterministic order the shard's proxy produced it — so the stream is a
+// pure function of the shard's arrival log (the replay-identity suite).
+
+#ifndef WEBMON_SHARD_EVENT_STREAM_H_
+#define WEBMON_SHARD_EVENT_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/types.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Record kinds of the shard stream. Serialized: enumerator values are part
+/// of the format.
+enum class ShardEventKind : uint8_t {
+  kProbe = 0,
+  kPush = 1,
+  kCapture = 2,
+  kExpire = 3,
+  kCancel = 4,
+  kSpend = 5,
+};
+
+/// Stable record name as serialized ("probe", "push", ...).
+const char* ShardEventKindName(ShardEventKind kind);
+
+/// One shard stream record. Only the fields of the record's kind are
+/// meaningful; the others stay zero so equality is structural.
+struct ShardEvent {
+  uint64_t seq = 0;
+  Chronon chronon = 0;
+  ShardEventKind kind = ShardEventKind::kProbe;
+  /// probe / push payload (global resource id).
+  ResourceId resource = 0;
+  /// capture / expire / cancel payload (global CEI id).
+  CeiId cei = 0;
+  /// spend payload: budget-consuming probe attempts this chronon.
+  int64_t attempts = 0;
+
+  friend bool operator==(const ShardEvent& a, const ShardEvent& b) {
+    return a.seq == b.seq && a.chronon == b.chronon && a.kind == b.kind &&
+           a.resource == b.resource && a.cei == b.cei &&
+           a.attempts == b.attempts;
+  }
+  friend bool operator!=(const ShardEvent& a, const ShardEvent& b) {
+    return !(a == b);
+  }
+};
+
+/// One shard's whole-epoch event stream plus its header identity.
+struct ShardStream {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  /// GLOBAL resource-space size (all shards share it).
+  uint32_t num_resources = 0;
+  Chronon horizon = 0;
+  std::vector<ShardEvent> events;
+
+  friend bool operator==(const ShardStream& a, const ShardStream& b) {
+    return a.shard_id == b.shard_id && a.num_shards == b.num_shards &&
+           a.num_resources == b.num_resources && a.horizon == b.horizon &&
+           a.events == b.events;
+  }
+  friend bool operator!=(const ShardStream& a, const ShardStream& b) {
+    return !(a == b);
+  }
+};
+
+/// The version SerializeShardStream writes (and ParseShardStream accepts).
+inline constexpr int kShardStreamFormatVersion = 1;
+
+/// Encodes `stream` in the format documented above. Deterministic: equal
+/// streams serialize to equal bytes (the golden suite pins them).
+std::string SerializeShardStream(const ShardStream& stream);
+
+/// Decodes a serialized stream. Fails on a missing or unknown header, a
+/// missing shard line, or a malformed record.
+StatusOr<ShardStream> ParseShardStream(const std::string& text);
+
+/// Structural well-formedness independent of any workload: the header is
+/// consistent (shard_id < num_shards, horizon > 0), sequence numbers are
+/// dense from 0, chronons never decrease and lie in [0, horizon), resources
+/// lie in the global space, and spend records carry positive attempt
+/// counts with at most one spend per chronon.
+Status AuditShardStream(const ShardStream& stream);
+
+}  // namespace webmon
+
+#endif  // WEBMON_SHARD_EVENT_STREAM_H_

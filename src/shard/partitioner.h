@@ -1,0 +1,91 @@
+// Deterministic profile partitioner for the sharded scheduler tier
+// (docs/SHARDING.md).
+//
+// The fleet topology (ROADMAP "Sharded multi-proxy tier") runs N
+// independent OnlineScheduler shards, each owning a disjoint slice of the
+// resource space. A CEI whose EIs all land on one shard is scheduled there
+// end to end; a CEI spanning shards is split into per-shard fragments whose
+// captures the aggregator joins back together (shard/aggregator.h). Since
+// cross-shard CEIs cost an aggregation join and lose intra-CEI scheduling
+// context, the partitioner's objective is to co-locate resources that
+// co-occur in CEIs: it builds the co-occurrence components with a
+// union-find, then places whole components onto the least-loaded shard
+// (greedy bin packing by EI load). Components too big for one shard are
+// split resource-by-resource — the only source of cross-shard CEIs for
+// clustered workloads.
+//
+// Everything here is a pure function of (num_resources, num_shards, ceis):
+// no RNG, no iteration over unordered containers, no address-dependent
+// tie-breaks — repartitioning an identical spec yields an identical plan
+// (the stability property test).
+
+#ifndef WEBMON_SHARD_PARTITIONER_H_
+#define WEBMON_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "model/types.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// One global CEI as the sharded tier ingests it: the Proxy::Submit payload
+/// plus the chronon it arrives at and the global id the fleet assigned.
+/// `required` follows Cei::required (0 = AND semantics over all EIs).
+struct ShardCeiSpec {
+  CeiId id = 0;
+  Chronon arrival = 0;
+  double weight = 1.0;
+  uint32_t required = 0;
+  /// (resource, start, finish) windows, in submission order.
+  std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+};
+
+/// Partition diagnostics (also the bench's per-cell report).
+struct PartitionStats {
+  int64_t total_ceis = 0;
+  /// CEIs whose EIs touch more than one shard (scored by the aggregator).
+  int64_t cross_shard_ceis = 0;
+  /// Co-occurrence components found by the union-find.
+  int64_t components = 0;
+  /// Components split across shards because they exceeded the balanced
+  /// per-shard load.
+  int64_t split_components = 0;
+  /// Per-shard EI load (the balance objective).
+  std::vector<int64_t> eis_per_shard;
+  /// Per-shard owned-resource counts.
+  std::vector<int64_t> resources_per_shard;
+};
+
+/// The resource -> shard assignment plus the dense local renumbering each
+/// shard's proxy runs under.
+struct PartitionPlan {
+  uint32_t num_shards = 1;
+  uint32_t num_resources = 0;
+  /// shard_of_resource[r] = owning shard of global resource r.
+  std::vector<uint32_t> shard_of_resource;
+  /// local_id[r] = r's dense id within its owning shard's proxy.
+  std::vector<uint32_t> local_id;
+  /// resources_of_shard[s][l] = global id of shard s's local resource l
+  /// (ascending in global id, the inverse of local_id).
+  std::vector<std::vector<ResourceId>> resources_of_shard;
+  PartitionStats stats;
+
+  /// Number of distinct shards the CEI's EIs touch (0 for an empty list).
+  uint32_t ShardsTouched(const ShardCeiSpec& cei) const;
+};
+
+/// Partitions `num_resources` resources across `num_shards` shards,
+/// minimizing cross-shard CEIs (component co-location) under EI-load
+/// balance. Resources appearing in no CEI are spread round-robin by id.
+/// Deterministic: equal inputs yield equal plans. Fails when `num_shards`
+/// is not in [1, num_resources].
+StatusOr<PartitionPlan> PartitionResources(
+    uint32_t num_resources, uint32_t num_shards,
+    const std::vector<ShardCeiSpec>& ceis);
+
+}  // namespace webmon
+
+#endif  // WEBMON_SHARD_PARTITIONER_H_

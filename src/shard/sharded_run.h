@@ -1,0 +1,92 @@
+// Fleet driver of the sharded scheduler tier (docs/SHARDING.md).
+//
+// RunSharded executes one epoch over a fleet of ShardRuntimes: partition
+// the resource space (shard/partitioner.h), split the global probe budget
+// proportionally across shards (SplitShardBudgets), feed every shard the
+// workload's chronon-stamped arrivals / pushes / cancels in lockstep with
+// its own clock, then merge the emitted streams through the aggregator
+// (shard/aggregator.h), which also audits the budget invariant the split
+// guarantees by construction: the fleet never spends more than the GLOBAL
+// budget in any chronon.
+//
+// Determinism contract: the merged result is a pure function of the
+// (config, workload) pair. Each shard's input sequence is fixed up front,
+// so shards can execute serially in shard order or concurrently on a
+// thread pool (`parallel_shards`) — no shard reads another's state — and
+// the per-shard streams, arrival logs, and the aggregate come out byte-
+// identical either way, at any SchedulerOptions::num_threads per shard.
+// The replay-identity suite (tests/shard/sharded_run_test.cc) pins this.
+
+#ifndef WEBMON_SHARD_SHARDED_RUN_H_
+#define WEBMON_SHARD_SHARDED_RUN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/schedule.h"
+#include "online/online_scheduler.h"
+#include "shard/aggregator.h"
+#include "shard/event_stream.h"
+#include "shard/partitioner.h"
+#include "util/status.h"
+
+namespace webmon {
+
+/// Chronon-stamped fleet input. CEIs carry their arrival chronon in
+/// ShardCeiSpec::arrival; pushes and cancels are (chronon, target) pairs.
+/// All three sequences must be sorted by chronon (stable order within a
+/// chronon is the vector order); RunSharded validates this.
+struct ShardedWorkload {
+  std::vector<ShardCeiSpec> ceis;
+  std::vector<std::pair<Chronon, ResourceId>> pushes;
+  std::vector<std::pair<Chronon, CeiId>> cancels;
+};
+
+struct ShardedRunConfig {
+  uint32_t num_resources = 0;
+  uint32_t num_shards = 1;
+  Chronon horizon = 0;
+  /// The GLOBAL per-chronon probe budget, split across shards.
+  BudgetVector global_budget = BudgetVector::Uniform(0);
+  /// Policy instantiated per shard (policy/policy_factory.h).
+  std::string policy = "s-edf";
+  uint64_t policy_seed = 42;
+  /// Per-shard scheduler options (num_threads is threads WITHIN a shard).
+  SchedulerOptions scheduler_options;
+  /// Run shards concurrently on a thread pool instead of serially. The
+  /// result is identical either way (see the determinism contract above).
+  bool parallel_shards = false;
+};
+
+struct ShardedRunResult {
+  PartitionStats partition;
+  AggregateResult aggregate;
+  /// Per-shard emitted streams, indexed by shard id.
+  std::vector<ShardStream> streams;
+  /// Per-shard arrival logs (shard/event_stream.h companions: the proxy-
+  /// level replay record, serialized with SerializeArrivalLog and replayable
+  /// with ReplayArrivalLog), indexed by shard id.
+  std::vector<std::string> arrival_logs;
+  /// Per-shard budget slices actually used, indexed by shard id.
+  std::vector<int64_t> shard_budget_max;
+  int64_t fragments_submitted = 0;
+  int64_t fragments_rejected = 0;
+};
+
+/// Splits `global` across the plan's shards proportionally to owned
+/// resource count, by largest remainder (ties to the lower shard id), so
+/// for every chronon t: sum_s split[s].At(t) == global.At(t). Uniform
+/// budgets split to uniform budgets; per-chronon budgets split chronon by
+/// chronon over [0, horizon).
+StatusOr<std::vector<BudgetVector>> SplitShardBudgets(
+    const BudgetVector& global, const PartitionPlan& plan, Chronon horizon);
+
+/// Runs one epoch of `workload` under `config`. See the file comment for
+/// the execution model and determinism contract.
+StatusOr<ShardedRunResult> RunSharded(const ShardedRunConfig& config,
+                                      const ShardedWorkload& workload);
+
+}  // namespace webmon
+
+#endif  // WEBMON_SHARD_SHARDED_RUN_H_

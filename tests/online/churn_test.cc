@@ -930,5 +930,161 @@ TEST(ChurnSoakTest, TwentyThousandChrononsOfConcurrentChurn) {
   EXPECT_TRUE(identical.ok()) << identical;
 }
 
+// ---------------------------------------------------------------------------
+// Terminal-state compaction (SchedulerOptions::compact_terminal_states):
+// under sustained churn the resident per-CEI state must track the LIVE
+// population, not total arrivals — the week-scale memory gap
+// docs/PERFORMANCE.md records — while leaving every observable of the run
+// byte-identical to the uncompacted scheduler.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CompactionRun {
+  std::vector<std::pair<Chronon, CeiId>> captured;
+  std::vector<std::pair<Chronon, CeiId>> expired;
+  std::vector<std::pair<Chronon, CeiId>> cancelled;
+  SchedulerStats stats;
+  std::string arrival_log;
+  std::vector<std::vector<Chronon>> probes_of;  // schedule, per resource
+  size_t peak_resident = 0;
+  size_t final_resident = 0;
+  int64_t total_arrivals = 0;
+};
+
+// One chronon-paced churn epoch through the Proxy: `arrivals` CEIs join
+// each chronon with `window`-wide EIs, and a deterministic sample of
+// recent arrivals is cancelled — some mid-flight, some already terminal
+// (no-op cancels), both paths the retire machinery must handle.
+CompactionRun RunChurnEpoch(bool compact, uint32_t num_resources,
+                            Chronon horizon, int arrivals, Chronon window,
+                            uint64_t seed) {
+  SchedulerOptions options;
+  options.compact_terminal_states = compact;
+  auto policy = MakePolicy("mrsf", seed);
+  EXPECT_TRUE(policy.ok());
+  Proxy proxy(num_resources, horizon, BudgetVector::Uniform(2),
+              std::move(*policy), options);
+  ProxyStreams streams;
+  streams.Attach(proxy);
+  Rng rng(seed);
+  CompactionRun run;
+  std::vector<CeiId> recent;
+  for (Chronon t = 0; t < horizon; ++t) {
+    for (int a = 0; a < arrivals; ++a) {
+      const int rank = 1 + static_cast<int>(rng.UniformU64(2));
+      std::vector<std::tuple<ResourceId, Chronon, Chronon>> eis;
+      for (int e = 0; e < rank; ++e) {
+        eis.emplace_back(
+            static_cast<ResourceId>(rng.UniformU64(num_resources)), t,
+            std::min<Chronon>(t + window - 1, horizon - 1));
+      }
+      auto id = proxy.Submit(eis);
+      EXPECT_TRUE(id.ok());
+      run.total_arrivals++;
+      recent.push_back(*id);
+      if (recent.size() > 64) recent.erase(recent.begin());
+    }
+    if (t % 3 == 1 && !recent.empty()) {
+      const size_t pick = rng.UniformU64(recent.size());
+      const CeiId victim = recent[pick];
+      recent.erase(recent.begin() + static_cast<ptrdiff_t>(pick));
+      EXPECT_TRUE(proxy.Cancel(victim).ok());
+    }
+    EXPECT_TRUE(proxy.Tick().ok());
+    run.peak_resident = std::max(run.peak_resident,
+                                 proxy.num_resident_states());
+  }
+  run.captured = streams.captured;
+  run.expired = streams.expired;
+  run.cancelled = streams.cancelled;
+  run.stats = proxy.stats();
+  run.arrival_log = SerializeArrivalLog(proxy.arrival_log());
+  for (ResourceId r = 0; r < num_resources; ++r) {
+    run.probes_of.push_back(proxy.schedule().ProbesOf(r));
+  }
+  run.final_resident = proxy.num_resident_states();
+  return run;
+}
+
+}  // namespace
+
+TEST(ChurnCompactionTest, BoundedFootprintUnderSustainedChurn) {
+  constexpr Chronon kHorizon = 4000;
+  constexpr int kArrivals = 4;
+  constexpr Chronon kWindow = 8;
+  const CompactionRun run =
+      RunChurnEpoch(/*compact=*/true, /*num_resources=*/16, kHorizon,
+                    kArrivals, kWindow, /*seed=*/0xC0DE);
+  EXPECT_EQ(run.total_arrivals, kHorizon * kArrivals);
+  // Every CEI is terminal (captured, expired, or cancelled) within its
+  // window, and the retire pass frees the slot once its last indexed
+  // chronon drains — so the resident set tracks the live population
+  // (arrivals x window), not the 16k total arrivals.
+  const size_t live_bound = static_cast<size_t>(kArrivals) * (kWindow + 2);
+  EXPECT_LE(run.peak_resident, live_bound)
+      << "compaction failed to keep the resident set near the live "
+         "population";
+  EXPECT_LE(run.final_resident, live_bound);
+  // Sanity: the epoch really churned.
+  EXPECT_GT(run.stats.ceis_cancelled, 0);
+  EXPECT_GT(run.stats.ceis_captured, 0);
+  EXPECT_GT(run.stats.ceis_expired, 0);
+}
+
+TEST(ChurnCompactionTest, UncompactedSchedulerRetainsEveryArrival) {
+  const CompactionRun run =
+      RunChurnEpoch(/*compact=*/false, /*num_resources=*/16,
+                    /*horizon=*/500, /*arrivals=*/4, /*window=*/8,
+                    /*seed=*/0xC0DE);
+  EXPECT_EQ(run.final_resident, static_cast<size_t>(run.total_arrivals))
+      << "without compaction the resident set is total arrivals — the "
+         "regression this suite pins";
+}
+
+TEST(ChurnCompactionTest, CompactionPreservesEveryObservable) {
+  for (const uint64_t seed : {1u, 0xC0DEu}) {
+    const CompactionRun off =
+        RunChurnEpoch(false, 16, 600, 3, 8, seed);
+    const CompactionRun on =
+        RunChurnEpoch(true, 16, 600, 3, 8, seed);
+    EXPECT_EQ(on.captured, off.captured);
+    EXPECT_EQ(on.expired, off.expired);
+    EXPECT_EQ(on.cancelled, off.cancelled);
+    EXPECT_EQ(on.probes_of, off.probes_of);
+    EXPECT_EQ(on.arrival_log, off.arrival_log);
+    EXPECT_EQ(on.stats.ceis_seen, off.stats.ceis_seen);
+    EXPECT_EQ(on.stats.ceis_captured, off.stats.ceis_captured);
+    EXPECT_EQ(on.stats.ceis_expired, off.stats.ceis_expired);
+    EXPECT_EQ(on.stats.ceis_cancelled, off.stats.ceis_cancelled);
+    EXPECT_EQ(on.stats.cancels_noop, off.stats.cancels_noop);
+    EXPECT_EQ(on.stats.eis_captured, off.stats.eis_captured);
+    EXPECT_EQ(on.stats.probes_issued, off.stats.probes_issued);
+    EXPECT_EQ(on.stats.pushes_delivered, off.stats.pushes_delivered);
+    EXPECT_LT(on.final_resident, off.final_resident);
+  }
+}
+
+TEST(ChurnCompactionTest, CancelOfRetiredCeiIsARecordedNoop) {
+  SchedulerOptions options;
+  options.compact_terminal_states = true;
+  Proxy proxy(1, 10, BudgetVector::Uniform(1), Mrsf(), options);
+  ProxyStreams streams;
+  streams.Attach(proxy);
+  auto id = proxy.Submit({{0, 0, 1}});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(proxy.Tick().ok());  // captured at chronon 0
+  ASSERT_TRUE(proxy.Tick().ok());  // chronon 1: the retire pass frees it
+  ASSERT_EQ(streams.captured.size(), 1u);
+  EXPECT_EQ(proxy.num_resident_states(), 0u);
+  // A straggler cancel for the retired id drains as a deterministic no-op,
+  // exactly like a cancel of a merely-terminal CEI.
+  ASSERT_TRUE(proxy.Cancel(*id).ok());
+  while (!proxy.Done()) ASSERT_TRUE(proxy.Tick().ok());
+  EXPECT_TRUE(streams.cancelled.empty());
+  EXPECT_EQ(proxy.stats().cancels_noop, 1);
+  EXPECT_EQ(proxy.stats().ceis_cancelled, 0);
+}
+
 }  // namespace
 }  // namespace webmon

@@ -1,0 +1,138 @@
+// Serialization round-trips and structural audits of the shard ->
+// aggregator event stream (shard/event_stream.h).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "shard/event_stream.h"
+
+namespace webmon {
+namespace {
+
+ShardStream SampleStream() {
+  ShardStream stream;
+  stream.shard_id = 1;
+  stream.num_shards = 4;
+  stream.num_resources = 100;
+  stream.horizon = 50;
+  uint64_t seq = 0;
+  auto add = [&](Chronon t, ShardEventKind kind, uint64_t payload) {
+    ShardEvent e;
+    e.seq = seq++;
+    e.chronon = t;
+    e.kind = kind;
+    switch (kind) {
+      case ShardEventKind::kProbe:
+      case ShardEventKind::kPush:
+        e.resource = static_cast<ResourceId>(payload);
+        break;
+      case ShardEventKind::kCapture:
+      case ShardEventKind::kExpire:
+      case ShardEventKind::kCancel:
+        e.cei = payload;
+        break;
+      case ShardEventKind::kSpend:
+        e.attempts = static_cast<int64_t>(payload);
+        break;
+    }
+    stream.events.push_back(e);
+  };
+  add(0, ShardEventKind::kPush, 7);
+  add(0, ShardEventKind::kProbe, 42);
+  add(0, ShardEventKind::kCapture, 900);
+  add(0, ShardEventKind::kSpend, 3);
+  add(3, ShardEventKind::kProbe, 99);
+  add(3, ShardEventKind::kExpire, 901);
+  add(3, ShardEventKind::kCancel, 902);
+  add(3, ShardEventKind::kSpend, 1);
+  return stream;
+}
+
+TEST(ShardStreamTest, SerializeParseRoundTrip) {
+  const ShardStream stream = SampleStream();
+  const std::string text = SerializeShardStream(stream);
+  auto parsed = ParseShardStream(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, stream);
+  // Determinism: serializing the parse reproduces the bytes.
+  EXPECT_EQ(SerializeShardStream(*parsed), text);
+}
+
+TEST(ShardStreamTest, HeaderBytesArePinned) {
+  ShardStream stream;
+  stream.shard_id = 0;
+  stream.num_shards = 1;
+  stream.num_resources = 10;
+  stream.horizon = 5;
+  EXPECT_EQ(SerializeShardStream(stream),
+            "webmon-shardstream 1\nshard 0 1 10 5\n");
+}
+
+TEST(ShardStreamTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(ParseShardStream("").ok());
+  EXPECT_FALSE(ParseShardStream("webmon-shardstream 2\nshard 0 1 10 5\n").ok());
+  EXPECT_FALSE(ParseShardStream("webmon-shardstream 1\n").ok());
+  EXPECT_FALSE(ParseShardStream("webmon-shardstream 1\nshard 0 1 10 5\n"
+                                "frobnicate 0 0 0\n")
+                   .ok());
+}
+
+TEST(ShardStreamTest, AuditAcceptsWellFormed) {
+  EXPECT_TRUE(AuditShardStream(SampleStream()).ok());
+}
+
+TEST(ShardStreamTest, AuditCatchesStructuralViolations) {
+  {  // shard_id out of range
+    ShardStream s = SampleStream();
+    s.shard_id = 4;
+    EXPECT_FALSE(AuditShardStream(s).ok());
+  }
+  {  // non-dense sequence numbers
+    ShardStream s = SampleStream();
+    s.events[2].seq = 99;
+    EXPECT_FALSE(AuditShardStream(s).ok());
+  }
+  {  // decreasing chronon
+    ShardStream s = SampleStream();
+    s.events.back().chronon = 1;
+    EXPECT_FALSE(AuditShardStream(s).ok());
+  }
+  {  // chronon beyond the horizon
+    ShardStream s = SampleStream();
+    s.events.back().chronon = 50;
+    EXPECT_FALSE(AuditShardStream(s).ok());
+  }
+  {  // resource outside the global space
+    ShardStream s = SampleStream();
+    s.events[1].resource = 100;
+    EXPECT_FALSE(AuditShardStream(s).ok());
+  }
+  {  // non-positive spend
+    ShardStream s = SampleStream();
+    s.events[3].attempts = 0;
+    EXPECT_FALSE(AuditShardStream(s).ok());
+  }
+  {  // two spend records in one chronon
+    ShardStream s = SampleStream();
+    ShardEvent extra;
+    extra.seq = s.events.size();
+    extra.chronon = 3;
+    extra.kind = ShardEventKind::kSpend;
+    extra.attempts = 2;
+    s.events.push_back(extra);
+    EXPECT_FALSE(AuditShardStream(s).ok());
+  }
+}
+
+TEST(ShardStreamTest, KindNamesAreStable) {
+  EXPECT_STREQ(ShardEventKindName(ShardEventKind::kProbe), "probe");
+  EXPECT_STREQ(ShardEventKindName(ShardEventKind::kPush), "push");
+  EXPECT_STREQ(ShardEventKindName(ShardEventKind::kCapture), "capture");
+  EXPECT_STREQ(ShardEventKindName(ShardEventKind::kExpire), "expire");
+  EXPECT_STREQ(ShardEventKindName(ShardEventKind::kCancel), "cancel");
+  EXPECT_STREQ(ShardEventKindName(ShardEventKind::kSpend), "spend");
+}
+
+}  // namespace
+}  // namespace webmon

@@ -27,7 +27,7 @@ libstdc++ versions, ASLR seeds, or allocator behavior). Rules:
   ptr-ordered-key  No pointer-keyed std::map/std::set in src/: iteration
                    order is the pointer order, i.e. the allocator's mood.
   sort-stability   std::sort in src/policy, src/online, src/offline,
-                   src/faults, and src/feedsim must be
+                   src/faults, src/feedsim, and src/shard must be
                    std::stable_sort or carry a `// total-order: <why>`
                    comment (same line or the three lines above) arguing the
                    comparator is a strict total order on the sorted range —
@@ -67,9 +67,11 @@ SKIP_DIR_NAMES = {"build", "CMakeFiles", "__pycache__", ".git"}
 
 # Directories whose std::sort calls feed schedules (rule sort-stability).
 # src/faults and src/feedsim joined when fleet incidents and push loss made
-# their orderings (domain coverage, publication plans) schedule-relevant.
+# their orderings (domain coverage, publication plans) schedule-relevant;
+# src/shard joined with the fleet tier, whose stream merge order is the
+# replay-identity contract.
 SORT_SCOPE = ("src/policy/", "src/online/", "src/offline/", "src/faults/",
-              "src/feedsim/")
+              "src/feedsim/", "src/shard/")
 
 # Per-site allowlist for rule unordered-iter: (repo-relative path, variable).
 # Every entry must ALSO carry a `// unordered-iter-ok:` justification within

@@ -33,6 +33,9 @@
 #include "offline/offline_approx.h"
 #include "online/ingestion_driver.h"
 #include "online/run.h"
+#include "shard/event_stream.h"
+#include "shard/sharded_run.h"
+#include "util/rng.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "trace/update_model.h"
@@ -830,10 +833,114 @@ int IngestCommand(int argc, const char* const* argv) {
   return 0;
 }
 
+int ShardCommand(int argc, const char* const* argv) {
+  FlagSet flags(
+      "webmon_cli shard: run one epoch on the sharded scheduler tier "
+      "(partition, per-shard scheduling, audited stream merge) over a "
+      "synthetic workload");
+  flags.AddInt("resources", 10000, "number of resources n")
+      .AddInt("chronons", 200, "epoch length K")
+      .AddInt("shards", 4, "number of scheduler shards")
+      .AddInt("arrivals", 50, "CEIs arriving per chronon")
+      .AddInt("rank", 2, "EIs per CEI")
+      .AddInt("window", 16, "EI window width (chronons)")
+      .AddInt("budget", 16, "GLOBAL probe budget per chronon")
+      .AddDouble("hot-prob", 0.1,
+                 "fraction of EIs drawn from a 64-resource hot set (drives "
+                 "cross-shard CEIs)")
+      .AddString("policy", "s-edf", "per-shard scheduling policy")
+      .AddBool("parallel", false, "execute the shards on a thread pool")
+      .AddBool("verify-replay", true,
+               "run both serial and parallel shard execution and require "
+               "byte-identical streams and aggregate")
+      .AddInt("seed", 1, "workload RNG seed");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st << "\n" << flags.Help();
+    return 2;
+  }
+
+  const auto num_resources = static_cast<uint32_t>(flags.GetInt("resources"));
+  const Chronon horizon = flags.GetInt("chronons");
+  const Chronon window = flags.GetInt("window");
+  const int64_t rank = flags.GetInt("rank");
+  const double hot_prob = flags.GetDouble("hot-prob");
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  ShardedWorkload workload;
+  CeiId next_id = 0;
+  for (Chronon t = 0; t < horizon; ++t) {
+    const Chronon finish = std::min<Chronon>(t + window - 1, horizon - 1);
+    for (int64_t a = 0; a < flags.GetInt("arrivals"); ++a) {
+      ShardCeiSpec spec;
+      spec.id = next_id++;
+      spec.arrival = t;
+      for (int64_t e = 0; e < rank; ++e) {
+        const bool hot = rng.UniformDouble() < hot_prob;
+        const auto r = static_cast<ResourceId>(
+            hot ? rng.UniformU64(64) : rng.UniformU64(num_resources));
+        spec.eis.emplace_back(r, t, finish);
+      }
+      workload.ceis.push_back(std::move(spec));
+    }
+  }
+
+  ShardedRunConfig config;
+  config.num_resources = num_resources;
+  config.num_shards = static_cast<uint32_t>(flags.GetInt("shards"));
+  config.horizon = horizon;
+  config.global_budget = BudgetVector::Uniform(flags.GetInt("budget"));
+  config.policy = flags.GetString("policy");
+  config.parallel_shards = flags.GetBool("parallel");
+  auto run = RunSharded(config, workload);
+  if (!run.ok()) {
+    std::cerr << run.status() << "\n";
+    return 1;
+  }
+
+  const AggregateResult& agg = run->aggregate;
+  TableWriter table({"metric", "value"});
+  table.AddRow({"shards", TableWriter::Fmt(
+                              static_cast<int64_t>(config.num_shards))});
+  table.AddRow({"CEIs", TableWriter::Fmt(agg.total_ceis)});
+  table.AddRow({"cross-shard CEIs", TableWriter::Fmt(agg.cross_shard_ceis)});
+  table.AddRow({"cross-shard captured",
+                TableWriter::Fmt(agg.cross_shard_captured)});
+  table.AddRow({"completeness", TableWriter::Percent(agg.completeness)});
+  table.AddRow({"probes", TableWriter::Fmt(agg.probes)});
+  table.AddRow({"max chronon spend (<= global budget, audited)",
+                TableWriter::Fmt(agg.max_chronon_spend)});
+  table.AddRow({"fragments submitted",
+                TableWriter::Fmt(run->fragments_submitted)});
+  table.Print(std::cout);
+
+  if (flags.GetBool("verify-replay")) {
+    config.parallel_shards = !config.parallel_shards;
+    auto other = RunSharded(config, workload);
+    if (!other.ok()) {
+      std::cerr << other.status() << "\n";
+      return 1;
+    }
+    bool identical = SerializeAggregateResult(run->aggregate) ==
+                         SerializeAggregateResult(other->aggregate) &&
+                     run->arrival_logs == other->arrival_logs;
+    for (size_t s = 0; identical && s < run->streams.size(); ++s) {
+      identical = SerializeShardStream(run->streams[s]) ==
+                  SerializeShardStream(other->streams[s]);
+    }
+    if (!identical) {
+      std::cerr << "replay verification FAILED: serial and parallel shard "
+                   "execution diverged\n";
+      return 1;
+    }
+    std::cout << "replay verification: OK (serial and parallel shard "
+                 "execution merge byte-identically)\n";
+  }
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
   const std::string usage =
       "usage: webmon_cli "
-      "<run|inspect|query|generate|replay|offline|ingest|policies> "
+      "<run|inspect|query|generate|replay|offline|ingest|shard|policies> "
       "[flags]\n"
       "  run       execute a monitoring experiment\n"
       "  inspect   print trace statistics\n"
@@ -842,6 +949,8 @@ int Main(int argc, const char* const* argv) {
       "  replay    run policies over a saved instance\n"
       "  offline   run the offline solvers (exact, local ratio, greedy)\n"
       "  ingest    stress concurrent Submit/Push ingestion and verify replay\n"
+      "  shard     run an epoch on the sharded scheduler tier and verify the\n"
+      "            merged streams replay identically\n"
       "  policies  list the scheduling policies and their classification\n"
       "Pass --help after a subcommand for its flags.\n";
   if (argc < 2) {
@@ -857,6 +966,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "replay") return ReplayCommand(argc - 1, argv + 1);
   if (command == "offline") return OfflineCommand(argc - 1, argv + 1);
   if (command == "ingest") return IngestCommand(argc - 1, argv + 1);
+  if (command == "shard") return ShardCommand(argc - 1, argv + 1);
   if (command == "policies") return PoliciesCommand(argc - 1, argv + 1);
   if (command == "--help" || command == "help") {
     std::cout << usage;
